@@ -1,0 +1,269 @@
+//! # baselines — the comparator MPI stacks of §4
+//!
+//! The paper evaluates MPICH2-NewMadeleine against **MVAPICH2 1.0.3** and
+//! **Open MPI 1.2.7**. Both are "finely-tuned, specialized" stacks we only
+//! know through their measured behaviour, so they are modelled as
+//! [`mpi_ch3::stack::InterNode::Tailored`] configurations of the same CH3
+//! machinery, calibrated to the paper's numbers (DESIGN.md §4):
+//!
+//! | stack            | IB latency | large-message behaviour |
+//! |------------------|------------|--------------------------|
+//! | MVAPICH2         | 1.5 µs     | registration cache ⇒ highest bandwidth |
+//! | Open MPI (BTL)   | 1.6 µs     | no cache + 128 KB pipelined rendezvous ⇒ lower medium-size bandwidth |
+//! | Open MPI (PML)   | 1.6 µs     | MTL-style tag-matching offload: slightly lower latency than the BTL (Fig. 6b) |
+//!
+//! Open MPI's `compute_factor` of 1.06 reproduces its otherwise-unexplained
+//! EP/LU lag in Fig. 8 (see DESIGN.md §6). Neither baseline overlaps
+//! communication with computation (Fig. 7) and neither has functional
+//! multirail ("to the extent of our knowledge, this functionality is not
+//! fully operational in the release we tested", §4.1.1) — both fall out of
+//! the tailored path's design rather than being special-cased.
+
+use mpi_ch3::stack::{InterNode, StackConfig, TailoredProfile};
+use mpi_ch3::SoftwareCosts;
+use nemesis::ShmModel;
+use nmad::NmConfig;
+use simnet::SimDuration;
+
+/// MVAPICH2 1.0.3-like stack (single IB rail).
+pub fn mvapich2(rail: usize) -> StackConfig {
+    StackConfig {
+        name: "MVAPICH2".into(),
+        inter: InterNode::Tailored(TailoredProfile {
+            name: "mvapich2",
+            eager_threshold: 16 * 1024,
+            // RDMA write of the whole buffer in one go.
+            rdv_chunk: None,
+            rdv_ack: false,
+            rdv_setup: SimDuration::ZERO,
+            reg_cache: true,
+            costs: SoftwareCosts::mvapich2(),
+            rail,
+        }),
+        pioman: None,
+        costs: SoftwareCosts::mvapich2(),
+        shm_model: ShmModel::xeon(),
+        cells_per_rank: 64,
+        nm: NmConfig::default(),
+        compute_factor: 1.0,
+    }
+}
+
+/// Open MPI 1.2.7-like stack, openib BTL flavour.
+pub fn openmpi_btl(rail: usize) -> StackConfig {
+    StackConfig {
+        name: "Open MPI (BTL)".into(),
+        inter: InterNode::Tailored(TailoredProfile {
+            name: "openmpi-btl",
+            // The openib BTL's default eager limit is 12 KB.
+            eager_threshold: 12 * 1024,
+            // Depth-1 pipelined rendezvous in 128 KB fragments with a
+            // protocol-switch startup cost: the source of Open MPI's
+            // medium-size bandwidth dip in Fig. 4(b).
+            rdv_chunk: Some(128 * 1024),
+            rdv_ack: true,
+            rdv_setup: SimDuration::micros(10),
+            reg_cache: false,
+            costs: btl_costs(),
+            rail,
+        }),
+        pioman: None,
+        costs: btl_costs(),
+        shm_model: ShmModel::xeon(),
+        cells_per_rank: 64,
+        nm: NmConfig::default(),
+        compute_factor: 1.06,
+    }
+}
+
+/// Open MPI 1.2.7-like stack, PML/MTL flavour (tag matching offloaded to
+/// the interface — slightly lower latency than the BTL, Fig. 6b).
+pub fn openmpi_pml(rail: usize) -> StackConfig {
+    StackConfig {
+        name: "Open MPI (PML)".into(),
+        inter: InterNode::Tailored(TailoredProfile {
+            name: "openmpi-pml",
+            eager_threshold: 16 * 1024,
+            rdv_chunk: Some(128 * 1024),
+            rdv_ack: true,
+            rdv_setup: SimDuration::micros(10),
+            reg_cache: false,
+            costs: SoftwareCosts::openmpi(),
+            rail,
+        }),
+        pioman: None,
+        costs: SoftwareCosts::openmpi(),
+        shm_model: ShmModel::xeon(),
+        cells_per_rank: 64,
+        nm: NmConfig::default(),
+        compute_factor: 1.06,
+    }
+}
+
+/// Generic "Open MPI" (the PML flavour — what the paper's Fig. 4/7/8
+/// curves labelled just "Open MPI" use).
+pub fn openmpi(rail: usize) -> StackConfig {
+    openmpi_pml(rail)
+}
+
+/// BTL per-message costs: ~0.5 µs more than the PML path on small
+/// messages (Fig. 6b shows the BTL above the PML).
+fn btl_costs() -> SoftwareCosts {
+    let base = SoftwareCosts::openmpi();
+    SoftwareCosts {
+        net_send: base.net_send + SimDuration::nanos(250),
+        net_recv: base.net_recv + SimDuration::nanos(250),
+        ..base
+    }
+}
+
+/// Extra per-side cost of Open MPI's Myrinet path relative to its IB path.
+/// Fig. 6(b) puts Open MPI's PML over MX around 2.9 µs and the BTL around
+/// 3.4 µs while MPICH2-NewMadeleine sits at 2.4 µs — Open MPI 1.2.7's MX
+/// support was simply less tuned than MPICH2's; we calibrate the gap
+/// rather than explain it (same policy as every baseline constant).
+const MX_PATH_EXTRA: SimDuration = SimDuration::nanos(525);
+
+fn add_mx_extra(c: SoftwareCosts) -> SoftwareCosts {
+    SoftwareCosts {
+        net_send: c.net_send + MX_PATH_EXTRA,
+        net_recv: c.net_recv + MX_PATH_EXTRA,
+        ..c
+    }
+}
+
+/// Open MPI over Myrinet MX, PML (CM) flavour — Fig. 6(b)/7(a).
+pub fn openmpi_pml_mx(rail: usize) -> StackConfig {
+    let mut cfg = openmpi_pml(rail);
+    cfg.name = "Open MPI (PML, MX)".into();
+    if let InterNode::Tailored(p) = &mut cfg.inter {
+        p.name = "openmpi-pml-mx";
+        p.costs = add_mx_extra(p.costs);
+        cfg.costs = p.costs;
+    }
+    cfg
+}
+
+/// Open MPI over Myrinet MX, openib-style BTL flavour.
+pub fn openmpi_btl_mx(rail: usize) -> StackConfig {
+    let mut cfg = openmpi_btl(rail);
+    cfg.name = "Open MPI (BTL, MX)".into();
+    if let InterNode::Tailored(p) = &mut cfg.inter {
+        p.name = "openmpi-btl-mx";
+        p.costs = add_mx_extra(p.costs);
+        cfg.costs = p.costs;
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_ch3::{MpiHandle, Src};
+    use parking_lot::Mutex;
+    use simnet::{Cluster, Placement};
+    use std::sync::Arc;
+
+    fn one_way_us(cfg: &StackConfig, bytes: usize) -> f64 {
+        let c = Cluster::xeon_pair();
+        let p = Placement::one_per_node(2, &c);
+        let out = Arc::new(Mutex::new(0.0));
+        let o2 = Arc::clone(&out);
+        mpi_ch3::stack::run_mpi(
+            &c,
+            &p,
+            cfg,
+            2,
+            Arc::new(move |mpi: MpiHandle| {
+                let payload = vec![0u8; bytes];
+                if mpi.rank() == 0 {
+                    mpi.send(1, 1, &payload);
+                    mpi.recv(Src::Rank(1), 1);
+                    let t0 = mpi.now();
+                    for _ in 0..20 {
+                        mpi.send(1, 1, &payload);
+                        mpi.recv(Src::Rank(1), 1);
+                    }
+                    *o2.lock() = (mpi.now() - t0).as_micros_f64() / 40.0;
+                } else {
+                    mpi.recv(Src::Rank(0), 1);
+                    mpi.send(0, 1, &payload);
+                    for _ in 0..20 {
+                        mpi.recv(Src::Rank(0), 1);
+                        mpi.send(0, 1, &payload);
+                    }
+                }
+            }),
+        );
+        let v = *out.lock();
+        v
+    }
+
+    #[test]
+    fn mvapich2_latency_is_1_5us() {
+        let lat = one_way_us(&mvapich2(0), 4);
+        assert!((lat - 1.5).abs() < 0.15, "MVAPICH2 latency {lat:.2}us");
+    }
+
+    #[test]
+    fn openmpi_latency_is_1_6us() {
+        let lat = one_way_us(&openmpi(0), 4);
+        assert!((lat - 1.6).abs() < 0.15, "Open MPI latency {lat:.2}us");
+    }
+
+    #[test]
+    fn btl_is_slower_than_pml() {
+        // Fig. 6(b): the BTL path sits above the PML path.
+        let pml = one_way_us(&openmpi_pml(0), 4);
+        let btl = one_way_us(&openmpi_btl(0), 4);
+        assert!(
+            btl > pml + 0.3,
+            "BTL ({btl:.2}us) must exceed PML ({pml:.2}us)"
+        );
+    }
+
+    #[test]
+    fn paper_latency_ordering_holds() {
+        // Fig. 4(a): MVAPICH2 < Open MPI < MPICH2-NewMadeleine.
+        let mva = one_way_us(&mvapich2(0), 4);
+        let omp = one_way_us(&openmpi(0), 4);
+        let nmad = one_way_us(&StackConfig::mpich2_nmad_rail(0, false), 4);
+        assert!(mva < omp, "MVAPICH2 {mva:.2} !< OpenMPI {omp:.2}");
+        assert!(omp < nmad, "OpenMPI {omp:.2} !< nmad {nmad:.2}");
+    }
+
+    #[test]
+    fn large_message_bandwidth_ordering() {
+        // Fig. 4(b): MVAPICH2 (registration cache) has the highest
+        // large-message bandwidth; MPICH2-NewMadeleine beats Open MPI at
+        // medium sizes.
+        let t_mva = one_way_us(&mvapich2(0), 4 << 20);
+        let t_nmad = one_way_us(&StackConfig::mpich2_nmad_rail(0, false), 4 << 20);
+        let t_omp = one_way_us(&openmpi(0), 4 << 20);
+        assert!(
+            t_mva < t_nmad,
+            "MVAPICH2 4MB {t_mva:.0}us !< nmad {t_nmad:.0}us"
+        );
+        // Medium size: 64 KB.
+        let m_nmad = one_way_us(&StackConfig::mpich2_nmad_rail(0, false), 64 << 10);
+        let m_omp = one_way_us(&openmpi(0), 64 << 10);
+        assert!(
+            m_nmad < m_omp,
+            "nmad 64KB {m_nmad:.1}us !< OpenMPI {m_omp:.1}us"
+        );
+        let _ = t_omp;
+    }
+
+    #[test]
+    fn baselines_run_nas_style_collectives() {
+        let c = Cluster::xeon_pair();
+        let p = Placement::block(4, &c);
+        for cfg in [mvapich2(0), openmpi_btl(0), openmpi_pml(0)] {
+            let (_, sums) = mpi_ch3::stack::run_mpi_collect(&c, &p, &cfg, 4, |mpi| {
+                mpi.barrier();
+                mpi.allreduce_sum(&[mpi.rank() as f64])[0]
+            });
+            assert!(sums.into_iter().all(|s| s == 6.0), "{}", cfg.name);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Criterion micro-benchmarks of the hot data structures (real wall-clock
+//! performance, as opposed to the simulated-time figure harnesses):
+//!
+//! * the Nemesis lock-free cell queue (enqueue/dequeue cycle, single- and
+//!   multi-producer),
+//! * NewMadeleine's tag-matching engine,
+//! * the strategy decision procedures (aggregation / multirail split),
+//! * the sampling split solver,
+//! * the DES event queue,
+//! * a complete simulated ping-pong (events per second of the whole
+//!   stack).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bytes::Bytes;
+use nemesis::{CellPool, NemQueue};
+use nmad::matching::{GateId, MatchEngine, Unexpected};
+use nmad::pack::{PacketWrapper, PwBody, PwId};
+use nmad::sampling::{split_sizes, LinkProfile};
+use nmad::sr::RecvReqId;
+use nmad::{NmConfig, SendReqId, StrategyKind};
+use simnet::event::{EventKind, EventQueue};
+use simnet::{SimDuration, SimTime};
+
+fn nem_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nemesis-queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("enqueue-dequeue-cycle", |b| {
+        let (pool, mut handles) = CellPool::new(1, 4);
+        let q = NemQueue::new();
+        for h in handles.remove(0) {
+            q.enqueue(h);
+        }
+        b.iter(|| {
+            let h = q.dequeue(&pool).expect("cell");
+            q.enqueue(h);
+        });
+    });
+    g.bench_function("two-producer-contention", |b| {
+        // Two OS threads hammering enqueue while the bench thread drains.
+        let (pool, handles) = CellPool::new(3, 256);
+        let q = Arc::new(NemQueue::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let free: Arc<crossbeam::queue::SegQueue<nemesis::CellHandle>> =
+            Arc::new(crossbeam::queue::SegQueue::new());
+        let mut producers = Vec::new();
+        let mut it = handles.into_iter();
+        let mine = it.next().unwrap();
+        for hs in it {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            let free = Arc::clone(&free);
+            for h in hs {
+                free.push(h);
+            }
+            let f2 = Arc::clone(&free);
+            producers.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    if let Some(h) = f2.pop() {
+                        q.enqueue(h);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in mine {
+            q.enqueue(h);
+        }
+        b.iter(|| {
+            if let Some(h) = q.dequeue(&pool) {
+                free.push(h);
+            }
+        });
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for p in producers {
+            let _ = p.join();
+        }
+    });
+    g.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nmad-matching");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("post-then-match", |b| {
+        let mut m = MatchEngine::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            m.post_recv(GateId(1), 7, RecvReqId(0));
+            let hit = m.arrived(
+                GateId(1),
+                7,
+                Unexpected::Eager {
+                    seq,
+                    data: Bytes::new(),
+                },
+            );
+            seq += 1;
+            assert!(hit.is_some());
+        });
+    });
+    g.bench_function("unexpected-then-post", |b| {
+        let mut m = MatchEngine::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            m.arrived(
+                GateId(1),
+                9,
+                Unexpected::Eager {
+                    seq,
+                    data: Bytes::new(),
+                },
+            );
+            let hit = m.post_recv(GateId(1), 9, RecvReqId(0));
+            seq += 1;
+            assert!(hit.is_some());
+        });
+    });
+    g.bench_function("probe-tag-100-gates", |b| {
+        let mut m = MatchEngine::new();
+        for gate in 0..100 {
+            m.arrived(
+                GateId(gate),
+                gate as u64 % 10,
+                Unexpected::Eager {
+                    seq: 0,
+                    data: Bytes::new(),
+                },
+            );
+        }
+        b.iter(|| m.probe_tag(5));
+    });
+    g.finish();
+}
+
+fn eager_pw(id: u64, len: usize) -> PacketWrapper {
+    PacketWrapper {
+        id: PwId(id),
+        dst: 1,
+        body: PwBody::Eager {
+            tag: 1,
+            seq: id,
+            send_req: SendReqId(id as u32),
+        },
+        data: Bytes::from(vec![0u8; len]),
+        enqueued_at: SimTime::ZERO,
+    }
+}
+
+fn strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nmad-strategy");
+    let cfg = NmConfig::default();
+    let rails = || {
+        vec![
+            nmad::strategy::RailState {
+                idle: true,
+                profile: LinkProfile {
+                    latency: SimDuration::nanos(1200),
+                    bandwidth_bps: 1.25e9,
+                },
+            },
+            nmad::strategy::RailState {
+                idle: true,
+                profile: LinkProfile {
+                    latency: SimDuration::nanos(1500),
+                    bandwidth_bps: 1.1e9,
+                },
+            },
+        ]
+    };
+    g.bench_function("aggreg-16-small", |b| {
+        let mut s = nmad::strategy::make(StrategyKind::Aggreg);
+        b.iter_batched(
+            || {
+                let pending: VecDeque<_> = (0..16).map(|i| eager_pw(i, 64)).collect();
+                (pending, rails())
+            },
+            |(mut pending, mut rs)| s.try_and_commit(&cfg, &mut pending, &mut rs),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("split-4MB-two-rails", |b| {
+        let mut s = nmad::strategy::make(StrategyKind::SplitBalanced);
+        let payload = Bytes::from(vec![0u8; 4 << 20]);
+        b.iter_batched(
+            || {
+                let pw = PacketWrapper {
+                    id: PwId(0),
+                    dst: 1,
+                    body: PwBody::Data {
+                        rdv_id: 1,
+                        offset: 0,
+                    },
+                    data: payload.clone(),
+                    enqueued_at: SimTime::ZERO,
+                };
+                (VecDeque::from(vec![pw]), rails())
+            },
+            |(mut pending, mut rs)| s.try_and_commit(&cfg, &mut pending, &mut rs),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn sampling(c: &mut Criterion) {
+    c.bench_function("sampling-split-solve", |b| {
+        let profiles = [
+            LinkProfile {
+                latency: SimDuration::nanos(1200),
+                bandwidth_bps: 1.25e9,
+            },
+            LinkProfile {
+                latency: SimDuration::nanos(1500),
+                bandwidth_bps: 1.1e9,
+            },
+        ];
+        b.iter(|| split_sizes(std::hint::black_box(8 << 20), &profiles));
+    });
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet-events");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push-pop", |b| {
+        let mut q = EventQueue::new();
+        // Keep a standing population so the heap has realistic depth.
+        for i in 0..1000u64 {
+            q.push(SimTime(i * 10), EventKind::Call(Box::new(|_| {})));
+        }
+        let mut t = 10_000u64;
+        b.iter(|| {
+            q.push(SimTime(t), EventKind::Call(Box::new(|_| {})));
+            t += 7;
+            q.pop()
+        });
+    });
+    g.finish();
+}
+
+fn full_stack_pingpong(c: &mut Criterion) {
+    use mpi_ch3::stack::{run_mpi, StackConfig};
+    use mpi_ch3::{MpiHandle, Src};
+    use simnet::{Cluster, Placement};
+    let mut g = c.benchmark_group("full-stack");
+    g.sample_size(10);
+    g.bench_function("pingpong-job-100x64B", |b| {
+        let cluster = Cluster::xeon_pair();
+        let placement = Placement::one_per_node(2, &cluster);
+        let cfg = StackConfig::mpich2_nmad(false);
+        b.iter(|| {
+            run_mpi(
+                &cluster,
+                &placement,
+                &cfg,
+                2,
+                Arc::new(|mpi: MpiHandle| {
+                    let buf = [0u8; 64];
+                    if mpi.rank() == 0 {
+                        for _ in 0..100 {
+                            mpi.send(1, 1, &buf);
+                            mpi.recv(Src::Rank(1), 1);
+                        }
+                    } else {
+                        for _ in 0..100 {
+                            mpi.recv(Src::Rank(0), 1);
+                            mpi.send(0, 1, &buf);
+                        }
+                    }
+                }),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    nem_queue,
+    matching,
+    strategies,
+    sampling,
+    event_queue,
+    full_stack_pingpong
+);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Aggregation** — burst completion time with the `default` vs
+//!    `aggreg` strategy (the submission-window idea of §2.2).
+//! 2. **Sampled split ratio** — large-transfer time with the sampled
+//!    equal-finish split vs a naive 50/50 on heterogeneous rails
+//!    (reference [4]'s contribution).
+//! 3. **Eager/rendezvous threshold** — mid-size message latency across
+//!    threshold settings.
+//! 4. **PIOMan detection method** — rendezvous overlap quality with
+//!    idle-core polling vs timer-driven detection at several periods
+//!    (§2.2.2's "most appropriate detection method" choice).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use piom::{DetectionMethod, PiomConfig};
+use simnet::{Cluster, Placement, SimDuration, SimTime};
+
+use bench_harness::sending_time;
+use mpi_ch3::stack::{run_mpi, InterNode, StackConfig};
+use mpi_ch3::{MpiHandle, Src};
+use nmad::StrategyKind;
+
+fn main() {
+    aggregation();
+    split_ratio();
+    eager_threshold();
+    pioman_detection();
+}
+
+/// Burst of small same-destination sends: measure when the SENDER is free
+/// (all send requests complete — buffers reusable, NIC handed everything)
+/// and when the last message is delivered.
+fn burst_time(strategy: StrategyKind, count: usize, bytes: usize) -> (f64, f64, u64) {
+    let cluster = Cluster::xeon_pair();
+    let placement = Placement::one_per_node(2, &cluster);
+    let mut cfg = StackConfig::mpich2_nmad_rail(0, false);
+    cfg.inter = InterNode::NmadDirect {
+        strategy,
+        rails: Some(vec![0]),
+    };
+    let done = Arc::new(Mutex::new(SimTime::ZERO));
+    let sender_free = Arc::new(Mutex::new(SimTime::ZERO));
+    let d2 = Arc::clone(&done);
+    let s2 = Arc::clone(&sender_free);
+    let out = run_mpi(
+        &cluster,
+        &placement,
+        &cfg,
+        2,
+        Arc::new(move |mpi: MpiHandle| {
+            if mpi.rank() == 0 {
+                let payload = vec![7u8; bytes];
+                let reqs: Vec<_> =
+                    (0..count).map(|_| mpi.isend(1, 1, &payload)).collect();
+                mpi.waitall(&reqs);
+                *s2.lock() = mpi.now();
+                mpi.recv(Src::Rank(1), 2);
+            } else {
+                for _ in 0..count {
+                    mpi.recv(Src::Rank(0), 1);
+                }
+                *d2.lock() = mpi.now();
+                mpi.send(0, 2, b"done");
+            }
+        }),
+    );
+    let free_us = sender_free.lock().as_micros_f64();
+    let done_us = done.lock().as_micros_f64();
+    (free_us, done_us, out.nm_stats[0].packets_sent)
+}
+
+fn aggregation() {
+    println!("## Ablation 1: aggregation strategy on a 32 x 256B burst");
+    println!(
+        "{:<12} {:>15} {:>14} {:>10}",
+        "strategy", "sender-free(us)", "delivered(us)", "packets"
+    );
+    for (name, kind) in [
+        ("default", StrategyKind::Default),
+        ("aggreg", StrategyKind::Aggreg),
+    ] {
+        let (free, t, packets) = burst_time(kind, 32, 256);
+        println!("{name:<12} {free:>15.1} {t:>14.1} {packets:>10}");
+    }
+    println!(
+        "(aggregation's win is on the SENDER and the NIC: the window\n\
+         coalesces into a few packets, so send requests complete sooner and\n\
+         the NIC serves far fewer transactions — the resource contention\n\
+         §1 worries about when all cores send at once. Delivery of the\n\
+         last message can be slightly later: one big packet cannot overlap\n\
+         receive-side processing with remaining wire time.)\n"
+    );
+}
+
+/// One large transfer under a given multirail strategy.
+fn transfer_time(strategy: StrategyKind, bytes: usize) -> f64 {
+    let cluster = Cluster::xeon_pair(); // IB (1250 MB/s) + MX (1100 MB/s)
+    let placement = Placement::one_per_node(2, &cluster);
+    let mut cfg = StackConfig::mpich2_nmad(false);
+    cfg.inter = InterNode::NmadDirect {
+        strategy,
+        rails: None,
+    };
+    let done = Arc::new(Mutex::new(SimTime::ZERO));
+    let d2 = Arc::clone(&done);
+    run_mpi(
+        &cluster,
+        &placement,
+        &cfg,
+        2,
+        Arc::new(move |mpi: MpiHandle| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 1, &vec![1u8; bytes]);
+            } else {
+                mpi.recv(Src::Rank(0), 1);
+                *d2.lock() = mpi.now();
+            }
+        }),
+    );
+    let t = done.lock().as_micros_f64();
+    t
+}
+
+fn split_ratio() {
+    println!("## Ablation 2: sampled split ratio vs naive 50/50 (16MB, IB+MX)");
+    let sampled = transfer_time(StrategyKind::SplitBalanced, 16 << 20);
+    let equal = transfer_time(StrategyKind::SplitEqual, 16 << 20);
+    println!("  sampled equal-finish split: {sampled:>9.0} us");
+    println!("  naive 50/50 split:          {equal:>9.0} us");
+    println!(
+        "  sampling saves {:.1}% (the 50/50 split waits for the slower rail)\n",
+        (equal / sampled - 1.0) * 100.0
+    );
+}
+
+fn eager_threshold() {
+    println!("## Ablation 3: eager/rendezvous threshold, 24KB messages over IB");
+    println!("{:>10} {:>14}", "threshold", "one-way(us)");
+    let cluster = Cluster::xeon_pair();
+    let placement = Placement::one_per_node(2, &cluster);
+    for threshold in [4 * 1024usize, 16 * 1024, 64 * 1024] {
+        let mut cfg = StackConfig::mpich2_nmad_rail(0, false);
+        cfg.nm.eager_threshold = threshold;
+        let done = Arc::new(Mutex::new(0.0));
+        let d2 = Arc::clone(&done);
+        run_mpi(
+            &cluster,
+            &placement,
+            &cfg,
+            2,
+            Arc::new(move |mpi: MpiHandle| {
+                let payload = vec![0u8; 24 * 1024];
+                if mpi.rank() == 0 {
+                    mpi.send(1, 1, &payload);
+                    mpi.recv(Src::Rank(1), 1);
+                    let t0 = mpi.now();
+                    for _ in 0..10 {
+                        mpi.send(1, 1, &payload);
+                        mpi.recv(Src::Rank(1), 1);
+                    }
+                    *d2.lock() = (mpi.now() - t0).as_micros_f64() / 20.0;
+                } else {
+                    mpi.recv(Src::Rank(0), 1);
+                    mpi.send(0, 1, &payload);
+                    for _ in 0..10 {
+                        mpi.recv(Src::Rank(0), 1);
+                        mpi.send(0, 1, &payload);
+                    }
+                }
+            }),
+        );
+        println!("{:>9}K {:>14.1}", threshold / 1024, *done.lock());
+    }
+    println!(
+        "(below the threshold the 24KB message goes eager — one wire trip;\n\
+         above it pays the RTS/CTS round trip but frees the sender buffer\n\
+         obligations; the paper fixes it at 16KB)\n"
+    );
+}
+
+fn pioman_detection() {
+    println!("## Ablation 4: PIOMan detection method (1MB rendezvous, 400us compute)");
+    println!("{:<28} {:>14}", "method", "sending(us)");
+    let cases: Vec<(String, Option<PiomConfig>)> = vec![
+        ("app polling (no PIOMan)".into(), None),
+        (
+            "idle-core polling".into(),
+            Some(PiomConfig::default()),
+        ),
+        (
+            "timer-driven, 10us".into(),
+            Some(PiomConfig {
+                method: DetectionMethod::TimerDriven(SimDuration::micros(10)),
+                ..PiomConfig::default()
+            }),
+        ),
+        (
+            "timer-driven, 100us".into(),
+            Some(PiomConfig {
+                method: DetectionMethod::TimerDriven(SimDuration::micros(100)),
+                ..PiomConfig::default()
+            }),
+        ),
+    ];
+    for (name, piom) in cases {
+        let mut cfg = StackConfig::mpich2_nmad_rail(0, piom.is_some());
+        cfg.pioman = piom;
+        let t = sending_time(&cfg, 1 << 20, SimDuration::micros(400));
+        println!("{name:<28} {t:>14.0}");
+    }
+    println!(
+        "(idle-core polling reacts at the sync cost; coarse timers delay\n\
+         every handshake step by up to a period — the \"most appropriate\n\
+         detection method\" choice of §2.2.2)"
+    );
+}

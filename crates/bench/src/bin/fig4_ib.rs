@@ -1,0 +1,22 @@
+//! E1/E2 — regenerate Fig. 4: InfiniBand latency and bandwidth
+//! comparisons (MVAPICH2, Open MPI, MPICH2-NewMadeleine, w/ ANY_SOURCE).
+//!
+//! Usage: `fig4_ib [latency|bandwidth]` (default: both).
+
+use bench_harness::{fig4_bandwidth, fig4_latency};
+use netpipe::NetpipeOptions;
+use simnet::stats::{bandwidth_table, latency_table};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "latency" {
+        println!("== Fig. 4(a): latency over InfiniBand ==");
+        let series = fig4_latency(&NetpipeOptions::latency());
+        println!("{}", latency_table(&series));
+    }
+    if arg.is_empty() || arg == "bandwidth" {
+        println!("== Fig. 4(b): bandwidth over InfiniBand ==");
+        let series = fig4_bandwidth(&NetpipeOptions::bandwidth());
+        println!("{}", bandwidth_table(&series));
+    }
+}

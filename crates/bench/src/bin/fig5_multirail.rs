@@ -1,0 +1,22 @@
+//! E3/E4 — regenerate Fig. 5: heterogeneous multirail (Myri-10G + IB)
+//! latency and bandwidth vs the single-rail configurations.
+//!
+//! Usage: `fig5_multirail [latency|bandwidth]` (default: both).
+
+use bench_harness::fig5;
+use netpipe::NetpipeOptions;
+use simnet::stats::{bandwidth_table, latency_table};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "latency" {
+        println!("== Fig. 5(a): multirail latency ==");
+        let series = fig5(&NetpipeOptions::latency());
+        println!("{}", latency_table(&series));
+    }
+    if arg.is_empty() || arg == "bandwidth" {
+        println!("== Fig. 5(b): multirail bandwidth ==");
+        let series = fig5(&NetpipeOptions::bandwidth());
+        println!("{}", bandwidth_table(&series));
+    }
+}

@@ -1,0 +1,22 @@
+//! E5/E6 — regenerate Fig. 6: PIOMan's raw latency overhead over shared
+//! memory and over Myrinet MX.
+//!
+//! Usage: `fig6_pioman [shm|mx]` (default: both).
+
+use bench_harness::{fig6_mx, fig6_shm};
+use netpipe::NetpipeOptions;
+use simnet::stats::latency_table;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "shm" {
+        println!("== Fig. 6(a): latency over shared memory ==");
+        let series = fig6_shm(&NetpipeOptions::latency());
+        println!("{}", latency_table(&series));
+    }
+    if arg.is_empty() || arg == "mx" {
+        println!("== Fig. 6(b): latency over Myrinet MX ==");
+        let series = fig6_mx(&NetpipeOptions::latency());
+        println!("{}", latency_table(&series));
+    }
+}

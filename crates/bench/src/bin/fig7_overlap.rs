@@ -1,0 +1,32 @@
+//! E7/E8 — regenerate Fig. 7: asynchronous progression — overlapping
+//! communication with computation for eager (MX, 20 µs compute) and
+//! rendezvous (IB, 400 µs compute) messages.
+//!
+//! Usage: `fig7_overlap [eager|rendezvous]` (default: both).
+
+use bench_harness::render::overlap_table;
+use bench_harness::{fig7_eager, fig7_rendezvous};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "eager" {
+        let pts = fig7_eager();
+        println!(
+            "{}",
+            overlap_table(
+                &pts,
+                "Fig. 7(a): overlapping eager messages over Myrinet MX (20us compute)"
+            )
+        );
+    }
+    if arg.is_empty() || arg == "rendezvous" {
+        let pts = fig7_rendezvous();
+        println!(
+            "{}",
+            overlap_table(
+                &pts,
+                "Fig. 7(b): rendezvous progression over InfiniBand (400us compute)"
+            )
+        );
+    }
+}

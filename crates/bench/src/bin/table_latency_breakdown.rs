@@ -1,0 +1,11 @@
+//! E11 — the latency-breakdown narration of §4.1.1 as a table: raw
+//! hardware 1.2 µs → NewMadeleine 1.8 µs → MPICH2-NewMadeleine 2.1 µs →
+//! +300 ns with MPI_ANY_SOURCE.
+
+use bench_harness::latency_breakdown;
+use bench_harness::render::breakdown_table;
+
+fn main() {
+    let rows = latency_breakdown();
+    println!("{}", breakdown_table(&rows));
+}

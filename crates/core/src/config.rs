@@ -1,0 +1,76 @@
+//! NewMadeleine configuration: strategy selection and protocol thresholds.
+
+/// Which scheduling strategy the core runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StrategyKind {
+    /// FIFO submission, no optimization — the reference point.
+    Default,
+    /// Coalesce consecutive small sends to the same gate into one NIC
+    /// transfer while the NIC is busy.
+    Aggreg,
+    /// Multirail: small messages on the fastest rail, large messages split
+    /// across all rails with the sampled equal-finish-time ratio.
+    SplitBalanced,
+    /// Ablation variant of [`StrategyKind::SplitBalanced`]: a fixed 50/50
+    /// split, ignoring the sampling — quantifies what the adaptive ratio
+    /// buys on heterogeneous rails.
+    SplitEqual,
+}
+
+/// Tunables of one NewMadeleine instance.
+#[derive(Clone, Copy, Debug)]
+pub struct NmConfig {
+    pub strategy: StrategyKind,
+    /// Messages up to this size go eager; larger ones use the internal
+    /// rendezvous (RTS/CTS/DATA).
+    pub eager_threshold: usize,
+    /// Below this size a rendezvous DATA transfer stays on a single rail
+    /// even under the split strategy (split overhead would dominate).
+    pub multirail_threshold: usize,
+    /// Aggregation: stop coalescing when the aggregate reaches this size…
+    pub max_aggreg_bytes: usize,
+    /// …or this many fragments.
+    pub max_aggreg_count: usize,
+}
+
+impl Default for NmConfig {
+    fn default() -> Self {
+        NmConfig {
+            strategy: StrategyKind::SplitBalanced,
+            eager_threshold: 16 * 1024,
+            multirail_threshold: 32 * 1024,
+            max_aggreg_bytes: 8 * 1024,
+            max_aggreg_count: 16,
+        }
+    }
+}
+
+impl NmConfig {
+    pub fn with_strategy(strategy: StrategyKind) -> NmConfig {
+        NmConfig {
+            strategy,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_thresholds() {
+        let c = NmConfig::default();
+        // Fig. 7(a) treats 4K/16K as eager, Fig. 7(b) treats 16K+ as
+        // rendezvous: the boundary is 16 KB inclusive.
+        assert_eq!(c.eager_threshold, 16 * 1024);
+        assert_eq!(c.strategy, StrategyKind::SplitBalanced);
+    }
+
+    #[test]
+    fn with_strategy_overrides_only_strategy() {
+        let c = NmConfig::with_strategy(StrategyKind::Aggreg);
+        assert_eq!(c.strategy, StrategyKind::Aggreg);
+        assert_eq!(c.eager_threshold, NmConfig::default().eager_threshold);
+    }
+}

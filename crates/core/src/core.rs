@@ -1,0 +1,858 @@
+//! The NewMadeleine core: gates, submission windows, protocol state
+//! machines, and progress.
+//!
+//! One [`NmCore`] exists per process. Sends enter per-gate submission
+//! windows ([`crate::pack`]); the configured [`crate::strategy`] moves them
+//! onto rails whenever [`NmCore::schedule`] runs or a NIC completes a
+//! transfer. Inbound packets are accepted by the node's fabric sink via
+//! [`NmCore::accept`] and processed — matching, rendezvous transitions,
+//! completions — on the next `schedule`.
+//!
+//! ## Protocols
+//!
+//! * **Eager** (≤ `eager_threshold`): the payload rides in the packet.
+//! * **Rendezvous**: `RTS` announces the message; the receiver matches it
+//!   and answers `CTS`; the sender then queues the payload as a splittable
+//!   `DATA` wrapper (this is where the multirail split happens). Both
+//!   handshake halves run *inside* NewMadeleine — the reason the MPICH2
+//!   integration must bypass the CH3 rendezvous (§2.1.3, Fig. 2).
+//!
+//! ## Ordering
+//!
+//! Envelope packets (eager/RTS) carry per-(gate, tag) sequence numbers.
+//! Because strategies may put consecutive messages on different rails,
+//! arrivals can be out of order; a receiver-side reorder buffer parks early
+//! arrivals and feeds the matching engine strictly in sequence — the
+//! "reordering techniques" of §2.2.
+//!
+//! ## Progress discipline
+//!
+//! `isend`/`irecv` never touch the NIC; only `schedule` (called by the MPI
+//! progress engine or by PIOMan) commits the window and processes inbound
+//! packets. NIC send-completions continue an already-committed pipeline
+//! (chaining the next window packet) but never process inbound traffic.
+//! This is what makes communication/computation overlap an explicit
+//! property of *who drives progress* — the subject of Fig. 7.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::{Fabric, NodeId, RailId, Scheduler};
+
+use crate::config::NmConfig;
+use crate::matching::{GateId, MatchEngine, Unexpected};
+use crate::pack::{PacketWrapper, PwBody, PwId};
+use crate::sampling::LinkProfile;
+use crate::sr::{CompletionKind, NmCompletion, RecvReqId, SendReqId};
+use crate::strategy::{self, RailState, Strategy, Submission};
+use crate::wire::{EagerFrag, NmWire, WirePayload};
+
+/// Hook invoked (on the engine thread) when something happened that a
+/// background progress engine would want to react to: an inbound packet was
+/// accepted or a NIC completed a transfer. PIOMan installs this.
+pub type EventHook = Arc<dyn Fn(&Scheduler) + Send + Sync>;
+
+/// Binding of a core to the simulated network: which fabric, which node it
+/// sits in, which rails it may use, and where every rank lives.
+#[derive(Clone)]
+pub struct NmNet {
+    pub fabric: Arc<Fabric<NmWire>>,
+    pub node: NodeId,
+    pub rails: Vec<RailId>,
+    pub rank_to_node: Arc<Vec<NodeId>>,
+}
+
+/// Counters exposed for tests and the benchmark harnesses.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NmStats {
+    pub eager_sends: u64,
+    pub rdv_sends: u64,
+    pub packets_sent: u64,
+    pub aggregates_sent: u64,
+    pub frags_aggregated: u64,
+    pub data_chunks_sent: u64,
+    pub recv_completions: u64,
+    pub send_completions: u64,
+}
+
+struct SendReq {
+    cookie: u64,
+    done: bool,
+}
+
+struct RecvReq {
+    cookie: u64,
+    done: bool,
+}
+
+struct RdvOut {
+    send_req: SendReqId,
+    data: Bytes,
+    /// Bytes not yet handed to a rail.
+    bytes_remaining: usize,
+    /// Chunks handed to a rail whose send-completion hasn't fired.
+    chunks_in_flight: usize,
+    cts_received: bool,
+}
+
+struct RdvIn {
+    recv_req: RecvReqId,
+    gate: usize,
+    tag: u64,
+    buf: Vec<u8>,
+    received: usize,
+}
+
+/// An envelope (matchable) message after transport reordering.
+enum Envelope {
+    Eager(Bytes),
+    Rts { rdv_id: u64, len: usize },
+}
+
+struct Inner {
+    cfg: NmConfig,
+    strategy: Box<dyn Strategy>,
+    /// Submission windows, keyed by destination rank. BTreeMap for
+    /// deterministic iteration.
+    gates: BTreeMap<usize, VecDeque<PacketWrapper>>,
+    matching: MatchEngine,
+    send_reqs: Vec<SendReq>,
+    recv_reqs: Vec<RecvReq>,
+    rdv_out: HashMap<u64, RdvOut>,
+    /// Destination rank of each outbound rendezvous (kept separate so the
+    /// hot chunk-accounting path borrows `rdv_out` alone).
+    rdv_dst: HashMap<u64, usize>,
+    rdv_in: HashMap<(usize, u64), RdvIn>,
+    /// Sender-side per-(dst, tag) sequence numbers.
+    send_seq: HashMap<(usize, u64), u64>,
+    /// Receiver-side next expected sequence per (src, tag).
+    recv_expected: HashMap<(usize, u64), u64>,
+    /// Early (out-of-order) envelope arrivals, parked until their turn.
+    parked: HashMap<(usize, u64), BTreeMap<u64, Envelope>>,
+    /// Packets accepted from the fabric, pending processing.
+    inbound: VecDeque<NmWire>,
+    completions: VecDeque<NmCompletion>,
+    next_pw: u64,
+    next_rdv: u64,
+    stats: NmStats,
+}
+
+/// One NewMadeleine instance (per process).
+pub struct NmCore {
+    rank: usize,
+    net: NmNet,
+    profiles: Vec<LinkProfile>,
+    inner: Mutex<Inner>,
+    hook: Mutex<Option<EventHook>>,
+}
+
+/// Everything needed to put one packet on the wire, extracted under the
+/// inner lock and executed outside it.
+struct Outgoing {
+    rail: RailId,
+    dst_node: NodeId,
+    wire: NmWire,
+    bytes: usize,
+    eager_reqs: Vec<SendReqId>,
+    data_chunk_rdv: Option<u64>,
+}
+
+impl NmCore {
+    pub fn new(cfg: NmConfig, rank: usize, net: NmNet) -> Arc<NmCore> {
+        assert!(!net.rails.is_empty(), "a core needs at least one rail");
+        // Startup sampling: fit each rail's latency/bandwidth profile
+        // (§2.2, the adaptive split ratio input).
+        let profiles = net
+            .rails
+            .iter()
+            .map(|&rid| LinkProfile::sample(net.fabric.model(rid)))
+            .collect();
+        Arc::new(NmCore {
+            rank,
+            net,
+            profiles,
+            inner: Mutex::new(Inner {
+                strategy: strategy::make(cfg.strategy),
+                cfg,
+                gates: BTreeMap::new(),
+                matching: MatchEngine::new(),
+                send_reqs: Vec::new(),
+                recv_reqs: Vec::new(),
+                rdv_out: HashMap::new(),
+                rdv_dst: HashMap::new(),
+                rdv_in: HashMap::new(),
+                send_seq: HashMap::new(),
+                recv_expected: HashMap::new(),
+                parked: HashMap::new(),
+                inbound: VecDeque::new(),
+                completions: VecDeque::new(),
+                next_pw: 0,
+                next_rdv: 0,
+                stats: NmStats::default(),
+            }),
+            hook: Mutex::new(None),
+        })
+    }
+
+    /// This core's global rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Sampled rail profiles (for diagnostics and the harnesses).
+    pub fn profiles(&self) -> &[LinkProfile] {
+        &self.profiles
+    }
+
+    /// Install the background-progress hook (PIOMan).
+    pub fn set_event_hook(&self, hook: EventHook) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Remove the hook.
+    pub fn clear_event_hook(&self) {
+        *self.hook.lock() = None;
+    }
+
+    fn fire_hook(&self, sched: &Scheduler) {
+        let hook = self.hook.lock().clone();
+        if let Some(h) = hook {
+            h(sched);
+        }
+    }
+
+    /// `nm_sr_isend`: queue `data` for `dst` under `tag`. Returns the
+    /// request handle; the upper layer's `cookie` comes back in the
+    /// completion. **Does not touch the NIC** — submission happens on the
+    /// next [`NmCore::schedule`].
+    pub fn isend(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        dst: usize,
+        tag: u64,
+        data: Bytes,
+        cookie: u64,
+    ) -> SendReqId {
+        assert_ne!(dst, self.rank, "nmad is inter-node only; intra-node goes via Nemesis");
+        let mut inner = self.inner.lock();
+        let req = SendReqId(inner.send_reqs.len() as u32);
+        inner.send_reqs.push(SendReq {
+            cookie,
+            done: false,
+        });
+        let seq = {
+            let c = inner.send_seq.entry((dst, tag)).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let pw_id = PwId(inner.next_pw);
+        inner.next_pw += 1;
+        let now = sched.now();
+        if data.len() <= inner.cfg.eager_threshold {
+            inner.stats.eager_sends += 1;
+            let pw = PacketWrapper {
+                id: pw_id,
+                dst,
+                body: PwBody::Eager {
+                    tag,
+                    seq,
+                    send_req: req,
+                },
+                data,
+                enqueued_at: now,
+            };
+            inner.gates.entry(dst).or_default().push_back(pw);
+        } else {
+            inner.stats.rdv_sends += 1;
+            let rdv_id = inner.next_rdv;
+            inner.next_rdv += 1;
+            let len = data.len();
+            inner.rdv_dst.insert(rdv_id, dst);
+            inner.rdv_out.insert(
+                rdv_id,
+                RdvOut {
+                    send_req: req,
+                    data,
+                    bytes_remaining: len,
+                    chunks_in_flight: 0,
+                    cts_received: false,
+                },
+            );
+            let pw = PacketWrapper {
+                id: pw_id,
+                dst,
+                body: PwBody::Rts {
+                    tag,
+                    seq,
+                    rdv_id,
+                    len,
+                },
+                data: Bytes::new(),
+                enqueued_at: now,
+            };
+            inner.gates.entry(dst).or_default().push_back(pw);
+        }
+        req
+    }
+
+    /// `nm_sr_irecv`: post a receive for `(src, tag)`. If a matching
+    /// unexpected message is queued it completes immediately (eager) or
+    /// starts the rendezvous (RTS → a CTS is queued for the next
+    /// `schedule`).
+    pub fn irecv(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        src: usize,
+        tag: u64,
+        cookie: u64,
+    ) -> RecvReqId {
+        assert_ne!(src, self.rank, "nmad is inter-node only");
+        let mut inner = self.inner.lock();
+        let req = RecvReqId(inner.recv_reqs.len() as u32);
+        inner.recv_reqs.push(RecvReq {
+            cookie,
+            done: false,
+        });
+        let gate = GateId(src);
+        match inner.matching.post_recv(gate, tag, req) {
+            None => {}
+            Some(Unexpected::Eager { data, .. }) => {
+                Self::complete_recv(&mut inner, req, data, gate, tag);
+            }
+            Some(Unexpected::Rts { rdv_id, len, .. }) => {
+                Self::start_rdv_in(&mut inner, sched, req, src, tag, rdv_id, len);
+            }
+        }
+        let had_completion = !inner.completions.is_empty();
+        drop(inner);
+        if had_completion {
+            self.fire_hook(sched);
+        }
+        req
+    }
+
+    /// Accept an inbound wire packet from the fabric sink. Processing is
+    /// deferred to the next `schedule`; the event hook lets a background
+    /// progress engine run one promptly.
+    pub fn accept(self: &Arc<Self>, sched: &Scheduler, wire: NmWire) {
+        debug_assert_eq!(wire.dst_rank, self.rank, "misrouted packet");
+        self.inner.lock().inbound.push_back(wire);
+        self.fire_hook(sched);
+    }
+
+    /// `nm_schedule`: process inbound packets, then commit the submission
+    /// windows. The MPI progress engine (or PIOMan) calls this.
+    pub fn schedule(self: &Arc<Self>, sched: &Scheduler) {
+        self.process_inbound(sched);
+        self.try_commit(sched);
+    }
+
+    /// Drain all surfaced completions (cookies of finished requests).
+    pub fn drain_completions(&self) -> Vec<NmCompletion> {
+        let mut inner = self.inner.lock();
+        inner.completions.drain(..).collect()
+    }
+
+    /// Is there an unexpected message from `(gate, tag)`?
+    pub fn probe(&self, gate: GateId, tag: u64) -> bool {
+        self.inner.lock().matching.probe(gate, tag)
+    }
+
+    /// Earliest-arrived unexpected message with `tag` from any gate — the
+    /// ANY_SOURCE probe (§3.2.2).
+    pub fn probe_tag(&self, tag: u64) -> Option<GateId> {
+        self.inner.lock().matching.probe_tag(tag)
+    }
+
+    /// Probe with payload length, for MPI_Iprobe's status.
+    pub fn probe_info(&self, gate: GateId, tag: u64) -> Option<usize> {
+        self.inner.lock().matching.probe_info(gate, tag)
+    }
+
+    /// ANY_SOURCE probe with gate and payload length.
+    pub fn probe_tag_info(&self, tag: u64) -> Option<(GateId, usize)> {
+        self.inner.lock().matching.probe_tag_info(tag)
+    }
+
+    /// Posted receives not yet matched (diagnostics).
+    pub fn posted_recvs(&self) -> usize {
+        self.inner.lock().matching.posted_len()
+    }
+
+    /// Unexpected messages queued (diagnostics).
+    pub fn unexpected_msgs(&self) -> usize {
+        self.inner.lock().matching.unexpected_len()
+    }
+
+    /// Nothing in flight, nothing pending?
+    pub fn quiescent(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.inbound.is_empty()
+            && inner.gates.values().all(|g| g.is_empty())
+            && inner.rdv_out.is_empty()
+            && inner.rdv_in.is_empty()
+            && inner.completions.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NmStats {
+        self.inner.lock().stats
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound path
+    // ------------------------------------------------------------------
+
+    fn process_inbound(self: &Arc<Self>, sched: &Scheduler) {
+        let mut inner = self.inner.lock();
+        while let Some(wire) = inner.inbound.pop_front() {
+            let src = wire.src_rank;
+            match wire.payload {
+                WirePayload::Eager { tag, seq, data } => {
+                    Self::deliver_envelope(&mut inner, sched, src, tag, seq, Envelope::Eager(data));
+                }
+                WirePayload::Aggregate(frags) => {
+                    for EagerFrag { tag, seq, data } in frags {
+                        Self::deliver_envelope(
+                            &mut inner,
+                            sched,
+                            src,
+                            tag,
+                            seq,
+                            Envelope::Eager(data),
+                        );
+                    }
+                }
+                WirePayload::Rts {
+                    tag,
+                    seq,
+                    rdv_id,
+                    len,
+                } => {
+                    Self::deliver_envelope(
+                        &mut inner,
+                        sched,
+                        src,
+                        tag,
+                        seq,
+                        Envelope::Rts { rdv_id, len },
+                    );
+                }
+                WirePayload::Cts { rdv_id } => {
+                    Self::handle_cts(&mut inner, sched, rdv_id);
+                }
+                WirePayload::Data {
+                    rdv_id,
+                    offset,
+                    data,
+                } => {
+                    Self::handle_data(&mut inner, src, rdv_id, offset, data);
+                }
+            }
+        }
+        let had_completion = !inner.completions.is_empty();
+        drop(inner);
+        if had_completion {
+            self.fire_hook(sched);
+        }
+    }
+
+    /// Transport-level reordering: envelopes are fed to matching strictly
+    /// in per-(src, tag) sequence order; early arrivals park.
+    fn deliver_envelope(
+        inner: &mut Inner,
+        sched: &Scheduler,
+        src: usize,
+        tag: u64,
+        seq: u64,
+        env: Envelope,
+    ) {
+        let expected = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
+        if seq != expected {
+            debug_assert!(seq > expected, "duplicate or replayed envelope");
+            inner
+                .parked
+                .entry((src, tag))
+                .or_default()
+                .insert(seq, env);
+            return;
+        }
+        Self::deliver_now(inner, sched, src, tag, seq, env);
+        let mut next = seq + 1;
+        // Drain any parked successors that are now in order.
+        loop {
+            let env = match inner.parked.get_mut(&(src, tag)) {
+                Some(map) => match map.remove(&next) {
+                    Some(e) => e,
+                    None => break,
+                },
+                None => break,
+            };
+            Self::deliver_now(inner, sched, src, tag, next, env);
+            next += 1;
+        }
+        if let Some(map) = inner.parked.get(&(src, tag)) {
+            if map.is_empty() {
+                inner.parked.remove(&(src, tag));
+            }
+        }
+    }
+
+    fn deliver_now(
+        inner: &mut Inner,
+        sched: &Scheduler,
+        src: usize,
+        tag: u64,
+        seq: u64,
+        env: Envelope,
+    ) {
+        inner.recv_expected.insert((src, tag), seq + 1);
+        let gate = GateId(src);
+        match inner.matching.try_match_arrival(gate, tag, seq) {
+            Some(req) => match env {
+                Envelope::Eager(data) => Self::complete_recv(inner, req, data, gate, tag),
+                Envelope::Rts { rdv_id, len } => {
+                    Self::start_rdv_in(inner, sched, req, src, tag, rdv_id, len)
+                }
+            },
+            None => {
+                let msg = match env {
+                    Envelope::Eager(data) => Unexpected::Eager { seq, data },
+                    Envelope::Rts { rdv_id, len } => Unexpected::Rts { seq, rdv_id, len },
+                };
+                inner.matching.store_unexpected(gate, tag, msg);
+            }
+        }
+    }
+
+    fn complete_recv(inner: &mut Inner, req: RecvReqId, data: Bytes, gate: GateId, tag: u64) {
+        let r = &mut inner.recv_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of recv request");
+        r.done = true;
+        inner.stats.recv_completions += 1;
+        let cookie = r.cookie;
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::Recv { data, gate, tag },
+        });
+    }
+
+    fn complete_send(inner: &mut Inner, req: SendReqId) {
+        let r = &mut inner.send_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of send request");
+        r.done = true;
+        inner.stats.send_completions += 1;
+        let cookie = r.cookie;
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::Send,
+        });
+    }
+
+    /// The receiver matched an RTS: allocate the landing buffer and queue a
+    /// CTS control packet back to the sender.
+    fn start_rdv_in(
+        inner: &mut Inner,
+        sched: &Scheduler,
+        req: RecvReqId,
+        src: usize,
+        tag: u64,
+        rdv_id: u64,
+        len: usize,
+    ) {
+        let prev = inner.rdv_in.insert(
+            (src, rdv_id),
+            RdvIn {
+                recv_req: req,
+                gate: src,
+                tag,
+                buf: vec![0u8; len],
+                received: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate rendezvous id from rank {src}");
+        let pw_id = PwId(inner.next_pw);
+        inner.next_pw += 1;
+        let pw = PacketWrapper {
+            id: pw_id,
+            dst: src,
+            body: PwBody::Cts { rdv_id },
+            data: Bytes::new(),
+            enqueued_at: sched.now(),
+        };
+        inner.gates.entry(src).or_default().push_back(pw);
+    }
+
+    /// The sender got clear-to-send: queue the payload as splittable DATA.
+    fn handle_cts(inner: &mut Inner, sched: &Scheduler, rdv_id: u64) {
+        let rdv = inner
+            .rdv_out
+            .get_mut(&rdv_id)
+            .expect("CTS for unknown rendezvous");
+        debug_assert!(!rdv.cts_received, "duplicate CTS");
+        rdv.cts_received = true;
+        let data = rdv.data.clone();
+        let dst = *inner
+            .rdv_dst
+            .get(&rdv_id)
+            .expect("rendezvous destination missing");
+        let pw_id = PwId(inner.next_pw);
+        inner.next_pw += 1;
+        let pw = PacketWrapper {
+            id: pw_id,
+            dst,
+            body: PwBody::Data { rdv_id, offset: 0 },
+            data,
+            enqueued_at: sched.now(),
+        };
+        inner.gates.entry(dst).or_default().push_back(pw);
+    }
+
+    /// A DATA chunk landed: copy it into the rendezvous buffer; complete
+    /// the receive when the last byte arrives.
+    fn handle_data(inner: &mut Inner, src: usize, rdv_id: u64, offset: usize, data: Bytes) {
+        let key = (src, rdv_id);
+        let done = {
+            let rdv = inner
+                .rdv_in
+                .get_mut(&key)
+                .expect("DATA for unknown rendezvous");
+            rdv.buf[offset..offset + data.len()].copy_from_slice(&data);
+            rdv.received += data.len();
+            debug_assert!(rdv.received <= rdv.buf.len());
+            rdv.received == rdv.buf.len()
+        };
+        if done {
+            let rdv = inner.rdv_in.remove(&key).unwrap();
+            Self::complete_recv(
+                inner,
+                rdv.recv_req,
+                Bytes::from(rdv.buf),
+                GateId(rdv.gate),
+                rdv.tag,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound path
+    // ------------------------------------------------------------------
+
+    /// Run the strategy over every gate and put the resulting packets on
+    /// the wire.
+    fn try_commit(self: &Arc<Self>, sched: &Scheduler) {
+        let now = sched.now();
+        let mut rails: Vec<RailState> = self
+            .net
+            .rails
+            .iter()
+            .zip(&self.profiles)
+            .map(|(&rid, &profile)| RailState {
+                idle: !self.net.fabric.rail_busy(rid, self.net.node, now),
+                profile,
+            })
+            .collect();
+        let mut outgoing: Vec<Outgoing> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            for (&dst, pending) in inner.gates.iter_mut() {
+                if pending.is_empty() {
+                    continue;
+                }
+                let subs = inner
+                    .strategy
+                    .try_and_commit(&inner.cfg, pending, &mut rails);
+                for sub in subs {
+                    outgoing.push(Self::build_outgoing(
+                        self.rank,
+                        &self.net,
+                        &mut inner.stats,
+                        &mut inner.rdv_out,
+                        dst,
+                        sub,
+                    ));
+                }
+            }
+        }
+        for out in outgoing {
+            let core = Arc::clone(self);
+            let eager_reqs = out.eager_reqs;
+            let data_chunk_rdv = out.data_chunk_rdv;
+            let on_sent: Box<dyn FnOnce(&Scheduler) + Send> = Box::new(move |s| {
+                core.handle_sent(s, &eager_reqs, data_chunk_rdv);
+            });
+            // NewMadeleine "does not use any caching mechanism for large
+            // messages and registers dynamically and on-the-fly the needed
+            // memory" (§4.1.1): rendezvous data pays the registration cost
+            // before the NIC sees the buffer.
+            let reg = if data_chunk_rdv.is_some() {
+                self.net
+                    .fabric
+                    .model(out.rail)
+                    .registration_cost(out.bytes, false)
+            } else {
+                simnet::SimDuration::ZERO
+            };
+            if reg > simnet::SimDuration::ZERO {
+                let fabric = Arc::clone(&self.net.fabric);
+                let (rail, src, dst, bytes, wire) =
+                    (out.rail, self.net.node, out.dst_node, out.bytes, out.wire);
+                sched.schedule_in(reg, move |s| {
+                    fabric.send(s, rail, src, dst, bytes, wire, Some(on_sent));
+                });
+            } else {
+                self.net.fabric.send(
+                    sched,
+                    out.rail,
+                    self.net.node,
+                    out.dst_node,
+                    out.bytes,
+                    out.wire,
+                    Some(on_sent),
+                );
+            }
+        }
+    }
+
+    /// Turn one strategy submission into a wire packet + bookkeeping.
+    fn build_outgoing(
+        my_rank: usize,
+        net: &NmNet,
+        stats: &mut NmStats,
+        rdv_out: &mut HashMap<u64, RdvOut>,
+        dst: usize,
+        sub: Submission,
+    ) -> Outgoing {
+        let rail = net.rails[sub.rail];
+        let dst_node = net.rank_to_node[dst];
+        stats.packets_sent += 1;
+        let mut eager_reqs = Vec::new();
+        let mut data_chunk_rdv = None;
+        let payload = if sub.pws.len() > 1 {
+            stats.aggregates_sent += 1;
+            stats.frags_aggregated += sub.pws.len() as u64;
+            let frags = sub
+                .pws
+                .into_iter()
+                .map(|pw| match pw.body {
+                    PwBody::Eager {
+                        tag,
+                        seq,
+                        send_req,
+                    } => {
+                        eager_reqs.push(send_req);
+                        EagerFrag {
+                            tag,
+                            seq,
+                            data: pw.data,
+                        }
+                    }
+                    other => panic!("non-eager body {other:?} in aggregate"),
+                })
+                .collect();
+            WirePayload::Aggregate(frags)
+        } else {
+            let pw = sub.pws.into_iter().next().expect("empty submission");
+            match pw.body {
+                PwBody::Eager {
+                    tag,
+                    seq,
+                    send_req,
+                } => {
+                    eager_reqs.push(send_req);
+                    WirePayload::Eager {
+                        tag,
+                        seq,
+                        data: pw.data,
+                    }
+                }
+                PwBody::Rts {
+                    tag,
+                    seq,
+                    rdv_id,
+                    len,
+                } => WirePayload::Rts {
+                    tag,
+                    seq,
+                    rdv_id,
+                    len,
+                },
+                PwBody::Cts { rdv_id } => WirePayload::Cts { rdv_id },
+                PwBody::Data { rdv_id, offset } => {
+                    stats.data_chunks_sent += 1;
+                    let rdv = rdv_out
+                        .get_mut(&rdv_id)
+                        .expect("DATA chunk for unknown rendezvous");
+                    rdv.bytes_remaining = rdv
+                        .bytes_remaining
+                        .checked_sub(pw.data.len())
+                        .expect("chunk exceeds remaining bytes");
+                    rdv.chunks_in_flight += 1;
+                    data_chunk_rdv = Some(rdv_id);
+                    WirePayload::Data {
+                        rdv_id,
+                        offset,
+                        data: pw.data,
+                    }
+                }
+            }
+        };
+        let wire = NmWire {
+            src_rank: my_rank,
+            dst_rank: dst,
+            payload,
+        };
+        let bytes = wire.wire_bytes();
+        Outgoing {
+            rail,
+            dst_node,
+            wire,
+            bytes,
+            eager_reqs,
+            data_chunk_rdv,
+        }
+    }
+
+    /// NIC send-completion: finish eager sends, account rendezvous chunks,
+    /// and keep the pipeline moving.
+    fn handle_sent(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        eager_reqs: &[SendReqId],
+        data_chunk_rdv: Option<u64>,
+    ) {
+        let mut fired = false;
+        {
+            let mut inner = self.inner.lock();
+            for &req in eager_reqs {
+                Self::complete_send(&mut inner, req);
+                fired = true;
+            }
+            if let Some(rdv_id) = data_chunk_rdv {
+                let finished = {
+                    let rdv = inner
+                        .rdv_out
+                        .get_mut(&rdv_id)
+                        .expect("sent chunk for unknown rendezvous");
+                    rdv.chunks_in_flight -= 1;
+                    rdv.chunks_in_flight == 0 && rdv.bytes_remaining == 0
+                };
+                if finished {
+                    let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
+                    inner.rdv_dst.remove(&rdv_id);
+                    Self::complete_send(&mut inner, rdv.send_req);
+                    fired = true;
+                }
+            }
+        }
+        // Continue the committed pipeline (e.g. remaining window packets).
+        self.try_commit(sched);
+        if fired {
+            self.fire_hook(sched);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! NewMadeleine's internal tag-matching engine.
+//!
+//! "NewMadeleine maintains its own receive queues, performs tag matching
+//! internally, and delivers messages directly to the user buffers" (§3.1.3).
+//! This module holds the two queues of that sentence: the **posted-receive
+//! queue** (receives waiting for a message) and the **unexpected queue**
+//! (messages waiting for a receive), keyed by `(gate, tag)`.
+//!
+//! A secondary *arrival-ordered per-tag index* over the unexpected queue
+//! supports the `probe by tag` operation the MPI_ANY_SOURCE machinery of
+//! §3.2 needs: "every time Nemesis polls for incoming messages, we probe
+//! NewMadeleine to check if a corresponding message has arrived".
+//!
+//! Receives are matched to arrivals strictly FIFO per `(gate, tag)`; the
+//! engine asserts the sender-assigned sequence numbers confirm this.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use crate::sr::RecvReqId;
+
+/// A gate identifies the peer process; in this integration gates are global
+/// MPI ranks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GateId(pub usize);
+
+/// What arrived without a matching posted receive.
+#[derive(Clone, Debug)]
+pub enum Unexpected {
+    /// A whole eager message (payload retained).
+    Eager { seq: u64, data: Bytes },
+    /// A rendezvous announcement; the payload is still on the sender.
+    Rts { seq: u64, rdv_id: u64, len: usize },
+}
+
+impl Unexpected {
+    pub fn seq(&self) -> u64 {
+        match self {
+            Unexpected::Eager { seq, .. } | Unexpected::Rts { seq, .. } => *seq,
+        }
+    }
+}
+
+/// A stored unexpected message with its origin.
+#[derive(Clone, Debug)]
+pub struct UnexpectedEntry {
+    pub gate: GateId,
+    pub tag: u64,
+    pub msg: Unexpected,
+}
+
+/// The matching engine.
+#[derive(Default)]
+pub struct MatchEngine {
+    posted: HashMap<(GateId, u64), VecDeque<RecvReqId>>,
+    /// Slab of unexpected entries; consumed entries become `None` and are
+    /// skipped lazily by the indices.
+    unexpected: Vec<Option<UnexpectedEntry>>,
+    by_key: HashMap<(GateId, u64), VecDeque<usize>>,
+    by_tag: HashMap<u64, VecDeque<usize>>,
+    unexpected_live: usize,
+    /// Debug check: last matched sequence number per (gate, tag).
+    last_matched_seq: HashMap<(GateId, u64), u64>,
+}
+
+impl MatchEngine {
+    pub fn new() -> MatchEngine {
+        MatchEngine::default()
+    }
+
+    /// Post a receive for `(gate, tag)`. If an unexpected message is already
+    /// queued it is consumed and returned — the caller completes the receive
+    /// (eager) or starts the rendezvous (RTS) immediately. Otherwise the
+    /// receive waits in the posted queue.
+    pub fn post_recv(&mut self, gate: GateId, tag: u64, req: RecvReqId) -> Option<Unexpected> {
+        if let Some(entry) = self.pop_unexpected_for(gate, tag) {
+            self.check_order(gate, tag, entry.msg.seq());
+            return Some(entry.msg);
+        }
+        self.posted.entry((gate, tag)).or_default().push_back(req);
+        None
+    }
+
+    /// An eager or RTS message arrived from `gate` with `tag`. If a receive
+    /// is posted, it is consumed and returned (the caller keeps the message
+    /// payload); otherwise the message is stored as unexpected.
+    pub fn arrived(&mut self, gate: GateId, tag: u64, msg: Unexpected) -> Option<RecvReqId> {
+        if let Some(req) = self.try_match_arrival(gate, tag, msg.seq()) {
+            return Some(req);
+        }
+        self.store_unexpected(gate, tag, msg);
+        None
+    }
+
+    /// First phase of an arrival: pop a posted receive for `(gate, tag)` if
+    /// one is waiting. `seq` feeds the FIFO debug check.
+    pub fn try_match_arrival(&mut self, gate: GateId, tag: u64, seq: u64) -> Option<RecvReqId> {
+        if let Some(queue) = self.posted.get_mut(&(gate, tag)) {
+            if let Some(req) = queue.pop_front() {
+                if queue.is_empty() {
+                    self.posted.remove(&(gate, tag));
+                }
+                self.check_order(gate, tag, seq);
+                return Some(req);
+            }
+        }
+        None
+    }
+
+    /// Second phase of an arrival: no receive was posted, keep the message
+    /// in the unexpected queue.
+    pub fn store_unexpected(&mut self, gate: GateId, tag: u64, msg: Unexpected) {
+        let idx = self.unexpected.len();
+        self.unexpected.push(Some(UnexpectedEntry { gate, tag, msg }));
+        self.by_key.entry((gate, tag)).or_default().push_back(idx);
+        self.by_tag.entry(tag).or_default().push_back(idx);
+        self.unexpected_live += 1;
+    }
+
+    /// Is an unexpected message from `(gate, tag)` queued? (Peek only.)
+    pub fn probe(&self, gate: GateId, tag: u64) -> bool {
+        self.peek_key(gate, tag).is_some()
+    }
+
+    /// The gate of the earliest-arrived unexpected message with `tag`, from
+    /// any gate — the probe the ANY_SOURCE lists run on every poll (§3.2.2).
+    pub fn probe_tag(&self, tag: u64) -> Option<GateId> {
+        self.probe_tag_info(tag).map(|(g, _)| g)
+    }
+
+    /// Like [`MatchEngine::probe_tag`] but also reports the message's
+    /// payload length (MPI_Iprobe needs a status).
+    pub fn probe_tag_info(&self, tag: u64) -> Option<(GateId, usize)> {
+        let deque = self.by_tag.get(&tag)?;
+        for &idx in deque {
+            if let Some(entry) = &self.unexpected[idx] {
+                return Some((entry.gate, Self::msg_len(&entry.msg)));
+            }
+        }
+        None
+    }
+
+    /// Payload length of the earliest unexpected message from `(gate, tag)`.
+    pub fn probe_info(&self, gate: GateId, tag: u64) -> Option<usize> {
+        let idx = self.peek_key(gate, tag)?;
+        self.unexpected[idx]
+            .as_ref()
+            .map(|e| Self::msg_len(&e.msg))
+    }
+
+    fn msg_len(msg: &Unexpected) -> usize {
+        match msg {
+            Unexpected::Eager { data, .. } => data.len(),
+            Unexpected::Rts { len, .. } => *len,
+        }
+    }
+
+    /// Number of live unexpected messages (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected_live
+    }
+
+    /// Number of posted receives still waiting (diagnostics).
+    pub fn posted_len(&self) -> usize {
+        self.posted.values().map(|q| q.len()).sum()
+    }
+
+    fn peek_key(&self, gate: GateId, tag: u64) -> Option<usize> {
+        let deque = self.by_key.get(&(gate, tag))?;
+        deque
+            .iter()
+            .copied()
+            .find(|&idx| self.unexpected[idx].is_some())
+    }
+
+    fn pop_unexpected_for(&mut self, gate: GateId, tag: u64) -> Option<UnexpectedEntry> {
+        let idx = self.peek_key(gate, tag)?;
+        // Compact the by_key deque up to and including idx.
+        if let Some(deque) = self.by_key.get_mut(&(gate, tag)) {
+            while let Some(&front) = deque.front() {
+                let dead = self.unexpected[front].is_none();
+                if front == idx {
+                    deque.pop_front();
+                    break;
+                } else if dead {
+                    deque.pop_front();
+                } else {
+                    // Shouldn't happen: idx was the first live entry.
+                    break;
+                }
+            }
+        }
+        let entry = self.unexpected[idx].take().expect("entry vanished");
+        self.unexpected_live -= 1;
+        // Lazily trim dead prefixes of the tag index.
+        if let Some(tagq) = self.by_tag.get_mut(&entry.tag) {
+            while let Some(&front) = tagq.front() {
+                if self.unexpected[front].is_none() {
+                    tagq.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        Some(entry)
+    }
+
+    /// FIFO-order sanity check on sender sequence numbers.
+    fn check_order(&mut self, gate: GateId, tag: u64, seq: u64) {
+        if let Some(prev) = self.last_matched_seq.insert((gate, tag), seq) {
+            debug_assert!(
+                seq > prev,
+                "matching order violated on gate {gate:?} tag {tag}: seq {seq} after {prev}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eager(seq: u64) -> Unexpected {
+        Unexpected::Eager {
+            seq,
+            data: Bytes::from(vec![seq as u8]),
+        }
+    }
+
+    #[test]
+    fn posted_then_arrival_matches() {
+        let mut m = MatchEngine::new();
+        assert!(m.post_recv(GateId(2), 7, RecvReqId(0)).is_none());
+        assert_eq!(m.posted_len(), 1);
+        let hit = m.arrived(GateId(2), 7, eager(0));
+        assert_eq!(hit, Some(RecvReqId(0)));
+        assert_eq!(m.posted_len(), 0);
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn arrival_then_post_consumes_unexpected() {
+        let mut m = MatchEngine::new();
+        assert!(m.arrived(GateId(2), 7, eager(0)).is_none());
+        assert_eq!(m.unexpected_len(), 1);
+        match m.post_recv(GateId(2), 7, RecvReqId(0)) {
+            Some(Unexpected::Eager { seq: 0, data }) => assert_eq!(&data[..], &[0]),
+            other => panic!("expected eager, got {other:?}"),
+        }
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn no_cross_tag_or_cross_gate_matching() {
+        let mut m = MatchEngine::new();
+        m.post_recv(GateId(1), 7, RecvReqId(0));
+        // Different tag, same gate.
+        assert!(m.arrived(GateId(1), 8, eager(0)).is_none());
+        // Same tag, different gate.
+        assert!(m.arrived(GateId(2), 7, eager(0)).is_none());
+        assert_eq!(m.posted_len(), 1);
+        assert_eq!(m.unexpected_len(), 2);
+    }
+
+    #[test]
+    fn fifo_across_multiple_posts_and_arrivals() {
+        let mut m = MatchEngine::new();
+        m.post_recv(GateId(1), 7, RecvReqId(0));
+        m.post_recv(GateId(1), 7, RecvReqId(1));
+        assert_eq!(m.arrived(GateId(1), 7, eager(0)), Some(RecvReqId(0)));
+        assert_eq!(m.arrived(GateId(1), 7, eager(1)), Some(RecvReqId(1)));
+    }
+
+    #[test]
+    fn unexpected_consumed_in_arrival_order() {
+        let mut m = MatchEngine::new();
+        m.arrived(GateId(1), 7, eager(0));
+        m.arrived(GateId(1), 7, eager(1));
+        match m.post_recv(GateId(1), 7, RecvReqId(0)) {
+            Some(u) => assert_eq!(u.seq(), 0),
+            None => panic!("expected unexpected"),
+        }
+        match m.post_recv(GateId(1), 7, RecvReqId(1)) {
+            Some(u) => assert_eq!(u.seq(), 1),
+            None => panic!("expected unexpected"),
+        }
+    }
+
+    #[test]
+    fn probe_tag_returns_earliest_gate() {
+        let mut m = MatchEngine::new();
+        assert_eq!(m.probe_tag(7), None);
+        m.arrived(GateId(3), 7, eager(0));
+        m.arrived(GateId(1), 7, eager(0));
+        // Gate 3's message arrived first.
+        assert_eq!(m.probe_tag(7), Some(GateId(3)));
+        // Consuming it reveals gate 1 as the next candidate.
+        m.post_recv(GateId(3), 7, RecvReqId(0));
+        assert_eq!(m.probe_tag(7), Some(GateId(1)));
+        m.post_recv(GateId(1), 7, RecvReqId(1));
+        assert_eq!(m.probe_tag(7), None);
+    }
+
+    #[test]
+    fn probe_is_nondestructive() {
+        let mut m = MatchEngine::new();
+        m.arrived(GateId(1), 7, eager(0));
+        assert!(m.probe(GateId(1), 7));
+        assert!(m.probe(GateId(1), 7));
+        assert!(!m.probe(GateId(1), 8));
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn rts_unexpected_is_probeable() {
+        let mut m = MatchEngine::new();
+        m.arrived(
+            GateId(4),
+            9,
+            Unexpected::Rts {
+                seq: 0,
+                rdv_id: 11,
+                len: 1 << 20,
+            },
+        );
+        assert_eq!(m.probe_tag(9), Some(GateId(4)));
+        match m.post_recv(GateId(4), 9, RecvReqId(0)) {
+            Some(Unexpected::Rts { rdv_id: 11, len, .. }) => assert_eq!(len, 1 << 20),
+            other => panic!("expected RTS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "matching order violated")]
+    fn out_of_order_seq_trips_debug_check() {
+        let mut m = MatchEngine::new();
+        m.post_recv(GateId(1), 7, RecvReqId(0));
+        m.post_recv(GateId(1), 7, RecvReqId(1));
+        m.arrived(GateId(1), 7, eager(5));
+        m.arrived(GateId(1), 7, eager(3)); // going backwards
+    }
+}

@@ -1,0 +1,127 @@
+//! Packet wrappers — the unit of work in the submission window.
+//!
+//! An `sr_isend` does not touch the NIC: it appends a [`PacketWrapper`] to
+//! the destination gate's pending queue (the *window*). Strategies consume
+//! the window whenever a rail is idle and turn wrappers into wire packets —
+//! possibly several wrappers into one packet (aggregation) or one wrapper
+//! into several packets (multirail split).
+
+use bytes::Bytes;
+use simnet::SimTime;
+
+use crate::sr::SendReqId;
+
+/// Identifier of a packet wrapper (unique per core instance).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PwId(pub u64);
+
+/// What a wrapper carries.
+#[derive(Clone, Debug)]
+pub enum PwBody {
+    /// A whole small message; completes `send_req` once on the wire.
+    Eager {
+        tag: u64,
+        seq: u64,
+        send_req: SendReqId,
+    },
+    /// Rendezvous request-to-send (control).
+    Rts {
+        tag: u64,
+        seq: u64,
+        rdv_id: u64,
+        len: usize,
+    },
+    /// Rendezvous clear-to-send (control).
+    Cts { rdv_id: u64 },
+    /// Rendezvous payload; the only body a strategy may split.
+    Data { rdv_id: u64, offset: usize },
+}
+
+/// One pending unit in a gate's submission window.
+#[derive(Clone, Debug)]
+pub struct PacketWrapper {
+    pub id: PwId,
+    /// Destination rank (gate).
+    pub dst: usize,
+    pub body: PwBody,
+    pub data: Bytes,
+    /// When the wrapper entered the window (diagnostics / fairness).
+    pub enqueued_at: SimTime,
+}
+
+impl PacketWrapper {
+    /// May this wrapper be coalesced with neighbours into one aggregate?
+    /// Only plain eager messages aggregate; control packets keep their own
+    /// packet so the receiver reacts to them with minimum latency, and
+    /// rendezvous data is already scheduled in bulk.
+    pub fn can_aggregate(&self) -> bool {
+        matches!(self.body, PwBody::Eager { .. })
+    }
+
+    /// May this wrapper be split into chunks across rails?
+    pub fn can_split(&self) -> bool {
+        matches!(self.body, PwBody::Data { .. })
+    }
+
+    /// Payload length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pw(body: PwBody, len: usize) -> PacketWrapper {
+        PacketWrapper {
+            id: PwId(0),
+            dst: 1,
+            body,
+            data: Bytes::from(vec![0u8; len]),
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn aggregation_and_split_eligibility() {
+        let eager = pw(
+            PwBody::Eager {
+                tag: 0,
+                seq: 0,
+                send_req: SendReqId(0),
+            },
+            64,
+        );
+        assert!(eager.can_aggregate());
+        assert!(!eager.can_split());
+
+        let rts = pw(
+            PwBody::Rts {
+                tag: 0,
+                seq: 0,
+                rdv_id: 1,
+                len: 1 << 20,
+            },
+            0,
+        );
+        assert!(!rts.can_aggregate());
+        assert!(!rts.can_split());
+
+        let data = pw(
+            PwBody::Data {
+                rdv_id: 1,
+                offset: 0,
+            },
+            1 << 20,
+        );
+        assert!(!data.can_aggregate());
+        assert!(data.can_split());
+        assert_eq!(data.len(), 1 << 20);
+        assert!(!data.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! The default strategy: strict FIFO, one packet per idle pass, always on
+//! the primary rail. No aggregation, no splitting — the reference point the
+//! optimizing strategies are measured against (and the right choice for a
+//! single-rail configuration when the workload has no burstiness).
+
+use std::collections::VecDeque;
+
+use crate::config::NmConfig;
+use crate::pack::PacketWrapper;
+
+use super::{RailState, Strategy, Submission};
+
+#[derive(Default)]
+pub struct StratDefault;
+
+impl StratDefault {
+    pub fn new() -> StratDefault {
+        StratDefault
+    }
+}
+
+impl Strategy for StratDefault {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn try_and_commit(
+        &mut self,
+        _cfg: &NmConfig,
+        pending: &mut VecDeque<PacketWrapper>,
+        rails: &mut [RailState],
+    ) -> Vec<Submission> {
+        let mut out = Vec::new();
+        // Primary rail only; submit the front packet if the rail is free.
+        if let Some(rail) = rails.first_mut() {
+            if rail.idle {
+                if let Some(pw) = pending.pop_front() {
+                    rail.idle = false;
+                    out.push(Submission {
+                        rail: 0,
+                        pws: vec![pw],
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::super::Strategy;
+    use super::*;
+
+    #[test]
+    fn submits_front_packet_when_idle() {
+        let mut s = StratDefault::new();
+        let mut pending: VecDeque<_> = vec![eager_pw(0, 10), eager_pw(1, 10)].into();
+        let mut rs = rails(2);
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].rail, 0);
+        assert_eq!(subs[0].pws.len(), 1);
+        assert_eq!(subs[0].pws[0].id.0, 0);
+        assert_eq!(pending.len(), 1);
+        assert!(!rs[0].idle, "primary rail must be marked busy");
+        assert!(rs[1].idle, "default never touches secondary rails");
+    }
+
+    #[test]
+    fn holds_window_when_rail_busy() {
+        let mut s = StratDefault::new();
+        let mut pending: VecDeque<_> = vec![eager_pw(0, 10)].into();
+        let mut rs = rails(1);
+        rs[0].idle = false;
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert!(subs.is_empty());
+        assert_eq!(pending.len(), 1, "packet stays in the window");
+    }
+
+    #[test]
+    fn empty_window_is_a_noop() {
+        let mut s = StratDefault::new();
+        let mut pending: VecDeque<PacketWrapper> = VecDeque::new();
+        let mut rs = rails(1);
+        assert!(s.try_and_commit(&cfg(), &mut pending, &mut rs).is_empty());
+        assert!(rs[0].idle);
+    }
+}

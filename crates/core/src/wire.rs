@@ -1,0 +1,135 @@
+//! NewMadeleine's wire packet format.
+//!
+//! Every fabric transfer carries one [`NmWire`]. The header fields are kept
+//! as struct members (the simulation shares an address space) but their
+//! modelled wire size — [`WIRE_HEADER_BYTES`] per packet plus
+//! [`AGG_SUBHEADER_BYTES`] per aggregated fragment — is charged to the NIC,
+//! so aggregation trades per-packet latency against extra header bytes the
+//! way the real library does.
+
+use bytes::Bytes;
+
+/// Modelled size of the packet header on the wire.
+pub const WIRE_HEADER_BYTES: usize = 32;
+
+/// Modelled per-fragment subheader inside an aggregate packet.
+pub const AGG_SUBHEADER_BYTES: usize = 16;
+
+/// One eager fragment inside an aggregate packet.
+#[derive(Clone, Debug)]
+pub struct EagerFrag {
+    pub tag: u64,
+    pub seq: u64,
+    pub data: Bytes,
+}
+
+/// Payload variants of a wire packet.
+#[derive(Clone, Debug)]
+pub enum WirePayload {
+    /// A whole small message.
+    Eager { tag: u64, seq: u64, data: Bytes },
+    /// Several small messages to the same gate coalesced into one NIC
+    /// transfer by the aggregation strategy.
+    Aggregate(Vec<EagerFrag>),
+    /// Rendezvous request-to-send: announces a large message.
+    Rts {
+        tag: u64,
+        seq: u64,
+        rdv_id: u64,
+        len: usize,
+    },
+    /// Rendezvous clear-to-send: the receiver is ready for `rdv_id`.
+    Cts { rdv_id: u64 },
+    /// A chunk of rendezvous data (multirail transfers produce several,
+    /// one per rail, with distinct offsets).
+    Data {
+        rdv_id: u64,
+        offset: usize,
+        data: Bytes,
+    },
+}
+
+/// A packet as it crosses the fabric.
+#[derive(Clone, Debug)]
+pub struct NmWire {
+    /// Sender's global rank (identifies the gate at the receiver).
+    pub src_rank: usize,
+    /// Receiver's global rank (the node sink demultiplexes on this).
+    pub dst_rank: usize,
+    pub payload: WirePayload,
+}
+
+impl NmWire {
+    /// Total modelled wire size: header + payload bytes.
+    pub fn wire_bytes(&self) -> usize {
+        WIRE_HEADER_BYTES
+            + match &self.payload {
+                WirePayload::Eager { data, .. } => data.len(),
+                WirePayload::Aggregate(frags) => frags
+                    .iter()
+                    .map(|f| AGG_SUBHEADER_BYTES + f.data.len())
+                    .sum(),
+                WirePayload::Rts { .. } => 16,
+                WirePayload::Cts { .. } => 8,
+                WirePayload::Data { data, .. } => 8 + data.len(),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_wire_size_is_header_plus_payload() {
+        let w = NmWire {
+            src_rank: 0,
+            dst_rank: 1,
+            payload: WirePayload::Eager {
+                tag: 1,
+                seq: 0,
+                data: Bytes::from_static(&[0u8; 100]),
+            },
+        };
+        assert_eq!(w.wire_bytes(), WIRE_HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn aggregate_charges_subheaders() {
+        let frag = |n: usize| EagerFrag {
+            tag: 0,
+            seq: 0,
+            data: Bytes::from(vec![0u8; n]),
+        };
+        let w = NmWire {
+            src_rank: 0,
+            dst_rank: 1,
+            payload: WirePayload::Aggregate(vec![frag(10), frag(20)]),
+        };
+        assert_eq!(
+            w.wire_bytes(),
+            WIRE_HEADER_BYTES + 2 * AGG_SUBHEADER_BYTES + 30
+        );
+    }
+
+    #[test]
+    fn control_packets_are_small() {
+        let rts = NmWire {
+            src_rank: 0,
+            dst_rank: 1,
+            payload: WirePayload::Rts {
+                tag: 0,
+                seq: 0,
+                rdv_id: 1,
+                len: 1 << 20,
+            },
+        };
+        let cts = NmWire {
+            src_rank: 1,
+            dst_rank: 0,
+            payload: WirePayload::Cts { rdv_id: 1 },
+        };
+        assert!(rts.wire_bytes() <= 64);
+        assert!(cts.wire_bytes() <= 64);
+    }
+}

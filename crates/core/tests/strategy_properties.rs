@@ -1,0 +1,227 @@
+//! Property-based tests of the scheduling strategies: whatever a strategy
+//! decides, no payload byte may be lost, duplicated, or (for matchable
+//! envelope packets on a single rail) reordered.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simnet::{SimDuration, SimTime};
+
+use nmad::config::{NmConfig, StrategyKind};
+use nmad::pack::{PacketWrapper, PwBody, PwId};
+use nmad::sampling::LinkProfile;
+use nmad::sr::SendReqId;
+use nmad::strategy::{self, RailState, Submission};
+
+#[derive(Clone, Debug)]
+enum PwSpec {
+    Eager { len: usize },
+    Data { len: usize },
+    Rts,
+    Cts,
+}
+
+fn pw_strategy() -> impl Strategy<Value = PwSpec> {
+    prop_oneof![
+        4 => (1usize..4096).prop_map(|len| PwSpec::Eager { len }),
+        2 => (32_768usize..(2 << 20)).prop_map(|len| PwSpec::Data { len }),
+        1 => Just(PwSpec::Rts),
+        1 => Just(PwSpec::Cts),
+    ]
+}
+
+fn build(specs: &[PwSpec]) -> VecDeque<PacketWrapper> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let id = PwId(i as u64);
+            match s {
+                PwSpec::Eager { len } => PacketWrapper {
+                    id,
+                    dst: 1,
+                    body: PwBody::Eager {
+                        tag: 1,
+                        seq: i as u64,
+                        send_req: SendReqId(i as u32),
+                    },
+                    data: Bytes::from(vec![i as u8; *len]),
+                    enqueued_at: SimTime::ZERO,
+                },
+                PwSpec::Data { len } => PacketWrapper {
+                    id,
+                    dst: 1,
+                    body: PwBody::Data {
+                        rdv_id: i as u64,
+                        offset: 0,
+                    },
+                    data: Bytes::from(vec![i as u8; *len]),
+                    enqueued_at: SimTime::ZERO,
+                },
+                PwSpec::Rts => PacketWrapper {
+                    id,
+                    dst: 1,
+                    body: PwBody::Rts {
+                        tag: 1,
+                        seq: i as u64,
+                        rdv_id: i as u64,
+                        len: 1 << 20,
+                    },
+                    data: Bytes::new(),
+                    enqueued_at: SimTime::ZERO,
+                },
+                PwSpec::Cts => PacketWrapper {
+                    id,
+                    dst: 1,
+                    body: PwBody::Cts { rdv_id: i as u64 },
+                    data: Bytes::new(),
+                    enqueued_at: SimTime::ZERO,
+                },
+            }
+        })
+        .collect()
+}
+
+fn rails(n: usize, all_idle: bool) -> Vec<RailState> {
+    (0..n)
+        .map(|i| RailState {
+            idle: all_idle || i % 2 == 0,
+            profile: LinkProfile {
+                latency: SimDuration::nanos(1_000 + 250 * i as u64),
+                bandwidth_bps: (1250.0 - 100.0 * i as f64) * 1024.0 * 1024.0,
+            },
+        })
+        .collect()
+}
+
+/// Drive the strategy to exhaustion (marking rails idle again between
+/// passes) and collect everything it emits.
+fn drain(
+    kind: StrategyKind,
+    mut pending: VecDeque<PacketWrapper>,
+    nrails: usize,
+) -> Vec<Submission> {
+    let cfg = NmConfig::with_strategy(kind);
+    let mut s = strategy::make(kind);
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while !pending.is_empty() {
+        let mut rs = rails(nrails, true);
+        let subs = s.try_and_commit(&cfg, &mut pending, &mut rs);
+        assert!(
+            !subs.is_empty() || pending.is_empty(),
+            "strategy made no progress with idle rails"
+        );
+        out.extend(subs);
+        guard += 1;
+        assert!(guard < 10_000, "strategy livelock");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every byte of every wrapper is emitted exactly once (splitting may
+    /// repartition Data payloads; nothing may vanish or duplicate).
+    #[test]
+    fn no_loss_no_duplication(
+        specs in proptest::collection::vec(pw_strategy(), 1..24),
+        kind in prop_oneof![
+            Just(StrategyKind::Default),
+            Just(StrategyKind::Aggreg),
+            Just(StrategyKind::SplitBalanced)
+        ],
+        nrails in 1usize..3,
+    ) {
+        let pending = build(&specs);
+        let expected_bytes: usize = pending.iter().map(|p| p.len()).sum();
+        let expected_count = pending.len();
+        let subs = drain(kind, pending, nrails);
+        let mut got_bytes = 0usize;
+        let mut envelope_ids = Vec::new();
+        let mut data_seen: std::collections::HashMap<u64, usize> = Default::default();
+        for sub in &subs {
+            for pw in &sub.pws {
+                got_bytes += pw.len();
+                match pw.body {
+                    PwBody::Eager { seq, .. } | PwBody::Rts { seq, .. } => {
+                        envelope_ids.push(seq);
+                    }
+                    PwBody::Data { rdv_id, .. } => {
+                        *data_seen.entry(rdv_id).or_default() += pw.len();
+                    }
+                    PwBody::Cts { .. } => {}
+                }
+            }
+        }
+        prop_assert_eq!(got_bytes, expected_bytes, "byte loss/duplication");
+        // Each original Data wrapper's bytes fully covered.
+        for (i, s) in specs.iter().enumerate() {
+            if let PwSpec::Data { len } = s {
+                prop_assert_eq!(data_seen.get(&(i as u64)).copied().unwrap_or(0), *len);
+            }
+        }
+        // Every envelope emitted exactly once.
+        let expected_envelopes = specs
+            .iter()
+            .filter(|s| matches!(s, PwSpec::Eager { .. } | PwSpec::Rts))
+            .count();
+        prop_assert_eq!(envelope_ids.len(), expected_envelopes);
+        let mut sorted = envelope_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), envelope_ids.len(), "duplicate envelope");
+        let _ = expected_count;
+    }
+
+    /// On a single rail, envelope order on the wire equals window order
+    /// (no reorder buffer needed for single-rail configurations).
+    #[test]
+    fn single_rail_preserves_envelope_order(
+        specs in proptest::collection::vec(pw_strategy(), 1..24),
+        kind in prop_oneof![
+            Just(StrategyKind::Default),
+            Just(StrategyKind::Aggreg),
+            Just(StrategyKind::SplitBalanced)
+        ],
+    ) {
+        let pending = build(&specs);
+        let subs = drain(kind, pending, 1);
+        let mut seqs = Vec::new();
+        for sub in &subs {
+            prop_assert_eq!(sub.rail, 0);
+            for pw in &sub.pws {
+                if let PwBody::Eager { seq, .. } | PwBody::Rts { seq, .. } = pw.body {
+                    seqs.push(seq);
+                }
+            }
+        }
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seqs, sorted, "single-rail envelope reorder");
+    }
+
+    /// Split chunks partition their payload contiguously from offset 0.
+    #[test]
+    fn split_chunks_partition_contiguously(len in 65_536usize..(8 << 20)) {
+        let pending = build(&[PwSpec::Data { len }]);
+        let subs = drain(StrategyKind::SplitBalanced, pending, 2);
+        let mut chunks: Vec<(usize, usize)> = subs
+            .iter()
+            .flat_map(|s| &s.pws)
+            .map(|pw| match pw.body {
+                PwBody::Data { offset, .. } => (offset, pw.len()),
+                _ => panic!("non-data chunk"),
+            })
+            .collect();
+        chunks.sort_unstable();
+        let mut expect = 0usize;
+        for (off, l) in chunks {
+            prop_assert_eq!(off, expect, "gap or overlap at {}", expect);
+            expect = off + l;
+        }
+        prop_assert_eq!(expect, len);
+    }
+}

@@ -1,0 +1,321 @@
+//! Management of MPI_ANY_SOURCE on the bypass path — the request lists of
+//! §3.2 (Fig. 3).
+//!
+//! The problem: inter-node matching lives inside NewMadeleine, per
+//! `(gate, tag)`, and **a posted NewMadeleine request can never be
+//! cancelled**. An ANY_SOURCE receive can therefore not be fanned out as
+//! one NewMadeleine request per possible source; and while it is
+//! outstanding, later same-tag receives must not overtake it.
+//!
+//! The paper's scheme, implemented here faithfully:
+//!
+//! * A *main list* keyed by tag holds a sublist per tag in use
+//!   ([`AnySourceLists`]).
+//! * Posting an ANY_SOURCE receive appends an `Any` entry to its tag's
+//!   sublist ("we check the list and create a new entry if the MPI message
+//!   tag hasn't already been used").
+//! * Later *specific-source* inter-node receives with the same tag are
+//!   **parked** behind it ("they are enqueued in the list of pending any
+//!   sources and dequeued when the any source entry is removed") — posting
+//!   them to NewMadeleine directly could match a message the ANY_SOURCE
+//!   receive is entitled to.
+//! * On every progress poll the head entry *probes* NewMadeleine by tag;
+//!   if a matching message has arrived from some gate, a NewMadeleine
+//!   request for exactly that gate is created on the spot ("a NewMadeleine
+//!   request is dynamically created when a message is received that could
+//!   match") — it completes immediately since the payload already sits in
+//!   NewMadeleine's buffers. The entry's CH3 posted-queue twin is
+//!   deactivated at that moment, because the NewMadeleine request is now
+//!   unstoppable.
+//! * If instead an intra-node message matches the ANY_SOURCE receive first
+//!   (through the CH3 queues), "the entry … is simply removed and all
+//!   requests that might have been posted after are created" — the parked
+//!   specifics are released to NewMadeleine, up to the next `Any` entry,
+//!   which "replaces the former request as list head".
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+
+use crate::queues::ActiveFlag;
+use crate::request::Req;
+
+enum Entry {
+    Any {
+        req: Req,
+        /// The CH3 posted-queue twin's liveness flag.
+        ch3_flag: ActiveFlag,
+        /// Gate the dynamically-created NewMadeleine request targets, once
+        /// probed.
+        nm_gate: Option<usize>,
+    },
+    Specific {
+        req: Req,
+        src: usize,
+    },
+}
+
+#[derive(Default)]
+struct TagList {
+    entries: VecDeque<Entry>,
+}
+
+/// A parked specific-source receive released for posting to NewMadeleine.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Release {
+    pub req: Req,
+    pub src: usize,
+    pub key: u64,
+}
+
+/// The main list: one sublist per tag in use.
+#[derive(Default)]
+pub struct AnySourceLists {
+    lists: Mutex<HashMap<u64, TagList>>,
+    /// Reverse map from request to its tag key.
+    by_req: Mutex<HashMap<Req, u64>>,
+}
+
+impl AnySourceLists {
+    pub fn new() -> AnySourceLists {
+        AnySourceLists::default()
+    }
+
+    /// Register a newly posted ANY_SOURCE receive.
+    pub fn register_any(&self, key: u64, req: Req, ch3_flag: ActiveFlag) {
+        self.lists
+            .lock()
+            .entry(key)
+            .or_default()
+            .entries
+            .push_back(Entry::Any {
+                req,
+                ch3_flag,
+                nm_gate: None,
+            });
+        self.by_req.lock().insert(req, key);
+    }
+
+    /// A specific-source inter-node receive is being posted: if its tag has
+    /// pending ANY_SOURCE entries it must be parked (returns `true`);
+    /// otherwise the caller posts it to NewMadeleine directly.
+    pub fn try_park_specific(&self, key: u64, req: Req, src: usize) -> bool {
+        let mut lists = self.lists.lock();
+        match lists.get_mut(&key) {
+            Some(list) if !list.entries.is_empty() => {
+                list.entries.push_back(Entry::Specific { req, src });
+                self.by_req.lock().insert(req, key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Heads awaiting a probe: every sublist whose head is an ANY_SOURCE
+    /// entry without a NewMadeleine request yet. Called on every poll.
+    pub fn heads_to_probe(&self) -> Vec<(u64, Req)> {
+        let lists = self.lists.lock();
+        let mut out: Vec<(u64, Req)> = lists
+            .iter()
+            .filter_map(|(&key, list)| match list.entries.front() {
+                Some(Entry::Any {
+                    req,
+                    nm_gate: None,
+                    ..
+                }) => Some((key, *req)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k); // deterministic probe order
+        out
+    }
+
+    /// A probe found a matching message from `gate`: record the
+    /// dynamically created NewMadeleine request and deactivate the CH3
+    /// twin (the NewMadeleine request cannot be cancelled, so shared
+    /// memory must no longer steal this receive).
+    pub fn mark_posted(&self, key: u64, gate: usize) {
+        let mut lists = self.lists.lock();
+        let list = lists.get_mut(&key).expect("mark_posted on unknown tag");
+        match list.entries.front_mut() {
+            Some(Entry::Any {
+                nm_gate, ch3_flag, ..
+            }) => {
+                debug_assert!(nm_gate.is_none(), "double mark_posted");
+                *nm_gate = Some(gate);
+                ch3_flag.store(false, std::sync::atomic::Ordering::Release);
+            }
+            _ => panic!("mark_posted: head is not an ANY_SOURCE entry"),
+        }
+    }
+
+    /// The given ANY_SOURCE request completed (via NewMadeleine or via an
+    /// intra-node CH3 match). Removes its entry; if it was the head, the
+    /// parked specifics behind it are released (to be posted to
+    /// NewMadeleine) up to the next ANY_SOURCE entry, which becomes the new
+    /// head. Returns the releases. No-op (empty) if the request is not
+    /// tracked.
+    pub fn on_complete(&self, req: Req) -> Vec<Release> {
+        let key = match self.by_req.lock().remove(&req) {
+            Some(k) => k,
+            None => return Vec::new(),
+        };
+        let mut lists = self.lists.lock();
+        let list = match lists.get_mut(&key) {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        let pos = list
+            .entries
+            .iter()
+            .position(|e| match e {
+                Entry::Any { req: r, .. } | Entry::Specific { req: r, .. } => *r == req,
+            })
+            .expect("completed request missing from its tag list");
+        let was_head = pos == 0;
+        list.entries.remove(pos);
+        let mut released = Vec::new();
+        if was_head {
+            while let Some(Entry::Specific { .. }) = list.entries.front() {
+                match list.entries.pop_front() {
+                    Some(Entry::Specific { req, src }) => {
+                        self.by_req.lock().remove(&req);
+                        released.push(Release { req, src, key });
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        if list.entries.is_empty() {
+            lists.remove(&key);
+        }
+        released
+    }
+
+    /// Is this request currently parked as a specific entry? (A parked
+    /// request must not be posted to NewMadeleine by anyone else.)
+    pub fn is_tracked(&self, req: Req) -> bool {
+        self.by_req.lock().contains_key(&req)
+    }
+
+    /// Number of live sublists (diagnostics).
+    pub fn tags_in_use(&self) -> usize {
+        self.lists.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ReqKind, ReqPath, RequestTable};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn flag() -> ActiveFlag {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    fn any_req(t: &RequestTable) -> Req {
+        t.create(ReqKind::RecvAnySource, ReqPath::Unknown)
+    }
+
+    fn spec_req(t: &RequestTable) -> Req {
+        t.create(ReqKind::Recv, ReqPath::Net)
+    }
+
+    #[test]
+    fn head_is_probed_until_posted() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let r = any_req(&t);
+        let f = flag();
+        l.register_any(7, r, Arc::clone(&f));
+        assert_eq!(l.heads_to_probe(), vec![(7, r)]);
+        l.mark_posted(7, 3);
+        assert!(l.heads_to_probe().is_empty(), "posted head stops probing");
+        assert!(!f.load(Ordering::Acquire), "CH3 twin deactivated");
+    }
+
+    #[test]
+    fn specifics_park_behind_any_and_release_on_completion() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let ra = any_req(&t);
+        let r1 = spec_req(&t);
+        let r2 = spec_req(&t);
+        l.register_any(7, ra, flag());
+        assert!(l.try_park_specific(7, r1, 4));
+        assert!(l.try_park_specific(7, r2, 5));
+        assert!(l.is_tracked(r1));
+        // Different tag: not parked.
+        assert!(!l.try_park_specific(8, spec_req(&t), 4));
+        let released = l.on_complete(ra);
+        assert_eq!(
+            released,
+            vec![Release { req: r1, src: 4, key: 7 }, Release { req: r2, src: 5, key: 7 }]
+        );
+        assert_eq!(l.tags_in_use(), 0);
+        assert!(!l.is_tracked(r1));
+    }
+
+    #[test]
+    fn next_any_becomes_head_and_blocks_later_specifics() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let ra1 = any_req(&t);
+        let s1 = spec_req(&t);
+        let ra2 = any_req(&t);
+        let s2 = spec_req(&t);
+        l.register_any(7, ra1, flag());
+        assert!(l.try_park_specific(7, s1, 4));
+        l.register_any(7, ra2, flag());
+        assert!(l.try_park_specific(7, s2, 5));
+        // Completing the head releases s1 but stops at ra2.
+        let released = l.on_complete(ra1);
+        assert_eq!(released, vec![Release { req: s1, src: 4, key: 7 }]);
+        assert_eq!(l.heads_to_probe(), vec![(7, ra2)]);
+        // Completing the new head releases s2.
+        let released = l.on_complete(ra2);
+        assert_eq!(released, vec![Release { req: s2, src: 5, key: 7 }]);
+        assert_eq!(l.tags_in_use(), 0);
+    }
+
+    #[test]
+    fn non_head_completion_releases_nothing() {
+        // Head is nm-posted; the SECOND any-source entry is matched by an
+        // intra-node message. Its removal must not release the specifics
+        // parked behind the still-pending head.
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let ra1 = any_req(&t);
+        let ra2 = any_req(&t);
+        let s1 = spec_req(&t);
+        l.register_any(7, ra1, flag());
+        l.register_any(7, ra2, flag());
+        assert!(l.try_park_specific(7, s1, 4));
+        l.mark_posted(7, 2); // head now bound to gate 2
+        let released = l.on_complete(ra2);
+        assert!(released.is_empty());
+        // Head completes: specifics flow.
+        let released = l.on_complete(ra1);
+        assert_eq!(released, vec![Release { req: s1, src: 4, key: 7 }]);
+    }
+
+    #[test]
+    fn untracked_completion_is_noop() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        assert!(l.on_complete(spec_req(&t)).is_empty());
+    }
+
+    #[test]
+    fn probe_order_is_deterministic_by_tag() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let r9 = any_req(&t);
+        let r3 = any_req(&t);
+        l.register_any(9, r9, flag());
+        l.register_any(3, r3, flag());
+        assert_eq!(l.heads_to_probe(), vec![(3, r3), (9, r9)]);
+    }
+}

@@ -1,0 +1,251 @@
+//! The MPI-facing API: the handle a rank program drives.
+//!
+//! [`MpiHandle`] bundles the rank's simulation context with its process
+//! state and exposes MPI-shaped operations (`send`/`recv`/`isend`/`irecv`/
+//! `wait`/…, plus the collectives of [`crate::collectives`]). Rank
+//! programs — Netpipe, the NAS kernels, the examples — are written against
+//! this type and run unchanged on every stack configuration.
+
+use bytes::Bytes;
+use simnet::{RankCtx, SimDuration, SimTime};
+
+use crate::progress::ProcState;
+use crate::request::Req;
+use std::sync::Arc;
+
+/// Receive-source selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Src {
+    Rank(usize),
+    /// MPI_ANY_SOURCE.
+    Any,
+}
+
+/// Completion envelope (MPI_Status).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Status {
+    pub source: usize,
+    pub tag: u32,
+    pub len: usize,
+}
+
+/// The per-rank MPI handle.
+pub struct MpiHandle {
+    pub(crate) ctx: RankCtx,
+    pub(crate) state: Arc<ProcState>,
+}
+
+impl Drop for MpiHandle {
+    /// Implicit MPI_Finalize: when the rank program returns (dropping its
+    /// handle), drain any protocol work this rank still owes the network
+    /// (see [`ProcState::finalize`]). Skipped during a panic unwind so
+    /// failure diagnostics aren't masked by a drain loop.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.state.finalize(&self.ctx);
+        }
+    }
+}
+
+impl MpiHandle {
+    pub(crate) fn new(ctx: RankCtx, state: Arc<ProcState>) -> MpiHandle {
+        MpiHandle { ctx, state }
+    }
+
+    /// This process's rank in COMM_WORLD.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.state.rank
+    }
+
+    /// COMM_WORLD size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.state.size
+    }
+
+    /// Current simulated time (for harness measurements).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Model a computation phase of `d` (Fig. 7's "computes for a while").
+    pub fn compute(&self, d: SimDuration) {
+        self.ctx.compute(d);
+    }
+
+    /// Direct access to the simulation context (harness utilities).
+    pub fn ctx(&self) -> &RankCtx {
+        &self.ctx
+    }
+
+    /// Nonblocking send.
+    pub fn isend(&self, dst: usize, tag: u32, data: &[u8]) -> Req {
+        self.state
+            .isend(&self.ctx, dst, tag, Bytes::copy_from_slice(data))
+    }
+
+    /// Nonblocking send of an owned buffer (avoids the copy).
+    pub fn isend_bytes(&self, dst: usize, tag: u32, data: Bytes) -> Req {
+        self.state.isend(&self.ctx, dst, tag, data)
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv(&self, src: Src, tag: u32) -> Req {
+        self.state.irecv(&self.ctx, src, tag)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: usize, tag: u32, data: &[u8]) {
+        let r = self.isend(dst, tag, data);
+        self.wait(r);
+    }
+
+    /// Blocking send of an owned buffer.
+    pub fn send_bytes(&self, dst: usize, tag: u32, data: Bytes) {
+        let r = self.isend_bytes(dst, tag, data);
+        self.wait(r);
+    }
+
+    /// Blocking receive; returns payload and status.
+    pub fn recv(&self, src: Src, tag: u32) -> (Bytes, Status) {
+        let r = self.irecv(src, tag);
+        let (data, status) = self.state.wait(&self.ctx, r);
+        (
+            data.expect("recv must produce data"),
+            status.expect("recv must produce a status"),
+        )
+    }
+
+    /// Block until `req` completes; returns payload (receives) and status.
+    pub fn wait(&self, req: Req) -> Option<Status> {
+        let (_data, status) = self.state.wait(&self.ctx, req);
+        status
+    }
+
+    /// Block until `req` completes, returning the received payload.
+    pub fn wait_data(&self, req: Req) -> (Option<Bytes>, Option<Status>) {
+        self.state.wait(&self.ctx, req)
+    }
+
+    /// Wait for all requests, in order.
+    pub fn waitall(&self, reqs: &[Req]) {
+        for &r in reqs {
+            self.state.wait(&self.ctx, r);
+        }
+    }
+
+    /// Nonblocking completion test (drives progress once, like MPICH2).
+    pub fn test(&self, req: Req) -> bool {
+        self.state.test(&self.ctx, req)
+    }
+
+    /// MPI_Iprobe: is a message matching `(src, tag)` available? Returns
+    /// its envelope without receiving it.
+    pub fn iprobe(&self, src: Src, tag: u32) -> Option<Status> {
+        self.state.iprobe(&self.ctx, src, tag)
+    }
+
+    /// MPI_Probe: block until a matching message is available.
+    pub fn probe(&self, src: Src, tag: u32) -> Status {
+        self.state.probe(&self.ctx, src, tag)
+    }
+
+    /// MPI_Sendrecv: simultaneous send and receive (deadlock-free even for
+    /// rendezvous-sized payloads in both directions).
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        send_tag: u32,
+        data: &[u8],
+        src: Src,
+        recv_tag: u32,
+    ) -> (Bytes, Status) {
+        let r = self.irecv(src, recv_tag);
+        let s = self.isend(dst, send_tag, data);
+        let (payload, status) = self.state.wait(&self.ctx, r);
+        self.state.wait(&self.ctx, s);
+        (
+            payload.expect("sendrecv must produce data"),
+            status.expect("sendrecv must produce a status"),
+        )
+    }
+
+    // Collectives (implemented over point-to-point in `collectives.rs`).
+
+    /// Synchronize all ranks (dissemination barrier).
+    pub fn barrier(&self) {
+        crate::collectives::barrier(self);
+    }
+
+    /// Broadcast from `root` (binomial tree). Every rank returns the data.
+    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        crate::collectives::bcast(self, root, data)
+    }
+
+    /// Sum-reduce f64 vectors to `root`.
+    pub fn reduce_sum(&self, root: usize, contrib: &[f64]) -> Option<Vec<f64>> {
+        crate::collectives::reduce_sum(self, root, contrib)
+    }
+
+    /// Allreduce (sum) of f64 vectors.
+    pub fn allreduce_sum(&self, contrib: &[f64]) -> Vec<f64> {
+        crate::collectives::allreduce_sum(self, contrib)
+    }
+
+    /// Personalized all-to-all: `blocks[i]` goes to rank i; returns the
+    /// blocks received (one per rank).
+    pub fn alltoall(&self, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        crate::collectives::alltoall(self, blocks)
+    }
+
+    /// All-gather: every rank contributes `mine`; returns all blocks,
+    /// indexed by rank (ring algorithm).
+    pub fn allgather(&self, mine: Bytes) -> Vec<Bytes> {
+        crate::collectives::allgather(self, mine)
+    }
+
+    /// Personalized all-to-all with per-destination sizes
+    /// (MPI_Alltoallv).
+    pub fn alltoallv(&self, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        crate::collectives::alltoallv(self, blocks)
+    }
+
+    // Datatype-aware operations (the paper's future-work extension; see
+    // `datatype`). Non-contiguous layouts are packed at the MPI layer,
+    // exactly as stock MPICH2 does on its generic path.
+
+    /// Send `count` instances of `ty` gathered from `src`.
+    pub fn send_typed(
+        &self,
+        dst: usize,
+        tag: u32,
+        ty: &crate::datatype::Datatype,
+        src: &[u8],
+        count: usize,
+    ) {
+        let packed = ty.pack(src, count);
+        self.send_bytes(dst, tag, Bytes::from(packed));
+    }
+
+    /// Receive `count` instances of `ty`, scattered into `dst` (which must
+    /// cover the type's extent). Returns the status.
+    pub fn recv_typed(
+        &self,
+        src: Src,
+        tag: u32,
+        ty: &crate::datatype::Datatype,
+        dst: &mut [u8],
+        count: usize,
+    ) -> Status {
+        let (data, status) = self.recv(src, tag);
+        assert_eq!(
+            data.len(),
+            ty.packed_size(count),
+            "received size does not match the datatype signature"
+        );
+        ty.unpack(&data, dst, count);
+        status
+    }
+}

@@ -1,0 +1,737 @@
+//! CH3 packets and the CH3 protocol engine.
+//!
+//! CH3 moves messages as typed packets: `Eager` for small messages, the
+//! `Rts`/`Cts`/`Data` rendezvous for large ones (Fig. 2's outer
+//! handshake). The engine is transport-agnostic: it receives inbound
+//! packets and a `send` callback, and reports completions back to the
+//! caller; the same engine therefore serves the Nemesis shared-memory
+//! channel, the tailored baseline NICs, and the legacy NewMadeleine
+//! netmod (where its rendezvous *nests* inside NewMadeleine's — the
+//! pathology §2.1.3 describes).
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use simnet::Scheduler;
+
+use crate::queues::{Ch3Queues, UnexMsg};
+use crate::request::Req;
+
+/// Modelled CH3 packet-header size on the wire.
+pub const CH3_HEADER_BYTES: usize = 40;
+
+/// A CH3 protocol packet.
+#[derive(Clone, Debug)]
+pub enum Ch3Pkt {
+    Eager { key: u64, data: Bytes },
+    Rts { key: u64, rdv_id: u64, len: usize },
+    Cts { rdv_id: u64 },
+    Data { rdv_id: u64, offset: usize, data: Bytes },
+    /// Per-fragment acknowledgement of an ACK-throttled rendezvous
+    /// pipeline (Open MPI 1.2-era openib behaviour: the next fragment only
+    /// leaves once the previous one is acknowledged).
+    DataAck { rdv_id: u64 },
+}
+
+impl Ch3Pkt {
+    /// Modelled wire size.
+    pub fn wire_bytes(&self) -> usize {
+        CH3_HEADER_BYTES
+            + match self {
+                Ch3Pkt::Eager { data, .. } => data.len(),
+                Ch3Pkt::Rts { .. } => 16,
+                Ch3Pkt::Cts { .. } => 8,
+                Ch3Pkt::Data { data, .. } => 8 + data.len(),
+                Ch3Pkt::DataAck { .. } => 8,
+            }
+    }
+
+    /// Binary encoding — used where a transport can only carry opaque
+    /// bytes (the legacy netmod path tunnels CH3 packets through
+    /// NewMadeleine messages).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(33 + 16);
+        match self {
+            Ch3Pkt::Eager { key, data } => {
+                b.extend_from_slice(&[0u8]);
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                b.extend_from_slice(data);
+            }
+            Ch3Pkt::Rts { key, rdv_id, len } => {
+                b.extend_from_slice(&[1u8]);
+                b.extend_from_slice(&key.to_le_bytes());
+                b.extend_from_slice(&rdv_id.to_le_bytes());
+                b.extend_from_slice(&(*len as u64).to_le_bytes());
+            }
+            Ch3Pkt::Cts { rdv_id } => {
+                b.extend_from_slice(&[2u8]);
+                b.extend_from_slice(&rdv_id.to_le_bytes());
+            }
+            Ch3Pkt::Data {
+                rdv_id,
+                offset,
+                data,
+            } => {
+                b.extend_from_slice(&[3u8]);
+                b.extend_from_slice(&rdv_id.to_le_bytes());
+                b.extend_from_slice(&(*offset as u64).to_le_bytes());
+                b.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                b.extend_from_slice(data);
+            }
+            Ch3Pkt::DataAck { rdv_id } => {
+                b.extend_from_slice(&[4u8]);
+                b.extend_from_slice(&rdv_id.to_le_bytes());
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode [`Ch3Pkt::encode`]'s output.
+    ///
+    /// # Panics
+    /// Panics on malformed input — transports are trusted in-process.
+    pub fn decode(mut raw: Bytes) -> Ch3Pkt {
+        use bytes::Buf;
+        let variant = raw.get_u8();
+        match variant {
+            0 => {
+                let key = raw.get_u64_le();
+                let len = raw.get_u64_le() as usize;
+                assert_eq!(raw.len(), len, "eager length mismatch");
+                Ch3Pkt::Eager { key, data: raw }
+            }
+            1 => Ch3Pkt::Rts {
+                key: raw.get_u64_le(),
+                rdv_id: raw.get_u64_le(),
+                len: raw.get_u64_le() as usize,
+            },
+            2 => Ch3Pkt::Cts {
+                rdv_id: raw.get_u64_le(),
+            },
+            3 => {
+                let rdv_id = raw.get_u64_le();
+                let offset = raw.get_u64_le() as usize;
+                let len = raw.get_u64_le() as usize;
+                assert_eq!(raw.len(), len, "data length mismatch");
+                Ch3Pkt::Data {
+                    rdv_id,
+                    offset,
+                    data: raw,
+                }
+            }
+            4 => Ch3Pkt::DataAck {
+                rdv_id: raw.get_u64_le(),
+            },
+            v => panic!("unknown CH3 packet variant {v}"),
+        }
+    }
+}
+
+/// Callback the engine uses to transmit a packet toward `dst`.
+pub type SendFn<'a> = dyn FnMut(&Scheduler, usize, Ch3Pkt) + 'a;
+
+/// A completion the engine reports to its caller.
+#[derive(Debug)]
+pub enum Ch3Event {
+    RecvDone {
+        req: Req,
+        data: Bytes,
+        src: usize,
+        key: u64,
+        /// Was the matched posted entry an ANY_SOURCE one?
+        was_any: bool,
+    },
+    SendDone {
+        req: Req,
+    },
+}
+
+struct RdvOut {
+    req: Req,
+    dst: usize,
+    data: Bytes,
+    /// Bytes already handed to the transport (ACK-throttled mode).
+    cursor: usize,
+}
+
+struct RdvIn {
+    req: Req,
+    src: usize,
+    key: u64,
+    was_any: bool,
+    buf: Vec<u8>,
+    received: usize,
+}
+
+struct EngineInner {
+    rdv_out: HashMap<u64, RdvOut>,
+    rdv_in: HashMap<(usize, u64), RdvIn>,
+    next_rdv: u64,
+}
+
+/// The per-rank CH3 protocol engine.
+pub struct Ch3Engine {
+    /// The CH3 queue pair (shared with the any-source machinery).
+    pub queues: Ch3Queues,
+    inner: Mutex<EngineInner>,
+    my_rank: usize,
+    eager_threshold: usize,
+    /// Rendezvous payload pipelining: chunk size (None = single DATA).
+    rdv_chunk: Option<usize>,
+    /// ACK-throttled pipeline: the next fragment only leaves after the
+    /// receiver acknowledges the previous one (depth-1, the Open MPI
+    /// 1.2-era openib behaviour — the source of its medium-size bandwidth
+    /// dip, Fig. 4b).
+    rdv_ack: bool,
+}
+
+impl Ch3Engine {
+    pub fn new(my_rank: usize, eager_threshold: usize, rdv_chunk: Option<usize>) -> Ch3Engine {
+        Self::with_ack(my_rank, eager_threshold, rdv_chunk, false)
+    }
+
+    pub fn with_ack(
+        my_rank: usize,
+        eager_threshold: usize,
+        rdv_chunk: Option<usize>,
+        rdv_ack: bool,
+    ) -> Ch3Engine {
+        if let Some(c) = rdv_chunk {
+            assert!(c > 0, "zero rendezvous chunk");
+        }
+        assert!(
+            !rdv_ack || rdv_chunk.is_some(),
+            "ACK throttling requires a chunk size"
+        );
+        Ch3Engine {
+            queues: Ch3Queues::new(),
+            inner: Mutex::new(EngineInner {
+                rdv_out: HashMap::new(),
+                rdv_in: HashMap::new(),
+                next_rdv: 0,
+            }),
+            my_rank,
+            eager_threshold,
+            rdv_chunk,
+            rdv_ack,
+        }
+    }
+
+    pub fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+
+    /// Send `data` to `dst` under `key`. Small messages are sent eagerly
+    /// (buffered semantics: the send request completes immediately). Large
+    /// messages start the CH3 rendezvous; the send completes once the CTS
+    /// arrives and the payload is handed to the transport.
+    ///
+    /// `eager_limit` is per call because it depends on the destination's
+    /// transport: the shared-memory channel takes any size eagerly (the
+    /// cell queues fragment and flow-control), while network paths use the
+    /// engine's configured threshold.
+    ///
+    /// Returns `true` if the send request `req` is already complete.
+    pub fn send_msg(
+        &self,
+        sched: &Scheduler,
+        send: &mut SendFn,
+        req: Req,
+        dst: usize,
+        key: u64,
+        data: Bytes,
+        eager_limit: usize,
+    ) -> bool {
+        if data.len() <= eager_limit {
+            send(sched, dst, Ch3Pkt::Eager { key, data });
+            true
+        } else {
+            let mut inner = self.inner.lock();
+            let rdv_id = inner.next_rdv;
+            inner.next_rdv += 1;
+            let len = data.len();
+            inner.rdv_out.insert(
+                rdv_id,
+                RdvOut {
+                    req,
+                    dst,
+                    data,
+                    cursor: 0,
+                },
+            );
+            drop(inner);
+            send(sched, dst, Ch3Pkt::Rts { key, rdv_id, len });
+            false
+        }
+    }
+
+    /// Post a receive; consumes a matching unexpected message if present.
+    /// Returns any immediate completion plus, for the pending case, the
+    /// active flag of the posted entry.
+    pub fn post_recv(
+        &self,
+        sched: &Scheduler,
+        send: &mut SendFn,
+        req: Req,
+        src: Option<usize>,
+        key: u64,
+    ) -> (Option<Ch3Event>, Option<crate::queues::ActiveFlag>) {
+        match self.queues.post(req, src, key) {
+            Ok(flag) => (None, Some(flag)),
+            Err(UnexMsg::Eager {
+                src: s,
+                key: k,
+                data,
+            }) => (
+                Some(Ch3Event::RecvDone {
+                    req,
+                    data,
+                    src: s,
+                    key: k,
+                    was_any: src.is_none(),
+                }),
+                None,
+            ),
+            Err(UnexMsg::Rts {
+                src: s,
+                key: k,
+                rdv_id,
+                len,
+            }) => {
+                self.begin_rdv_in(req, s, k, src.is_none(), rdv_id, len);
+                send(sched, s, Ch3Pkt::Cts { rdv_id });
+                (None, None)
+            }
+        }
+    }
+
+    fn begin_rdv_in(&self, req: Req, src: usize, key: u64, was_any: bool, rdv_id: u64, len: usize) {
+        let mut inner = self.inner.lock();
+        let prev = inner.rdv_in.insert(
+            (src, rdv_id),
+            RdvIn {
+                req,
+                src,
+                key,
+                was_any,
+                buf: vec![0u8; len],
+                received: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate CH3 rendezvous {rdv_id}");
+    }
+
+    /// Feed one inbound packet through the protocol; completions (and any
+    /// reply packets via `send`) come out.
+    pub fn on_packet(
+        &self,
+        sched: &Scheduler,
+        send: &mut SendFn,
+        src: usize,
+        pkt: Ch3Pkt,
+        events: &mut Vec<Ch3Event>,
+    ) {
+        match pkt {
+            Ch3Pkt::Eager { key, data } => match self.queues.match_arrival(src, key) {
+                Some(entry) => events.push(Ch3Event::RecvDone {
+                    req: entry.req,
+                    data,
+                    src,
+                    key,
+                    was_any: entry.src.is_none(),
+                }),
+                None => self.queues.store_unexpected(UnexMsg::Eager { src, key, data }),
+            },
+            Ch3Pkt::Rts { key, rdv_id, len } => match self.queues.match_arrival(src, key) {
+                Some(entry) => {
+                    self.begin_rdv_in(entry.req, src, key, entry.src.is_none(), rdv_id, len);
+                    send(sched, src, Ch3Pkt::Cts { rdv_id });
+                }
+                None => self.queues.store_unexpected(UnexMsg::Rts {
+                    src,
+                    key,
+                    rdv_id,
+                    len,
+                }),
+            },
+            Ch3Pkt::Cts { rdv_id } => {
+                if self.rdv_ack {
+                    // Depth-1 pipeline: send the first fragment, wait for
+                    // its DataAck before the next.
+                    let mut inner = self.inner.lock();
+                    let rdv = inner
+                        .rdv_out
+                        .get_mut(&rdv_id)
+                        .expect("CTS for unknown CH3 rendezvous");
+                    let (dst, pkt, finished, req) = Self::next_fragment(
+                        rdv,
+                        rdv_id,
+                        self.rdv_chunk.expect("ack mode requires chunking"),
+                    );
+                    if finished {
+                        let req = req;
+                        inner.rdv_out.remove(&rdv_id);
+                        drop(inner);
+                        send(sched, dst, pkt);
+                        events.push(Ch3Event::SendDone { req });
+                    } else {
+                        drop(inner);
+                        send(sched, dst, pkt);
+                    }
+                } else {
+                    let rdv = self
+                        .inner
+                        .lock()
+                        .rdv_out
+                        .remove(&rdv_id)
+                        .expect("CTS for unknown CH3 rendezvous");
+                    // Hand the payload to the transport (chunked if
+                    // configured) and complete the send — buffered
+                    // semantics.
+                    let chunk = self.rdv_chunk.unwrap_or(rdv.data.len().max(1));
+                    let mut off = 0;
+                    while off < rdv.data.len() {
+                        let end = (off + chunk).min(rdv.data.len());
+                        send(
+                            sched,
+                            rdv.dst,
+                            Ch3Pkt::Data {
+                                rdv_id,
+                                offset: off,
+                                data: rdv.data.slice(off..end),
+                            },
+                        );
+                        off = end;
+                    }
+                    events.push(Ch3Event::SendDone { req: rdv.req });
+                }
+            }
+            Ch3Pkt::DataAck { rdv_id } => {
+                debug_assert!(self.rdv_ack, "DataAck on a non-throttled engine");
+                let mut inner = self.inner.lock();
+                let rdv = inner
+                    .rdv_out
+                    .get_mut(&rdv_id)
+                    .expect("DataAck for unknown CH3 rendezvous");
+                let (dst, pkt, finished, req) = Self::next_fragment(
+                    rdv,
+                    rdv_id,
+                    self.rdv_chunk.expect("ack mode requires chunking"),
+                );
+                if finished {
+                    inner.rdv_out.remove(&rdv_id);
+                    drop(inner);
+                    send(sched, dst, pkt);
+                    events.push(Ch3Event::SendDone { req });
+                } else {
+                    drop(inner);
+                    send(sched, dst, pkt);
+                }
+            }
+            Ch3Pkt::Data {
+                rdv_id,
+                offset,
+                data,
+            } => {
+                let (done, ack_dst) = {
+                    let mut inner = self.inner.lock();
+                    let rdv = inner
+                        .rdv_in
+                        .get_mut(&(src, rdv_id))
+                        .expect("DATA for unknown CH3 rendezvous");
+                    rdv.buf[offset..offset + data.len()].copy_from_slice(&data);
+                    rdv.received += data.len();
+                    (rdv.received == rdv.buf.len(), rdv.src)
+                };
+                // ACK-throttled mode: request the next fragment (the last
+                // one needs no ack — the sender finished with it).
+                if self.rdv_ack && !done {
+                    send(sched, ack_dst, Ch3Pkt::DataAck { rdv_id });
+                }
+                let mut inner = self.inner.lock();
+                if done {
+                    let rdv = inner.rdv_in.remove(&(src, rdv_id)).unwrap();
+                    events.push(Ch3Event::RecvDone {
+                        req: rdv.req,
+                        data: Bytes::from(rdv.buf),
+                        src: rdv.src,
+                        key: rdv.key,
+                        was_any: rdv.was_any,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Cut the next fragment of an ACK-throttled rendezvous. Returns
+    /// `(dst, packet, was_last, req)`.
+    fn next_fragment(
+        rdv: &mut RdvOut,
+        rdv_id: u64,
+        chunk: usize,
+    ) -> (usize, Ch3Pkt, bool, Req) {
+        let off = rdv.cursor;
+        let end = (off + chunk).min(rdv.data.len());
+        debug_assert!(off < end, "fragment past the payload end");
+        rdv.cursor = end;
+        (
+            rdv.dst,
+            Ch3Pkt::Data {
+                rdv_id,
+                offset: off,
+                data: rdv.data.slice(off..end),
+            },
+            end == rdv.data.len(),
+            rdv.req,
+        )
+    }
+
+    /// In-flight rendezvous count (diagnostics).
+    pub fn rdv_in_flight(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.rdv_out.len() + inner.rdv_in.len()
+    }
+
+    /// The rank this engine belongs to.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ReqKind, ReqPath, RequestTable};
+    use simnet::SimBuilder;
+
+    fn sched() -> Scheduler {
+        SimBuilder::new().build().scheduler()
+    }
+
+    /// Wire two engines together with an in-memory packet queue and pump
+    /// until quiescent.
+    fn pump(
+        s: &Scheduler,
+        engines: &[&Ch3Engine],
+        queue: &mut Vec<(usize, usize, Ch3Pkt)>,
+        events: &mut Vec<(usize, Ch3Event)>,
+    ) {
+        while let Some((src, dst, pkt)) = queue.pop() {
+            let mut replies: Vec<(usize, usize, Ch3Pkt)> = Vec::new();
+            let mut evs = Vec::new();
+            {
+                let mut send = |_: &Scheduler, to: usize, p: Ch3Pkt| {
+                    replies.push((dst, to, p));
+                };
+                engines[dst].on_packet(s, &mut send, src, pkt, &mut evs);
+            }
+            for e in evs {
+                events.push((dst, e));
+            }
+            queue.extend(replies);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let pkts = vec![
+            Ch3Pkt::Eager {
+                key: 7,
+                data: Bytes::from_static(b"abc"),
+            },
+            Ch3Pkt::Rts {
+                key: 9,
+                rdv_id: 3,
+                len: 1 << 20,
+            },
+            Ch3Pkt::Cts { rdv_id: 3 },
+            Ch3Pkt::Data {
+                rdv_id: 3,
+                offset: 512,
+                data: Bytes::from_static(b"payload"),
+            },
+        ];
+        for p in pkts {
+            let enc = p.encode();
+            let dec = Ch3Pkt::decode(enc);
+            match (&p, &dec) {
+                (Ch3Pkt::Eager { key: a, data: d1 }, Ch3Pkt::Eager { key: b, data: d2 }) => {
+                    assert_eq!(a, b);
+                    assert_eq!(d1, d2);
+                }
+                (
+                    Ch3Pkt::Rts {
+                        key: a,
+                        rdv_id: r1,
+                        len: l1,
+                    },
+                    Ch3Pkt::Rts {
+                        key: b,
+                        rdv_id: r2,
+                        len: l2,
+                    },
+                ) => {
+                    assert_eq!((a, r1, l1), (b, r2, l2));
+                }
+                (Ch3Pkt::Cts { rdv_id: a }, Ch3Pkt::Cts { rdv_id: b }) => assert_eq!(a, b),
+                (
+                    Ch3Pkt::Data {
+                        rdv_id: a,
+                        offset: o1,
+                        data: d1,
+                    },
+                    Ch3Pkt::Data {
+                        rdv_id: b,
+                        offset: o2,
+                        data: d2,
+                    },
+                ) => {
+                    assert_eq!((a, o1), (b, o2));
+                    assert_eq!(d1, d2);
+                }
+                _ => panic!("variant changed in roundtrip"),
+            }
+        }
+    }
+
+    #[test]
+    fn eager_send_completes_immediately() {
+        let s = sched();
+        let t = RequestTable::new();
+        let e = Ch3Engine::new(0, 16 * 1024, None);
+        let req = t.create(ReqKind::Send, ReqPath::Net);
+        let mut sent = Vec::new();
+        let mut send = |_: &Scheduler, dst: usize, p: Ch3Pkt| sent.push((dst, p));
+        let done = e.send_msg(&s, &mut send, req, 1, 7, Bytes::from_static(b"small"), 16 * 1024);
+        assert!(done);
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, Ch3Pkt::Eager { key: 7, .. }));
+    }
+
+    #[test]
+    fn rendezvous_full_handshake() {
+        let s = sched();
+        let t = RequestTable::new();
+        let e0 = Ch3Engine::new(0, 1024, None);
+        let e1 = Ch3Engine::new(1, 1024, None);
+        let sreq = t.create(ReqKind::Send, ReqPath::Net);
+        let rreq = t.create(ReqKind::Recv, ReqPath::Net);
+        let payload = Bytes::from(vec![0x5A; 10_000]);
+
+        let mut queue: Vec<(usize, usize, Ch3Pkt)> = Vec::new();
+        let mut events = Vec::new();
+        {
+            let mut send0 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((0, dst, p));
+            assert!(!e0.send_msg(&s, &mut send0, sreq, 1, 7, payload.clone(), 1024));
+        }
+        {
+            let mut send1 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((1, dst, p));
+            let (ev, _flag) = e1.post_recv(&s, &mut send1, rreq, Some(0), 7);
+            assert!(ev.is_none(), "nothing arrived yet");
+        }
+        pump(&s, &[&e0, &e1], &mut queue, &mut events);
+        // Sender got SendDone, receiver got RecvDone with intact payload.
+        let mut send_done = false;
+        let mut recv_done = false;
+        for (who, e) in events {
+            match e {
+                Ch3Event::SendDone { req } => {
+                    assert_eq!((who, req), (0, sreq));
+                    send_done = true;
+                }
+                Ch3Event::RecvDone { req, data, src, .. } => {
+                    assert_eq!((who, req, src), (1, rreq, 0));
+                    assert_eq!(data, payload);
+                    recv_done = true;
+                }
+            }
+        }
+        assert!(send_done && recv_done);
+        assert_eq!(e0.rdv_in_flight(), 0);
+        assert_eq!(e1.rdv_in_flight(), 0);
+    }
+
+    #[test]
+    fn rendezvous_chunked_pipeline() {
+        let s = sched();
+        let t = RequestTable::new();
+        // 4KB chunks.
+        let e0 = Ch3Engine::new(0, 1024, Some(4096));
+        let e1 = Ch3Engine::new(1, 1024, Some(4096));
+        let sreq = t.create(ReqKind::Send, ReqPath::Net);
+        let rreq = t.create(ReqKind::Recv, ReqPath::Net);
+        let payload: Vec<u8> = (0..10_000).map(|i| (i % 256) as u8).collect();
+        let mut queue = Vec::new();
+        let mut events = Vec::new();
+        let mut data_pkts = 0;
+        {
+            let mut send1 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((1, dst, p));
+            e1.post_recv(&s, &mut send1, rreq, Some(0), 7);
+        }
+        {
+            let mut send0 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((0, dst, p));
+            e0.send_msg(&s, &mut send0, sreq, 1, 7, Bytes::from(payload.clone()), 1024);
+        }
+        // Manual pump to count DATA packets.
+        while let Some((src, dst, pkt)) = queue.pop() {
+            if matches!(pkt, Ch3Pkt::Data { .. }) {
+                data_pkts += 1;
+            }
+            let engines = [&e0, &e1];
+            let mut replies = Vec::new();
+            let mut evs = Vec::new();
+            {
+                let mut send =
+                    |_: &Scheduler, to: usize, p: Ch3Pkt| replies.push((dst, to, p));
+                engines[dst].on_packet(&s, &mut send, src, pkt, &mut evs);
+            }
+            events.extend(evs);
+            queue.extend(replies);
+        }
+        assert_eq!(data_pkts, 3, "10000 bytes in 4096-byte chunks");
+        let got = events
+            .iter()
+            .find_map(|e| match e {
+                Ch3Event::RecvDone { data, .. } => Some(data.clone()),
+                _ => None,
+            })
+            .expect("recv completes");
+        assert_eq!(&got[..], &payload[..]);
+    }
+
+    #[test]
+    fn unexpected_rts_matched_by_late_any_source_post() {
+        let s = sched();
+        let t = RequestTable::new();
+        let e1 = Ch3Engine::new(1, 64, None);
+        let rreq = t.create(ReqKind::RecvAnySource, ReqPath::Unknown);
+        let mut out = Vec::new();
+        let mut events = Vec::new();
+        {
+            let mut send = |_: &Scheduler, dst: usize, p: Ch3Pkt| out.push((dst, p));
+            e1.on_packet(
+                &s,
+                &mut send,
+                0,
+                Ch3Pkt::Rts {
+                    key: 7,
+                    rdv_id: 0,
+                    len: 100,
+                },
+                &mut events,
+            );
+        }
+        assert!(out.is_empty(), "no CTS before a receive is posted");
+        assert_eq!(e1.queues.unexpected_len(), 1);
+        {
+            let mut send = |_: &Scheduler, dst: usize, p: Ch3Pkt| out.push((dst, p));
+            let (ev, flag) = e1.post_recv(&s, &mut send, rreq, None, 7);
+            assert!(ev.is_none());
+            assert!(flag.is_none(), "matched immediately, no posted entry");
+        }
+        assert_eq!(out.len(), 1, "CTS sent on match");
+        assert!(matches!(out[0].1, Ch3Pkt::Cts { rdv_id: 0 }));
+    }
+}

@@ -1,0 +1,295 @@
+//! Collective operations, built over point-to-point.
+//!
+//! The NAS kernels (§4.2) need barrier, broadcast, (all)reduce and
+//! all-to-all. MPICH2 implements its collectives over ADI3 point-to-point;
+//! we do the same with the textbook algorithms MPICH2 1.0-era used:
+//! dissemination barrier, binomial-tree broadcast/reduce, and pairwise
+//! all-to-all exchange.
+//!
+//! Every collective draws a fresh sequence number from the process state —
+//! legal because MPI requires all ranks to invoke collectives in the same
+//! order — and tags its traffic in a reserved context, so collective
+//! traffic can never match user point-to-point receives.
+
+use std::sync::atomic::Ordering;
+
+use bytes::Bytes;
+
+use crate::api::{MpiHandle, Src};
+use crate::progress::COLL_CTX;
+
+const OP_BARRIER: u64 = 1;
+const OP_BCAST: u64 = 2;
+const OP_REDUCE: u64 = 3;
+const OP_ALLTOALL: u64 = 4;
+const OP_ALLGATHER: u64 = 5;
+const OP_ALLTOALLV: u64 = 6;
+
+fn coll_key(op: u64, round: u64, seq: u32) -> u64 {
+    ((COLL_CTX as u64) << 48) | (op << 40) | (round << 32) | seq as u64
+}
+
+fn next_seq(mpi: &MpiHandle) -> u32 {
+    mpi.state.coll_seq.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Serialize f64s little-endian.
+pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Deserialize f64s.
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "not an f64 vector");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Dissemination barrier: ⌈log₂ P⌉ rounds; in round k, rank r signals
+/// r + 2ᵏ and hears from r − 2ᵏ (mod P).
+pub fn barrier(mpi: &MpiHandle) {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    if size == 1 {
+        return;
+    }
+    let seq = next_seq(mpi);
+    let mut round = 0u64;
+    let mut dist = 1usize;
+    while dist < size {
+        let to = (rank + dist) % size;
+        let from = (rank + size - dist) % size;
+        let key = coll_key(OP_BARRIER, round, seq);
+        let r = mpi
+            .state
+            .isend_key(&mpi.ctx, to, key, Bytes::new());
+        let rr = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
+        mpi.state.wait(&mpi.ctx, r);
+        mpi.state.wait(&mpi.ctx, rr);
+        dist <<= 1;
+        round += 1;
+    }
+}
+
+/// Binomial-tree broadcast. `data` must be `Some` on `root` (ignored
+/// elsewhere); every rank returns the payload.
+pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert!(root < size);
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_BCAST, 0, seq);
+    let vrank = (rank + size - root) % size;
+    let mut payload = if rank == root {
+        data.expect("bcast root must supply data")
+    } else {
+        Bytes::new()
+    };
+    // Receive from parent.
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask != 0 {
+            let parent = ((vrank - mask) + root) % size;
+            let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(parent), key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            payload = d.expect("bcast data");
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children.
+    mask >>= 1;
+    let mut sends = Vec::new();
+    while mask > 0 {
+        if vrank & mask == 0 && vrank + mask < size {
+            let child = ((vrank + mask) + root) % size;
+            sends.push(
+                mpi.state
+                    .isend_key(&mpi.ctx, child, key, payload.clone()),
+            );
+        }
+        mask >>= 1;
+    }
+    for s in sends {
+        mpi.state.wait(&mpi.ctx, s);
+    }
+    payload
+}
+
+/// Binomial-tree sum-reduction of equal-length f64 vectors to `root`.
+pub fn reduce_sum(mpi: &MpiHandle, root: usize, contrib: &[f64]) -> Option<Vec<f64>> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert!(root < size);
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_REDUCE, 0, seq);
+    let vrank = (rank + size - root) % size;
+    let mut acc = contrib.to_vec();
+    let mut mask = 1usize;
+    while mask < size {
+        if vrank & mask == 0 {
+            let src_v = vrank | mask;
+            if src_v < size {
+                let src = (src_v + root) % size;
+                let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(src), key);
+                let (d, _) = mpi.state.wait(&mpi.ctx, r);
+                let theirs = bytes_to_f64s(&d.expect("reduce data"));
+                assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a += b;
+                }
+            }
+        } else {
+            let parent_v = vrank & !mask;
+            let parent = (parent_v + root) % size;
+            let r = mpi
+                .state
+                .isend_key(&mpi.ctx, parent, key, f64s_to_bytes(&acc));
+            mpi.state.wait(&mpi.ctx, r);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Allreduce (sum) = reduce to rank 0, then broadcast.
+pub fn allreduce_sum(mpi: &MpiHandle, contrib: &[f64]) -> Vec<f64> {
+    match reduce_sum(mpi, 0, contrib) {
+        Some(total) => {
+            let b = bcast(mpi, 0, Some(f64s_to_bytes(&total)));
+            bytes_to_f64s(&b)
+        }
+        None => {
+            let b = bcast(mpi, 0, None);
+            bytes_to_f64s(&b)
+        }
+    }
+}
+
+/// Personalized all-to-all (pairwise exchange): `blocks[i]` is sent to
+/// rank i; the result's element i came from rank i. All receives are
+/// posted before any send, so rendezvous transfers cannot deadlock.
+pub fn alltoall(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert_eq!(blocks.len(), size, "need one block per rank");
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_ALLTOALL, 0, seq);
+    let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
+    let mut recvs = Vec::with_capacity(size - 1);
+    for i in 1..size {
+        let from = (rank + size - i) % size;
+        recvs.push((from, mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key)));
+    }
+    let mut sends = Vec::with_capacity(size - 1);
+    for (i, block) in blocks.iter().enumerate() {
+        if i == rank {
+            result[rank] = Some(block.clone());
+        }
+    }
+    for i in 1..size {
+        let to = (rank + i) % size;
+        sends.push(
+            mpi.state
+                .isend_key(&mpi.ctx, to, key, blocks[to].clone()),
+        );
+    }
+    for (from, r) in recvs {
+        let (d, _) = mpi.state.wait(&mpi.ctx, r);
+        result[from] = Some(d.expect("alltoall data"));
+    }
+    for s in sends {
+        mpi.state.wait(&mpi.ctx, s);
+    }
+    result.into_iter().map(|b| b.expect("missing block")).collect()
+}
+
+/// Allgather (ring algorithm): every rank contributes one block and
+/// returns all blocks, indexed by rank.
+pub fn allgather(mpi: &MpiHandle, mine: Bytes) -> Vec<Bytes> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_ALLGATHER, 0, seq);
+    let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
+    result[rank] = Some(mine.clone());
+    if size == 1 {
+        return result.into_iter().map(|b| b.unwrap()).collect();
+    }
+    // Ring: in step s, send the block received in step s-1 to the right
+    // neighbour; after size-1 steps everyone has everything.
+    let right = (rank + 1) % size;
+    let left = (rank + size - 1) % size;
+    let mut outgoing = mine;
+    for step in 0..size - 1 {
+        let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(left), key);
+        let s = mpi.state.isend_key(&mpi.ctx, right, key, outgoing.clone());
+        let (d, _) = mpi.state.wait(&mpi.ctx, r);
+        mpi.state.wait(&mpi.ctx, s);
+        let block = d.expect("allgather block");
+        // The block received in step s originated at rank - s - 1.
+        let origin = (rank + size - step - 1) % size;
+        result[origin] = Some(block.clone());
+        outgoing = block;
+    }
+    result.into_iter().map(|b| b.expect("hole")).collect()
+}
+
+/// Personalized all-to-all with per-destination block sizes (MPI_Alltoallv;
+/// needed by the IS kernel's bucket exchange). `blocks[i]` goes to rank i
+/// (sizes may differ, including empty); the result's element i came from
+/// rank i.
+pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert_eq!(blocks.len(), size, "need one block per rank");
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_ALLTOALLV, 0, seq);
+    let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
+    result[rank] = Some(blocks[rank].clone());
+    let mut recvs = Vec::with_capacity(size - 1);
+    for i in 1..size {
+        let from = (rank + size - i) % size;
+        recvs.push((from, mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key)));
+    }
+    let mut sends = Vec::with_capacity(size - 1);
+    for i in 1..size {
+        let to = (rank + i) % size;
+        sends.push(
+            mpi.state
+                .isend_key(&mpi.ctx, to, key, blocks[to].clone()),
+        );
+    }
+    for (from, r) in recvs {
+        let (d, _) = mpi.state.wait(&mpi.ctx, r);
+        result[from] = Some(d.expect("alltoallv data"));
+    }
+    for s in sends {
+        mpi.state.wait(&mpi.ctx, s);
+    }
+    result.into_iter().map(|b| b.expect("missing block")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_codec_roundtrip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an f64 vector")]
+    fn f64_codec_rejects_ragged() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn coll_keys_are_disjoint_from_user_keys() {
+        let user = crate::progress::key_of(crate::progress::USER_CTX, u32::MAX);
+        let coll = coll_key(OP_BARRIER, 0, 0);
+        assert_ne!(user >> 48, coll >> 48);
+    }
+}

@@ -1,0 +1,248 @@
+//! MPI datatypes.
+//!
+//! §4.2: "We gathered data for all NAS benchmarks, except for IS. Indeed,
+//! IS needs datatypes support and MPICH2-NewMadeleine does not handle yet
+//! this functionality" — and the conclusion lists non-contiguous datatypes
+//! as future work.
+//!
+//! This module implements that future work at the level MPICH2's generic
+//! path does: [`Datatype::Contiguous`] plus the strided
+//! [`Datatype::Vector`] (MPI_Type_vector), with pack/unpack through a
+//! contiguous staging buffer. The transport layers below stay
+//! contiguous-only — packing at the MPI layer is exactly what stock
+//! MPICH2 does for datatypes its device cannot stream (the paper's
+//! unexplored optimization would be teaching NewMadeleine's strategies to
+//! schedule the pieces themselves).
+//!
+//! With this in place the IS kernel runs (`nasbench::Kernel::IS` — an
+//! extension beyond the published evaluation).
+
+/// An MPI datatype descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Datatype {
+    /// `element_size`-byte contiguous elements.
+    Contiguous { element_size: usize },
+    /// MPI_Type_vector: `count` blocks of `blocklen` elements, the starts
+    /// of consecutive blocks `stride` elements apart (stride ≥ blocklen).
+    Vector {
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+        element_size: usize,
+    },
+}
+
+impl Datatype {
+    /// Raw bytes for MPI_BYTE.
+    pub const BYTE: Datatype = Datatype::Contiguous { element_size: 1 };
+    /// 8-byte floating point, the NAS kernels' currency.
+    pub const DOUBLE: Datatype = Datatype::Contiguous { element_size: 8 };
+    /// 4-byte integer (IS keys).
+    pub const INT: Datatype = Datatype::Contiguous { element_size: 4 };
+
+    /// Bytes of actual data (what travels on the wire) for `count`
+    /// instances of the type.
+    pub fn packed_size(&self, count: usize) -> usize {
+        match self {
+            Datatype::Contiguous { element_size } => element_size * count,
+            Datatype::Vector {
+                count: blocks,
+                blocklen,
+                element_size,
+                ..
+            } => blocks * blocklen * element_size * count,
+        }
+    }
+
+    /// Bytes the type spans in memory (its extent) per instance.
+    pub fn extent(&self, count: usize) -> usize {
+        match self {
+            Datatype::Contiguous { element_size } => element_size * count,
+            Datatype::Vector {
+                count: blocks,
+                blocklen,
+                stride,
+                element_size,
+            } => {
+                if *blocks == 0 || count == 0 {
+                    return 0;
+                }
+                // Last block of the last instance ends at:
+                let one = (blocks - 1) * stride + blocklen;
+                // Instances are laid out back to back at full-stride pitch.
+                ((count - 1) * blocks * stride + one) * element_size
+            }
+        }
+    }
+
+    /// Is the in-memory layout already contiguous?
+    pub fn is_contiguous(&self) -> bool {
+        match self {
+            Datatype::Contiguous { .. } => true,
+            Datatype::Vector {
+                blocklen, stride, ..
+            } => blocklen == stride,
+        }
+    }
+
+    /// Gather `count` instances of the type from `src` into a contiguous
+    /// buffer (MPI_Pack).
+    ///
+    /// # Panics
+    /// Panics if `src` is shorter than the type's extent.
+    pub fn pack(&self, src: &[u8], count: usize) -> Vec<u8> {
+        assert!(
+            src.len() >= self.extent(count),
+            "source buffer shorter than the datatype extent"
+        );
+        match self {
+            Datatype::Contiguous { element_size } => src[..element_size * count].to_vec(),
+            Datatype::Vector {
+                count: blocks,
+                blocklen,
+                stride,
+                element_size,
+            } => {
+                let block_bytes = blocklen * element_size;
+                let stride_bytes = stride * element_size;
+                let mut out = Vec::with_capacity(self.packed_size(count));
+                for inst in 0..count {
+                    let base = inst * blocks * stride_bytes;
+                    for b in 0..*blocks {
+                        let start = base + b * stride_bytes;
+                        out.extend_from_slice(&src[start..start + block_bytes]);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Scatter a packed buffer back into the strided layout (MPI_Unpack).
+    ///
+    /// # Panics
+    /// Panics if the buffers are inconsistent with the type.
+    pub fn unpack(&self, packed: &[u8], dst: &mut [u8], count: usize) {
+        assert_eq!(
+            packed.len(),
+            self.packed_size(count),
+            "packed length mismatch"
+        );
+        assert!(
+            dst.len() >= self.extent(count),
+            "destination shorter than the datatype extent"
+        );
+        match self {
+            Datatype::Contiguous { .. } => dst[..packed.len()].copy_from_slice(packed),
+            Datatype::Vector {
+                count: blocks,
+                blocklen,
+                stride,
+                element_size,
+            } => {
+                let block_bytes = blocklen * element_size;
+                let stride_bytes = stride * element_size;
+                let mut off = 0;
+                for inst in 0..count {
+                    let base = inst * blocks * stride_bytes;
+                    for b in 0..*blocks {
+                        let start = base + b * stride_bytes;
+                        dst[start..start + block_bytes]
+                            .copy_from_slice(&packed[off..off + block_bytes]);
+                        off += block_bytes;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_extents() {
+        assert_eq!(Datatype::BYTE.extent(10), 10);
+        assert_eq!(Datatype::DOUBLE.extent(10), 80);
+        assert_eq!(Datatype::INT.packed_size(3), 12);
+        assert!(Datatype::BYTE.is_contiguous());
+    }
+
+    #[test]
+    fn vector_sizes() {
+        // 3 blocks of 2 elements, stride 4, u32 elements.
+        let v = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+            element_size: 4,
+        };
+        assert_eq!(v.packed_size(1), 3 * 2 * 4);
+        // extent: (3-1)*4 + 2 = 10 elements = 40 bytes.
+        assert_eq!(v.extent(1), 40);
+        assert!(!v.is_contiguous());
+        let dense = Datatype::Vector {
+            count: 3,
+            blocklen: 4,
+            stride: 4,
+            element_size: 1,
+        };
+        assert!(dense.is_contiguous());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+            element_size: 1,
+        };
+        // Memory: blocks at offsets 0..2, 4..6, 8..10 (extent 10).
+        let src: Vec<u8> = (0..10).collect();
+        let packed = v.pack(&src, 1);
+        assert_eq!(packed, vec![0, 1, 4, 5, 8, 9]);
+        let mut dst = vec![0xFFu8; 10];
+        v.unpack(&packed, &mut dst, 1);
+        for (i, &b) in dst.iter().enumerate() {
+            if matches!(i, 0 | 1 | 4 | 5 | 8 | 9) {
+                assert_eq!(b, i as u8);
+            } else {
+                assert_eq!(b, 0xFF, "gap byte {i} must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_instance_pack() {
+        let v = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            element_size: 1,
+        };
+        // Instance pitch = blocks*stride = 4 bytes; two instances span
+        // (2-1)*4 + ((2-1)*2 + 1) = 7 bytes.
+        assert_eq!(v.extent(2), 7);
+        let src: Vec<u8> = (0..8).collect();
+        let packed = v.pack(&src, 2);
+        assert_eq!(packed, vec![0, 2, 4, 6]);
+        let mut dst = vec![0u8; 8];
+        v.unpack(&packed, &mut dst, 2);
+        assert_eq!(&dst[..7], &[0, 0, 2, 0, 4, 0, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the datatype extent")]
+    fn pack_checks_bounds() {
+        let v = Datatype::Vector {
+            count: 4,
+            blocklen: 2,
+            stride: 8,
+            element_size: 4,
+        };
+        let src = vec![0u8; 16];
+        v.pack(&src, 1);
+    }
+}

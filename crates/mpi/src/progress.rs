@@ -1,0 +1,768 @@
+//! The per-rank process state and the progress engine.
+//!
+//! [`ProcState`] ties everything together for one MPI process: the request
+//! table, the VC table, the CH3 engine + transports, the NewMadeleine core
+//! (on bypass stacks), the ANY_SOURCE lists, and — when PIOMan is enabled —
+//! the semaphore-based waiting of §3.3.2.
+//!
+//! One **progress cycle** ([`ProcState::progress_cycle`]) is the unit of
+//! work both progress modes share:
+//!
+//! 1. drive NewMadeleine (`nm_schedule`) or the CH3 network transport and
+//!    apply its completions,
+//! 2. drain the shared-memory channel through the CH3 engine,
+//! 3. run the ANY_SOURCE probes of §3.2.2.
+//!
+//! Without PIOMan, the cycle runs inside the application's wait loops
+//! (busy-wait polling, `poll_gran` steps). With PIOMan, ranks block on a
+//! semaphore and the cycle runs as a PIOMan ltask after each event kick —
+//! with the measured synchronization costs as reaction latency, and
+//! per-message completion costs applied as completion *delays* (the work
+//! happens on another core, but the requester still observes it).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::{RankCtx, Scheduler, SimDuration, SimSemaphore};
+
+use nemesis::ShmModel;
+use nmad::sr::CompletionKind;
+use nmad::NmCore;
+use piom::PiomServer;
+
+use crate::anysource::AnySourceLists;
+use crate::api::{Src, Status};
+use crate::ch3::{Ch3Engine, Ch3Event, Ch3Pkt};
+use crate::costs::SoftwareCosts;
+use crate::request::{NmadBinding, Req, ReqKind, ReqPath, RequestTable};
+use crate::transport::Ch3Transport;
+use crate::vc::{VcPath, VcTable};
+
+/// Number of fine-grained polls before a waiting rank starts backing off.
+/// Covers ~5 µs at the default 50 ns granularity — several times any
+/// calibrated small-message latency.
+const FINE_POLLS: u32 = 100;
+
+/// Ceiling on the poll back-off step. Bounds the timing error of long
+/// waits to ~2 µs (negligible against the millisecond transfers that
+/// reach it) while keeping event counts tractable.
+const MAX_POLL_BACKOFF: SimDuration = SimDuration::micros(2);
+
+/// Waits that survive this many polls (≈ 2 ms of simulated spinning) are
+/// bulk transfers; their step may grow to [`BULK_POLL_BACKOFF`] (0.1 %
+/// error on a 10 ms transfer) so NAS-scale volumes stay cheap to simulate.
+const BULK_POLLS: u32 = 1_000;
+const BULK_POLL_BACKOFF: SimDuration = SimDuration::micros(10);
+
+/// User-level communicator context (COMM_WORLD point-to-point).
+pub const USER_CTX: u16 = 0;
+/// Context reserved for the collectives in `collectives.rs`.
+pub const COLL_CTX: u16 = 1;
+
+/// Combine a context id and tag into the 64-bit matching key.
+#[inline]
+pub fn key_of(ctx: u16, tag: u32) -> u64 {
+    ((ctx as u64) << 48) | tag as u64
+}
+
+/// Recover the user tag from a key.
+#[inline]
+pub fn tag_of(key: u64) -> u32 {
+    (key & 0xffff_ffff) as u32
+}
+
+/// The inter-node path of this stack.
+pub enum NetPath {
+    /// No remote peers (single-node job).
+    None,
+    /// The bypass: CH3 calls NewMadeleine directly (§3.1).
+    Direct(Arc<NmCore>),
+    /// CH3 protocols over a packet transport (legacy netmod / baselines).
+    Ch3(Arc<dyn Ch3Transport>),
+}
+
+/// Everything one rank's MPI library knows.
+pub struct ProcState {
+    pub rank: usize,
+    pub size: usize,
+    pub reqs: RequestTable,
+    pub vcs: VcTable,
+    pub engine: Ch3Engine,
+    pub shm: Option<Arc<dyn Ch3Transport>>,
+    pub shm_model: Option<ShmModel>,
+    pub net: NetPath,
+    /// Eager/rendezvous boundary on the CH3 network path.
+    pub net_eager_limit: usize,
+    pub anysource: AnySourceLists,
+    pub costs: SoftwareCosts,
+    pub piom: Option<Arc<PiomServer>>,
+    /// Wake semaphore for blocked waiters (PIOMan mode).
+    pub wake: SimSemaphore,
+    /// Packets a rank sent to itself, pending local delivery.
+    selfq: Mutex<VecDeque<Ch3Pkt>>,
+    /// Collective-operation sequence number (all ranks call collectives in
+    /// the same order, so the counters agree across the job).
+    pub(crate) coll_seq: std::sync::atomic::AtomicU32,
+}
+
+impl ProcState {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: usize,
+        size: usize,
+        vcs: VcTable,
+        engine: Ch3Engine,
+        shm: Option<Arc<dyn Ch3Transport>>,
+        shm_model: Option<ShmModel>,
+        net: NetPath,
+        net_eager_limit: usize,
+        costs: SoftwareCosts,
+        piom: Option<Arc<PiomServer>>,
+    ) -> Arc<ProcState> {
+        Arc::new(ProcState {
+            rank,
+            size,
+            reqs: RequestTable::new(),
+            vcs,
+            engine,
+            shm,
+            shm_model,
+            net,
+            net_eager_limit,
+            anysource: AnySourceLists::new(),
+            costs,
+            piom,
+            wake: SimSemaphore::new(format!("mpi-wake-{rank}")),
+            selfq: Mutex::new(VecDeque::new()),
+            coll_seq: std::sync::atomic::AtomicU32::new(0),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Posting operations
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send (MPID_Isend). Charges the sender-side software
+    /// cost on the caller's clock.
+    pub fn isend(self: &Arc<Self>, ctx: &RankCtx, dst: usize, tag: u32, data: Bytes) -> Req {
+        self.isend_key(ctx, dst, key_of(USER_CTX, tag), data)
+    }
+
+    pub(crate) fn isend_key(
+        self: &Arc<Self>,
+        ctx: &RankCtx,
+        dst: usize,
+        key: u64,
+        data: Bytes,
+    ) -> Req {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let sched = ctx.scheduler();
+        match self.vcs.path(dst) {
+            VcPath::SelfLoop => {
+                let req = self.reqs.create(ReqKind::Send, ReqPath::SelfLoop);
+                self.selfq.lock().push_back(Ch3Pkt::Eager { key, data });
+                self.reqs.complete_send(req);
+                self.drain_selfq(&sched);
+                req
+            }
+            VcPath::Shm => {
+                let req = self.reqs.create(ReqKind::Send, ReqPath::Shm);
+                let model = self.shm_model.expect("shm path without shm model");
+                ctx.advance(self.costs.shm_send + model.send_cpu_cost(data.len()));
+                let shm = Arc::clone(self.shm.as_ref().expect("shm path without channel"));
+                let mut send =
+                    |s: &Scheduler, d: usize, p: Ch3Pkt| shm.send_pkt(s, d, p);
+                // The cell queues fragment + flow-control any size: always
+                // eager on the shm path.
+                let done =
+                    self.engine
+                        .send_msg(&sched, &mut send, req, dst, key, data, usize::MAX);
+                debug_assert!(done);
+                self.reqs.complete_send(req);
+                req
+            }
+            VcPath::NmadDirect => {
+                // §3.1.2: MPID_Send resolves directly to the NewMadeleine
+                // send for remote destinations.
+                let req = self.reqs.create(ReqKind::Send, ReqPath::Net);
+                ctx.advance(self.costs.net_send);
+                let core = match &self.net {
+                    NetPath::Direct(c) => c,
+                    _ => unreachable!("NmadDirect VC without a core"),
+                };
+                let nm = core.isend(&sched, dst, key, data, req.0 as u64);
+                self.reqs.bind_nmad(req, NmadBinding::Send(nm));
+                // With PIOMan the submission is offloaded: an idle core
+                // will commit the window after the sync cost (§2.2.2,
+                // "offloading eager messages submission").
+                if let Some(p) = &self.piom {
+                    p.kick_net(&sched);
+                }
+                req
+            }
+            VcPath::Ch3Net => {
+                let req = self.reqs.create(ReqKind::Send, ReqPath::Net);
+                ctx.advance(self.costs.net_send);
+                let t = match &self.net {
+                    NetPath::Ch3(t) => Arc::clone(t),
+                    _ => unreachable!("Ch3Net VC without a transport"),
+                };
+                let mut send = |s: &Scheduler, d: usize, p: Ch3Pkt| t.send_pkt(s, d, p);
+                let done = self.engine.send_msg(
+                    &sched,
+                    &mut send,
+                    req,
+                    dst,
+                    key,
+                    data,
+                    self.net_eager_limit,
+                );
+                if done {
+                    self.reqs.complete_send(req);
+                }
+                if let Some(p) = &self.piom {
+                    p.kick_net(&sched);
+                }
+                req
+            }
+        }
+    }
+
+    /// Nonblocking receive (MPID_Irecv).
+    pub fn irecv(self: &Arc<Self>, ctx: &RankCtx, src: Src, tag: u32) -> Req {
+        self.irecv_key(ctx, src, key_of(USER_CTX, tag))
+    }
+
+    pub(crate) fn irecv_key(self: &Arc<Self>, ctx: &RankCtx, src: Src, key: u64) -> Req {
+        let sched = ctx.scheduler();
+        match src {
+            Src::Rank(s) => {
+                assert!(s < self.size, "recv from rank {s} of {}", self.size);
+                match self.vcs.path(s) {
+                    VcPath::SelfLoop => {
+                        let req = self.reqs.create(ReqKind::Recv, ReqPath::SelfLoop);
+                        self.post_ch3_recv(&sched, req, Some(s), key);
+                        self.drain_selfq(&sched);
+                        req
+                    }
+                    VcPath::Shm => {
+                        let req = self.reqs.create(ReqKind::Recv, ReqPath::Shm);
+                        self.post_ch3_recv(&sched, req, Some(s), key);
+                        req
+                    }
+                    VcPath::NmadDirect => {
+                        let req = self.reqs.create(ReqKind::Recv, ReqPath::Net);
+                        // §3.2.2 ordering: while an ANY_SOURCE receive with
+                        // this tag is pending, same-tag specific receives
+                        // must queue behind it.
+                        if !self.anysource.try_park_specific(key, req, s) {
+                            let core = match &self.net {
+                                NetPath::Direct(c) => c,
+                                _ => unreachable!(),
+                            };
+                            let nm = core.irecv(&sched, s, key, req.0 as u64);
+                            self.reqs.bind_nmad(req, NmadBinding::Recv(nm));
+                        }
+                        req
+                    }
+                    VcPath::Ch3Net => {
+                        let req = self.reqs.create(ReqKind::Recv, ReqPath::Net);
+                        self.post_ch3_recv(&sched, req, Some(s), key);
+                        req
+                    }
+                }
+            }
+            Src::Any => {
+                let req = self.reqs.create(ReqKind::RecvAnySource, ReqPath::Unknown);
+                // The CH3 queues serve intra-node arrivals (and ALL
+                // arrivals on non-bypass stacks).
+                let flag = self.post_ch3_recv_flag(&sched, req, None, key);
+                if let (NetPath::Direct(_), Some(flag)) = (&self.net, flag) {
+                    if self.vcs.has_remote() {
+                        // Bypass stack: inter-node ANY_SOURCE needs the
+                        // §3.2 lists.
+                        self.anysource.register_any(key, req, flag);
+                    }
+                }
+                req
+            }
+        }
+    }
+
+    /// Post into the CH3 queues, applying any immediate completion.
+    fn post_ch3_recv(self: &Arc<Self>, sched: &Scheduler, req: Req, src: Option<usize>, key: u64) {
+        let _ = self.post_ch3_recv_flag(sched, req, src, key);
+    }
+
+    fn post_ch3_recv_flag(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        req: Req,
+        src: Option<usize>,
+        key: u64,
+    ) -> Option<crate::queues::ActiveFlag> {
+        let mut events = Vec::new();
+        let flag = {
+            let this = Arc::clone(self);
+            let mut send =
+                move |s: &Scheduler, d: usize, p: Ch3Pkt| this.send_ch3_pkt(s, d, p);
+            let (ev, flag) = self.engine.post_recv(sched, &mut send, req, src, key);
+            if let Some(e) = ev {
+                events.push(e);
+            }
+            flag
+        };
+        for e in events {
+            self.apply_ch3_event(sched, e);
+        }
+        flag
+    }
+
+    // ------------------------------------------------------------------
+    // The progress cycle
+    // ------------------------------------------------------------------
+
+    /// Run one progress cycle. Pure with respect to the caller's clock —
+    /// timing costs are charged by waiters (app-polling) or as completion
+    /// delays (PIOMan).
+    pub fn progress_cycle(self: &Arc<Self>, sched: &Scheduler) {
+        // 1. Inter-node.
+        match &self.net {
+            NetPath::Direct(core) => {
+                let core = Arc::clone(core);
+                core.schedule(sched);
+                self.drain_nm(sched, &core);
+            }
+            NetPath::Ch3(t) => {
+                let t = Arc::clone(t);
+                let pkts = t.progress(sched);
+                self.feed_ch3(sched, pkts);
+            }
+            NetPath::None => {}
+        }
+        // 2. Intra-node.
+        if let Some(t) = &self.shm {
+            let t = Arc::clone(t);
+            let pkts = t.progress(sched);
+            self.feed_ch3(sched, pkts);
+        }
+        self.drain_selfq(sched);
+        // 3. ANY_SOURCE probes (§3.2.2: "every time Nemesis polls for
+        // incoming messages, we probe NewMadeleine").
+        if let NetPath::Direct(core) = &self.net {
+            let core = Arc::clone(core);
+            let mut posted_any = false;
+            for (key, req) in self.anysource.heads_to_probe() {
+                if let Some(gate) = core.probe_tag(key) {
+                    let nm = core.irecv(sched, gate.0, key, req.0 as u64);
+                    self.reqs.bind_nmad(req, NmadBinding::Recv(nm));
+                    self.reqs.set_path(req, ReqPath::Net);
+                    self.anysource.mark_posted(key, gate.0);
+                    posted_any = true;
+                }
+            }
+            if posted_any {
+                // The dynamically created request completes immediately
+                // (the message already sits in NewMadeleine's buffers) —
+                // surface it in this same cycle.
+                self.drain_nm(sched, &core);
+            }
+        }
+        // 4. Final flush: packets produced while processing inbound traffic
+        // (CTS → DATA, forwarded collectives, …) must leave before the
+        // application regains control — their senders' requests may already
+        // read complete.
+        match &self.net {
+            NetPath::Ch3(t) => t.flush(sched),
+            NetPath::Direct(core) => core.schedule(sched),
+            NetPath::None => {}
+        }
+    }
+
+    /// Apply NewMadeleine completions to the MPI request table.
+    fn drain_nm(self: &Arc<Self>, sched: &Scheduler, core: &Arc<NmCore>) {
+        for c in core.drain_completions() {
+            let req = Req(c.cookie as u32);
+            match c.kind {
+                CompletionKind::Send => self.finish_send(sched, req),
+                CompletionKind::Recv { data, gate, tag } => {
+                    let status = Status {
+                        source: gate.0,
+                        tag: tag_of(tag),
+                        len: data.len(),
+                    };
+                    // If this was an ANY_SOURCE head, its parked specifics
+                    // can now flow to NewMadeleine.
+                    let releases = self.anysource.on_complete(req);
+                    for r in releases {
+                        let nm = core.irecv(sched, r.src, r.key, r.req.0 as u64);
+                        self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
+                    }
+                    self.finish_recv(sched, req, data, status);
+                }
+            }
+        }
+    }
+
+    /// Route CH3 packets produced by the engine toward their destination.
+    fn send_ch3_pkt(self: &Arc<Self>, sched: &Scheduler, dst: usize, pkt: Ch3Pkt) {
+        match self.vcs.path(dst) {
+            VcPath::SelfLoop => self.selfq.lock().push_back(pkt),
+            VcPath::Shm => self
+                .shm
+                .as_ref()
+                .expect("shm packet without channel")
+                .send_pkt(sched, dst, pkt),
+            VcPath::Ch3Net => match &self.net {
+                NetPath::Ch3(t) => t.send_pkt(sched, dst, pkt),
+                _ => unreachable!("Ch3Net VC without transport"),
+            },
+            VcPath::NmadDirect => {
+                unreachable!("CH3 protocol packet on the bypass path")
+            }
+        }
+    }
+
+    /// Feed inbound CH3 packets through the protocol engine.
+    fn feed_ch3(self: &Arc<Self>, sched: &Scheduler, pkts: Vec<(usize, Ch3Pkt)>) {
+        if pkts.is_empty() {
+            return;
+        }
+        let mut events = Vec::new();
+        {
+            let this = Arc::clone(self);
+            let mut send =
+                move |s: &Scheduler, d: usize, p: Ch3Pkt| this.send_ch3_pkt(s, d, p);
+            for (src, pkt) in pkts {
+                self.engine.on_packet(sched, &mut send, src, pkt, &mut events);
+            }
+        }
+        for e in events {
+            self.apply_ch3_event(sched, e);
+        }
+    }
+
+    /// Deliver packets this rank sent to itself.
+    fn drain_selfq(self: &Arc<Self>, sched: &Scheduler) {
+        loop {
+            let pkt = match self.selfq.lock().pop_front() {
+                Some(p) => p,
+                None => return,
+            };
+            self.feed_ch3(sched, vec![(self.rank, pkt)]);
+        }
+    }
+
+    fn apply_ch3_event(self: &Arc<Self>, sched: &Scheduler, e: Ch3Event) {
+        match e {
+            Ch3Event::SendDone { req } => self.finish_send(sched, req),
+            Ch3Event::RecvDone {
+                req,
+                data,
+                src,
+                key,
+                was_any,
+            } => {
+                let status = Status {
+                    source: src,
+                    tag: tag_of(key),
+                    len: data.len(),
+                };
+                // Record which path actually served the request (drives
+                // completion-cost selection for ANY_SOURCE).
+                let path = match self.vcs.path(src) {
+                    VcPath::SelfLoop => ReqPath::SelfLoop,
+                    VcPath::Shm => ReqPath::Shm,
+                    _ => ReqPath::Net,
+                };
+                if self.reqs.path(req) == ReqPath::Unknown {
+                    self.reqs.set_path(req, path);
+                }
+                if was_any {
+                    // Intra-node match of a listed ANY_SOURCE request:
+                    // remove its entry and release parked specifics
+                    // (§3.2.2, final paragraph).
+                    let releases = self.anysource.on_complete(req);
+                    if let NetPath::Direct(core) = &self.net {
+                        for r in releases {
+                            let nm = core.irecv(sched, r.src, r.key, r.req.0 as u64);
+                            self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
+                        }
+                    } else {
+                        debug_assert!(releases.is_empty());
+                    }
+                }
+                self.finish_recv(sched, req, data, status);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Completion, costs, waiting
+    // ------------------------------------------------------------------
+
+    /// The receiver-side software cost of observing this completion.
+    pub fn completion_cost(&self, req: Req) -> SimDuration {
+        let kind = self.reqs.kind(req);
+        if kind == ReqKind::Send {
+            return SimDuration::ZERO; // sender cost charged at isend
+        }
+        let base = match self.reqs.path(req) {
+            ReqPath::Net | ReqPath::Unknown => self.costs.net_recv,
+            ReqPath::Shm => {
+                let model = self.shm_model.expect("shm completion without model");
+                let len = self
+                    .reqs
+                    .status(req)
+                    .map(|s| s.len)
+                    .unwrap_or(0);
+                self.costs.shm_recv + model.recv_cpu_cost(len)
+            }
+            ReqPath::SelfLoop => SimDuration::nanos(50),
+        };
+        if kind == ReqKind::RecvAnySource {
+            base + self.costs.anysource_extra
+        } else {
+            base
+        }
+    }
+
+    fn finish_send(self: &Arc<Self>, sched: &Scheduler, req: Req) {
+        match &self.piom {
+            Some(_) => {
+                self.reqs.complete_send(req);
+                self.wake.signal(sched);
+            }
+            None => self.reqs.complete_send(req),
+        }
+    }
+
+    fn finish_recv(self: &Arc<Self>, sched: &Scheduler, req: Req, data: Bytes, status: Status) {
+        match &self.piom {
+            Some(_) => {
+                // The completion work runs on the progress core; the
+                // requester observes it after that work's cost.
+                let cost = self.completion_cost_precompute(req, status.len);
+                let this = Arc::clone(self);
+                sched.schedule_in(cost, move |s| {
+                    this.reqs.complete_recv(req, data, status);
+                    this.wake.signal(s);
+                });
+            }
+            None => self.reqs.complete_recv(req, data, status),
+        }
+    }
+
+    /// Like [`ProcState::completion_cost`] but before the status is stored.
+    fn completion_cost_precompute(&self, req: Req, len: usize) -> SimDuration {
+        let kind = self.reqs.kind(req);
+        let base = match self.reqs.path(req) {
+            ReqPath::Net | ReqPath::Unknown => self.costs.net_recv,
+            ReqPath::Shm => {
+                let model = self.shm_model.expect("shm completion without model");
+                self.costs.shm_recv + model.recv_cpu_cost(len)
+            }
+            ReqPath::SelfLoop => SimDuration::nanos(50),
+        };
+        if kind == ReqKind::RecvAnySource {
+            base + self.costs.anysource_extra
+        } else {
+            base
+        }
+    }
+
+    /// MPI_Wait: block until `req` completes. Returns the payload (for
+    /// receives) and the status.
+    ///
+    /// App-polling mode spins at `poll_gran` for the first stretch (so
+    /// small-message latencies resolve at full precision) and then backs
+    /// off exponentially to [`MAX_POLL_BACKOFF`] — long waits (bulk
+    /// transfers, NAS iterations) would otherwise drown the simulator in
+    /// poll events. The backoff only starts well past any calibrated
+    /// latency, so it never perturbs the Netpipe figures.
+    pub fn wait(self: &Arc<Self>, ctx: &RankCtx, req: Req) -> (Option<Bytes>, Option<Status>) {
+        let sched = ctx.scheduler();
+        let mut polls = 0u32;
+        let mut step = self.costs.poll_gran;
+        // Always drive progress at least once: buffered (eager) sends
+        // complete immediately, but their packets still sit in the outbox /
+        // submission window until a progress cycle flushes them — a
+        // blocking send must leave the data on its way out before
+        // returning, or a program whose last call is a send would strand
+        // the message.
+        self.progress_cycle(&sched);
+        loop {
+            if let Some((data, status)) = self.reqs.claim(req) {
+                if self.piom.is_none() {
+                    // App-polling: the observer pays the completion cost.
+                    let c = self.completion_cost(req);
+                    if c > SimDuration::ZERO {
+                        ctx.advance(c);
+                    }
+                }
+                return (data, status);
+            }
+            if self.reqs.is_done(req) {
+                // Already claimed (e.g. re-wait): hand back the status.
+                return (None, self.reqs.status(req));
+            }
+            self.progress_cycle(&sched);
+            if self.reqs.is_done(req) {
+                continue;
+            }
+            match &self.piom {
+                None => {
+                    ctx.advance(step);
+                    polls += 1;
+                    if polls > FINE_POLLS {
+                        let cap = if polls > BULK_POLLS {
+                            BULK_POLL_BACKOFF
+                        } else {
+                            MAX_POLL_BACKOFF
+                        };
+                        step = SimDuration::nanos(
+                            (step.as_nanos() * 3 / 2).min(cap.as_nanos()),
+                        );
+                    }
+                }
+                Some(_) => {
+                    // §3.3.2: block on the semaphore; PIOMan wakes us.
+                    self.wake.wait(ctx);
+                }
+            }
+        }
+    }
+
+    /// MPI_Test: nonblocking completion check (drives one progress cycle,
+    /// like MPICH2's test).
+    pub fn test(self: &Arc<Self>, ctx: &RankCtx, req: Req) -> bool {
+        let sched = ctx.scheduler();
+        self.progress_cycle(&sched);
+        self.reqs.is_done(req)
+    }
+
+    /// MPI_Iprobe: nonblocking check for a matchable incoming message.
+    /// Drives one progress cycle, then inspects the unexpected state of
+    /// whichever layer(s) would match the receive: the CH3 queues
+    /// (intra-node, and everything on non-bypass stacks) and NewMadeleine's
+    /// internal matching (inter-node on the bypass — the same probe the
+    /// §3.2 ANY_SOURCE lists use).
+    pub fn iprobe(self: &Arc<Self>, ctx: &RankCtx, src: Src, tag: u32) -> Option<Status> {
+        let sched = ctx.scheduler();
+        self.progress_cycle(&sched);
+        self.iprobe_inner(src, tag)
+    }
+
+    /// MPI_Probe: block until [`ProcState::iprobe`] succeeds.
+    pub fn probe(self: &Arc<Self>, ctx: &RankCtx, src: Src, tag: u32) -> Status {
+        let mut polls = 0u32;
+        let mut step = self.costs.poll_gran;
+        loop {
+            if let Some(st) = self.iprobe(ctx, src, tag) {
+                return st;
+            }
+            match &self.piom {
+                None => {
+                    ctx.advance(step);
+                    polls += 1;
+                    if polls > FINE_POLLS {
+                        step = SimDuration::nanos(
+                            (step.as_nanos() * 3 / 2).min(MAX_POLL_BACKOFF.as_nanos()),
+                        );
+                    }
+                }
+                Some(_) => {
+                    // PIOMan raises completions, not unexpected arrivals;
+                    // probing still needs a poll cadence.
+                    ctx.advance(SimDuration::nanos(500));
+                }
+            }
+        }
+    }
+
+    fn iprobe_inner(&self, src: Src, tag: u32) -> Option<Status> {
+        let key = key_of(USER_CTX, tag);
+        match src {
+            Src::Rank(s) => match self.vcs.path(s) {
+                VcPath::SelfLoop | VcPath::Shm | VcPath::Ch3Net => self
+                    .engine
+                    .queues
+                    .probe(Some(s), key)
+                    .map(|(source, len)| Status { source, tag, len }),
+                VcPath::NmadDirect => match &self.net {
+                    NetPath::Direct(core) => core
+                        .probe_info(nmad::GateId(s), key)
+                        .map(|len| Status {
+                            source: s,
+                            tag,
+                            len,
+                        }),
+                    _ => None,
+                },
+            },
+            Src::Any => {
+                // CH3 first (intra-node + non-bypass), then NewMadeleine.
+                if let Some((source, len)) = self.engine.queues.probe(None, key) {
+                    return Some(Status { source, tag, len });
+                }
+                if let NetPath::Direct(core) = &self.net {
+                    if let Some((gate, len)) = core.probe_tag_info(key) {
+                        return Some(Status {
+                            source: gate.0,
+                            tag,
+                            len,
+                        });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Is all outbound protocol work this rank is responsible for done?
+    /// (Pending CH3 rendezvous halves, unsent submission-window packets.)
+    pub fn quiescent(&self) -> bool {
+        if self.engine.rdv_in_flight() != 0 {
+            return false;
+        }
+        match &self.net {
+            NetPath::Direct(core) => core.quiescent(),
+            NetPath::Ch3(t) => t.quiescent(),
+            NetPath::None => true,
+        }
+    }
+
+    /// MPI_Finalize semantics for app-polling ranks: a rank whose program
+    /// has returned may still owe the network work — e.g. the DATA half of
+    /// a (possibly nested) rendezvous whose CTS arrives after the last
+    /// user-level wait completed. Real MPI drains this in MPI_Finalize;
+    /// so do we, driving progress until the local protocol state is
+    /// quiescent. PIOMan ranks need no drain: their progress is
+    /// event-driven and keeps running as long as the simulation has
+    /// events.
+    pub fn finalize(self: &Arc<Self>, ctx: &RankCtx) {
+        if self.piom.is_some() {
+            return;
+        }
+        let sched = ctx.scheduler();
+        let mut step = self.costs.poll_gran;
+        for polls in 0u32.. {
+            self.progress_cycle(&sched);
+            if self.quiescent() {
+                return;
+            }
+            assert!(
+                polls < 5_000_000,
+                "MPI_Finalize drain did not quiesce (protocol leak?)"
+            );
+            ctx.advance(step);
+            if polls > FINE_POLLS {
+                step = SimDuration::nanos(
+                    (step.as_nanos() * 3 / 2).min(MAX_POLL_BACKOFF.as_nanos()),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! ADI3 request objects.
+//!
+//! "In the MPICH2 implementation, each communication is managed with a
+//! request object … we added a new field to the Nemesis-specific portion of
+//! the MPICH2 request which points to the corresponding NewMadeleine
+//! request" (§3.1.1). [`Slot::nmad_req`] is that field; conversely the
+//! NewMadeleine request carries the MPI request index as its cookie, so the
+//! two can always find each other.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::api::Status;
+
+/// An MPI request handle, as returned by `MPI_Isend`/`MPI_Irecv`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Req(pub u32);
+
+/// What kind of operation a request tracks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqKind {
+    Send,
+    Recv,
+    /// Receive posted with MPI_ANY_SOURCE (drives the §3.2 machinery and
+    /// the 300 ns completion surcharge).
+    RecvAnySource,
+}
+
+/// Where the request's traffic flows (decides which completion costs the
+/// wait loop charges).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqPath {
+    Shm,
+    Net,
+    SelfLoop,
+    /// Not yet known (ANY_SOURCE before matching).
+    Unknown,
+}
+
+/// The NewMadeleine request a CH3 request is bound to, if any.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NmadBinding {
+    None,
+    Send(nmad::SendReqId),
+    Recv(nmad::RecvReqId),
+}
+
+pub(crate) struct Slot {
+    pub kind: ReqKind,
+    pub done: bool,
+    /// Completion observed (and costs charged) by a wait/test on the rank
+    /// thread.
+    pub charged: bool,
+    pub data: Option<Bytes>,
+    pub status: Option<Status>,
+    pub path: ReqPath,
+    /// The §3.1.1 pointer to the NewMadeleine request.
+    pub nmad_req: NmadBinding,
+}
+
+/// The per-process request table.
+#[derive(Default)]
+pub struct RequestTable {
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl RequestTable {
+    pub fn new() -> RequestTable {
+        RequestTable::default()
+    }
+
+    pub fn create(&self, kind: ReqKind, path: ReqPath) -> Req {
+        let mut slots = self.slots.lock();
+        let id = Req(slots.len() as u32);
+        slots.push(Slot {
+            kind,
+            done: false,
+            charged: false,
+            data: None,
+            status: None,
+            path,
+            nmad_req: NmadBinding::None,
+        });
+        id
+    }
+
+    pub fn bind_nmad(&self, req: Req, binding: NmadBinding) {
+        self.slots.lock()[req.0 as usize].nmad_req = binding;
+    }
+
+    pub fn nmad_binding(&self, req: Req) -> NmadBinding {
+        self.slots.lock()[req.0 as usize].nmad_req
+    }
+
+    pub fn set_path(&self, req: Req, path: ReqPath) {
+        self.slots.lock()[req.0 as usize].path = path;
+    }
+
+    /// Mark a send complete.
+    pub fn complete_send(&self, req: Req) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert_eq!(s.kind, ReqKind::Send);
+        debug_assert!(!s.done, "double send completion");
+        s.done = true;
+    }
+
+    /// Mark a receive complete with its payload and envelope.
+    pub fn complete_recv(&self, req: Req, data: Bytes, status: Status) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert!(matches!(s.kind, ReqKind::Recv | ReqKind::RecvAnySource));
+        debug_assert!(!s.done, "double recv completion");
+        s.done = true;
+        s.data = Some(data);
+        s.status = Some(status);
+    }
+
+    pub fn is_done(&self, req: Req) -> bool {
+        self.slots.lock()[req.0 as usize].done
+    }
+
+    pub fn kind(&self, req: Req) -> ReqKind {
+        self.slots.lock()[req.0 as usize].kind
+    }
+
+    pub fn path(&self, req: Req) -> ReqPath {
+        self.slots.lock()[req.0 as usize].path
+    }
+
+    /// First observation of a completion by the rank thread: returns the
+    /// payload/status exactly once (the caller charges completion costs).
+    /// Returns `None` if not done or already claimed.
+    pub fn claim(&self, req: Req) -> Option<(Option<Bytes>, Option<Status>)> {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        if !s.done || s.charged {
+            return None;
+        }
+        s.charged = true;
+        Some((s.data.take(), s.status))
+    }
+
+    /// Status of a completed request (after claim the data is gone but the
+    /// status remains).
+    pub fn status(&self, req: Req) -> Option<Status> {
+        self.slots.lock()[req.0 as usize].status
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(src: usize, tag: u32, len: usize) -> Status {
+        Status {
+            source: src,
+            tag,
+            len,
+        }
+    }
+
+    #[test]
+    fn lifecycle_send() {
+        let t = RequestTable::new();
+        let r = t.create(ReqKind::Send, ReqPath::Net);
+        assert!(!t.is_done(r));
+        t.complete_send(r);
+        assert!(t.is_done(r));
+        let (data, st) = t.claim(r).expect("first claim succeeds");
+        assert!(data.is_none() && st.is_none());
+        assert!(t.claim(r).is_none(), "claim is once-only");
+    }
+
+    #[test]
+    fn lifecycle_recv_keeps_status() {
+        let t = RequestTable::new();
+        let r = t.create(ReqKind::Recv, ReqPath::Shm);
+        t.complete_recv(r, Bytes::from_static(b"xy"), status(3, 7, 2));
+        let (data, st) = t.claim(r).unwrap();
+        assert_eq!(&data.unwrap()[..], b"xy");
+        assert_eq!(st.unwrap().source, 3);
+        // Status stays queryable after the claim.
+        assert_eq!(t.status(r).unwrap().tag, 7);
+    }
+
+    #[test]
+    fn nmad_binding_roundtrip() {
+        let t = RequestTable::new();
+        let r = t.create(ReqKind::Recv, ReqPath::Net);
+        assert_eq!(t.nmad_binding(r), NmadBinding::None);
+        t.bind_nmad(r, NmadBinding::Recv(nmad::RecvReqId(5)));
+        assert_eq!(t.nmad_binding(r), NmadBinding::Recv(nmad::RecvReqId(5)));
+    }
+
+    #[test]
+    fn anysource_path_updates_on_match() {
+        let t = RequestTable::new();
+        let r = t.create(ReqKind::RecvAnySource, ReqPath::Unknown);
+        assert_eq!(t.path(r), ReqPath::Unknown);
+        t.set_path(r, ReqPath::Net);
+        assert_eq!(t.path(r), ReqPath::Net);
+        assert_eq!(t.kind(r), ReqKind::RecvAnySource);
+    }
+}

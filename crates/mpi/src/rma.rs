@@ -1,0 +1,276 @@
+//! MPI-2 one-sided communication (RMA) — the paper's second future-work
+//! item ("Another challenge would be to efficiently support MPI2 RMA
+//! operations without compromising the optimizations implemented",
+//! conclusion).
+//!
+//! This is an **active-target, fence-synchronized** implementation built
+//! over the existing point-to-point machinery, the way MPICH2's
+//! over-CH3 RMA fallback works: `put`/`get`/`accumulate` between two
+//! fences are buffered as messages; `fence` closes the epoch with an
+//! all-to-all count exchange, drains exactly the expected operations
+//! (using MPI_ANY_SOURCE — so RMA traffic exercises the §3.2 machinery on
+//! the bypass stack), applies them to the window, and answers the `get`s.
+//!
+//! Because the transport is NewMadeleine underneath, large `put`s ride the
+//! rendezvous/multirail path like any large message — which is precisely
+//! the paper's hoped-for outcome: the optimizations apply unchanged.
+
+use bytes::{Buf, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::api::{MpiHandle, Src};
+
+/// Reserved user-tag range for RMA traffic (kept clear of applications by
+/// convention, as MPICH2 reserves context ids).
+const TAG_RMA_OP: u32 = 0x00FF_FF00;
+const TAG_RMA_REPLY: u32 = 0x00FF_FF01;
+
+/// An RMA operation on the wire.
+enum Op {
+    Put { offset: usize, data: Bytes },
+    Get { offset: usize, len: usize, get_id: u64 },
+    /// Element-wise f64 sum into the window (MPI_Accumulate with MPI_SUM).
+    AccSum { offset: usize, data: Bytes },
+}
+
+impl Op {
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Op::Put { offset, data } => {
+                b.extend_from_slice(&[0u8]);
+                b.extend_from_slice(&(*offset as u64).to_le_bytes());
+                b.extend_from_slice(data);
+            }
+            Op::Get {
+                offset,
+                len,
+                get_id,
+            } => {
+                b.extend_from_slice(&[1u8]);
+                b.extend_from_slice(&(*offset as u64).to_le_bytes());
+                b.extend_from_slice(&(*len as u64).to_le_bytes());
+                b.extend_from_slice(&get_id.to_le_bytes());
+            }
+            Op::AccSum { offset, data } => {
+                b.extend_from_slice(&[2u8]);
+                b.extend_from_slice(&(*offset as u64).to_le_bytes());
+                b.extend_from_slice(data);
+            }
+        }
+        b.freeze()
+    }
+
+    fn decode(mut raw: Bytes) -> Op {
+        match raw.get_u8() {
+            0 => Op::Put {
+                offset: raw.get_u64_le() as usize,
+                data: raw,
+            },
+            1 => Op::Get {
+                offset: raw.get_u64_le() as usize,
+                len: raw.get_u64_le() as usize,
+                get_id: raw.get_u64_le(),
+            },
+            2 => Op::AccSum {
+                offset: raw.get_u64_le() as usize,
+                data: raw,
+            },
+            v => panic!("unknown RMA op {v}"),
+        }
+    }
+}
+
+/// A pending local `get`, filled in at the closing fence.
+pub struct GetHandle {
+    id: u64,
+}
+
+/// An RMA window: every rank exposes `size` bytes.
+pub struct Window {
+    local: Mutex<Vec<u8>>,
+    /// Ops issued this epoch, per target.
+    outgoing: Mutex<Vec<Vec<Op>>>,
+    /// Completed get results by id.
+    gets: Mutex<std::collections::HashMap<u64, Bytes>>,
+    next_get: Mutex<u64>,
+    nranks: usize,
+    my_rank: usize,
+}
+
+impl Window {
+    /// Collective: create a window of `size` bytes on every rank,
+    /// initialized from `init` (padded with zeros).
+    pub fn create(mpi: &MpiHandle, size: usize, init: &[u8]) -> Window {
+        assert!(init.len() <= size);
+        let mut local = vec![0u8; size];
+        local[..init.len()].copy_from_slice(init);
+        mpi.barrier(); // window creation is collective
+        Window {
+            local: Mutex::new(local),
+            outgoing: Mutex::new((0..mpi.size()).map(|_| Vec::new()).collect()),
+            gets: Mutex::new(Default::default()),
+            next_get: Mutex::new(0),
+            nranks: mpi.size(),
+            my_rank: mpi.rank(),
+        }
+    }
+
+    /// Read this rank's exposed memory (outside an access epoch).
+    pub fn local(&self) -> Vec<u8> {
+        self.local.lock().clone()
+    }
+
+    /// MPI_Put: write `data` into `target`'s window at `offset` (visible
+    /// after the next fence).
+    pub fn put(&self, target: usize, offset: usize, data: &[u8]) {
+        assert!(target < self.nranks);
+        self.outgoing.lock()[target].push(Op::Put {
+            offset,
+            data: Bytes::copy_from_slice(data),
+        });
+    }
+
+    /// MPI_Get: read `len` bytes from `target`'s window at `offset`. The
+    /// result is available through [`Window::get_result`] after the next
+    /// fence.
+    pub fn get(&self, target: usize, offset: usize, len: usize) -> GetHandle {
+        let id = {
+            let mut g = self.next_get.lock();
+            let v = *g;
+            *g += 1;
+            // Ids are namespaced by origin rank when they travel.
+            v
+        };
+        self.outgoing.lock()[target].push(Op::Get {
+            offset,
+            len,
+            get_id: id,
+        });
+        GetHandle { id }
+    }
+
+    /// MPI_Accumulate(MPI_SUM) of f64s into `target` at byte `offset`.
+    pub fn accumulate_sum(&self, target: usize, offset: usize, values: &[f64]) {
+        self.outgoing.lock()[target].push(Op::AccSum {
+            offset,
+            data: crate::collectives::f64s_to_bytes(values),
+        });
+    }
+
+    /// Fetch a completed get (after the fence that closed its epoch).
+    pub fn get_result(&self, h: &GetHandle) -> Bytes {
+        self.gets
+            .lock()
+            .remove(&h.id)
+            .expect("get not completed — did you fence?")
+    }
+
+    /// MPI_Win_fence: close the access epoch. Collective. All puts and
+    /// accumulates issued by any rank are applied to the target windows
+    /// and all gets answered before the fence returns.
+    ///
+    /// Ops are shipped with *nonblocking* sends before any receive is
+    /// drained — two ranks issuing large (rendezvous) puts at each other
+    /// must not deadlock in their blocking sends.
+    pub fn fence(&self, mpi: &MpiHandle) {
+        assert_eq!(mpi.rank(), self.my_rank);
+        assert_eq!(mpi.size(), self.nranks);
+        let n = self.nranks;
+        // 1. Everyone learns how many ops target it: all-to-all of counts.
+        let taken: Vec<Vec<Op>> = {
+            let mut out = self.outgoing.lock();
+            let t = std::mem::take(&mut *out);
+            *out = (0..n).map(|_| Vec::new()).collect();
+            t
+        };
+        let counts: Vec<Bytes> = taken
+            .iter()
+            .map(|ops| Bytes::copy_from_slice(&(ops.len() as u64).to_le_bytes()))
+            .collect();
+        let incoming_counts = mpi.alltoallv(counts);
+        let to_receive: u64 = incoming_counts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != self.my_rank)
+            .map(|(_, c)| u64::from_le_bytes(c[..8].try_into().unwrap()))
+            .sum();
+        // 2. Ship the ops (self-targets applied directly; self-gets land
+        // in the result map immediately).
+        let mut send_reqs = Vec::new();
+        let mut remote_gets = 0usize;
+        for (target, ops) in taken.into_iter().enumerate() {
+            for op in ops {
+                if target == self.my_rank {
+                    let reply = self.apply(&op, self.my_rank);
+                    debug_assert!(reply.is_none());
+                } else {
+                    if matches!(op, Op::Get { .. }) {
+                        remote_gets += 1;
+                    }
+                    send_reqs.push(mpi.isend_bytes(target, TAG_RMA_OP, op.encode()));
+                }
+            }
+        }
+        // 3. Drain exactly the expected remote ops — with ANY_SOURCE, so
+        // the §3.2 lists see one-sided traffic too. Get replies go out
+        // nonblocking for the same no-deadlock reason.
+        for _ in 0..to_receive {
+            let (raw, st) = mpi.recv(Src::Any, TAG_RMA_OP);
+            if let Some(reply) = self.apply(&Op::decode(raw), st.source) {
+                send_reqs.push(mpi.isend_bytes(st.source, TAG_RMA_REPLY, reply));
+            }
+        }
+        // 4. Collect replies for our remote gets.
+        for _ in 0..remote_gets {
+            let (mut raw, _) = mpi.recv(Src::Any, TAG_RMA_REPLY);
+            let id = raw.get_u64_le();
+            self.gets.lock().insert(id, raw);
+        }
+        mpi.waitall(&send_reqs);
+        // 5. Everyone done before anyone proceeds.
+        mpi.barrier();
+    }
+
+    /// Apply one op to the local window. A remote `get` returns the reply
+    /// payload to transmit; everything else returns `None` (self-gets are
+    /// stored directly).
+    fn apply(&self, op: &Op, origin: usize) -> Option<Bytes> {
+        match op {
+            Op::Put { offset, data } => {
+                let mut w = self.local.lock();
+                w[*offset..offset + data.len()].copy_from_slice(data);
+                None
+            }
+            Op::AccSum { offset, data } => {
+                let mut w = self.local.lock();
+                let incoming = crate::collectives::bytes_to_f64s(data);
+                for (i, v) in incoming.iter().enumerate() {
+                    let at = offset + i * 8;
+                    let cur = f64::from_le_bytes(w[at..at + 8].try_into().unwrap());
+                    w[at..at + 8].copy_from_slice(&(cur + v).to_le_bytes());
+                }
+                None
+            }
+            Op::Get {
+                offset,
+                len,
+                get_id,
+            } => {
+                let chunk = {
+                    let w = self.local.lock();
+                    Bytes::copy_from_slice(&w[*offset..offset + len])
+                };
+                if origin == self.my_rank {
+                    self.gets.lock().insert(*get_id, chunk);
+                    None
+                } else {
+                    let mut b = BytesMut::with_capacity(8 + chunk.len());
+                    b.extend_from_slice(&get_id.to_le_bytes());
+                    b.extend_from_slice(&chunk);
+                    Some(b.freeze())
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Stack assembly and the MPI job runner.
+//!
+//! [`StackConfig`] describes one MPI implementation variant (which
+//! inter-node path, PIOMan or not, calibration constants);
+//! [`run_mpi`] builds the simulated cluster — fabric, shared-memory
+//! domains, NewMadeleine cores, PIOMan servers — wires everything together
+//! the way §3 describes, spawns one rank thread per process, and runs the
+//! program to completion.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{
+    Cluster, Fabric, NodeId, Placement, RailId, SimBuilder, SimOutcome,
+};
+
+use nemesis::{ShmDomain, ShmModel};
+use nmad::{NmConfig, NmCore, NmNet, NmWire, StrategyKind};
+use piom::{PiomConfig, PiomServer};
+
+use crate::api::MpiHandle;
+use crate::ch3::Ch3Engine;
+use crate::costs::SoftwareCosts;
+use crate::progress::{NetPath, ProcState};
+use crate::transport::{
+    Ch3Transport, Ch3Wire, FabricTransport, Inbox, NmadNetmodTransport, ShmTransport,
+};
+use crate::vc::VcTable;
+
+/// Calibration of a network-tailored comparator stack.
+#[derive(Clone, Debug)]
+pub struct TailoredProfile {
+    pub name: &'static str,
+    /// CH3 eager/rendezvous boundary.
+    pub eager_threshold: usize,
+    /// Rendezvous payload pipelining chunk (None = single DATA packet).
+    pub rdv_chunk: Option<usize>,
+    /// ACK-throttled (depth-1) fragment pipeline — Open MPI 1.2-era openib
+    /// behaviour, the source of its bandwidth dip above the eager limit.
+    pub rdv_ack: bool,
+    /// Fixed pipeline-startup cost charged before the first rendezvous
+    /// fragment leaves (protocol switch + initial registration round).
+    pub rdv_setup: simnet::SimDuration,
+    /// Registration cache: `true` skips the dynamic registration cost on
+    /// zero-copy transfers (MVAPICH2's advantage at large sizes, §4.1.1).
+    pub reg_cache: bool,
+    pub costs: SoftwareCosts,
+    /// Which cluster rail this single-rail stack drives.
+    pub rail: usize,
+}
+
+/// The inter-node path of a stack.
+#[derive(Clone, Debug)]
+pub enum InterNode {
+    /// §3.1: CH3 bypasses Nemesis and calls NewMadeleine directly.
+    NmadDirect {
+        strategy: StrategyKind,
+        /// Cluster-rail indices NewMadeleine may use (None = all).
+        rails: Option<Vec<usize>>,
+    },
+    /// §2.1.3: NewMadeleine behind the plain network-module interface,
+    /// CH3 protocols on top (nested handshakes).
+    NmadNetmod {
+        strategy: StrategyKind,
+        rails: Option<Vec<usize>>,
+    },
+    /// A network-tailored comparator (see the `baselines` crate).
+    Tailored(TailoredProfile),
+}
+
+/// One MPI implementation variant.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    pub name: String,
+    pub inter: InterNode,
+    /// `Some` enables PIOMan: centralized progression, semaphore waits,
+    /// background overlap.
+    pub pioman: Option<PiomConfig>,
+    /// Software costs for the NewMadeleine paths (tailored stacks carry
+    /// their own in the profile).
+    pub costs: SoftwareCosts,
+    pub shm_model: ShmModel,
+    pub cells_per_rank: usize,
+    /// NewMadeleine protocol thresholds.
+    pub nm: NmConfig,
+    /// Application compute-time multiplier. 1.0 for every stack except the
+    /// Open MPI-like baseline, whose measured EP/LU lag in Fig. 8 is not
+    /// explained by communication costs — the paper observes it without
+    /// attributing a cause, and we reproduce it as a small compute-side
+    /// inefficiency (documented in DESIGN.md §6).
+    pub compute_factor: f64,
+}
+
+impl StackConfig {
+    /// The paper's stack: MPICH2 with the NewMadeleine bypass over all
+    /// available rails, multirail strategy.
+    pub fn mpich2_nmad(pioman: bool) -> StackConfig {
+        StackConfig {
+            name: if pioman {
+                "MPICH2-NMad with PIOMan".into()
+            } else {
+                "MPICH2-NMad".into()
+            },
+            inter: InterNode::NmadDirect {
+                strategy: StrategyKind::SplitBalanced,
+                rails: None,
+            },
+            pioman: pioman.then(PiomConfig::default),
+            costs: SoftwareCosts::mpich2_nmad(),
+            shm_model: ShmModel::xeon(),
+            cells_per_rank: 64,
+            nm: NmConfig::default(),
+            compute_factor: 1.0,
+        }
+    }
+
+    /// Same but restricted to a single cluster rail (the "IB only" / "MX
+    /// only" curves of Figs. 4–6).
+    pub fn mpich2_nmad_rail(rail: usize, pioman: bool) -> StackConfig {
+        let mut cfg = Self::mpich2_nmad(pioman);
+        cfg.inter = InterNode::NmadDirect {
+            strategy: StrategyKind::SplitBalanced,
+            rails: Some(vec![rail]),
+        };
+        cfg
+    }
+
+    /// The legacy integration: NewMadeleine as a plain Nemesis network
+    /// module, CH3 protocols (and their nested rendezvous) on top.
+    pub fn mpich2_nmad_netmod(rail: usize) -> StackConfig {
+        StackConfig {
+            name: "MPICH2-NMad (netmod, nested handshake)".into(),
+            inter: InterNode::NmadNetmod {
+                strategy: StrategyKind::Default,
+                rails: Some(vec![rail]),
+            },
+            pioman: None,
+            costs: SoftwareCosts::nmad_netmod(),
+            shm_model: ShmModel::xeon(),
+            cells_per_rank: 64,
+            nm: NmConfig::default(),
+            compute_factor: 1.0,
+        }
+    }
+
+    /// Does this stack bypass CH3 for inter-node traffic?
+    pub fn bypass(&self) -> bool {
+        matches!(self.inter, InterNode::NmadDirect { .. })
+    }
+}
+
+/// Result of a completed MPI job.
+#[derive(Debug)]
+pub struct RunOutcome {
+    pub sim: SimOutcome,
+    /// Per-rank NewMadeleine statistics (empty for tailored stacks).
+    pub nm_stats: Vec<nmad::core::NmStats>,
+}
+
+/// Run `program` on `nranks` simulated processes over `cluster` with the
+/// given placement and stack.
+pub fn run_mpi(
+    cluster: &Cluster,
+    placement: &Placement,
+    cfg: &StackConfig,
+    nranks: usize,
+    program: Arc<dyn Fn(MpiHandle) + Send + Sync>,
+) -> RunOutcome {
+    assert_eq!(placement.nranks(), nranks, "placement/nranks mismatch");
+    let mut builder = SimBuilder::new();
+    // Debug escape hatch: bound the event count so a livelocked job fails
+    // loudly instead of spinning (`MPI_SIM_MAX_EVENTS=...`).
+    if let Ok(limit) = std::env::var("MPI_SIM_MAX_EVENTS") {
+        if let Ok(n) = limit.parse::<u64>() {
+            builder = builder.max_events(n);
+        }
+    }
+    let mut sim = builder.build();
+    let sched = sim.scheduler();
+    let rank_to_node: Arc<Vec<NodeId>> =
+        Arc::new((0..nranks).map(|r| placement.node_of(r)).collect());
+
+    // --- Shared-memory domains, one per populated node -----------------
+    let mut domains: Vec<Option<Arc<ShmDomain>>> = vec![None; cluster.nodes];
+    let mut local_index: Vec<usize> = vec![usize::MAX; nranks];
+    for node in 0..cluster.nodes {
+        let ranks = placement.ranks_on(NodeId(node));
+        if ranks.is_empty() {
+            continue;
+        }
+        for (local, &g) in ranks.iter().enumerate() {
+            local_index[g] = local;
+        }
+        domains[node] = Some(ShmDomain::new(&ranks, cfg.cells_per_rank, cfg.shm_model));
+    }
+    let local_index = Arc::new(local_index);
+
+    // --- Inter-node fabric + per-rank path ------------------------------
+    enum NetSetup {
+        Direct(Vec<Arc<NmCore>>),
+        Netmod(Vec<Arc<NmCore>>),
+        Tailored(Vec<Arc<Inbox>>, Arc<Fabric<Ch3Wire>>, TailoredProfile),
+        None,
+    }
+    let any_remote = (0..nranks).any(|r| {
+        (0..nranks).any(|d| d != r && !placement.same_node(r, d))
+    });
+    let rail_models = |subset: &Option<Vec<usize>>| -> Vec<simnet::NicModel> {
+        match subset {
+            Some(idx) => idx.iter().map(|&i| cluster.rails[i].clone()).collect(),
+            None => cluster.rails.clone(),
+        }
+    };
+    let net_setup = if !any_remote {
+        NetSetup::None
+    } else {
+        match &cfg.inter {
+            InterNode::NmadDirect { strategy, rails }
+            | InterNode::NmadNetmod { strategy, rails } => {
+                let models = rail_models(rails);
+                let fabric: Arc<Fabric<NmWire>> = Fabric::new(cluster.nodes, models);
+                let rail_ids: Vec<RailId> =
+                    (0..fabric.num_rails()).map(RailId).collect();
+                let mut nm_cfg = cfg.nm;
+                nm_cfg.strategy = *strategy;
+                let cores: Vec<Arc<NmCore>> = (0..nranks)
+                    .map(|r| {
+                        NmCore::new(
+                            nm_cfg,
+                            r,
+                            NmNet {
+                                fabric: Arc::clone(&fabric),
+                                node: placement.node_of(r),
+                                rails: rail_ids.clone(),
+                                rank_to_node: Arc::clone(&rank_to_node),
+                            },
+                        )
+                    })
+                    .collect();
+                // Node sinks demultiplex on the destination rank.
+                for node in 0..cluster.nodes {
+                    let node_cores: Vec<(usize, Arc<NmCore>)> = placement
+                        .ranks_on(NodeId(node))
+                        .into_iter()
+                        .map(|r| (r, Arc::clone(&cores[r])))
+                        .collect();
+                    if node_cores.is_empty() {
+                        continue;
+                    }
+                    fabric.set_sink(
+                        NodeId(node),
+                        Box::new(move |s, d| {
+                            let dst = d.msg.dst_rank;
+                            let core = node_cores
+                                .iter()
+                                .find(|(r, _)| *r == dst)
+                                .map(|(_, c)| c)
+                                .unwrap_or_else(|| panic!("no core for rank {dst}"));
+                            core.accept(s, d.msg);
+                        }),
+                    );
+                }
+                if matches!(cfg.inter, InterNode::NmadDirect { .. }) {
+                    NetSetup::Direct(cores)
+                } else {
+                    NetSetup::Netmod(cores)
+                }
+            }
+            InterNode::Tailored(profile) => {
+                let models = vec![cluster.rails[profile.rail].clone()];
+                let fabric: Arc<Fabric<Ch3Wire>> = Fabric::new(cluster.nodes, models);
+                let inboxes: Vec<Arc<Inbox>> = (0..nranks).map(|_| Inbox::new()).collect();
+                for node in 0..cluster.nodes {
+                    let node_boxes: Vec<(usize, Arc<Inbox>)> = placement
+                        .ranks_on(NodeId(node))
+                        .into_iter()
+                        .map(|r| (r, Arc::clone(&inboxes[r])))
+                        .collect();
+                    if node_boxes.is_empty() {
+                        continue;
+                    }
+                    fabric.set_sink(
+                        NodeId(node),
+                        Box::new(move |s, d| {
+                            let dst = d.msg.dst;
+                            let inbox = node_boxes
+                                .iter()
+                                .find(|(r, _)| *r == dst)
+                                .map(|(_, b)| b)
+                                .unwrap_or_else(|| panic!("no inbox for rank {dst}"));
+                            inbox.push(s, d.msg.src, d.msg.pkt);
+                        }),
+                    );
+                }
+                NetSetup::Tailored(inboxes, fabric, profile.clone())
+            }
+        }
+    };
+
+    // --- Per-rank process state -----------------------------------------
+    let mut states: Vec<Arc<ProcState>> = Vec::with_capacity(nranks);
+    let mut piom_servers: Vec<Option<Arc<PiomServer>>> = Vec::with_capacity(nranks);
+    let mut cores_for_stats: Vec<Arc<NmCore>> = Vec::new();
+    for r in 0..nranks {
+        let vcs = VcTable::new(r, placement, cfg.bypass());
+        let has_remote = vcs.has_remote();
+        let (net, engine, costs, net_eager) = match &net_setup {
+            NetSetup::Direct(cores) => {
+                if cores_for_stats.len() <= r {
+                    cores_for_stats.push(Arc::clone(&cores[r]));
+                }
+                (
+                    if has_remote {
+                        NetPath::Direct(Arc::clone(&cores[r]))
+                    } else {
+                        NetPath::None
+                    },
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                    cfg.costs,
+                    cfg.nm.eager_threshold,
+                )
+            }
+            NetSetup::Netmod(cores) => {
+                if cores_for_stats.len() <= r {
+                    cores_for_stats.push(Arc::clone(&cores[r]));
+                }
+                let net = if has_remote {
+                    let t = NmadNetmodTransport::new(
+                        Arc::clone(&cores[r]),
+                        vcs.remote_peers(),
+                    );
+                    NetPath::Ch3(Arc::new(t) as Arc<dyn Ch3Transport>)
+                } else {
+                    NetPath::None
+                };
+                (
+                    net,
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                    cfg.costs,
+                    cfg.nm.eager_threshold,
+                )
+            }
+            NetSetup::Tailored(inboxes, fabric, profile) => {
+                let net = if has_remote {
+                    let t = FabricTransport::with_rdv_setup(
+                        Arc::clone(fabric),
+                        r,
+                        placement.node_of(r),
+                        RailId(0),
+                        Arc::clone(&rank_to_node),
+                        Arc::clone(&inboxes[r]),
+                        profile.reg_cache,
+                        profile.rdv_setup,
+                    );
+                    NetPath::Ch3(Arc::new(t) as Arc<dyn Ch3Transport>)
+                } else {
+                    NetPath::None
+                };
+                (
+                    net,
+                    Ch3Engine::with_ack(
+                        r,
+                        profile.eager_threshold,
+                        profile.rdv_chunk,
+                        profile.rdv_ack,
+                    ),
+                    profile.costs,
+                    profile.eager_threshold,
+                )
+            }
+            NetSetup::None => (
+                NetPath::None,
+                Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                cfg.costs,
+                cfg.nm.eager_threshold,
+            ),
+        };
+        // Shared-memory transport (only when the node hosts >1 rank).
+        let node = placement.node_of(r);
+        let colocated = placement.ranks_on(node).len() > 1;
+        let (shm, shm_model) = if colocated {
+            let domain = Arc::clone(domains[node.0].as_ref().unwrap());
+            let li = Arc::clone(&local_index);
+            let local_of: Arc<dyn Fn(usize) -> usize + Send + Sync> =
+                Arc::new(move |g| li[g]);
+            let t = ShmTransport::new(domain, local_index[r], local_of);
+            (
+                Some(Arc::new(t) as Arc<dyn Ch3Transport>),
+                Some(cfg.shm_model),
+            )
+        } else {
+            (None, Some(cfg.shm_model))
+        };
+        let piom_server = cfg.pioman.map(PiomServer::new);
+        let state = ProcState::new(
+            r,
+            nranks,
+            vcs,
+            engine,
+            shm,
+            shm_model,
+            net,
+            net_eager,
+            costs,
+            piom_server.clone(),
+        );
+        // PIOMan wiring (part 1): the progress cycle becomes an ltask and
+        // the shared-memory side kicks this rank's server on deliveries
+        // (§3.3.1, the "global polling authority"). Network hooks are
+        // wired in a second pass, per node.
+        if let Some(server) = &piom_server {
+            let st = Arc::clone(&state);
+            server.register_fn(
+                &format!("mpi-progress-{r}"),
+                Arc::new(move |s| st.progress_cycle(s)),
+            );
+            if let Some(t) = &state.shm {
+                let sv = Arc::clone(server);
+                t.set_event_hook(Arc::new(move |s| sv.kick_shm(s)));
+            }
+            server.start(&sched);
+        }
+        piom_servers.push(piom_server);
+        states.push(state);
+    }
+
+    // PIOMan wiring (part 2): a NIC event must wake EVERY co-located
+    // rank's progress engine, not just the rank the event belongs to —
+    // ranks on one node share the NIC, so one rank's send-completion is
+    // another rank's "the rail is idle now, commit your window" signal.
+    if cfg.pioman.is_some() {
+        for r in 0..nranks {
+            let node = placement.node_of(r);
+            let node_servers: Vec<Arc<PiomServer>> = placement
+                .ranks_on(node)
+                .into_iter()
+                .filter_map(|peer| piom_servers[peer].clone())
+                .collect();
+            let hook: Arc<dyn Fn(&simnet::Scheduler) + Send + Sync> =
+                Arc::new(move |s| {
+                    for sv in &node_servers {
+                        sv.kick_net(s);
+                    }
+                });
+            match &states[r].net {
+                NetPath::Direct(core) => core.set_event_hook(hook),
+                NetPath::Ch3(t) => t.set_event_hook(hook),
+                NetPath::None => {}
+            }
+        }
+    }
+
+    // --- Rank threads ----------------------------------------------------
+    for (r, state) in states.iter().enumerate() {
+        let program = Arc::clone(&program);
+        let state = Arc::clone(state);
+        sim.spawn_rank(format!("rank{r}"), move |ctx| {
+            program(MpiHandle::new(ctx, state));
+        });
+    }
+    let outcome = sim.run().unwrap_or_else(|e| {
+        // Dump per-rank protocol state so deadlocks/livelocks are
+        // diagnosable from the panic output.
+        eprintln!("=== MPI job '{}' failed: {e} ===", cfg.name);
+        for (r, st) in states.iter().enumerate() {
+            let (posted, unexpected) =
+                (st.engine.queues.posted_len(), st.engine.queues.unexpected_len());
+            let rdv = st.engine.rdv_in_flight();
+            let nm = match &st.net {
+                NetPath::Direct(core) => format!(
+                    "nm: posted={} unexpected={} quiescent={} stats={:?}",
+                    core.posted_recvs(),
+                    core.unexpected_msgs(),
+                    core.quiescent(),
+                    core.stats()
+                ),
+                NetPath::Ch3(t) => format!("ch3-net {}", t.debug_state()),
+                NetPath::None => "no-net".into(),
+            };
+            eprintln!(
+                "  rank{r}: ch3 posted={posted} unexpected={unexpected} rdv_in_flight={rdv}; {nm}"
+            );
+        }
+        panic!("MPI job '{}' failed: {e}", cfg.name);
+    });
+    RunOutcome {
+        sim: outcome,
+        nm_stats: cores_for_stats.iter().map(|c| c.stats()).collect(),
+    }
+}
+
+/// Convenience: run and collect a value from each rank.
+pub fn run_mpi_collect<T: Send + 'static>(
+    cluster: &Cluster,
+    placement: &Placement,
+    cfg: &StackConfig,
+    nranks: usize,
+    program: impl Fn(&MpiHandle) -> T + Send + Sync + 'static,
+) -> (RunOutcome, Vec<T>) {
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    let r2 = Arc::clone(&results);
+    let outcome = run_mpi(
+        cluster,
+        placement,
+        cfg,
+        nranks,
+        Arc::new(move |mpi: MpiHandle| {
+            let rank = mpi.rank();
+            let v = program(&mpi);
+            r2.lock()[rank] = Some(v);
+        }),
+    );
+    let collected = Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("results still shared"))
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("rank produced no result"))
+        .collect();
+    (outcome, collected)
+}

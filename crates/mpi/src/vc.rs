@@ -1,0 +1,120 @@
+//! Virtual connections (VCs) with per-destination send overrides.
+//!
+//! §3.1.2: "function pointers were added to MPICH2's per-connection virtual
+//! connection (VC) structure to allow the various CH3 send functions to be
+//! overridden on a per-destination basis. In this way, a call to
+//! `MPID_Send()` will result in a call directly to the NewMadeleine send
+//! function only when sending to a process on a different node."
+//!
+//! [`VcPath`] is the Rust rendition of that function pointer: an enum the
+//! API layer dispatches on per destination. A stack chooses at `MPI_Init`
+//! time whether remote destinations point at the NewMadeleine bypass or at
+//! a CH3 transport.
+
+use simnet::Placement;
+
+/// Where traffic for one destination flows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VcPath {
+    /// Messages to self: matched locally, no transport.
+    SelfLoop,
+    /// Same node: Nemesis shared-memory channel (CH3 protocols).
+    Shm,
+    /// Different node, bypass stack: call NewMadeleine directly (§3.1) —
+    /// no CH3 protocol, no CH3 matching.
+    NmadDirect,
+    /// Different node, non-bypass stack: CH3 protocols over the configured
+    /// network transport (legacy netmod or tailored baseline).
+    Ch3Net,
+}
+
+/// The per-process VC table.
+pub struct VcTable {
+    paths: Vec<VcPath>,
+    my_rank: usize,
+}
+
+impl VcTable {
+    /// Build the table for `my_rank` given the placement and whether the
+    /// stack bypasses CH3 for inter-node traffic.
+    pub fn new(my_rank: usize, placement: &Placement, bypass: bool) -> VcTable {
+        let paths = (0..placement.nranks())
+            .map(|dst| {
+                if dst == my_rank {
+                    VcPath::SelfLoop
+                } else if placement.same_node(my_rank, dst) {
+                    VcPath::Shm
+                } else if bypass {
+                    VcPath::NmadDirect
+                } else {
+                    VcPath::Ch3Net
+                }
+            })
+            .collect();
+        VcTable { paths, my_rank }
+    }
+
+    /// The send path for `dst` — the "function pointer" consulted by
+    /// `MPID_Send`.
+    #[inline]
+    pub fn path(&self, dst: usize) -> VcPath {
+        self.paths[dst]
+    }
+
+    pub fn my_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Remote peers (everything not self and not same-node) — the gates a
+    /// netmod pre-posts receives for.
+    pub fn remote_peers(&self) -> Vec<usize> {
+        self.paths
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, VcPath::NmadDirect | VcPath::Ch3Net))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Any inter-node destinations at all?
+    pub fn has_remote(&self) -> bool {
+        !self.remote_peers().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Cluster;
+
+    #[test]
+    fn bypass_table_routes_by_locality() {
+        let cluster = Cluster::new(2, 2, vec![]);
+        let p = Placement::block(4, &cluster); // 0,1 on node0; 2,3 on node1
+        let vc = VcTable::new(1, &p, true);
+        assert_eq!(vc.path(1), VcPath::SelfLoop);
+        assert_eq!(vc.path(0), VcPath::Shm);
+        assert_eq!(vc.path(2), VcPath::NmadDirect);
+        assert_eq!(vc.path(3), VcPath::NmadDirect);
+        assert_eq!(vc.remote_peers(), vec![2, 3]);
+        assert!(vc.has_remote());
+    }
+
+    #[test]
+    fn non_bypass_table_uses_ch3_net() {
+        let cluster = Cluster::new(2, 1, vec![]);
+        let p = Placement::block(2, &cluster);
+        let vc = VcTable::new(0, &p, false);
+        assert_eq!(vc.path(1), VcPath::Ch3Net);
+    }
+
+    #[test]
+    fn single_node_has_no_remotes() {
+        let cluster = Cluster::new(1, 4, vec![]);
+        let p = Placement::block(4, &cluster);
+        let vc = VcTable::new(2, &p, true);
+        assert!(!vc.has_remote());
+        assert_eq!(vc.path(0), VcPath::Shm);
+        assert_eq!(vc.my_rank(), 2);
+    }
+}

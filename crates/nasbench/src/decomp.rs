@@ -1,0 +1,184 @@
+//! Process-grid decompositions used by the kernels.
+
+/// A square q×q process grid (BT, SP, LU). Rank = row·q + col.
+#[derive(Clone, Copy, Debug)]
+pub struct SquareGrid {
+    pub q: usize,
+    pub rank: usize,
+}
+
+impl SquareGrid {
+    pub fn new(rank: usize, nprocs: usize) -> SquareGrid {
+        let q = (nprocs as f64).sqrt().round() as usize;
+        assert_eq!(q * q, nprocs, "{nprocs} is not a square");
+        SquareGrid { q, rank }
+    }
+
+    pub fn row(&self) -> usize {
+        self.rank / self.q
+    }
+
+    pub fn col(&self) -> usize {
+        self.rank % self.q
+    }
+
+    fn at(&self, row: usize, col: usize) -> usize {
+        row * self.q + col
+    }
+
+    /// Neighbour one step in the given direction, wrapping (torus) —
+    /// BT/SP exchange on a torus.
+    pub fn torus_neighbor(&self, drow: isize, dcol: isize) -> usize {
+        let q = self.q as isize;
+        let r = (self.row() as isize + drow).rem_euclid(q) as usize;
+        let c = (self.col() as isize + dcol).rem_euclid(q) as usize;
+        self.at(r, c)
+    }
+
+    /// Non-wrapping neighbour (LU's wavefront): `None` at the boundary.
+    pub fn mesh_neighbor(&self, drow: isize, dcol: isize) -> Option<usize> {
+        let r = self.row() as isize + drow;
+        let c = self.col() as isize + dcol;
+        if r < 0 || c < 0 || r >= self.q as isize || c >= self.q as isize {
+            None
+        } else {
+            Some(self.at(r as usize, c as usize))
+        }
+    }
+}
+
+/// A rectangular rows×cols process mesh for power-of-two counts
+/// (LU's decomposition: cols = 2^⌈k/2⌉, rows = 2^⌊k/2⌋). Non-wrapping
+/// neighbours, for wavefront sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct RectGrid {
+    pub rows: usize,
+    pub cols: usize,
+    pub rank: usize,
+}
+
+impl RectGrid {
+    pub fn new(rank: usize, nprocs: usize) -> RectGrid {
+        assert!(nprocs.is_power_of_two(), "{nprocs} is not a power of two");
+        let k = nprocs.trailing_zeros() as usize;
+        let cols = 1 << k.div_ceil(2);
+        let rows = nprocs / cols;
+        RectGrid { rows, cols, rank }
+    }
+
+    pub fn row(&self) -> usize {
+        self.rank / self.cols
+    }
+
+    pub fn col(&self) -> usize {
+        self.rank % self.cols
+    }
+
+    /// Non-wrapping neighbour; `None` at the boundary.
+    pub fn mesh_neighbor(&self, drow: isize, dcol: isize) -> Option<usize> {
+        let r = self.row() as isize + drow;
+        let c = self.col() as isize + dcol;
+        if r < 0 || c < 0 || r >= self.rows as isize || c >= self.cols as isize {
+            None
+        } else {
+            Some(r as usize * self.cols + c as usize)
+        }
+    }
+}
+
+/// CG's rows×cols grid: nprocs = 2^k, cols = 2^⌈k/2⌉, rows = 2^⌊k/2⌋.
+#[derive(Clone, Copy, Debug)]
+pub struct CgGrid {
+    pub rows: usize,
+    pub cols: usize,
+    pub rank: usize,
+}
+
+impl CgGrid {
+    pub fn new(rank: usize, nprocs: usize) -> CgGrid {
+        assert!(nprocs.is_power_of_two(), "CG needs a power of two");
+        let k = nprocs.trailing_zeros() as usize;
+        let cols = 1 << k.div_ceil(2);
+        let rows = nprocs / cols;
+        CgGrid { rows, cols, rank }
+    }
+
+    pub fn row(&self) -> usize {
+        self.rank / self.cols
+    }
+
+    pub fn col(&self) -> usize {
+        self.rank % self.cols
+    }
+
+    /// The transpose-exchange partner within the row (NPB CG swaps vector
+    /// segments with the "mirror" column).
+    pub fn exchange_partner(&self) -> usize {
+        if self.rows == self.cols {
+            // Square grid: transpose position.
+            self.col() * self.cols + self.row()
+        } else {
+            // 2:1 grid: mirror column within the row.
+            let mirror = self.cols - 1 - self.col();
+            self.row() * self.cols + mirror
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grid_neighbors_wrap() {
+        let g = SquareGrid::new(0, 9); // row 0, col 0
+        assert_eq!(g.torus_neighbor(0, 1), 1);
+        assert_eq!(g.torus_neighbor(0, -1), 2); // wraps
+        assert_eq!(g.torus_neighbor(1, 0), 3);
+        assert_eq!(g.torus_neighbor(-1, 0), 6); // wraps
+    }
+
+    #[test]
+    fn mesh_neighbors_stop_at_boundary() {
+        let g = SquareGrid::new(0, 9);
+        assert_eq!(g.mesh_neighbor(0, -1), None);
+        assert_eq!(g.mesh_neighbor(-1, 0), None);
+        assert_eq!(g.mesh_neighbor(0, 1), Some(1));
+        let g8 = SquareGrid::new(8, 9); // bottom-right corner
+        assert_eq!(g8.mesh_neighbor(0, 1), None);
+        assert_eq!(g8.mesh_neighbor(1, 0), None);
+        assert_eq!(g8.mesh_neighbor(-1, 0), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a square")]
+    fn square_grid_rejects_non_square() {
+        SquareGrid::new(0, 8);
+    }
+
+    #[test]
+    fn cg_grid_shapes() {
+        let g = CgGrid::new(0, 8);
+        assert_eq!((g.rows, g.cols), (2, 4));
+        let g = CgGrid::new(0, 16);
+        assert_eq!((g.rows, g.cols), (4, 4));
+        let g = CgGrid::new(0, 64);
+        assert_eq!((g.rows, g.cols), (8, 8));
+    }
+
+    #[test]
+    fn cg_exchange_partner_is_symmetric() {
+        for &n in &[8usize, 16, 64] {
+            for r in 0..n {
+                let g = CgGrid::new(r, n);
+                let p = g.exchange_partner();
+                let gp = CgGrid::new(p, n);
+                assert_eq!(
+                    gp.exchange_partner(),
+                    r,
+                    "partner not symmetric at rank {r}/{n}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Tests of the IS kernel extension — the benchmark the paper could not
+//! run ("IS needs datatypes support"), enabled here by
+//! `mpi_ch3::datatype`.
+
+use mpi_ch3::stack::StackConfig;
+use nasbench::{run_nas, Class, Kernel};
+use simnet::Cluster;
+
+#[test]
+fn is_runs_on_every_stack_flavor() {
+    let cluster = Cluster::grid5000_opteron();
+    for stack in [
+        StackConfig::mpich2_nmad(false),
+        StackConfig::mpich2_nmad(true),
+    ] {
+        let r = run_nas(&cluster, &stack, Kernel::IS, Class::A, 4, Some(1));
+        assert!(r.time_s > 0.0, "IS produced no time on {}", stack.name);
+        assert_eq!(r.kernel.name(), "IS");
+    }
+}
+
+#[test]
+fn is_is_the_lightest_kernel() {
+    // IS class C is famously the shortest NPB run.
+    let cluster = Cluster::grid5000_opteron();
+    let stack = StackConfig::mpich2_nmad(false);
+    let is = run_nas(&cluster, &stack, Kernel::IS, Class::A, 8, Some(1));
+    let mg = run_nas(&cluster, &stack, Kernel::MG, Class::A, 8, Some(1));
+    assert!(
+        is.time_s < mg.time_s,
+        "IS ({}) should undercut MG ({})",
+        is.time_s,
+        mg.time_s
+    );
+}
+
+#[test]
+fn all_with_is_includes_eight_kernels() {
+    assert_eq!(Kernel::ALL.len(), 7, "the paper's figure has 7 kernels");
+    assert_eq!(Kernel::ALL_WITH_IS.len(), 8);
+    assert!(Kernel::ALL_WITH_IS.contains(&Kernel::IS));
+    assert!(!Kernel::ALL.contains(&Kernel::IS));
+}
+
+#[test]
+fn is_scales_with_ranks() {
+    let cluster = Cluster::grid5000_opteron();
+    let stack = StackConfig::mpich2_nmad(false);
+    let r4 = run_nas(&cluster, &stack, Kernel::IS, Class::A, 4, Some(1));
+    let r16 = run_nas(&cluster, &stack, Kernel::IS, Class::A, 16, Some(1));
+    assert!(
+        r4.time_s / r16.time_s > 1.5,
+        "IS 4->16 speedup too low: {} vs {}",
+        r4.time_s,
+        r16.time_s
+    );
+}

@@ -1,0 +1,101 @@
+//! The Nemesis network-module interface.
+//!
+//! §2.1.2: "Basically the four following routines are required to implement
+//! a module: `net_module_init`, `net_module_send`, `net_module_poll` and
+//! `net_module_finalize`. There is no `net_module_recv` routine since the
+//! `net_module_poll` routine is called by the low-level progress engine in
+//! Nemesis and is actually responsible to retrieve all incoming messages
+//! from the network."
+//!
+//! [`NetModule`] is that contract. The classic (non-bypass) integration path
+//! drives inter-node traffic through this trait and hands every inbound
+//! message to the CH3 layer; the paper's contribution is precisely that the
+//! NewMadeleine module *also* exposes richer entry points so CH3 can bypass
+//! the Nemesis queue system (§3.1) — those live in the `nmad` crate.
+
+use bytes::Bytes;
+use simnet::Scheduler;
+
+use crate::cell::MsgHeader;
+
+/// An inbound network message surfaced by `poll`.
+#[derive(Debug)]
+pub struct NetInbound {
+    pub header: MsgHeader,
+    pub data: Bytes,
+}
+
+/// The four-routine Nemesis network-module contract.
+pub trait NetModule: Send {
+    /// `net_module_init`: bring the module up for `nranks` processes, this
+    /// process being `my_rank`.
+    fn init(&mut self, sched: &Scheduler, my_rank: usize, nranks: usize);
+
+    /// `net_module_send`: transmit `data` with `header` to the (remote)
+    /// rank given in `header.dst_rank`. Never blocks; completion is
+    /// observed through `poll`.
+    fn send(&mut self, sched: &Scheduler, header: MsgHeader, data: Bytes);
+
+    /// `net_module_poll`: retrieve all incoming messages from the network.
+    /// Called by the progress engine; returns any newly completed inbound
+    /// messages.
+    fn poll(&mut self, sched: &Scheduler) -> Vec<NetInbound>;
+
+    /// `net_module_finalize`: tear the module down. Must be idempotent.
+    fn finalize(&mut self, sched: &Scheduler);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// A loopback module: everything sent comes back on the next poll.
+    /// Exercises the trait contract shape.
+    struct Loopback {
+        initialized: bool,
+        queue: VecDeque<NetInbound>,
+    }
+
+    impl NetModule for Loopback {
+        fn init(&mut self, _s: &Scheduler, _me: usize, _n: usize) {
+            self.initialized = true;
+        }
+        fn send(&mut self, _s: &Scheduler, header: MsgHeader, data: Bytes) {
+            assert!(self.initialized, "send before init");
+            self.queue.push_back(NetInbound { header, data });
+        }
+        fn poll(&mut self, _s: &Scheduler) -> Vec<NetInbound> {
+            self.queue.drain(..).collect()
+        }
+        fn finalize(&mut self, _s: &Scheduler) {
+            self.initialized = false;
+        }
+    }
+
+    #[test]
+    fn trait_contract_roundtrip() {
+        let sim = simnet::SimBuilder::new().build();
+        let sched = sim.scheduler();
+        let mut m = Loopback {
+            initialized: false,
+            queue: VecDeque::new(),
+        };
+        m.init(&sched, 0, 2);
+        let hdr = MsgHeader {
+            src_rank: 0,
+            dst_rank: 1,
+            tag: 3,
+            ..Default::default()
+        };
+        m.send(&sched, hdr, Bytes::from_static(b"abc"));
+        m.send(&sched, hdr, Bytes::from_static(b"def"));
+        let got = m.poll(&sched);
+        assert_eq!(got.len(), 2);
+        assert_eq!(&got[0].data[..], b"abc");
+        assert_eq!(&got[1].data[..], b"def");
+        assert!(m.poll(&sched).is_empty());
+        m.finalize(&sched);
+        m.finalize(&sched); // idempotent
+    }
+}

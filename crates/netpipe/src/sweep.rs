@@ -1,0 +1,229 @@
+//! The ping-pong sweep.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::stats::PingSeries;
+use simnet::{Cluster, Placement, SimDuration};
+
+use mpi_ch3::stack::{run_mpi, StackConfig};
+use mpi_ch3::{MpiHandle, Src};
+
+/// The latency-figure size ladder (Figs. 4a/5a/6: 1 B – 512 B).
+pub const LAT_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// The bandwidth-figure size ladder (Figs. 4b/5b: 1 B – 64 MB).
+pub const BW_SIZES: &[usize] = &[
+    1,
+    4,
+    16,
+    64,
+    256,
+    1024,
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    16 * 1024 * 1024,
+    64 * 1024 * 1024,
+];
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct NetpipeOptions {
+    /// Message sizes to measure.
+    pub sizes: Vec<usize>,
+    /// Timed round trips per size.
+    pub iters_small: usize,
+    /// Timed round trips for sizes ≥ 64 KB (large transfers are slow and
+    /// noise-free in simulation, so a couple suffice).
+    pub iters_large: usize,
+    /// Receive with MPI_ANY_SOURCE on the measuring rank (the "w/AS" curve
+    /// of Fig. 4a).
+    pub any_source: bool,
+    /// Put the two ranks on the same node (the shared-memory curves of
+    /// Fig. 6a).
+    pub same_node: bool,
+}
+
+impl Default for NetpipeOptions {
+    fn default() -> Self {
+        NetpipeOptions {
+            sizes: LAT_SIZES.to_vec(),
+            iters_small: 20,
+            iters_large: 2,
+            any_source: false,
+            same_node: false,
+        }
+    }
+}
+
+impl NetpipeOptions {
+    pub fn latency() -> NetpipeOptions {
+        NetpipeOptions::default()
+    }
+
+    pub fn bandwidth() -> NetpipeOptions {
+        NetpipeOptions {
+            sizes: BW_SIZES.to_vec(),
+            iters_small: 10,
+            iters_large: 2,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run the sweep for one stack on `cluster`; returns the measured series
+/// labelled `label`.
+pub fn run_sweep(
+    cluster: &Cluster,
+    cfg: &StackConfig,
+    opts: &NetpipeOptions,
+    label: impl Into<String>,
+) -> PingSeries {
+    let placement = if opts.same_node {
+        Placement::block(2, cluster)
+    } else {
+        Placement::one_per_node(2, cluster)
+    };
+    let results: Arc<Mutex<Vec<(usize, SimDuration)>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = Arc::clone(&results);
+    let opts2 = opts.clone();
+    run_mpi(
+        cluster,
+        &placement,
+        cfg,
+        2,
+        Arc::new(move |mpi: MpiHandle| {
+            pingpong_rank(&mpi, &opts2, &r2);
+        }),
+    );
+    let mut series = PingSeries::new(label);
+    for (bytes, one_way) in results.lock().iter() {
+        series.push(*bytes, *one_way);
+    }
+    series
+}
+
+fn pingpong_rank(
+    mpi: &MpiHandle,
+    opts: &NetpipeOptions,
+    results: &Arc<Mutex<Vec<(usize, SimDuration)>>>,
+) {
+    let me = mpi.rank();
+    let peer = 1 - me;
+    for &size in &opts.sizes {
+        let iters = if size >= 64 * 1024 {
+            opts.iters_large
+        } else {
+            opts.iters_small
+        };
+        let payload = vec![0xA5u8; size];
+        // The "w/AS" curve posts every receive with MPI_ANY_SOURCE on both
+        // sides, so the full 300 ns surcharge shows per one-way (as in
+        // Fig. 4a, 2.1 µs → 2.4 µs).
+        let src = if opts.any_source {
+            Src::Any
+        } else {
+            Src::Rank(peer)
+        };
+        if me == 0 {
+            // Warmup round (fills caches/windows, aligns both ranks).
+            mpi.send(peer, 1, &payload);
+            mpi.recv(src, 1);
+            let t0 = mpi.now();
+            for _ in 0..iters {
+                mpi.send(peer, 1, &payload);
+                let (echo, _) = mpi.recv(src, 1);
+                debug_assert_eq!(echo.len(), size);
+            }
+            let elapsed = mpi.now() - t0;
+            let one_way = SimDuration::nanos(elapsed.as_nanos() / (2 * iters as u64));
+            results.lock().push((size, one_way));
+        } else {
+            mpi.recv(src, 1);
+            mpi.send(peer, 1, &payload);
+            for _ in 0..iters {
+                mpi.recv(src, 1);
+                mpi.send(peer, 1, &payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_produces_monotonic_series() {
+        let cluster = Cluster::xeon_pair();
+        let cfg = StackConfig::mpich2_nmad_rail(0, false);
+        let mut opts = NetpipeOptions::latency();
+        opts.iters_small = 5;
+        let s = run_sweep(&cluster, &cfg, &opts, "test");
+        assert_eq!(s.points.len(), LAT_SIZES.len());
+        // Latency grows (weakly) with size.
+        for w in s.points.windows(2) {
+            assert!(w[1].one_way >= w[0].one_way);
+        }
+        // Small-message latency lands at the calibrated 2.1us.
+        let lat1 = s.latency_at(1).unwrap();
+        assert!((lat1 - 2.1).abs() < 0.2, "1B latency {lat1}");
+    }
+
+    #[test]
+    fn bandwidth_sweep_approaches_wire_rate() {
+        let cluster = Cluster::xeon_pair();
+        let cfg = StackConfig::mpich2_nmad_rail(0, false);
+        let opts = NetpipeOptions {
+            sizes: vec![1024, 1024 * 1024, 16 * 1024 * 1024],
+            iters_small: 3,
+            iters_large: 1,
+            ..Default::default()
+        };
+        let s = run_sweep(&cluster, &cfg, &opts, "bw");
+        let peak = s.peak_bandwidth();
+        assert!(
+            peak > 1000.0 && peak <= 1260.0,
+            "peak bandwidth {peak:.0} MB/s over a 1250 MB/s NIC"
+        );
+    }
+
+    #[test]
+    fn same_node_sweep_uses_shared_memory() {
+        let cluster = Cluster::xeon_pair();
+        let cfg = StackConfig::mpich2_nmad(false);
+        let opts = NetpipeOptions {
+            sizes: vec![1, 64],
+            iters_small: 10,
+            same_node: true,
+            ..Default::default()
+        };
+        let s = run_sweep(&cluster, &cfg, &opts, "shm");
+        let lat = s.latency_at(1).unwrap();
+        assert!(lat < 0.5, "shm latency {lat}us must be sub-microsecond");
+    }
+
+    #[test]
+    fn any_source_sweep_is_slower_by_a_constant() {
+        let cluster = Cluster::xeon_pair();
+        let cfg = StackConfig::mpich2_nmad_rail(0, false);
+        let mut base_opts = NetpipeOptions::latency();
+        base_opts.sizes = vec![4, 256];
+        base_opts.iters_small = 10;
+        let mut as_opts = base_opts.clone();
+        as_opts.any_source = true;
+        let base = run_sweep(&cluster, &cfg, &base_opts, "known");
+        let any = run_sweep(&cluster, &cfg, &as_opts, "any");
+        for (b, a) in base.points.iter().zip(&any.points) {
+            assert!(
+                a.one_way > b.one_way,
+                "ANY_SOURCE must cost extra at {}B",
+                b.bytes
+            );
+        }
+    }
+}

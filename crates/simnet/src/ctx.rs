@@ -1,0 +1,91 @@
+//! The handle a rank program uses to interact with the simulation.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use crate::engine::{RankId, Report, Scheduler, SimCore, TornDown};
+use crate::time::{SimDuration, SimTime};
+
+/// Per-rank simulation context, passed by value to the rank's program
+/// closure. Not `Clone`: the token protocol requires a single blocking
+/// entry point per rank.
+pub struct RankCtx {
+    core: Arc<SimCore>,
+    rank: RankId,
+    go_rx: Receiver<()>,
+    report_tx: Sender<Report>,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        core: Arc<SimCore>,
+        rank: RankId,
+        go_rx: Receiver<()>,
+        report_tx: Sender<Report>,
+    ) -> Self {
+        RankCtx {
+            core,
+            rank,
+            go_rx,
+            report_tx,
+        }
+    }
+
+    /// This rank's identifier.
+    #[inline]
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// A scheduler handle for posting events from rank code.
+    pub fn scheduler(&self) -> Scheduler {
+        Scheduler::new(self.core.clone())
+    }
+
+    /// Advance this rank's local time by `d` — models computation (or any
+    /// fixed software cost) taking `d` of CPU time. Other ranks and
+    /// background events run in the meantime.
+    pub fn advance(&self, d: SimDuration) {
+        let sched = self.scheduler();
+        sched.wake_rank_at(self.now() + d, self.rank);
+        self.park();
+    }
+
+    /// Alias for [`RankCtx::advance`] that reads naturally in application
+    /// kernels ("compute for 20 µs, then wait", §4.1.2).
+    #[inline]
+    pub fn compute(&self, d: SimDuration) {
+        self.advance(d);
+    }
+
+    /// Give other same-instant events a chance to run, then resume.
+    pub fn yield_now(&self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Block until some event wakes this rank. Used by blocking primitives
+    /// ([`crate::sem::SimSemaphore`]); the waker must have arranged for
+    /// exactly one wake event targeting this rank.
+    pub(crate) fn park(&self) {
+        self.report_tx
+            .send(Report::Parked(self.rank))
+            .expect("engine dropped while rank running");
+        if self.go_rx.recv().is_err() {
+            // The engine tore the simulation down (deadlock/panic path):
+            // unwind this thread silently.
+            std::panic::panic_any(TornDown);
+        }
+    }
+
+    /// Wait for the initial token grant. Only called once, by the rank
+    /// thread bootstrap.
+    pub(crate) fn wait_go(&self) -> Result<(), ()> {
+        self.go_rx.recv().map_err(|_| ())
+    }
+}

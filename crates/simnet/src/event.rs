@@ -1,0 +1,166 @@
+//! The simulation event queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is assigned
+//! at insertion, so two events scheduled for the same instant fire in the
+//! order they were scheduled. This makes every simulation run deterministic,
+//! which the test suite and the figure-regeneration harnesses rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::engine::{RankId, Scheduler};
+use crate::time::SimTime;
+
+/// A boxed event callback. Callbacks run on the engine thread and may
+/// schedule further events or wake parked ranks through the [`Scheduler`].
+pub type EventFn = Box<dyn FnOnce(&Scheduler) + Send>;
+
+/// What an event does when it fires.
+pub enum EventKind {
+    /// Run a callback on the engine thread (NIC completions, PIOMan ltasks…).
+    Call(EventFn),
+    /// Hand the execution token to a parked rank thread.
+    Wake(RankId),
+}
+
+impl std::fmt::Debug for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Call(_) => write!(f, "Call(..)"),
+            EventKind::Wake(r) => write!(f, "Wake({r:?})"),
+        }
+    }
+}
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an event at `time`. Returns the sequence number assigned to it.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, kind });
+        seq
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.kind))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call() -> EventKind {
+        EventKind::Call(Box::new(|_| {}))
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), call());
+        q.push(SimTime(10), call());
+        q.push(SimTime(20), call());
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.0)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime(5), EventKind::Wake(RankId(0)));
+        let b = q.push(SimTime(5), EventKind::Wake(RankId(1)));
+        assert!(a < b);
+        match q.pop().unwrap().1 {
+            EventKind::Wake(r) => assert_eq!(r, RankId(0)),
+            _ => panic!("wrong kind"),
+        }
+        match q.pop().unwrap().1 {
+            EventKind::Wake(r) => assert_eq!(r, RankId(1)),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), call());
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn dispatched_counts_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(SimTime(i), call());
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        assert_eq!(q.dispatched(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! Rails (networks) connecting node NIC ports, and message routing.
+//!
+//! A [`Fabric`] is the set of networks installed in a cluster. Each *rail*
+//! is one network type (e.g. InfiniBand, Myrinet) with one [`NicPort`] per
+//! node. Multirail configurations — the heterogeneous IB + MX setup of
+//! Fig. 5 — are simply fabrics with more than one rail.
+//!
+//! The fabric is generic over the wire-message type `M`: each protocol stack
+//! in this workspace (NewMadeleine, the baselines) defines its own wire
+//! format and instantiates its own fabric per simulation run.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::Scheduler;
+use crate::nic::{DeliverFn, NicModel, NicPort, Transfer};
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// Index of a rail (network) within a fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RailId(pub usize);
+
+/// A message arriving at a node.
+pub struct Delivery<M> {
+    pub src: NodeId,
+    pub rail: RailId,
+    pub msg: M,
+}
+
+/// Per-node handler invoked (on the engine thread) for every arriving
+/// message.
+pub type SinkFn<M> = Box<dyn FnMut(&Scheduler, Delivery<M>) + Send>;
+
+/// Re-export of the NIC wire-size unit used across the workspace.
+pub use crate::nic::MB;
+
+/// Wire message marker trait alias (anything sendable works).
+pub trait WireMessage: Send + 'static {}
+impl<T: Send + 'static> WireMessage for T {}
+
+struct RailPorts<M: Send + 'static> {
+    model: Arc<NicModel>,
+    ports: Vec<Arc<NicPort<M>>>,
+}
+
+/// All networks of a simulated cluster.
+pub struct Fabric<M: Send + 'static> {
+    rails: Vec<RailPorts<M>>,
+    sinks: Arc<Mutex<Vec<Option<SinkFn<M>>>>>,
+    nodes: usize,
+}
+
+impl<M: Send + 'static> Fabric<M> {
+    /// Build a fabric over `nodes` nodes with one rail per model in
+    /// `rail_models` (every node gets a port on every rail).
+    pub fn new(nodes: usize, rail_models: Vec<NicModel>) -> Arc<Self> {
+        assert!(nodes > 0, "fabric needs at least one node");
+        assert!(!rail_models.is_empty(), "fabric needs at least one rail");
+        let sinks: Arc<Mutex<Vec<Option<SinkFn<M>>>>> =
+            Arc::new(Mutex::new((0..nodes).map(|_| None).collect()));
+        let mut rails = Vec::with_capacity(rail_models.len());
+        for (ri, model) in rail_models.into_iter().enumerate() {
+            let model = Arc::new(model);
+            let rail_id = RailId(ri);
+            let mut ports = Vec::with_capacity(nodes);
+            for n in 0..nodes {
+                let sinks = Arc::clone(&sinks);
+                let deliver: DeliverFn<M> = Arc::new(move |sched, src, dst, msg| {
+                    let mut sinks = sinks.lock();
+                    let slot = sinks
+                        .get_mut(dst.0)
+                        .unwrap_or_else(|| panic!("delivery to unknown node {dst:?}"));
+                    match slot {
+                        Some(sink) => sink(
+                            sched,
+                            Delivery {
+                                src,
+                                rail: rail_id,
+                                msg,
+                            },
+                        ),
+                        None => panic!("delivery to node {dst:?} with no sink installed"),
+                    }
+                });
+                ports.push(NicPort::new(Arc::clone(&model), NodeId(n), deliver));
+            }
+            rails.push(RailPorts { model, ports });
+        }
+        Arc::new(Fabric {
+            rails,
+            sinks,
+            nodes,
+        })
+    }
+
+    /// Number of rails (networks).
+    pub fn num_rails(&self) -> usize {
+        self.rails.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The performance model of rail `rail`.
+    pub fn model(&self, rail: RailId) -> &NicModel {
+        &self.rails[rail.0].model
+    }
+
+    /// The NIC port of `node` on `rail`.
+    pub fn port(&self, rail: RailId, node: NodeId) -> &Arc<NicPort<M>> {
+        &self.rails[rail.0].ports[node.0]
+    }
+
+    /// Install the delivery handler for `node`. Must be done for every node
+    /// that can receive before any traffic flows; replaces any previous
+    /// sink.
+    pub fn set_sink(&self, node: NodeId, sink: SinkFn<M>) {
+        self.sinks.lock()[node.0] = Some(sink);
+    }
+
+    /// Convenience: submit a transfer on `rail` from `src`.
+    pub fn send(
+        &self,
+        sched: &Scheduler,
+        rail: RailId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+        on_sent: Option<Box<dyn FnOnce(&Scheduler) + Send>>,
+    ) {
+        assert_ne!(src, dst, "fabric is inter-node only; use the shm channel");
+        self.port(rail, src).submit(
+            sched,
+            Transfer {
+                dst,
+                bytes,
+                msg,
+                on_sent,
+            },
+        );
+    }
+
+    /// Is `src`'s port on `rail` busy at `now`?
+    pub fn rail_busy(&self, rail: RailId, src: NodeId, now: SimTime) -> bool {
+        self.port(rail, src).busy(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::nic::NicModel;
+    use crate::time::{SimDuration, SimTime};
+    use parking_lot::Mutex as PlMutex;
+
+    #[derive(Debug, PartialEq)]
+    struct Msg(u32);
+
+    #[test]
+    fn point_to_point_delivery_time() {
+        let sim = SimBuilder::new().build();
+        let fabric: Arc<Fabric<Msg>> = Fabric::new(2, vec![NicModel::connectx_ib()]);
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        for n in 0..2 {
+            let got = got.clone();
+            fabric.set_sink(
+                NodeId(n),
+                Box::new(move |s, d| {
+                    got.lock().push((n, d.src, d.msg.0, s.now()));
+                }),
+            );
+        }
+        let sched = sim.scheduler();
+        let f2 = fabric.clone();
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            f2.send(s, RailId(0), NodeId(0), NodeId(1), 0, Msg(7), None);
+        });
+        sim.run().unwrap();
+        let got = got.lock();
+        assert_eq!(got.len(), 1);
+        let (node, src, val, at) = got[0];
+        assert_eq!((node, src, val), (1, NodeId(0), 7));
+        // Zero-byte message arrives after the per-packet handoff cost plus
+        // the wire latency.
+        assert_eq!(at, SimTime(1_320));
+    }
+
+    #[test]
+    fn serial_port_queues_back_to_back_sends() {
+        let sim = SimBuilder::new().build();
+        let fabric: Arc<Fabric<Msg>> = Fabric::new(2, vec![NicModel::connectx_ib()]);
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        let g = got.clone();
+        fabric.set_sink(
+            NodeId(1),
+            Box::new(move |s, d| g.lock().push((d.msg.0, s.now()))),
+        );
+        fabric.set_sink(NodeId(0), Box::new(|_, _| panic!("unexpected")));
+        let sched = sim.scheduler();
+        let f2 = fabric.clone();
+        let size = 1_250_000; // 1 ms of serialization at 1250 MB/s (MB=2^20)
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            f2.send(s, RailId(0), NodeId(0), NodeId(1), size, Msg(1), None);
+            assert!(f2.rail_busy(RailId(0), NodeId(0), s.now()));
+            f2.send(s, RailId(0), NodeId(0), NodeId(1), size, Msg(2), None);
+        });
+        sim.run().unwrap();
+        let got = got.lock();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[1].0, 2);
+        // Second message is delayed by the first one's port occupancy
+        // (per-packet cost + serialization).
+        let occ = NicModel::connectx_ib().occupancy(size);
+        assert_eq!(got[1].1, got[0].1 + occ);
+    }
+
+    #[test]
+    fn multirail_ports_are_independent() {
+        let sim = SimBuilder::new().build();
+        let fabric: Arc<Fabric<Msg>> =
+            Fabric::new(2, vec![NicModel::connectx_ib(), NicModel::myri10g_mx()]);
+        assert_eq!(fabric.num_rails(), 2);
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        let g = got.clone();
+        fabric.set_sink(
+            NodeId(1),
+            Box::new(move |s, d| g.lock().push((d.rail, s.now()))),
+        );
+        let sched = sim.scheduler();
+        let f2 = fabric.clone();
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            f2.send(s, RailId(0), NodeId(0), NodeId(1), 0, Msg(0), None);
+            // Rail 1 is NOT busy even though rail 0 is mid-transfer.
+            assert!(!f2.rail_busy(RailId(1), NodeId(0), s.now()));
+            f2.send(s, RailId(1), NodeId(0), NodeId(1), 0, Msg(0), None);
+        });
+        sim.run().unwrap();
+        let got = got.lock();
+        assert_eq!(got.len(), 2);
+        // IB (1.2us + 120ns handoff) beats MX (1.5us + 150ns).
+        assert_eq!(got[0].0, RailId(0));
+        assert_eq!(got[0].1, SimTime(1_320));
+        assert_eq!(got[1].0, RailId(1));
+        assert_eq!(got[1].1, SimTime(1_650));
+    }
+
+    #[test]
+    fn on_sent_fires_at_serialization_end() {
+        let sim = SimBuilder::new().build();
+        let fabric: Arc<Fabric<Msg>> = Fabric::new(2, vec![NicModel::connectx_ib()]);
+        fabric.set_sink(NodeId(1), Box::new(|_, _| {}));
+        let sent_at = Arc::new(PlMutex::new(None));
+        let sa = sent_at.clone();
+        let sched = sim.scheduler();
+        let f2 = fabric.clone();
+        let size = 1_250_000;
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            f2.send(
+                s,
+                RailId(0),
+                NodeId(0),
+                NodeId(1),
+                size,
+                Msg(0),
+                Some(Box::new(move |s| *sa.lock() = Some(s.now()))),
+            );
+        });
+        sim.run().unwrap();
+        let occ = NicModel::connectx_ib().occupancy(size);
+        assert_eq!(sent_at.lock().unwrap(), SimTime::ZERO + occ);
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-node only")]
+    fn same_node_send_is_rejected() {
+        let sim = SimBuilder::new().build();
+        let fabric: Arc<Fabric<Msg>> = Fabric::new(2, vec![NicModel::connectx_ib()]);
+        let sched = sim.scheduler();
+        fabric.send(
+            &sched,
+            RailId(0),
+            NodeId(0),
+            NodeId(0),
+            0,
+            Msg(0),
+            None,
+        );
+        let _ = SimDuration::ZERO;
+    }
+}

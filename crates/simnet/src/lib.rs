@@ -1,0 +1,57 @@
+//! # simnet — deterministic discrete-event cluster simulator
+//!
+//! This crate is the hardware substrate for the MPICH2-NewMadeleine
+//! reproduction. The paper's evaluation ran on real InfiniBand (ConnectX,
+//! Verbs) and Myrinet (Myri-10G, MX) NICs; neither is available here, so we
+//! substitute a deterministic discrete-event simulation (DES) of the cluster:
+//! nodes, cores, shared-memory domains, and NICs with calibrated
+//! latency/bandwidth/registration-cost models.
+//!
+//! ## Execution model
+//!
+//! Simulated time is nanoseconds in a [`SimTime`]. The engine owns a priority
+//! queue of events ordered by `(time, sequence)`; ties are broken by insertion
+//! order, so runs are bit-for-bit reproducible.
+//!
+//! Each simulated *rank* (MPI process) runs its program on a dedicated OS
+//! thread, but the simulation is logically single-threaded: a single
+//! *execution token* is handed back and forth between the engine and rank
+//! threads. A rank thread only executes while it holds the token; it returns
+//! the token whenever it blocks (on a [`sem::SimSemaphore`], on
+//! [`ctx::RankCtx::advance`], …). Background machinery (NIC DMA engines,
+//! PIOMan ltasks) runs as plain event callbacks on the engine thread and never
+//! needs a thread of its own.
+//!
+//! ## Module map
+//!
+//! * [`time`] — simulated clock arithmetic.
+//! * [`event`] — the event queue.
+//! * [`engine`] — the simulator proper: rank threads, token handoff, run loop,
+//!   deadlock detection.
+//! * [`ctx`] — the handle a rank program uses to interact with the simulation.
+//! * [`sem`] — blocking primitives usable from rank code and completable from
+//!   event callbacks (the paper's "semaphore-like primitives", §3.3.2).
+//! * [`nic`] — NIC performance models and simulated NIC ports.
+//! * [`fabric`] — rails (networks) connecting node NIC ports; message routing.
+//! * [`topology`] — cluster description and rank placement.
+//! * [`stats`] — latency/bandwidth series helpers used by the harnesses.
+//! * [`trace`] — optional structured event tracing for debugging.
+
+pub mod ctx;
+pub mod engine;
+pub mod event;
+pub mod fabric;
+pub mod nic;
+pub mod sem;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use ctx::RankCtx;
+pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
+pub use fabric::{Delivery, Fabric, RailId, WireMessage};
+pub use nic::{JitterModel, NicModel, NicPort};
+pub use sem::SimSemaphore;
+pub use time::{SimDuration, SimTime};
+pub use topology::{Cluster, NodeId, Placement};

@@ -1,0 +1,183 @@
+//! Blocking primitives for simulated rank code.
+//!
+//! The paper (§3.3.2) replaces busy-waiting loops in MPICH2 with
+//! "blocking primitives that can be viewed as semaphores": an application
+//! thread waiting in `MPI_Wait` blocks, and PIOMan wakes it when the
+//! completion is detected. [`SimSemaphore`] is the simulated equivalent —
+//! rank code waits on it, and event callbacks (NIC completions, PIOMan
+//! ltasks) signal it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ctx::RankCtx;
+use crate::engine::{RankId, Scheduler};
+use crate::time::SimDuration;
+
+struct SemInner {
+    count: u64,
+    waiters: VecDeque<RankId>,
+}
+
+/// A counting semaphore for simulated ranks.
+///
+/// `signal` from an event callback performs a *direct handoff*: if a rank is
+/// parked on the semaphore it is woken at the current simulated instant and
+/// no permit is banked; otherwise the permit count is incremented for a
+/// future `wait` to consume without blocking.
+#[derive(Clone)]
+pub struct SimSemaphore {
+    inner: Arc<Mutex<SemInner>>,
+    name: Arc<str>,
+}
+
+impl SimSemaphore {
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        SimSemaphore {
+            inner: Arc::new(Mutex::new(SemInner {
+                count: 0,
+                waiters: VecDeque::new(),
+            })),
+            name: name.into(),
+        }
+    }
+
+    /// Diagnostic name (shows up in deadlock reports via rank names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Block the calling rank until a permit is available.
+    pub fn wait(&self, ctx: &RankCtx) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.count > 0 {
+                inner.count -= 1;
+                return;
+            }
+            inner.waiters.push_back(ctx.rank());
+        }
+        ctx.park();
+    }
+
+    /// Consume a permit without blocking; returns `false` if none available.
+    pub fn try_wait(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.count > 0 {
+            inner.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of banked permits (waiters pending count as zero).
+    pub fn permits(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Release one permit, waking the longest-parked waiter if any.
+    pub fn signal(&self, sched: &Scheduler) {
+        let mut inner = self.inner.lock();
+        if let Some(rank) = inner.waiters.pop_front() {
+            drop(inner);
+            sched.wake_rank_now(rank);
+        } else {
+            inner.count += 1;
+        }
+    }
+
+    /// Release one permit after `delay` — models a completion detected with
+    /// some latency (e.g. PIOMan's synchronization cost).
+    pub fn signal_in(&self, sched: &Scheduler, delay: SimDuration) {
+        let sem = self.clone();
+        sched.schedule_in(delay, move |s| sem.signal(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimBuilder;
+    use crate::time::SimTime;
+    use parking_lot::Mutex as PlMutex;
+
+    #[test]
+    fn banked_permit_does_not_block() {
+        let mut sim = SimBuilder::new().build();
+        let sem = SimSemaphore::new("s");
+        let sem2 = sem.clone();
+        let sched = sim.scheduler();
+        sched.schedule_at(SimTime::ZERO, move |s| sem2.signal(s));
+        sim.spawn_rank("r", move |ctx| {
+            ctx.advance(SimDuration::micros(1)); // let the signal land first
+            assert_eq!(sem.permits(), 1);
+            sem.wait(&ctx); // must not block
+            assert_eq!(sem.permits(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_wait_only_takes_banked() {
+        let mut sim = SimBuilder::new().build();
+        let sem = SimSemaphore::new("s");
+        let sem2 = sem.clone();
+        sim.spawn_rank("r", move |ctx| {
+            assert!(!sem2.try_wait());
+            sem2.signal(&ctx.scheduler());
+            assert!(sem2.try_wait());
+            assert!(!sem2.try_wait());
+        });
+        sim.run().unwrap();
+        drop(sem);
+    }
+
+    #[test]
+    fn fifo_wake_order() {
+        let mut sim = SimBuilder::new().build();
+        let sem = SimSemaphore::new("s");
+        let order = Arc::new(PlMutex::new(Vec::new()));
+        for i in 0..3 {
+            let sem = sem.clone();
+            let order = order.clone();
+            sim.spawn_rank(format!("w{i}"), move |ctx| {
+                // Stagger arrivals so the waiter queue is w0, w1, w2.
+                ctx.advance(SimDuration::nanos(i));
+                sem.wait(&ctx);
+                order.lock().push(i);
+            });
+        }
+        let sem2 = sem.clone();
+        sim.spawn_rank("signaler", move |ctx| {
+            ctx.advance(SimDuration::micros(1));
+            let sched = ctx.scheduler();
+            sem2.signal(&sched);
+            sem2.signal(&sched);
+            sem2.signal(&sched);
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn signal_in_delays_wakeup() {
+        let mut sim = SimBuilder::new().build();
+        let sem = SimSemaphore::new("s");
+        let woke_at = Arc::new(PlMutex::new(SimTime::ZERO));
+        let woke = woke_at.clone();
+        let sem2 = sem.clone();
+        sim.spawn_rank("w", move |ctx| {
+            sem2.wait(&ctx);
+            *woke.lock() = ctx.now();
+        });
+        let sched = sim.scheduler();
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            sem.signal_in(s, SimDuration::nanos(450));
+        });
+        sim.run().unwrap();
+        assert_eq!(*woke_at.lock(), SimTime(450));
+    }
+}

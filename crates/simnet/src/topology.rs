@@ -1,0 +1,202 @@
+//! Cluster description and rank placement.
+//!
+//! The paper's two testbeds are expressed as [`Cluster`] values:
+//!
+//! * Point-to-point: two nodes, 2 × quad-core Xeons each, one IB NIC and one
+//!   Myri-10G NIC ([`Cluster::xeon_pair`]).
+//! * NAS: ten Grid'5000 nodes, 4 dual-core Opterons each, one IB NIC
+//!   ([`Cluster::grid5000_opteron`]).
+//!
+//! A [`Placement`] maps MPI ranks onto nodes, deciding which pairs
+//! communicate over shared memory (same node) and which over the network.
+
+use crate::nic::NicModel;
+
+/// Identifier of a physical node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A homogeneous cluster: `nodes` identical nodes, each with
+/// `cores_per_node` cores and the same set of NICs.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    /// NIC models installed in every node (one fabric rail each).
+    pub rails: Vec<NicModel>,
+}
+
+impl Cluster {
+    pub fn new(nodes: usize, cores_per_node: usize, rails: Vec<NicModel>) -> Cluster {
+        assert!(nodes > 0 && cores_per_node > 0);
+        Cluster {
+            nodes,
+            cores_per_node,
+            rails,
+        }
+    }
+
+    /// The paper's point-to-point testbed (§4.1): two boxes of two quad-core
+    /// 3.16 GHz Xeons, one Myri-10G NIC + one ConnectX IB NIC each.
+    pub fn xeon_pair() -> Cluster {
+        Cluster::new(
+            2,
+            8,
+            vec![NicModel::connectx_ib(), NicModel::myri10g_mx()],
+        )
+    }
+
+    /// The paper's NAS testbed (§4.2): ten Grid'5000 nodes, four dual-core
+    /// 2.6 GHz Opteron 2218s each, one IB 10G NIC.
+    pub fn grid5000_opteron() -> Cluster {
+        Cluster::new(10, 8, vec![NicModel::connectx_ib()])
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// A mapping from MPI rank to node.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    node_of: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Build from an explicit rank→node table.
+    pub fn explicit(node_of: Vec<NodeId>) -> Placement {
+        Placement { node_of }
+    }
+
+    /// Block placement: fill each node's cores before moving to the next —
+    /// MPICH2's default. With 16 ranks on 8-core nodes, ranks 0–7 land on
+    /// node 0 and ranks 8–15 on node 1.
+    pub fn block(nranks: usize, cluster: &Cluster) -> Placement {
+        assert!(
+            nranks <= cluster.total_cores(),
+            "{} ranks exceed {} cores",
+            nranks,
+            cluster.total_cores()
+        );
+        Placement {
+            node_of: (0..nranks)
+                .map(|r| NodeId(r / cluster.cores_per_node))
+                .collect(),
+        }
+    }
+
+    /// Round-robin placement: rank r on node r mod nodes. With at most one
+    /// rank per node this gives the paper's "8 processes, one per node, no
+    /// shared memory" NAS configuration.
+    pub fn round_robin(nranks: usize, cluster: &Cluster) -> Placement {
+        assert!(
+            nranks <= cluster.total_cores(),
+            "{} ranks exceed {} cores",
+            nranks,
+            cluster.total_cores()
+        );
+        Placement {
+            node_of: (0..nranks).map(|r| NodeId(r % cluster.nodes)).collect(),
+        }
+    }
+
+    /// One rank per node (pt2pt benchmarks).
+    pub fn one_per_node(nranks: usize, cluster: &Cluster) -> Placement {
+        assert!(nranks <= cluster.nodes, "more ranks than nodes");
+        Placement {
+            node_of: (0..nranks).map(NodeId).collect(),
+        }
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.node_of[rank]
+    }
+
+    /// Number of placed ranks.
+    pub fn nranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Do two ranks share a node (and thus communicate over shared memory)?
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// Ranks co-located on `node`, in rank order.
+    pub fn ranks_on(&self, node: NodeId) -> Vec<usize> {
+        (0..self.node_of.len())
+            .filter(|&r| self.node_of[r] == node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_fills_nodes() {
+        let c = Cluster::grid5000_opteron();
+        let p = Placement::block(16, &c);
+        assert_eq!(p.node_of(0), NodeId(0));
+        assert_eq!(p.node_of(7), NodeId(0));
+        assert_eq!(p.node_of(8), NodeId(1));
+        assert_eq!(p.node_of(15), NodeId(1));
+        assert!(p.same_node(0, 7));
+        assert!(!p.same_node(7, 8));
+    }
+
+    #[test]
+    fn round_robin_spreads_ranks() {
+        let c = Cluster::grid5000_opteron();
+        let p = Placement::round_robin(8, &c);
+        for r in 0..8 {
+            assert_eq!(p.node_of(r), NodeId(r));
+        }
+        // No pair shares a node — the "no shared memory" NAS case.
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert!(!p.same_node(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_on_lists_colocated() {
+        let c = Cluster::new(2, 2, vec![]);
+        let p = Placement::block(4, &c);
+        assert_eq!(p.ranks_on(NodeId(0)), vec![0, 1]);
+        assert_eq!(p.ranks_on(NodeId(1)), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn overfull_placement_rejected() {
+        let c = Cluster::new(1, 2, vec![]);
+        let _ = Placement::block(3, &c);
+    }
+
+    #[test]
+    fn paper_testbeds() {
+        let pt2pt = Cluster::xeon_pair();
+        assert_eq!(pt2pt.nodes, 2);
+        assert_eq!(pt2pt.rails.len(), 2);
+        let nas = Cluster::grid5000_opteron();
+        assert_eq!(nas.nodes, 10);
+        assert_eq!(nas.total_cores(), 80);
+        assert_eq!(nas.rails.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the simulation engine: determinism, event
+//! ordering, and clock monotonicity under arbitrary rank programs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simnet::{SimBuilder, SimDuration, SimTime};
+
+/// A tiny rank program: a list of compute durations with optional
+/// same-time yields in between.
+#[derive(Clone, Debug)]
+struct Program {
+    steps: Vec<(u64, bool)>, // (advance ns, yield afterwards?)
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    proptest::collection::vec((0u64..10_000, any::<bool>()), 1..12)
+        .prop_map(|steps| Program { steps })
+}
+
+/// Run a set of programs and return the (rank, step, time) trace.
+fn run_trace(programs: &[Program]) -> Vec<(usize, usize, SimTime)> {
+    let mut sim = SimBuilder::new().build();
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    for (r, prog) in programs.iter().enumerate() {
+        let trace = Arc::clone(&trace);
+        let prog = prog.clone();
+        sim.spawn_rank(format!("r{r}"), move |ctx| {
+            for (i, &(ns, yield_after)) in prog.steps.iter().enumerate() {
+                ctx.advance(SimDuration::nanos(ns));
+                trace.lock().push((r, i, ctx.now()));
+                if yield_after {
+                    ctx.yield_now();
+                }
+            }
+        });
+    }
+    sim.run().unwrap();
+    let t = trace.lock().clone();
+    t
+}
+
+proptest! {
+    /// Identical inputs produce bit-identical traces (determinism is the
+    /// foundation every experiment in this workspace rests on).
+    #[test]
+    fn runs_are_deterministic(programs in proptest::collection::vec(program_strategy(), 1..5)) {
+        let a = run_trace(&programs);
+        let b = run_trace(&programs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-rank times are the prefix sums of its advances, regardless of
+    /// interleaving with other ranks.
+    #[test]
+    fn per_rank_clocks_are_prefix_sums(programs in proptest::collection::vec(program_strategy(), 1..5)) {
+        let trace = run_trace(&programs);
+        for (r, prog) in programs.iter().enumerate() {
+            let mut acc = 0u64;
+            let mut step = 0usize;
+            for &(rank, i, t) in &trace {
+                if rank != r {
+                    continue;
+                }
+                prop_assert_eq!(i, step, "steps out of order for rank {}", r);
+                acc += prog.steps[i].0;
+                prop_assert_eq!(t, SimTime(acc));
+                step += 1;
+            }
+            prop_assert_eq!(step, prog.steps.len());
+        }
+    }
+
+    /// The global trace is sorted by time (the engine never runs anything
+    /// in the past).
+    #[test]
+    fn global_trace_is_time_sorted(programs in proptest::collection::vec(program_strategy(), 1..5)) {
+        let trace = run_trace(&programs);
+        for w in trace.windows(2) {
+            prop_assert!(w[1].2 >= w[0].2, "clock went backwards: {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Scheduled callbacks fire at exactly their requested instants, in
+    /// insertion order for ties.
+    #[test]
+    fn callbacks_fire_at_requested_times(delays in proptest::collection::vec(0u64..50_000, 1..40)) {
+        let sim = SimBuilder::new().build();
+        let sched = sim.scheduler();
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let fired = Arc::clone(&fired);
+            sched.schedule_at(SimTime(d), move |s| {
+                fired.lock().push((i, s.now()));
+            });
+        }
+        sim.run().unwrap();
+        let fired = fired.lock();
+        prop_assert_eq!(fired.len(), delays.len());
+        for &(i, t) in fired.iter() {
+            prop_assert_eq!(t, SimTime(delays[i]));
+        }
+        // Stable for equal times: among entries with equal time, insertion
+        // index increases.
+        for w in fired.windows(2) {
+            if w[0].1 == w[1].1 {
+                prop_assert!(w[0].0 < w[1].0, "tie broken out of order");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Multirail demo: move 32 MB across the heterogeneous IB + Myrinet pair
+//! and watch NewMadeleine's sampling-based split aggregate both NICs'
+//! bandwidth (the Fig. 5 behaviour).
+//!
+//! ```sh
+//! cargo run --release --example multirail_transfer
+//! ```
+
+use std::sync::Arc;
+
+use mpich2_nmad_repro::mpi_ch3::stack::{run_mpi, StackConfig};
+use mpich2_nmad_repro::mpi_ch3::{MpiHandle, Src};
+use mpich2_nmad_repro::simnet::{Cluster, Placement, SimTime};
+use parking_lot::Mutex;
+
+const SIZE: usize = 32 << 20;
+const MB: f64 = (1 << 20) as f64;
+
+fn transfer(stack: &StackConfig) -> (f64, u64) {
+    let cluster = Cluster::xeon_pair();
+    let placement = Placement::one_per_node(2, &cluster);
+    let done = Arc::new(Mutex::new(SimTime::ZERO));
+    let d2 = Arc::clone(&done);
+    let out = run_mpi(
+        &cluster,
+        &placement,
+        stack,
+        2,
+        Arc::new(move |mpi: MpiHandle| {
+            if mpi.rank() == 0 {
+                let payload = vec![0x42u8; SIZE];
+                mpi.send(1, 1, &payload);
+            } else {
+                let (data, _) = mpi.recv(Src::Rank(0), 1);
+                assert_eq!(data.len(), SIZE);
+                *d2.lock() = mpi.now();
+            }
+        }),
+    );
+    let secs = done.lock().as_secs_f64();
+    let chunks = out.nm_stats[0].data_chunks_sent;
+    (SIZE as f64 / MB / secs, chunks)
+}
+
+fn main() {
+    println!("transferring {} MB, one message:", SIZE >> 20);
+    for (label, stack) in [
+        ("IB only      ", StackConfig::mpich2_nmad_rail(0, false)),
+        ("MX only      ", StackConfig::mpich2_nmad_rail(1, false)),
+        ("multirail    ", StackConfig::mpich2_nmad(false)),
+    ] {
+        let (mbps, chunks) = transfer(&stack);
+        println!("  {label} {mbps:7.0} MB/s  ({chunks} rendezvous chunks)");
+    }
+    println!(
+        "\nThe multirail strategy samples each rail's latency/bandwidth at\n\
+         startup and splits the payload so both NICs finish together —\n\
+         the aggregated figure approaches the sum of the two rails\n\
+         (paper, Fig. 5b: ~2250 MB/s from 1250 + 1100)."
+    );
+}

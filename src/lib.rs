@@ -1,0 +1,13 @@
+//! Umbrella crate for the MPICH2-NewMadeleine reproduction workspace.
+//!
+//! Re-exports the individual crates under one roof so the examples and the
+//! workspace-level integration tests can `use mpich2_nmad_repro::...`.
+
+pub use baselines;
+pub use mpi_ch3;
+pub use nasbench;
+pub use nemesis;
+pub use netpipe;
+pub use nmad;
+pub use piom;
+pub use simnet;

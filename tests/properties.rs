@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over core invariants:
+//!
+//! * arbitrary message schedules are delivered intact and in per-sender
+//!   order on both the bypass and a baseline stack;
+//! * the sampling split is always an exact partition with near-equal
+//!   finish times;
+//! * the ANY_SOURCE list machinery never loses or duplicates a message
+//!   under random source/parking interleavings.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use mpich2_nmad_repro::baselines;
+use mpich2_nmad_repro::mpi_ch3::stack::{run_mpi_collect, StackConfig};
+use mpich2_nmad_repro::mpi_ch3::Src;
+use mpich2_nmad_repro::nmad::sampling::{split_sizes, LinkProfile};
+use mpich2_nmad_repro::simnet::{Cluster, NodeId, Placement, SimDuration};
+
+/// One message in a random schedule.
+#[derive(Clone, Debug)]
+struct Msg {
+    from: usize, // 1..=3 (rank 0 receives)
+    size: usize,
+    delay_ns: u64,
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    (1usize..=3, 1usize..40_000, 0u64..5_000).prop_map(|(from, size, delay_ns)| Msg {
+        from,
+        size,
+        delay_ns,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full MPI job; keep the count modest
+        .. ProptestConfig::default()
+    })]
+
+    /// Any schedule of messages from 3 senders (one intra-node, two
+    /// remote) to a single ANY_SOURCE receiver arrives exactly once, with
+    /// per-sender FIFO order, on the bypass stack.
+    #[test]
+    fn any_source_never_loses_or_reorders(msgs in proptest::collection::vec(msg_strategy(), 1..12)) {
+        let cluster = Cluster::grid5000_opteron();
+        let placement = Placement::explicit(vec![
+            NodeId(0), NodeId(0), NodeId(1), NodeId(2),
+        ]);
+        let stack = StackConfig::mpich2_nmad(false);
+        let per_sender: Vec<Vec<Msg>> = (1..=3)
+            .map(|s| msgs.iter().filter(|m| m.from == s).cloned().collect())
+            .collect();
+        let total = msgs.len();
+        let ps = per_sender.clone();
+        let (_, ok) = run_mpi_collect(&cluster, &placement, &stack, 4, move |mpi| {
+            if mpi.rank() == 0 {
+                let mut seen: Vec<Vec<(usize, u8)>> = vec![Vec::new(); 4];
+                for _ in 0..total {
+                    let (data, st) = mpi.recv(Src::Any, 5);
+                    seen[st.source].push((data.len(), data[0]));
+                }
+                // Per-sender order must match the send order.
+                for s in 1..=3usize {
+                    let expect: Vec<(usize, u8)> = ps[s - 1]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, m)| (m.size, i as u8))
+                        .collect();
+                    if seen[s] != expect {
+                        return false;
+                    }
+                }
+                true
+            } else {
+                for (i, m) in ps[mpi.rank() - 1].iter().enumerate() {
+                    mpi.compute(SimDuration::nanos(m.delay_ns));
+                    let mut payload = vec![0u8; m.size];
+                    payload[0] = i as u8;
+                    mpi.send(0, 5, &payload);
+                }
+                true
+            }
+        });
+        prop_assert!(ok.into_iter().all(|b| b));
+    }
+
+    /// The equal-finish split always partitions exactly and balances
+    /// completion times across rails.
+    #[test]
+    fn split_partitions_exactly(
+        size in 1usize..(64 << 20),
+        lat_a in 100u64..10_000,
+        lat_b in 100u64..10_000,
+        bw_a in 100.0f64..4000.0,
+        bw_b in 100.0f64..4000.0,
+    ) {
+        let profiles = [
+            LinkProfile { latency: SimDuration::nanos(lat_a), bandwidth_bps: bw_a * 1e6 },
+            LinkProfile { latency: SimDuration::nanos(lat_b), bandwidth_bps: bw_b * 1e6 },
+        ];
+        let chunks = split_sizes(size, &profiles);
+        prop_assert_eq!(chunks.iter().sum::<usize>(), size);
+        // If both rails got a share, their finish times are close.
+        if chunks.iter().all(|&c| c > 0) {
+            let t0 = profiles[0].predict(chunks[0]).as_nanos() as f64;
+            let t1 = profiles[1].predict(chunks[1]).as_nanos() as f64;
+            let rel = (t0 - t1).abs() / t0.max(t1);
+            prop_assert!(rel < 0.05, "finish skew {rel}: {t0} vs {t1}");
+        }
+    }
+
+    /// Random payloads survive a round trip bit-for-bit on a baseline
+    /// (CH3 rendezvous with ACK pipeline) stack.
+    #[test]
+    fn payload_integrity_openmpi_stack(seed in 0u64..u64::MAX, size in 1usize..300_000) {
+        let cluster = Cluster::xeon_pair();
+        let placement = Placement::one_per_node(2, &cluster);
+        let stack = baselines::openmpi(0);
+        let data: Vec<u8> = (0..size)
+            .map(|i| {
+                let x = seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15);
+                (x >> 56) as u8
+            })
+            .collect();
+        let expect = Bytes::from(data.clone());
+        let (_, ok) = run_mpi_collect(&cluster, &placement, &stack, 2, move |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 1, &data);
+                true
+            } else {
+                let (got, _) = mpi.recv(Src::Rank(0), 1);
+                got == expect
+            }
+        });
+        prop_assert!(ok.into_iter().all(|b| b));
+    }
+}
