@@ -46,6 +46,8 @@ pub fn mvapich2(rail: usize) -> StackConfig {
         cells_per_rank: 64,
         nm: NmConfig::default(),
         compute_factor: 1.0,
+        fabric_seed: 0,
+        faults: None,
     }
 }
 
@@ -73,6 +75,8 @@ pub fn openmpi_btl(rail: usize) -> StackConfig {
         cells_per_rank: 64,
         nm: NmConfig::default(),
         compute_factor: 1.06,
+        fabric_seed: 0,
+        faults: None,
     }
 }
 
@@ -97,6 +101,8 @@ pub fn openmpi_pml(rail: usize) -> StackConfig {
         cells_per_rank: 64,
         nm: NmConfig::default(),
         compute_factor: 1.06,
+        fabric_seed: 0,
+        faults: None,
     }
 }
 

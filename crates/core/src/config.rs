@@ -1,5 +1,7 @@
 //! NewMadeleine configuration: strategy selection and protocol thresholds.
 
+use simnet::SimDuration;
+
 /// Which scheduling strategy the core runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StrategyKind {
@@ -17,6 +19,34 @@ pub enum StrategyKind {
     SplitEqual,
 }
 
+/// Transport-level reliability: timeout / retransmit / backoff for
+/// envelopes (eager + RTS), the CTS handshake half, and rendezvous data.
+/// Required whenever the fabric runs a fault plan that drops packets;
+/// `None` (the default) keeps the happy-path protocol — packet counts,
+/// wire traffic, timings — byte-identical to the calibrated model.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// Initial retransmission timeout.
+    pub timeout: SimDuration,
+    /// Multiplier applied to a packet's timeout after each retransmission.
+    pub backoff: u32,
+    /// Ceiling on the per-packet backed-off timeout.
+    pub max_timeout: SimDuration,
+    /// Retransmission attempts before the core declares the link dead.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: SimDuration::micros(80),
+            backoff: 2,
+            max_timeout: SimDuration::millis(1),
+            max_attempts: 64,
+        }
+    }
+}
+
 /// Tunables of one NewMadeleine instance.
 #[derive(Clone, Copy, Debug)]
 pub struct NmConfig {
@@ -31,6 +61,9 @@ pub struct NmConfig {
     pub max_aggreg_bytes: usize,
     /// …or this many fragments.
     pub max_aggreg_count: usize,
+    /// Transport-level retransmission (fault-tolerant mode). `None` keeps
+    /// the exact happy-path wire behaviour.
+    pub retry: Option<RetryConfig>,
 }
 
 impl Default for NmConfig {
@@ -41,6 +74,7 @@ impl Default for NmConfig {
             multirail_threshold: 32 * 1024,
             max_aggreg_bytes: 8 * 1024,
             max_aggreg_count: 16,
+            retry: None,
         }
     }
 }

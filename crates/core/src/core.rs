@@ -34,14 +34,14 @@
 //! This is what makes communication/computation overlap an explicit
 //! property of *who drives progress* — the subject of Fig. 7.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{Fabric, NodeId, RailId, Scheduler};
+use simnet::{Fabric, NodeId, RailId, Scheduler, SimDuration, SimTime};
 
-use crate::config::NmConfig;
+use crate::config::{NmConfig, RetryConfig};
 use crate::matching::{GateId, MatchEngine, Unexpected};
 use crate::pack::{PacketWrapper, PwBody, PwId};
 use crate::sampling::LinkProfile;
@@ -65,7 +65,7 @@ pub struct NmNet {
 }
 
 /// Counters exposed for tests and the benchmark harnesses.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct NmStats {
     pub eager_sends: u64,
     pub rdv_sends: u64,
@@ -75,6 +75,30 @@ pub struct NmStats {
     pub data_chunks_sent: u64,
     pub recv_completions: u64,
     pub send_completions: u64,
+    /// Retry mode: eager envelopes retransmitted after an ack timeout.
+    pub eager_retries: u64,
+    /// Retry mode: RTS packets retransmitted (no CTS within the timeout).
+    pub rts_retries: u64,
+    /// Retry mode: CTS packets retransmitted (receiver-side, no DATA
+    /// progress within the timeout) or replayed for a duplicate RTS.
+    pub cts_retries: u64,
+    /// Retry mode: whole rendezvous payloads replayed (no FIN in time).
+    pub data_retries: u64,
+    /// Retry mode: cumulative envelope acks emitted.
+    pub acks_sent: u64,
+    /// Retry mode: rendezvous FIN packets emitted (including replays).
+    pub fins_sent: u64,
+    /// Retry mode: duplicate envelopes discarded by the sequence check.
+    pub dup_envelopes: u64,
+    /// Retry mode: duplicate DATA bytes discarded by range tracking.
+    pub dup_data: u64,
+}
+
+impl NmStats {
+    /// Total retransmissions across all packet classes.
+    pub fn total_retries(&self) -> u64 {
+        self.eager_retries + self.rts_retries + self.cts_retries + self.data_retries
+    }
 }
 
 struct SendReq {
@@ -95,6 +119,15 @@ struct RdvOut {
     /// Chunks handed to a rail whose send-completion hasn't fired.
     chunks_in_flight: usize,
     cts_received: bool,
+    /// Matching envelope identity, kept for RTS retransmission.
+    tag: u64,
+    seq: u64,
+    /// Retry mode: armed retransmission timer. `None` while nothing is
+    /// outstanding on the wire (RTS not yet committed, or DATA chunks in
+    /// flight on the local NIC).
+    deadline: Option<SimTime>,
+    timeout: SimDuration,
+    attempts: u32,
 }
 
 struct RdvIn {
@@ -103,6 +136,21 @@ struct RdvIn {
     tag: u64,
     buf: Vec<u8>,
     received: usize,
+    /// Retry mode: disjoint, sorted byte ranges already landed — makes
+    /// replayed DATA idempotent.
+    ranges: Vec<(usize, usize)>,
+    /// Retry mode: CTS retransmission timer, re-armed on DATA progress.
+    deadline: Option<SimTime>,
+    timeout: SimDuration,
+    attempts: u32,
+}
+
+/// Retry mode: one unacked eager envelope awaiting a cumulative ack.
+struct EnvRetx {
+    payload: WirePayload,
+    deadline: SimTime,
+    timeout: SimDuration,
+    attempts: u32,
 }
 
 /// An envelope (matchable) message after transport reordering.
@@ -134,9 +182,45 @@ struct Inner {
     /// Packets accepted from the fabric, pending processing.
     inbound: VecDeque<NmWire>,
     completions: VecDeque<NmCompletion>,
+    /// Retry mode: unacked eager envelopes per (dst, tag), keyed by seq.
+    /// BTreeMap so retransmission sweeps are deterministic.
+    env_unacked: BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
+    /// Retry mode: receiver-side tombstones of finished rendezvous — a
+    /// replayed RTS/DATA for one of these gets a FIN, not a new transfer.
+    rdv_done: HashSet<(usize, u64)>,
+    /// Retry mode: acks/FINs to put on the wire after the current inbound
+    /// batch (sent outside the inner lock).
+    ctrl_out: VecDeque<(usize, WirePayload)>,
     next_pw: u64,
     next_rdv: u64,
     stats: NmStats,
+}
+
+/// Merge `[start, end)` into a sorted, disjoint range set; returns how many
+/// bytes of the new range were not already covered.
+fn insert_range(ranges: &mut Vec<(usize, usize)>, start: usize, end: usize) -> usize {
+    let mut fresh = end - start;
+    for &(rs, re) in ranges.iter() {
+        let os = start.max(rs);
+        let oe = end.min(re);
+        if os < oe {
+            fresh -= oe - os;
+        }
+    }
+    ranges.push((start, end));
+    ranges.sort_unstable();
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    for &(rs, re) in ranges.iter() {
+        if let Some(last) = merged.last_mut() {
+            if rs <= last.1 {
+                last.1 = last.1.max(re);
+                continue;
+            }
+        }
+        merged.push((rs, re));
+    }
+    *ranges = merged;
+    fresh
 }
 
 /// One NewMadeleine instance (per process).
@@ -188,6 +272,9 @@ impl NmCore {
                 parked: HashMap::new(),
                 inbound: VecDeque::new(),
                 completions: VecDeque::new(),
+                env_unacked: BTreeMap::new(),
+                rdv_done: HashSet::new(),
+                ctrl_out: VecDeque::new(),
                 next_pw: 0,
                 next_rdv: 0,
                 stats: NmStats::default(),
@@ -270,6 +357,11 @@ impl NmCore {
             let rdv_id = inner.next_rdv;
             inner.next_rdv += 1;
             let len = data.len();
+            let timeout = inner
+                .cfg
+                .retry
+                .map(|rc| rc.timeout)
+                .unwrap_or(SimDuration::ZERO);
             inner.rdv_dst.insert(rdv_id, dst);
             inner.rdv_out.insert(
                 rdv_id,
@@ -279,6 +371,11 @@ impl NmCore {
                     bytes_remaining: len,
                     chunks_in_flight: 0,
                     cts_received: false,
+                    tag,
+                    seq,
+                    deadline: None,
+                    timeout,
+                    attempts: 0,
                 },
             );
             let pw = PacketWrapper {
@@ -339,15 +436,33 @@ impl NmCore {
     /// progress engine run one promptly.
     pub fn accept(self: &Arc<Self>, sched: &Scheduler, wire: NmWire) {
         debug_assert_eq!(wire.dst_rank, self.rank, "misrouted packet");
-        self.inner.lock().inbound.push_back(wire);
+        let retry = {
+            let mut inner = self.inner.lock();
+            inner.inbound.push_back(wire);
+            inner.cfg.retry.is_some()
+        };
+        // In retry mode the transport must stay responsive (ack and FIN
+        // replays) even after the local rank has stopped polling — e.g. a
+        // receiver that already completed while the sender retransmits.
+        // `accept` runs on the engine thread, so processing inline is safe.
+        if retry {
+            self.schedule(sched);
+        }
         self.fire_hook(sched);
     }
 
-    /// `nm_schedule`: process inbound packets, then commit the submission
-    /// windows. The MPI progress engine (or PIOMan) calls this.
+    /// `nm_schedule`: process inbound packets, sweep retransmission timers
+    /// (retry mode), then commit the submission windows. The MPI progress
+    /// engine (or PIOMan) calls this.
     pub fn schedule(self: &Arc<Self>, sched: &Scheduler) {
         self.process_inbound(sched);
+        self.sweep_retries(sched);
         self.try_commit(sched);
+    }
+
+    /// Is transport-level retransmission configured?
+    pub fn retry_enabled(&self) -> bool {
+        self.inner.lock().cfg.retry.is_some()
     }
 
     /// Drain all surfaced completions (cookies of finished requests).
@@ -395,6 +510,8 @@ impl NmCore {
             && inner.rdv_out.is_empty()
             && inner.rdv_in.is_empty()
             && inner.completions.is_empty()
+            && inner.env_unacked.is_empty()
+            && inner.ctrl_out.is_empty()
     }
 
     /// Counter snapshot.
@@ -408,14 +525,24 @@ impl NmCore {
 
     fn process_inbound(self: &Arc<Self>, sched: &Scheduler) {
         let mut inner = self.inner.lock();
+        // Retry mode: (src, tag) envelope flows touched by this batch — each
+        // gets one cumulative ack afterwards (BTreeSet: deterministic order).
+        let mut touched: BTreeSet<(usize, u64)> = BTreeSet::new();
+        let retry = inner.cfg.retry.is_some();
         while let Some(wire) = inner.inbound.pop_front() {
             let src = wire.src_rank;
             match wire.payload {
                 WirePayload::Eager { tag, seq, data } => {
+                    if retry {
+                        touched.insert((src, tag));
+                    }
                     Self::deliver_envelope(&mut inner, sched, src, tag, seq, Envelope::Eager(data));
                 }
                 WirePayload::Aggregate(frags) => {
                     for EagerFrag { tag, seq, data } in frags {
+                        if retry {
+                            touched.insert((src, tag));
+                        }
                         Self::deliver_envelope(
                             &mut inner,
                             sched,
@@ -432,6 +559,9 @@ impl NmCore {
                     rdv_id,
                     len,
                 } => {
+                    if retry {
+                        touched.insert((src, tag));
+                    }
                     Self::deliver_envelope(
                         &mut inner,
                         sched,
@@ -449,15 +579,68 @@ impl NmCore {
                     offset,
                     data,
                 } => {
-                    Self::handle_data(&mut inner, src, rdv_id, offset, data);
+                    Self::handle_data(&mut inner, sched.now(), src, rdv_id, offset, data);
+                }
+                WirePayload::Ack { tag, next } => {
+                    if let Some(map) = inner.env_unacked.get_mut(&(src, tag)) {
+                        map.retain(|&seq, _| seq >= next);
+                        if map.is_empty() {
+                            inner.env_unacked.remove(&(src, tag));
+                        }
+                    }
+                }
+                WirePayload::RdvFin { rdv_id } => {
+                    // Receiver finished: release the payload, complete the
+                    // send. A replayed FIN finds nothing — ignore it.
+                    if let Some(rdv) = inner.rdv_out.remove(&rdv_id) {
+                        inner.rdv_dst.remove(&rdv_id);
+                        Self::complete_send(&mut inner, rdv.send_req);
+                    }
                 }
             }
         }
+        for (src, tag) in touched {
+            let next = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
+            inner.stats.acks_sent += 1;
+            inner.ctrl_out.push_back((src, WirePayload::Ack { tag, next }));
+        }
         let had_completion = !inner.completions.is_empty();
         drop(inner);
+        self.flush_ctrl(sched);
         if had_completion {
             self.fire_hook(sched);
         }
+    }
+
+    /// Send queued acks/FINs (control traffic bypasses the gates — it must
+    /// not be rescheduled or aggregated by the machinery it repairs).
+    fn flush_ctrl(self: &Arc<Self>, sched: &Scheduler) {
+        loop {
+            let next = self.inner.lock().ctrl_out.pop_front();
+            match next {
+                Some((dst, payload)) => self.send_direct(sched, dst, payload),
+                None => break,
+            }
+        }
+    }
+
+    /// Put one control/retransmission packet directly on rail 0.
+    fn send_direct(self: &Arc<Self>, sched: &Scheduler, dst: usize, payload: WirePayload) {
+        let wire = NmWire {
+            src_rank: self.rank,
+            dst_rank: dst,
+            payload,
+        };
+        let bytes = wire.wire_bytes();
+        self.net.fabric.send(
+            sched,
+            self.net.rails[0],
+            self.net.node,
+            self.net.rank_to_node[dst],
+            bytes,
+            wire,
+            None,
+        );
     }
 
     /// Transport-level reordering: envelopes are fed to matching strictly
@@ -471,26 +654,43 @@ impl NmCore {
         env: Envelope,
     ) {
         let expected = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
+        if seq < expected {
+            // Already delivered: a retransmission or a wire duplicate.
+            let retry = inner.cfg.retry.is_some();
+            debug_assert!(retry, "duplicate or replayed envelope");
+            inner.stats.dup_envelopes += 1;
+            if retry {
+                // A replayed RTS may mean the handshake reply was lost:
+                // replay the CTS (transfer live) or the FIN (finished).
+                if let Envelope::Rts { rdv_id, .. } = env {
+                    if inner.rdv_done.contains(&(src, rdv_id)) {
+                        inner.stats.fins_sent += 1;
+                        inner
+                            .ctrl_out
+                            .push_back((src, WirePayload::RdvFin { rdv_id }));
+                    } else if inner.rdv_in.contains_key(&(src, rdv_id)) {
+                        inner.stats.cts_retries += 1;
+                        inner.ctrl_out.push_back((src, WirePayload::Cts { rdv_id }));
+                    }
+                }
+            }
+            return;
+        }
         if seq != expected {
-            debug_assert!(seq > expected, "duplicate or replayed envelope");
-            inner
-                .parked
-                .entry((src, tag))
-                .or_default()
-                .insert(seq, env);
+            let map = inner.parked.entry((src, tag)).or_default();
+            if map.insert(seq, env).is_some() {
+                inner.stats.dup_envelopes += 1;
+            }
             return;
         }
         Self::deliver_now(inner, sched, src, tag, seq, env);
         let mut next = seq + 1;
         // Drain any parked successors that are now in order.
-        loop {
-            let env = match inner.parked.get_mut(&(src, tag)) {
-                Some(map) => match map.remove(&next) {
-                    Some(e) => e,
-                    None => break,
-                },
-                None => break,
-            };
+        while let Some(env) = inner
+            .parked
+            .get_mut(&(src, tag))
+            .and_then(|map| map.remove(&next))
+        {
             Self::deliver_now(inner, sched, src, tag, next, env);
             next += 1;
         }
@@ -563,6 +763,12 @@ impl NmCore {
         rdv_id: u64,
         len: usize,
     ) {
+        let timeout = inner
+            .cfg
+            .retry
+            .map(|rc| rc.timeout)
+            .unwrap_or(SimDuration::ZERO);
+        let deadline = inner.cfg.retry.map(|rc| sched.now() + rc.timeout);
         let prev = inner.rdv_in.insert(
             (src, rdv_id),
             RdvIn {
@@ -571,6 +777,10 @@ impl NmCore {
                 tag,
                 buf: vec![0u8; len],
                 received: 0,
+                ranges: Vec::new(),
+                deadline,
+                timeout,
+                attempts: 0,
             },
         );
         debug_assert!(prev.is_none(), "duplicate rendezvous id from rank {src}");
@@ -588,12 +798,21 @@ impl NmCore {
 
     /// The sender got clear-to-send: queue the payload as splittable DATA.
     fn handle_cts(inner: &mut Inner, sched: &Scheduler, rdv_id: u64) {
-        let rdv = inner
-            .rdv_out
-            .get_mut(&rdv_id)
-            .expect("CTS for unknown rendezvous");
-        debug_assert!(!rdv.cts_received, "duplicate CTS");
+        let retry = inner.cfg.retry.is_some();
+        let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
+            // Only reachable via retransmission: the rendezvous finished
+            // (FIN processed) and a replayed CTS straggled in.
+            assert!(retry, "CTS for unknown rendezvous");
+            return;
+        };
+        if rdv.cts_received {
+            debug_assert!(retry, "duplicate CTS");
+            return;
+        }
         rdv.cts_received = true;
+        // Disarm the RTS timer; it re-arms as a FIN timer once every DATA
+        // chunk has left the local NIC.
+        rdv.deadline = None;
         let data = rdv.data.clone();
         let dst = *inner
             .rdv_dst
@@ -612,21 +831,64 @@ impl NmCore {
     }
 
     /// A DATA chunk landed: copy it into the rendezvous buffer; complete
-    /// the receive when the last byte arrives.
-    fn handle_data(inner: &mut Inner, src: usize, rdv_id: u64, offset: usize, data: Bytes) {
+    /// the receive when the last byte arrives. In retry mode replayed
+    /// chunks are idempotent (range tracking) and chunks for a finished
+    /// rendezvous replay the FIN.
+    fn handle_data(
+        inner: &mut Inner,
+        now: SimTime,
+        src: usize,
+        rdv_id: u64,
+        offset: usize,
+        data: Bytes,
+    ) {
         let key = (src, rdv_id);
-        let done = {
-            let rdv = inner
-                .rdv_in
-                .get_mut(&key)
-                .expect("DATA for unknown rendezvous");
+        let retry = inner.cfg.retry.is_some();
+        if retry && inner.rdv_done.contains(&key) {
+            // The sender's FIN was lost and it replayed the payload.
+            inner.stats.dup_data += 1;
+            inner.stats.fins_sent += 1;
+            inner
+                .ctrl_out
+                .push_back((src, WirePayload::RdvFin { rdv_id }));
+            return;
+        }
+        let (done, dup_bytes) = {
+            let Some(rdv) = inner.rdv_in.get_mut(&key) else {
+                assert!(retry, "DATA for unknown rendezvous");
+                // Not tombstoned and not live: the RTS retransmit that will
+                // recreate the rendezvous hasn't landed yet. Drop the chunk;
+                // the sender's FIN timer replays it.
+                return;
+            };
             rdv.buf[offset..offset + data.len()].copy_from_slice(&data);
-            rdv.received += data.len();
+            let dup = if retry {
+                let fresh = insert_range(&mut rdv.ranges, offset, offset + data.len());
+                rdv.received += fresh;
+                // Progress arrived: push the CTS retransmission timer out.
+                if let Some(dl) = rdv.deadline.as_mut() {
+                    *dl = now + rdv.timeout;
+                }
+                (data.len() - fresh) as u64
+            } else {
+                rdv.received += data.len();
+                0
+            };
             debug_assert!(rdv.received <= rdv.buf.len());
-            rdv.received == rdv.buf.len()
+            (rdv.received == rdv.buf.len(), dup)
         };
+        if dup_bytes > 0 {
+            inner.stats.dup_data += 1;
+        }
         if done {
             let rdv = inner.rdv_in.remove(&key).unwrap();
+            if retry {
+                inner.rdv_done.insert(key);
+                inner.stats.fins_sent += 1;
+                inner
+                    .ctrl_out
+                    .push_back((src, WirePayload::RdvFin { rdv_id }));
+            }
             Self::complete_recv(
                 inner,
                 rdv.recv_req,
@@ -634,6 +896,107 @@ impl NmCore {
                 GateId(rdv.gate),
                 rdv.tag,
             );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission (retry mode)
+    // ------------------------------------------------------------------
+
+    /// Walk every armed retransmission timer and replay what timed out:
+    /// unacked eager envelopes, RTS without a CTS, CTS without DATA
+    /// progress, and finished DATA transfers without a FIN. Timeouts back
+    /// off exponentially up to `max_timeout`; `max_attempts` consecutive
+    /// replays without progress declare the link dead. No-op unless
+    /// `NmConfig.retry` is set.
+    fn sweep_retries(self: &Arc<Self>, sched: &Scheduler) {
+        let now = sched.now();
+        let mut resend: Vec<(usize, WirePayload)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let Some(rc) = inner.cfg.retry else { return };
+            let bump = |timeout: &mut SimDuration, attempts: &mut u32, what: &str| {
+                *attempts += 1;
+                assert!(
+                    *attempts <= rc.max_attempts,
+                    "{what}: {} retransmissions without progress — link presumed dead",
+                    rc.max_attempts
+                );
+                let t = timeout
+                    .as_nanos()
+                    .saturating_mul(rc.backoff as u64)
+                    .min(rc.max_timeout.as_nanos());
+                *timeout = SimDuration::nanos(t);
+            };
+            for (&(dst, _tag), flow) in inner.env_unacked.iter_mut() {
+                for rx in flow.values_mut() {
+                    if now < rx.deadline {
+                        continue;
+                    }
+                    bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
+                    rx.deadline = now + rx.timeout;
+                    inner.stats.eager_retries += 1;
+                    resend.push((dst, rx.payload.clone()));
+                }
+            }
+            // rdv_out / rdv_in are HashMaps: collect + sort so the replay
+            // order (and thus the fault RNG stream) stays deterministic.
+            let mut out_ids: Vec<u64> = inner
+                .rdv_out
+                .iter()
+                .filter(|(_, r)| r.deadline.is_some_and(|dl| now >= dl))
+                .map(|(&id, _)| id)
+                .collect();
+            out_ids.sort_unstable();
+            for rdv_id in out_ids {
+                let dst = inner.rdv_dst[&rdv_id];
+                let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+                bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (sender)");
+                rdv.deadline = Some(now + rdv.timeout);
+                if !rdv.cts_received {
+                    inner.stats.rts_retries += 1;
+                    resend.push((
+                        dst,
+                        WirePayload::Rts {
+                            tag: rdv.tag,
+                            seq: rdv.seq,
+                            rdv_id,
+                            len: rdv.data.len(),
+                        },
+                    ));
+                } else {
+                    // FIN wait: the receiver never confirmed. Replay the
+                    // whole payload — range tracking dedups whatever did
+                    // arrive, and a tombstoned receiver replays the FIN.
+                    inner.stats.data_retries += 1;
+                    resend.push((
+                        dst,
+                        WirePayload::Data {
+                            rdv_id,
+                            offset: 0,
+                            data: rdv.data.clone(),
+                        },
+                    ));
+                }
+            }
+            let mut in_ids: Vec<(usize, u64)> = inner
+                .rdv_in
+                .iter()
+                .filter(|(_, r)| r.deadline.is_some_and(|dl| now >= dl))
+                .map(|(&k, _)| k)
+                .collect();
+            in_ids.sort_unstable();
+            for key in in_ids {
+                let rdv = inner.rdv_in.get_mut(&key).unwrap();
+                bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
+                rdv.deadline = Some(now + rdv.timeout);
+                inner.stats.cts_retries += 1;
+                resend.push((key.0, WirePayload::Cts { rdv_id: key.1 }));
+            }
+        }
+        for (dst, payload) in resend {
+            self.send_direct(sched, dst, payload);
         }
     }
 
@@ -672,6 +1035,9 @@ impl NmCore {
                         &self.net,
                         &mut inner.stats,
                         &mut inner.rdv_out,
+                        &mut inner.env_unacked,
+                        inner.cfg.retry,
+                        now,
                         dst,
                         sub,
                     ));
@@ -690,10 +1056,18 @@ impl NmCore {
             // memory" (§4.1.1): rendezvous data pays the registration cost
             // before the NIC sees the buffer.
             let reg = if data_chunk_rdv.is_some() {
-                self.net
+                let r = self
+                    .net
                     .fabric
                     .model(out.rail)
-                    .registration_cost(out.bytes, false)
+                    .registration_cost(out.bytes, false);
+                // Injected registration-cache miss: pay a second
+                // (re-)registration round before the NIC sees the buffer.
+                if self.net.fabric.reg_cache_miss(out.rail) {
+                    r + r
+                } else {
+                    r
+                }
             } else {
                 simnet::SimDuration::ZERO
             };
@@ -719,11 +1093,15 @@ impl NmCore {
     }
 
     /// Turn one strategy submission into a wire packet + bookkeeping.
+    #[allow(clippy::too_many_arguments)]
     fn build_outgoing(
         my_rank: usize,
         net: &NmNet,
         stats: &mut NmStats,
         rdv_out: &mut HashMap<u64, RdvOut>,
+        env_unacked: &mut BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
+        retry: Option<RetryConfig>,
+        now: SimTime,
         dst: usize,
         sub: Submission,
     ) -> Outgoing {
@@ -732,6 +1110,28 @@ impl NmCore {
         stats.packets_sent += 1;
         let mut eager_reqs = Vec::new();
         let mut data_chunk_rdv = None;
+        // Retry mode: an eager envelope going on the wire starts its ack
+        // timer and keeps a copy for retransmission.
+        let track_eager = |env_unacked: &mut BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
+                               tag: u64,
+                               seq: u64,
+                               data: &Bytes| {
+            if let Some(rc) = retry {
+                env_unacked.entry((dst, tag)).or_default().insert(
+                    seq,
+                    EnvRetx {
+                        payload: WirePayload::Eager {
+                            tag,
+                            seq,
+                            data: data.clone(),
+                        },
+                        deadline: now + rc.timeout,
+                        timeout: rc.timeout,
+                        attempts: 0,
+                    },
+                );
+            }
+        };
         let payload = if sub.pws.len() > 1 {
             stats.aggregates_sent += 1;
             stats.frags_aggregated += sub.pws.len() as u64;
@@ -745,6 +1145,7 @@ impl NmCore {
                         send_req,
                     } => {
                         eager_reqs.push(send_req);
+                        track_eager(env_unacked, tag, seq, &pw.data);
                         EagerFrag {
                             tag,
                             seq,
@@ -764,6 +1165,7 @@ impl NmCore {
                     send_req,
                 } => {
                     eager_reqs.push(send_req);
+                    track_eager(env_unacked, tag, seq, &pw.data);
                     WirePayload::Eager {
                         tag,
                         seq,
@@ -775,12 +1177,23 @@ impl NmCore {
                     seq,
                     rdv_id,
                     len,
-                } => WirePayload::Rts {
-                    tag,
-                    seq,
-                    rdv_id,
-                    len,
-                },
+                } => {
+                    // Retry mode: arm the RTS→CTS timer now that the RTS is
+                    // actually leaving the node.
+                    if let Some(rc) = retry {
+                        let rdv = rdv_out
+                            .get_mut(&rdv_id)
+                            .expect("RTS for unknown rendezvous");
+                        rdv.deadline = Some(now + rc.timeout);
+                        rdv.timeout = rc.timeout;
+                    }
+                    WirePayload::Rts {
+                        tag,
+                        seq,
+                        rdv_id,
+                        len,
+                    }
+                }
                 PwBody::Cts { rdv_id } => WirePayload::Cts { rdv_id },
                 PwBody::Data { rdv_id, offset } => {
                     stats.data_chunks_sent += 1;
@@ -833,19 +1246,33 @@ impl NmCore {
                 fired = true;
             }
             if let Some(rdv_id) = data_chunk_rdv {
-                let finished = {
-                    let rdv = inner
-                        .rdv_out
-                        .get_mut(&rdv_id)
-                        .expect("sent chunk for unknown rendezvous");
-                    rdv.chunks_in_flight -= 1;
-                    rdv.chunks_in_flight == 0 && rdv.bytes_remaining == 0
+                let retry = inner.cfg.retry;
+                let finished = match inner.rdv_out.get_mut(&rdv_id) {
+                    Some(rdv) => {
+                        rdv.chunks_in_flight -= 1;
+                        rdv.chunks_in_flight == 0 && rdv.bytes_remaining == 0
+                    }
+                    None => {
+                        // Retry mode: the receiver's FIN (driven by a
+                        // retransmitted chunk) beat this NIC completion.
+                        assert!(retry.is_some(), "sent chunk for unknown rendezvous");
+                        false
+                    }
                 };
                 if finished {
-                    let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
-                    inner.rdv_dst.remove(&rdv_id);
-                    Self::complete_send(&mut inner, rdv.send_req);
-                    fired = true;
+                    if let Some(rc) = retry {
+                        // Local completion isn't delivery: hold the payload
+                        // and wait for the receiver's FIN.
+                        let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+                        rdv.attempts = 0;
+                        rdv.timeout = rc.timeout;
+                        rdv.deadline = Some(sched.now() + rc.timeout);
+                    } else {
+                        let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
+                        inner.rdv_dst.remove(&rdv_id);
+                        Self::complete_send(&mut inner, rdv.send_req);
+                        fired = true;
+                    }
                 }
             }
         }

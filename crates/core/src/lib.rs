@@ -54,7 +54,7 @@ pub mod strategy;
 pub mod wire;
 
 pub use crate::core::{NmCore, NmNet};
-pub use config::{NmConfig, StrategyKind};
+pub use config::{NmConfig, RetryConfig, StrategyKind};
 pub use matching::GateId;
 pub use sampling::LinkProfile;
 pub use sr::{NmCompletion, RecvReqId, SendReqId};

@@ -98,7 +98,7 @@ pub fn split_sizes(size: usize, profiles: &[LinkProfile]) -> Vec<usize> {
                 let c = c.min(size - assigned);
                 chunks[i] = c;
                 assigned += c;
-                if best.map_or(true, |b: usize| {
+                if best.is_none_or(|b: usize| {
                     profiles[i].bandwidth_bps > profiles[b].bandwidth_bps
                 }) {
                     best = Some(i);

@@ -47,6 +47,12 @@ pub enum WirePayload {
         offset: usize,
         data: Bytes,
     },
+    /// Retry mode only — cumulative acknowledgement for one (src, tag)
+    /// envelope flow: every sequence number below `next` has arrived.
+    Ack { tag: u64, next: u64 },
+    /// Retry mode only — the receiver finished assembling `rdv_id`; the
+    /// sender may release the payload and complete the send.
+    RdvFin { rdv_id: u64 },
 }
 
 /// A packet as it crosses the fabric.
@@ -72,6 +78,8 @@ impl NmWire {
                 WirePayload::Rts { .. } => 16,
                 WirePayload::Cts { .. } => 8,
                 WirePayload::Data { data, .. } => 8 + data.len(),
+                WirePayload::Ack { .. } => 16,
+                WirePayload::RdvFin { .. } => 8,
             }
     }
 }

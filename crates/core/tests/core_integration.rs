@@ -32,8 +32,8 @@ fn fixture(n: usize, rails: Vec<NicModel>, cfg: NmConfig) -> (Sim, Vec<Arc<NmCor
             )
         })
         .collect();
-    for r in 0..n {
-        let core = Arc::clone(&cores[r]);
+    for (r, c) in cores.iter().enumerate() {
+        let core = Arc::clone(c);
         fabric.set_sink(
             NodeId(r),
             Box::new(move |s, d| core.accept(s, d.msg)),
@@ -49,15 +49,13 @@ fn wait_cookie(ctx: &RankCtx, core: &Arc<NmCore>, cookie: u64) -> Option<Bytes> 
     let mut spins = 0u32;
     loop {
         core.schedule(&sched);
-        for c in core.drain_completions() {
-            if c.cookie == cookie {
-                return match c.kind {
-                    nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
-                    nmad::sr::CompletionKind::Send => None,
-                };
-            }
+        if let Some(c) = core.drain_completions().into_iter().next() {
             // Other completions in a single-purpose test are unexpected.
-            panic!("unexpected completion cookie {}", c.cookie);
+            assert_eq!(c.cookie, cookie, "unexpected completion cookie");
+            return match c.kind {
+                nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
+                nmad::sr::CompletionKind::Send => None,
+            };
         }
         ctx.advance(SimDuration::nanos(100));
         spins += 1;

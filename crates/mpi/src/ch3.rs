@@ -234,6 +234,7 @@ impl Ch3Engine {
     /// engine's configured threshold.
     ///
     /// Returns `true` if the send request `req` is already complete.
+    #[allow(clippy::too_many_arguments)]
     pub fn send_msg(
         &self,
         sched: &Scheduler,
@@ -371,7 +372,6 @@ impl Ch3Engine {
                         self.rdv_chunk.expect("ack mode requires chunking"),
                     );
                     if finished {
-                        let req = req;
                         inner.rdv_out.remove(&rdv_id);
                         drop(inner);
                         send(sched, dst, pkt);

@@ -56,6 +56,12 @@ const MAX_POLL_BACKOFF: SimDuration = SimDuration::micros(2);
 const BULK_POLLS: u32 = 1_000;
 const BULK_POLL_BACKOFF: SimDuration = SimDuration::micros(10);
 
+/// Self-wake period for PIOMan waiters while the retry transport is
+/// active: if a lost packet killed the whole kick chain, the blocked rank
+/// re-drives its own progress cycle (and thus the retransmission sweep)
+/// at this cadence instead of sleeping forever.
+const RETRY_WAKE: SimDuration = SimDuration::micros(100);
+
 /// User-level communicator context (COMM_WORLD point-to-point).
 pub const USER_CTX: u16 = 0;
 /// Context reserved for the collectives in `collectives.rs`.
@@ -629,6 +635,11 @@ impl ProcState {
                 }
                 Some(_) => {
                     // §3.3.2: block on the semaphore; PIOMan wakes us.
+                    // Under the retry transport, also arm a timed self-wake
+                    // — belt and braces next to the PIOMan watchdog.
+                    if self.retry_net() {
+                        self.wake.signal_in(&sched, RETRY_WAKE);
+                    }
                     self.wake.wait(ctx);
                 }
             }
@@ -719,6 +730,11 @@ impl ProcState {
                 None
             }
         }
+    }
+
+    /// Is the inter-node path running the retransmitting transport?
+    fn retry_net(&self) -> bool {
+        matches!(&self.net, NetPath::Direct(core) if core.retry_enabled())
     }
 
     /// Is all outbound protocol work this rank is responsible for done?

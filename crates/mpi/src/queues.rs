@@ -82,7 +82,7 @@ impl Ch3Queues {
             let mut unexpected = self.unexpected.lock();
             if let Some(pos) = unexpected
                 .iter()
-                .position(|m| m.key() == key && src.map_or(true, |s| s == m.src()))
+                .position(|m| m.key() == key && src.is_none_or(|s| s == m.src()))
             {
                 return Err(unexpected.remove(pos).unwrap());
             }
@@ -110,7 +110,7 @@ impl Ch3Queues {
                 posted.remove(i);
                 continue;
             }
-            if e.key == key && e.src.map_or(true, |s| s == src) {
+            if e.key == key && e.src.is_none_or(|s| s == src) {
                 return posted.remove(i);
             }
             i += 1;
@@ -135,7 +135,7 @@ impl Ch3Queues {
         self.unexpected
             .lock()
             .iter()
-            .find(|m| m.key() == key && src.map_or(true, |s| s == m.src()))
+            .find(|m| m.key() == key && src.is_none_or(|s| s == m.src()))
             .map(|m| {
                 let len = match m {
                     UnexMsg::Eager { data, .. } => data.len(),

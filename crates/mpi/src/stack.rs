@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::{
-    Cluster, Fabric, NodeId, Placement, RailId, SimBuilder, SimOutcome,
+    Cluster, Fabric, FabricOpts, FaultCounters, FaultPlan, NodeId, Placement, RailId,
+    SimBuilder, SimOutcome,
 };
 
 use nemesis::{ShmDomain, ShmModel};
-use nmad::{NmConfig, NmCore, NmNet, NmWire, StrategyKind};
+use nmad::{NmConfig, NmCore, NmNet, NmWire, RetryConfig, StrategyKind};
 use piom::{PiomConfig, PiomServer};
 
 use crate::api::MpiHandle;
@@ -89,6 +90,13 @@ pub struct StackConfig {
     /// attributing a cause, and we reproduce it as a small compute-side
     /// inefficiency (documented in DESIGN.md §6).
     pub compute_factor: f64,
+    /// Explicit seed for the fabric's per-port jitter streams (0 keeps the
+    /// legacy, purely model-derived streams). Every scenario that relies on
+    /// replayability should name its seed here.
+    pub fabric_seed: u64,
+    /// Fault plan installed on the NewMadeleine fabric (ignored by tailored
+    /// stacks — their CH3 wire protocol has no retransmission layer).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl StackConfig {
@@ -111,6 +119,8 @@ impl StackConfig {
             cells_per_rank: 64,
             nm: NmConfig::default(),
             compute_factor: 1.0,
+            fabric_seed: 0,
+            faults: None,
         }
     }
 
@@ -140,7 +150,27 @@ impl StackConfig {
             cells_per_rank: 64,
             nm: NmConfig::default(),
             compute_factor: 1.0,
+            fabric_seed: 0,
+            faults: None,
         }
+    }
+
+    /// Name the fabric seed explicitly (jitter streams + replay identity).
+    pub fn with_fabric_seed(mut self, seed: u64) -> StackConfig {
+        self.fabric_seed = seed;
+        self
+    }
+
+    /// Install a fault plan. Seeds the fabric with the plan's seed and —
+    /// if the plan can lose or duplicate packets — turns on the transport
+    /// retry layer, without which drops are unsurvivable.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> StackConfig {
+        self.fabric_seed = plan.seed();
+        if plan.lossy() && self.nm.retry.is_none() {
+            self.nm.retry = Some(RetryConfig::default());
+        }
+        self.faults = Some(plan);
+        self
     }
 
     /// Does this stack bypass CH3 for inter-node traffic?
@@ -155,6 +185,13 @@ pub struct RunOutcome {
     pub sim: SimOutcome,
     /// Per-rank NewMadeleine statistics (empty for tailored stacks).
     pub nm_stats: Vec<nmad::core::NmStats>,
+    /// Injected-fault counters (when the stack carried a fault plan).
+    pub fault_counters: Option<FaultCounters>,
+    /// Per-rail `(messages, bytes)` seen by the NewMadeleine fabric —
+    /// replay-identity fingerprint for the determinism tests.
+    pub rail_counters: Vec<(u64, u64)>,
+    /// Total PIOMan watchdog stall re-kicks across all ranks.
+    pub piom_rekicks: u64,
 }
 
 /// Run `program` on `nranks` simulated processes over `cluster` with the
@@ -183,7 +220,7 @@ pub fn run_mpi(
     // --- Shared-memory domains, one per populated node -----------------
     let mut domains: Vec<Option<Arc<ShmDomain>>> = vec![None; cluster.nodes];
     let mut local_index: Vec<usize> = vec![usize::MAX; nranks];
-    for node in 0..cluster.nodes {
+    for (node, domain) in domains.iter_mut().enumerate() {
         let ranks = placement.ranks_on(NodeId(node));
         if ranks.is_empty() {
             continue;
@@ -191,7 +228,7 @@ pub fn run_mpi(
         for (local, &g) in ranks.iter().enumerate() {
             local_index[g] = local;
         }
-        domains[node] = Some(ShmDomain::new(&ranks, cfg.cells_per_rank, cfg.shm_model));
+        *domain = Some(ShmDomain::new(&ranks, cfg.cells_per_rank, cfg.shm_model));
     }
     let local_index = Arc::new(local_index);
 
@@ -205,6 +242,7 @@ pub fn run_mpi(
     let any_remote = (0..nranks).any(|r| {
         (0..nranks).any(|d| d != r && !placement.same_node(r, d))
     });
+    let mut nm_fabric: Option<Arc<Fabric<NmWire>>> = None;
     let rail_models = |subset: &Option<Vec<usize>>| -> Vec<simnet::NicModel> {
         match subset {
             Some(idx) => idx.iter().map(|&i| cluster.rails[i].clone()).collect(),
@@ -218,7 +256,20 @@ pub fn run_mpi(
             InterNode::NmadDirect { strategy, rails }
             | InterNode::NmadNetmod { strategy, rails } => {
                 let models = rail_models(rails);
-                let fabric: Arc<Fabric<NmWire>> = Fabric::new(cluster.nodes, models);
+                if let Some(plan) = &cfg.faults {
+                    assert!(
+                        !plan.lossy() || cfg.nm.retry.is_some(),
+                        "a lossy fault plan needs NmConfig.retry (see StackConfig::with_faults)"
+                    );
+                }
+                let fabric: Arc<Fabric<NmWire>> = Fabric::with_opts(
+                    cluster.nodes,
+                    models,
+                    FabricOpts {
+                        seed: cfg.fabric_seed,
+                        fault: cfg.faults.clone(),
+                    },
+                );
                 let rail_ids: Vec<RailId> =
                     (0..fabric.num_rails()).map(RailId).collect();
                 let mut nm_cfg = cfg.nm;
@@ -260,6 +311,7 @@ pub fn run_mpi(
                         }),
                     );
                 }
+                nm_fabric = Some(Arc::clone(&fabric));
                 if matches!(cfg.inter, InterNode::NmadDirect { .. }) {
                     NetSetup::Direct(cores)
                 } else {
@@ -429,7 +481,7 @@ pub fn run_mpi(
     // ranks on one node share the NIC, so one rank's send-completion is
     // another rank's "the rail is idle now, commit your window" signal.
     if cfg.pioman.is_some() {
-        for r in 0..nranks {
+        for (r, state) in states.iter().enumerate() {
             let node = placement.node_of(r);
             let node_servers: Vec<Arc<PiomServer>> = placement
                 .ranks_on(node)
@@ -442,10 +494,23 @@ pub fn run_mpi(
                         sv.kick_net(s);
                     }
                 });
-            match &states[r].net {
+            match &state.net {
                 NetPath::Direct(core) => core.set_event_hook(hook),
                 NetPath::Ch3(t) => t.set_event_hook(hook),
                 NetPath::None => {}
+            }
+        }
+    }
+
+    // Retry transport + PIOMan: kicks are event-driven, and under fault
+    // injection the event chain itself can die with a lost packet. The
+    // watchdog re-runs stalled ltasks so the retransmission sweeps keep
+    // running (the engine exits once every rank finished, so a perpetual
+    // tick cannot hang the job).
+    if let Some(rc) = cfg.nm.retry {
+        if cfg.pioman.is_some() {
+            for server in piom_servers.iter().flatten() {
+                server.enable_watchdog(&sched, rc.timeout);
             }
         }
     }
@@ -486,6 +551,16 @@ pub fn run_mpi(
     RunOutcome {
         sim: outcome,
         nm_stats: cores_for_stats.iter().map(|c| c.stats()).collect(),
+        fault_counters: cfg.faults.as_ref().map(|p| p.counters()),
+        rail_counters: nm_fabric
+            .as_ref()
+            .map(|f| f.rail_counters())
+            .unwrap_or_default(),
+        piom_rekicks: piom_servers
+            .iter()
+            .flatten()
+            .map(|s| s.rekicks())
+            .sum(),
     }
 }
 

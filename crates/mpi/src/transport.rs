@@ -518,8 +518,8 @@ mod tests {
             Fabric::new(2, vec![simnet::NicModel::connectx_ib()]);
         let rank_to_node = Arc::new(vec![NodeId(0), NodeId(1)]);
         let inboxes = [Inbox::new(), Inbox::new()];
-        for n in 0..2 {
-            let inbox = Arc::clone(&inboxes[n]);
+        for (n, ib) in inboxes.iter().enumerate() {
+            let inbox = Arc::clone(ib);
             fabric.set_sink(
                 NodeId(n),
                 Box::new(move |s, d| inbox.push(s, d.msg.src, d.msg.pkt)),

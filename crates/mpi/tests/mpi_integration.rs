@@ -141,7 +141,7 @@ fn any_source_matches_network_and_shm_sources() {
             0 => {
                 let (d1, s1) = mpi.recv(Src::Any, 5);
                 let (d2, s2) = mpi.recv(Src::Any, 5);
-                let mut got = vec![(s1.source, d1), (s2.source, d2)];
+                let mut got = [(s1.source, d1), (s2.source, d2)];
                 got.sort_by_key(|(s, _)| *s);
                 assert_eq!(got[0].0, 1);
                 assert_eq!(&got[0].1[..], b"from shm");

@@ -251,7 +251,7 @@ fn is_iteration(k: &KernelCtx<'_>) {
         let right = (rank + 1) % n;
         let left = (rank + n - 1) % n;
         let mut landing = vec![0u8; sample_ty.extent(1)];
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             k.mpi.send_typed(right, 77, &sample_ty, &keys, 1);
             k.mpi
                 .recv_typed(Src::Rank(left), 77, &sample_ty, &mut landing, 1);

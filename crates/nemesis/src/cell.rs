@@ -24,18 +24,15 @@ pub(crate) const NIL: usize = usize::MAX;
 /// a `First` fragment carrying the header, `Middle` fragments, and a `Last`
 /// fragment (a single-cell message is `Only`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
 pub enum MsgKind {
+    #[default]
     Only,
     First,
     Middle,
     Last,
 }
 
-impl Default for MsgKind {
-    fn default() -> Self {
-        MsgKind::Only
-    }
-}
 
 /// The message header carried by the first cell of every message. Models
 /// the packed 64-byte header of the C implementation; kept as a struct since

@@ -103,8 +103,12 @@ struct Endpoint {
     inbox: Mutex<VecDeque<(MsgHeader, Bytes)>>,
     /// Optional hook fired (on the engine) whenever a cell lands in this
     /// endpoint's receive queue — PIOMan uses it to react immediately.
-    on_delivery: Mutex<Option<Arc<dyn Fn(&Scheduler, usize) + Send + Sync>>>,
+    on_delivery: Mutex<Option<DeliveryHook>>,
 }
+
+/// Hook fired on the engine when a cell lands in an endpoint's receive
+/// queue; the `usize` is the sending rank's local index.
+pub type DeliveryHook = Arc<dyn Fn(&Scheduler, usize) + Send + Sync>;
 
 /// The shared-memory domain of one node.
 pub struct ShmDomain {
@@ -167,11 +171,7 @@ impl ShmDomain {
     }
 
     /// Install the delivery hook for `local` (PIOMan integration).
-    pub fn set_delivery_hook(
-        &self,
-        local: usize,
-        hook: Arc<dyn Fn(&Scheduler, usize) + Send + Sync>,
-    ) {
+    pub fn set_delivery_hook(&self, local: usize, hook: DeliveryHook) {
         *self.endpoints[local].on_delivery.lock() = Some(hook);
     }
 

@@ -70,6 +70,13 @@ pub struct PiomServer {
     stopped: AtomicBool,
     timer_running: AtomicBool,
     kicks: AtomicU64,
+    /// Completed `run_ltasks` passes (the watchdog's progress signal).
+    runs: AtomicU64,
+    watchdog_running: AtomicBool,
+    /// `runs` snapshot at the last watchdog inspection.
+    watchdog_seen: AtomicU64,
+    /// Stall detections: watchdog periods in which no ltask pass happened.
+    rekicks: AtomicU64,
 }
 
 impl PiomServer {
@@ -80,6 +87,10 @@ impl PiomServer {
             stopped: AtomicBool::new(false),
             timer_running: AtomicBool::new(false),
             kicks: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            watchdog_running: AtomicBool::new(false),
+            watchdog_seen: AtomicU64::new(0),
+            rekicks: AtomicU64::new(0),
         })
     }
 
@@ -104,11 +115,18 @@ impl PiomServer {
         self.kicks.load(Ordering::Relaxed)
     }
 
+    /// Watchdog stall detections: periods with no ltask pass that forced a
+    /// re-kick (diagnostics).
+    pub fn rekicks(&self) -> u64 {
+        self.rekicks.load(Ordering::Relaxed)
+    }
+
     /// Run every registered ltask now.
     pub fn run_ltasks(&self, sched: &Scheduler) {
         if self.stopped.load(Ordering::Acquire) {
             return;
         }
+        self.runs.fetch_add(1, Ordering::Relaxed);
         // Clone out so ltasks may register further ltasks without deadlock.
         let tasks: Vec<LTask> = self.ltasks.lock().clone();
         for t in &tasks {
@@ -158,6 +176,42 @@ impl PiomServer {
         sched.schedule_in(period, move |s| {
             server.run_ltasks(s);
             server.tick(s, period);
+        });
+    }
+
+    /// Start the stall watchdog: every `period`, if no ltask pass ran since
+    /// the previous inspection (the kick chain died — e.g. a lost packet
+    /// means no NIC event will ever fire the NewMadeleine hook again), run
+    /// the ltasks anyway. This is what lets a blocked `wait()` recover under
+    /// fault injection: the re-kicked ltasks drive `NmCore::schedule`, whose
+    /// retransmission sweep puts the lost traffic back on the wire.
+    /// Idempotent; ends when the server is stopped.
+    pub fn enable_watchdog(self: &Arc<Self>, sched: &Scheduler, period: SimDuration) {
+        assert!(period > SimDuration::ZERO, "watchdog needs a nonzero period");
+        if !self.watchdog_running.swap(true, Ordering::AcqRel) {
+            self.watchdog_seen
+                .store(self.runs.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.watchdog_tick(sched, period);
+        }
+    }
+
+    fn watchdog_tick(self: &Arc<Self>, sched: &Scheduler, period: SimDuration) {
+        if self.stopped.load(Ordering::Acquire) {
+            self.watchdog_running.store(false, Ordering::Release);
+            return;
+        }
+        let server = Arc::clone(self);
+        sched.schedule_in(period, move |s| {
+            let runs = server.runs.load(Ordering::Relaxed);
+            if server.watchdog_seen.swap(runs, Ordering::Relaxed) == runs
+                && !server.stopped.load(Ordering::Acquire)
+            {
+                server.rekicks.fetch_add(1, Ordering::Relaxed);
+                server.run_ltasks(s);
+                server.watchdog_seen
+                    .store(server.runs.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            server.watchdog_tick(s, period);
         });
     }
 
@@ -254,6 +308,47 @@ mod tests {
         sched.schedule_at(SimTime::ZERO, move |s| s2.kick_net(s));
         sim.run().unwrap();
         assert!(log.lock().is_empty(), "stopped server must not run ltasks");
+    }
+
+    #[test]
+    fn watchdog_rekicks_when_kicks_stagnate() {
+        let sim = SimBuilder::new().build();
+        let sched = sim.scheduler();
+        let server = PiomServer::new(PiomConfig::default());
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        server.register_fn("count", counter_task(&log));
+        // No kick ever arrives (all packets "lost"): only the watchdog can
+        // run the ltasks.
+        server.enable_watchdog(&sched, SimDuration::micros(10));
+        let s2 = Arc::clone(&server);
+        sched.schedule_at(SimTime(45_000), move |_| s2.stop());
+        sim.run().unwrap();
+        assert!(
+            server.rekicks() >= 3,
+            "stalled server must be re-kicked (got {})",
+            server.rekicks()
+        );
+        assert!(!log.lock().is_empty());
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_while_kicks_flow() {
+        let sim = SimBuilder::new().build();
+        let sched = sim.scheduler();
+        let server = PiomServer::new(PiomConfig::default());
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        server.register_fn("count", counter_task(&log));
+        server.enable_watchdog(&sched, SimDuration::micros(10));
+        // A kick in every watchdog period: never stalled, never re-kicked.
+        for i in 0..7u64 {
+            let s2 = Arc::clone(&server);
+            sched.schedule_at(SimTime(i * 5_000), move |s| s2.kick_net(s));
+        }
+        let s3 = Arc::clone(&server);
+        sched.schedule_at(SimTime(38_000), move |_| s3.stop());
+        sim.run().unwrap();
+        assert_eq!(server.rekicks(), 0);
+        assert_eq!(log.lock().len(), 7);
     }
 
     #[test]

@@ -152,19 +152,12 @@ struct RankSlot {
 }
 
 /// Builder for a [`Sim`].
+#[derive(Default)]
 pub struct SimBuilder {
     trace: bool,
     max_events: Option<u64>,
 }
 
-impl Default for SimBuilder {
-    fn default() -> Self {
-        SimBuilder {
-            trace: false,
-            max_events: None,
-        }
-    }
-}
 
 impl SimBuilder {
     pub fn new() -> Self {

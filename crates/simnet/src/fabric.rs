@@ -14,7 +14,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::engine::Scheduler;
-use crate::nic::{DeliverFn, NicModel, NicPort, Transfer};
+use crate::fault::FaultPlan;
+use crate::nic::{CloneFn, DeliverFn, NicModel, NicPort, PortFault, Transfer};
 use crate::time::SimTime;
 use crate::topology::NodeId;
 
@@ -45,17 +46,40 @@ struct RailPorts<M: Send + 'static> {
     ports: Vec<Arc<NicPort<M>>>,
 }
 
+/// Construction options: the master seed every per-port RNG (jitter) and
+/// the fault plan derive from, named explicitly so every test names its
+/// seed instead of relying on per-call defaults.
+#[derive(Default)]
+pub struct FabricOpts {
+    /// Master seed mixed into every port's jitter RNG.
+    pub seed: u64,
+    /// Optional fault-injection plan (see [`crate::fault`]).
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
 /// All networks of a simulated cluster.
 pub struct Fabric<M: Send + 'static> {
     rails: Vec<RailPorts<M>>,
     sinks: Arc<Mutex<Vec<Option<SinkFn<M>>>>>,
     nodes: usize,
+    seed: u64,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl<M: Send + 'static> Fabric<M> {
     /// Build a fabric over `nodes` nodes with one rail per model in
-    /// `rail_models` (every node gets a port on every rail).
+    /// `rail_models` (every node gets a port on every rail). Seed 0, no
+    /// faults; use [`Fabric::with_opts`] to name a seed or inject faults.
     pub fn new(nodes: usize, rail_models: Vec<NicModel>) -> Arc<Self> {
+        Self::build(nodes, rail_models, FabricOpts::default(), None)
+    }
+
+    fn build(
+        nodes: usize,
+        rail_models: Vec<NicModel>,
+        opts: FabricOpts,
+        clone_fn: Option<CloneFn<M>>,
+    ) -> Arc<Self> {
         assert!(nodes > 0, "fabric needs at least one node");
         assert!(!rail_models.is_empty(), "fabric needs at least one rail");
         let sinks: Arc<Mutex<Vec<Option<SinkFn<M>>>>> =
@@ -84,7 +108,19 @@ impl<M: Send + 'static> Fabric<M> {
                         None => panic!("delivery to node {dst:?} with no sink installed"),
                     }
                 });
-                ports.push(NicPort::new(Arc::clone(&model), NodeId(n), deliver));
+                let fault = opts.fault.as_ref().map(|plan| PortFault {
+                    plan: Arc::clone(plan),
+                    rail: ri,
+                    clone: clone_fn.clone(),
+                });
+                ports.push(NicPort::new(
+                    Arc::clone(&model),
+                    NodeId(n),
+                    ri,
+                    opts.seed,
+                    deliver,
+                    fault,
+                ));
             }
             rails.push(RailPorts { model, ports });
         }
@@ -92,7 +128,42 @@ impl<M: Send + 'static> Fabric<M> {
             rails,
             sinks,
             nodes,
+            seed: opts.seed,
+            fault: opts.fault,
         })
+    }
+
+    /// The master seed this fabric was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Consult the fault plan: does a registration on `rail` miss the
+    /// registration cache? Always `false` without a plan.
+    pub fn reg_cache_miss(&self, rail: RailId) -> bool {
+        self.fault
+            .as_ref()
+            .map(|p| p.reg_cache_miss(rail.0))
+            .unwrap_or(false)
+    }
+
+    /// Per-rail `(messages, bytes)` transmitted, aggregated over every
+    /// node's port — the fabric-side counters the determinism tests pin.
+    pub fn rail_counters(&self) -> Vec<(u64, u64)> {
+        self.rails
+            .iter()
+            .map(|r| {
+                r.ports.iter().fold((0, 0), |(m, b), p| {
+                    let (pm, pb) = p.counters();
+                    (m + pm, b + pb)
+                })
+            })
+            .collect()
     }
 
     /// Number of rails (networks).
@@ -123,6 +194,7 @@ impl<M: Send + 'static> Fabric<M> {
     }
 
     /// Convenience: submit a transfer on `rail` from `src`.
+    #[allow(clippy::too_many_arguments)]
     pub fn send(
         &self,
         sched: &Scheduler,
@@ -131,7 +203,7 @@ impl<M: Send + 'static> Fabric<M> {
         dst: NodeId,
         bytes: usize,
         msg: M,
-        on_sent: Option<Box<dyn FnOnce(&Scheduler) + Send>>,
+        on_sent: Option<crate::nic::SentHook>,
     ) {
         assert_ne!(src, dst, "fabric is inter-node only; use the shm channel");
         self.port(rail, src).submit(
@@ -148,6 +220,16 @@ impl<M: Send + 'static> Fabric<M> {
     /// Is `src`'s port on `rail` busy at `now`?
     pub fn rail_busy(&self, rail: RailId, src: NodeId, now: SimTime) -> bool {
         self.port(rail, src).busy(now)
+    }
+}
+
+impl<M: Send + Clone + 'static> Fabric<M> {
+    /// Build a fabric with an explicit seed and (optionally) a fault plan.
+    /// Requires `M: Clone` so the fault layer can materialize duplicate
+    /// deliveries.
+    pub fn with_opts(nodes: usize, rail_models: Vec<NicModel>, opts: FabricOpts) -> Arc<Self> {
+        let clone_fn: CloneFn<M> = Arc::new(|m: &M| m.clone());
+        Self::build(nodes, rail_models, opts, Some(clone_fn))
     }
 }
 

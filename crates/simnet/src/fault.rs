@@ -1,0 +1,344 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! The simulator's value as a *correctness* instrument (FoundationDB-style
+//! deterministic simulation) comes from being able to subject the protocol
+//! stack to adverse network behaviour — lost, duplicated, delayed and
+//! reordered packets, NIC stalls, registration-cache misses — while keeping
+//! every run bit-for-bit replayable from a single `u64` seed.
+//!
+//! A [`FaultPlan`] owns one seeded `SmallRng` (the same seeding idiom as
+//! [`crate::nic::JitterModel`]) and a [`FaultSpec`] per rail. The fabric
+//! consults it on every transfer ([`FaultPlan::on_transfer`]) and on every
+//! registration ([`FaultPlan::reg_cache_miss`]); because the simulation is
+//! logically single-threaded, the consultation order — and therefore the
+//! entire fault schedule — is a pure function of the seed.
+//!
+//! Dropping or duplicating a packet is only safe against a protocol layer
+//! that retransmits and deduplicates; the NewMadeleine core grows exactly
+//! that (see `nmad::config::RetryConfig`), so fault plans are only threaded
+//! through fabrics whose wire protocol is retry-aware.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Per-rail fault probabilities and magnitudes. All probabilities are in
+/// `[0, 1]`; a default-constructed spec injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a transfer's delivery is dropped on the wire (the
+    /// sender-side DMA completion still fires — the bytes left the host).
+    pub drop_pct: f64,
+    /// Probability a delivered transfer arrives twice.
+    pub dup_pct: f64,
+    /// Probability a delivery is held back by an extra random delay, which
+    /// also reorders it against later traffic.
+    pub delay_pct: f64,
+    /// Upper bound on the injected extra delay.
+    pub max_extra_delay: SimDuration,
+    /// Probability a submission stalls the NIC port for a window before
+    /// transmitting (models firmware hiccups / PCIe backpressure).
+    pub stall_pct: f64,
+    /// Length of an injected NIC stall.
+    pub stall_window: SimDuration,
+    /// Probability a memory registration misses the registration cache and
+    /// pays an extra (re-)registration round.
+    pub reg_miss_pct: f64,
+}
+
+impl FaultSpec {
+    /// No faults (identical to `FaultSpec::default()`).
+    pub const NONE: FaultSpec = FaultSpec {
+        drop_pct: 0.0,
+        dup_pct: 0.0,
+        delay_pct: 0.0,
+        max_extra_delay: SimDuration::ZERO,
+        stall_pct: 0.0,
+        stall_window: SimDuration::ZERO,
+        reg_miss_pct: 0.0,
+    };
+
+    /// Lossy wire: drops plus a few duplicates.
+    pub fn drop_heavy() -> FaultSpec {
+        FaultSpec {
+            drop_pct: 0.15,
+            dup_pct: 0.05,
+            ..FaultSpec::NONE
+        }
+    }
+
+    /// Heavy jitter: deliveries randomly held back far past the normal
+    /// wire latency, which reorders them against later traffic.
+    pub fn delay_reorder() -> FaultSpec {
+        FaultSpec {
+            delay_pct: 0.35,
+            max_extra_delay: SimDuration::micros(200),
+            dup_pct: 0.05,
+            ..FaultSpec::NONE
+        }
+    }
+
+    /// NIC stalls: submissions occasionally freeze the port for a window.
+    pub fn nic_stall() -> FaultSpec {
+        FaultSpec {
+            stall_pct: 0.2,
+            stall_window: SimDuration::micros(150),
+            reg_miss_pct: 0.3,
+            ..FaultSpec::NONE
+        }
+    }
+
+    /// Everything at once — the adversarial soak schedule.
+    pub fn mixed() -> FaultSpec {
+        FaultSpec {
+            drop_pct: 0.08,
+            dup_pct: 0.08,
+            delay_pct: 0.2,
+            max_extra_delay: SimDuration::micros(120),
+            stall_pct: 0.08,
+            stall_window: SimDuration::micros(80),
+            reg_miss_pct: 0.2,
+        }
+    }
+
+    fn injects_anything(&self) -> bool {
+        self.drop_pct > 0.0
+            || self.dup_pct > 0.0
+            || self.delay_pct > 0.0
+            || self.stall_pct > 0.0
+            || self.reg_miss_pct > 0.0
+    }
+}
+
+/// Counters of injected faults (diagnostics + determinism assertions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    pub transfers_seen: u64,
+    pub dropped: u64,
+    pub duplicated: u64,
+    pub delayed: u64,
+    pub stalls: u64,
+    pub reg_misses: u64,
+}
+
+/// The fault verdict for one transfer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TransferFault {
+    /// Suppress the delivery (the wire ate the packet).
+    pub drop: bool,
+    /// Deliver a second copy, `dup_extra_delay` after the first.
+    pub duplicate: bool,
+    /// Extra wire delay applied to the delivery (reorders vs later sends).
+    pub extra_delay: SimDuration,
+    /// Offset of the duplicate copy behind the original delivery.
+    pub dup_extra_delay: SimDuration,
+    /// Stall the port for this long before the transfer starts.
+    pub stall: Option<SimDuration>,
+}
+
+struct PlanState {
+    rng: SmallRng,
+    counters: FaultCounters,
+}
+
+/// A seeded, replayable schedule of network faults for one fabric.
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<FaultSpec>,
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// Build a plan from a master seed and one spec per rail (rails beyond
+    /// the last spec reuse it; at least one spec is required).
+    pub fn new(seed: u64, specs: Vec<FaultSpec>) -> Arc<FaultPlan> {
+        assert!(!specs.is_empty(), "fault plan needs at least one rail spec");
+        Arc::new(FaultPlan {
+            seed,
+            specs,
+            // Same seeding idiom as the per-port jitter RNG (nic.rs), with
+            // a fixed salt so jitter and faults never share a stream.
+            state: Mutex::new(PlanState {
+                rng: SmallRng::seed_from_u64(
+                    seed ^ 0xFA01_7000_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                counters: FaultCounters::default(),
+            }),
+        })
+    }
+
+    /// Convenience: one spec applied to every rail.
+    pub fn uniform(seed: u64, spec: FaultSpec) -> Arc<FaultPlan> {
+        Self::new(seed, vec![spec])
+    }
+
+    /// The master seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn spec(&self, rail: usize) -> FaultSpec {
+        *self.specs.get(rail).unwrap_or_else(|| {
+            self.specs.last().expect("fault plan has at least one spec")
+        })
+    }
+
+    /// Does any rail of this plan inject anything at all?
+    pub fn active(&self) -> bool {
+        self.specs.iter().any(|s| s.injects_anything())
+    }
+
+    /// Can this plan lose or duplicate packets? If so, the wire protocol
+    /// above must retransmit and deduplicate (timing-only faults — delays,
+    /// stalls, registration misses — are safe for any protocol).
+    pub fn lossy(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| s.drop_pct > 0.0 || s.dup_pct > 0.0)
+    }
+
+    /// Decide the fate of one transfer on `rail`. Consumes RNG state; the
+    /// simulation's deterministic event order makes the decision sequence a
+    /// pure function of the seed.
+    pub fn on_transfer(&self, rail: usize, _bytes: usize) -> TransferFault {
+        let spec = self.spec(rail);
+        let mut st = self.state.lock();
+        st.counters.transfers_seen += 1;
+        if !spec.injects_anything() {
+            return TransferFault::default();
+        }
+        let mut fault = TransferFault::default();
+        if spec.stall_pct > 0.0 && st.rng.gen_bool(spec.stall_pct) {
+            fault.stall = Some(spec.stall_window);
+            st.counters.stalls += 1;
+        }
+        if spec.drop_pct > 0.0 && st.rng.gen_bool(spec.drop_pct) {
+            fault.drop = true;
+            st.counters.dropped += 1;
+            // A dropped packet has no duplicate or delay to decide.
+            return fault;
+        }
+        if spec.dup_pct > 0.0 && st.rng.gen_bool(spec.dup_pct) {
+            fault.duplicate = true;
+            st.counters.duplicated += 1;
+            let span = spec.max_extra_delay.as_nanos().max(2_000);
+            fault.dup_extra_delay = SimDuration::nanos(st.rng.gen_range(500..=span));
+        }
+        if spec.delay_pct > 0.0 && st.rng.gen_bool(spec.delay_pct) {
+            let span = spec.max_extra_delay.as_nanos();
+            if span > 0 {
+                fault.extra_delay = SimDuration::nanos(st.rng.gen_range(0..=span));
+                st.counters.delayed += 1;
+            }
+        }
+        fault
+    }
+
+    /// Decide whether a registration on `rail` misses the registration
+    /// cache (the registering side pays an extra registration round).
+    pub fn reg_cache_miss(&self, rail: usize) -> bool {
+        let spec = self.spec(rail);
+        if spec.reg_miss_pct == 0.0 {
+            return false;
+        }
+        let mut st = self.state.lock();
+        let miss = st.rng.gen_bool(spec.reg_miss_pct);
+        if miss {
+            st.counters.reg_misses += 1;
+        }
+        miss
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn counters(&self) -> FaultCounters {
+        self.state.lock().counters
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("specs", &self.specs)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(plan: &FaultPlan, n: usize) -> Vec<(bool, bool, u64, bool)> {
+        (0..n)
+            .map(|_| {
+                let f = plan.on_transfer(0, 1024);
+                (f.drop, f.duplicate, f.extra_delay.as_nanos(), f.stall.is_some())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::uniform(42, FaultSpec::mixed());
+        let b = FaultPlan::uniform(42, FaultSpec::mixed());
+        assert_eq!(schedule(&a, 500), schedule(&b, 500));
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::uniform(1, FaultSpec::mixed());
+        let b = FaultPlan::uniform(2, FaultSpec::mixed());
+        assert_ne!(schedule(&a, 500), schedule(&b, 500));
+    }
+
+    #[test]
+    fn none_spec_injects_nothing() {
+        let p = FaultPlan::uniform(7, FaultSpec::NONE);
+        for (drop, dup, delay, stall) in schedule(&p, 200) {
+            assert!(!drop && !dup && delay == 0 && !stall);
+        }
+        let c = p.counters();
+        assert_eq!(c.dropped + c.duplicated + c.delayed + c.stalls, 0);
+        assert_eq!(c.transfers_seen, 200);
+        assert!(!p.active());
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let p = FaultPlan::uniform(11, FaultSpec::drop_heavy());
+        let drops = schedule(&p, 2_000)
+            .iter()
+            .filter(|(d, ..)| *d)
+            .count();
+        // 15% ± generous slack.
+        assert!((150..=450).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn per_rail_specs_apply() {
+        let p = FaultPlan::new(3, vec![FaultSpec::NONE, FaultSpec::drop_heavy()]);
+        assert!(p.active());
+        for _ in 0..200 {
+            assert!(!p.on_transfer(0, 64).drop, "rail 0 must be clean");
+        }
+        let drops = (0..500).filter(|_| p.on_transfer(1, 64).drop).count();
+        assert!(drops > 20, "rail 1 must drop (got {drops})");
+        // Rails beyond the spec list reuse the last spec.
+        let drops2 = (0..500).filter(|_| p.on_transfer(5, 64).drop).count();
+        assert!(drops2 > 20);
+    }
+
+    #[test]
+    fn reg_misses_counted() {
+        let p = FaultPlan::uniform(9, FaultSpec::nic_stall());
+        let misses = (0..300).filter(|_| p.reg_cache_miss(0)).count();
+        assert!(misses > 30, "misses={misses}");
+        assert_eq!(p.counters().reg_misses as usize, misses);
+    }
+}

@@ -33,6 +33,8 @@
 //!   event callbacks (the paper's "semaphore-like primitives", §3.3.2).
 //! * [`nic`] — NIC performance models and simulated NIC ports.
 //! * [`fabric`] — rails (networks) connecting node NIC ports; message routing.
+//! * [`fault`] — seeded, replayable fault injection (drop / duplicate /
+//!   delay / reorder / NIC stalls / registration-cache misses).
 //! * [`topology`] — cluster description and rank placement.
 //! * [`stats`] — latency/bandwidth series helpers used by the harnesses.
 //! * [`trace`] — optional structured event tracing for debugging.
@@ -41,6 +43,7 @@ pub mod ctx;
 pub mod engine;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod nic;
 pub mod sem;
 pub mod stats;
@@ -50,7 +53,8 @@ pub mod trace;
 
 pub use ctx::RankCtx;
 pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
-pub use fabric::{Delivery, Fabric, RailId, WireMessage};
+pub use fabric::{Delivery, Fabric, FabricOpts, RailId, WireMessage};
+pub use fault::{FaultCounters, FaultPlan, FaultSpec, TransferFault};
 pub use nic::{JitterModel, NicModel, NicPort};
 pub use sem::SimSemaphore;
 pub use time::{SimDuration, SimTime};

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::engine::Scheduler;
+use crate::fault::FaultPlan;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
 
@@ -148,8 +149,12 @@ pub struct Transfer<M> {
     pub msg: M,
     /// Invoked on the engine when the NIC has finished reading the send
     /// buffer (sender-side completion).
-    pub on_sent: Option<Box<dyn FnOnce(&Scheduler) + Send>>,
+    pub on_sent: Option<SentHook>,
 }
+
+/// Sender-side completion callback: fires on the engine once the NIC has
+/// finished reading the send buffer.
+pub type SentHook = Box<dyn FnOnce(&Scheduler) + Send>;
 
 struct PortState<M> {
     busy_until: SimTime,
@@ -167,6 +172,8 @@ pub struct NicPort<M: Send + 'static> {
     node: NodeId,
     state: Mutex<PortState<M>>,
     deliver: DeliverFn<M>,
+    /// Fault injection for this port, if the fabric installed a plan.
+    fault: Option<PortFault<M>>,
 }
 
 /// Routing hook installed by the [`crate::fabric::Fabric`]: given the
@@ -175,13 +182,36 @@ pub struct NicPort<M: Send + 'static> {
 pub(crate) type DeliverFn<M> =
     Arc<dyn Fn(&Scheduler, NodeId, NodeId, M) + Send + Sync>;
 
+/// Message replicator used to materialize duplicate deliveries. Installed
+/// only when the wire-message type is `Clone` (see `Fabric::with_opts`).
+pub(crate) type CloneFn<M> = Arc<dyn Fn(&M) -> M + Send + Sync>;
+
+/// Fault-injection wiring of one port: the shared plan, this port's rail
+/// index within it, and the replicator for duplicated deliveries.
+pub(crate) struct PortFault<M> {
+    pub plan: Arc<FaultPlan>,
+    pub rail: usize,
+    pub clone: Option<CloneFn<M>>,
+}
+
 impl<M: Send + 'static> NicPort<M> {
-    pub(crate) fn new(model: Arc<NicModel>, node: NodeId, deliver: DeliverFn<M>) -> Arc<Self> {
+    pub(crate) fn new(
+        model: Arc<NicModel>,
+        node: NodeId,
+        rail: usize,
+        seed: u64,
+        deliver: DeliverFn<M>,
+        fault: Option<PortFault<M>>,
+    ) -> Arc<Self> {
         use rand::SeedableRng;
         let rng = model.jitter.map(|j| {
-            // Seed deterministically per port so runs stay reproducible.
+            // Seed deterministically per port (node × rail × fabric seed)
+            // so runs stay reproducible and every test names its seed.
             rand::rngs::SmallRng::seed_from_u64(
-                j.seed ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                j.seed
+                    ^ seed
+                    ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (rail as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
             )
         });
         Arc::new(NicPort {
@@ -195,6 +225,7 @@ impl<M: Send + 'static> NicPort<M> {
                 rng,
             }),
             deliver,
+            fault,
         })
     }
 
@@ -241,8 +272,18 @@ impl<M: Send + 'static> NicPort<M> {
 
     /// Begin transmitting `xfer` at `start` (port known idle).
     fn start_transfer(self: &Arc<Self>, sched: &Scheduler, start: SimTime, xfer: Transfer<M>) {
+        // Fault verdict first: a stall extends the port occupancy before
+        // the bytes move; drop/duplicate/delay shape the delivery below.
+        let fault = self
+            .fault
+            .as_ref()
+            .map(|pf| pf.plan.on_transfer(pf.rail, xfer.bytes))
+            .unwrap_or_default();
         let mut occupancy = self.model.occupancy(xfer.bytes);
         let mut latency = self.model.latency;
+        if let Some(stall) = fault.stall {
+            occupancy = stall + occupancy;
+        }
         {
             let mut st = self.state.lock();
             if let (Some(rng), Some(j)) = (&mut st.rng, self.model.jitter) {
@@ -256,8 +297,10 @@ impl<M: Send + 'static> NicPort<M> {
             st.bytes_sent += xfer.bytes as u64;
         }
         let sent_at = start + occupancy;
-        let delivered_at = start + occupancy + latency;
-        // Sender-side completion + backlog continuation.
+        let delivered_at = sent_at + latency + fault.extra_delay;
+        // Sender-side completion + backlog continuation. These fire even
+        // for dropped transfers: the NIC *did* read the send buffer — only
+        // the wire ate the packet.
         let port = Arc::clone(self);
         let on_sent = xfer.on_sent;
         sched.schedule_at(sent_at, move |s| {
@@ -266,6 +309,21 @@ impl<M: Send + 'static> NicPort<M> {
             }
             port.pump(s);
         });
+        if fault.drop {
+            return;
+        }
+        // Duplicate copy, if the fault plan asked for one and the wire
+        // format is replicable.
+        if fault.duplicate {
+            if let Some(clone) = self.fault.as_ref().and_then(|pf| pf.clone.as_ref()) {
+                let copy = clone(&xfer.msg);
+                let deliver = Arc::clone(&self.deliver);
+                let (src, dst) = (self.node, xfer.dst);
+                sched.schedule_at(delivered_at + fault.dup_extra_delay, move |s| {
+                    deliver(s, src, dst, copy);
+                });
+            }
+        }
         // Delivery at the destination.
         let deliver = Arc::clone(&self.deliver);
         let (src, dst, msg) = (self.node, xfer.dst, xfer.msg);

@@ -115,9 +115,9 @@ fn table(series: &[PingSeries], caption: &str, cell: impl Fn(&PingPoint) -> Stri
 
 /// Format a byte count the way the paper's axes do (1K, 4M, …).
 pub fn human_bytes(bytes: usize) -> String {
-    if bytes >= MB && bytes % MB == 0 {
+    if bytes >= MB && bytes.is_multiple_of(MB) {
         format!("{}M", bytes / MB)
-    } else if bytes >= 1024 && bytes % 1024 == 0 {
+    } else if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         format!("{bytes}")

@@ -19,6 +19,9 @@ const TAG_REPLY: u32 = 2;
 const CLIENTS: usize = 5;
 const REQUESTS_PER_CLIENT: usize = 4;
 
+/// (source rank, request body, arrival time in µs) per handled request.
+type RequestLog = Vec<(usize, String, f64)>;
+
 fn main() {
     // Rank 0 (server) and ranks 1–2 share node 0; ranks 3–5 sit on other
     // nodes — so requests arrive over BOTH paths the §3.2 lists unify.
@@ -51,7 +54,7 @@ fn main() {
 
     let log = log.lock();
     println!("server handled {} requests:", log.len());
-    let mut per_client = vec![0usize; CLIENTS + 1];
+    let mut per_client = [0usize; CLIENTS + 1];
     for (source, body, at_us) in log.iter() {
         println!("  t={at_us:9.1}us  from rank {source}: {body}");
         per_client[*source] += 1;
@@ -60,7 +63,7 @@ fn main() {
     println!("every client was served exactly {REQUESTS_PER_CLIENT} times.");
 }
 
-fn server(mpi: &MpiHandle, log: &Arc<Mutex<Vec<(usize, String, f64)>>>) {
+fn server(mpi: &MpiHandle, log: &Arc<Mutex<RequestLog>>) {
     for _ in 0..CLIENTS * REQUESTS_PER_CLIENT {
         // One ANY_SOURCE receive serves shared-memory and network clients
         // alike; under the hood the bypass stack probes NewMadeleine by

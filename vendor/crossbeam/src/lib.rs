@@ -1,0 +1,74 @@
+//! Offline drop-in subset of `crossbeam`.
+//!
+//! Provides `crossbeam::queue::SegQueue` with the API surface the
+//! workspace uses (`new`/`push`/`pop`/`len`/`is_empty`). The real crate
+//! is a lock-free segmented queue; this stand-in uses a mutexed
+//! `VecDeque`, which preserves the exact FIFO semantics (and, under the
+//! deterministic simulator, identical observable behaviour) at the cost
+//! of raw multi-core throughput — acceptable for an offline build whose
+//! contended path is exercised by simulated threads.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SegQueue;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            for i in 0..10 {
+                q.push(i);
+            }
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+}
