@@ -15,7 +15,6 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use bytes::Bytes;
 use nemesis::{CellPool, NemQueue};
 use nmad::matching::{GateId, MatchEngine, Unexpected};
 use nmad::pack::{PacketWrapper, PwBody, PwId};
@@ -23,7 +22,7 @@ use nmad::sampling::{split_sizes, LinkProfile};
 use nmad::sr::RecvReqId;
 use nmad::{NmConfig, SendReqId, StrategyKind};
 use simnet::event::{EventKind, EventQueue};
-use simnet::{SimDuration, SimTime};
+use simnet::{BufOrigin, CopyMeter, NmBuf, SimDuration, SimTime};
 
 fn nem_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("nemesis-queue");
@@ -96,7 +95,7 @@ fn matching(c: &mut Criterion) {
                 7,
                 Unexpected::Eager {
                     seq,
-                    data: Bytes::new(),
+                    data: NmBuf::default(),
                 },
             );
             seq += 1;
@@ -112,7 +111,7 @@ fn matching(c: &mut Criterion) {
                 9,
                 Unexpected::Eager {
                     seq,
-                    data: Bytes::new(),
+                    data: NmBuf::default(),
                 },
             );
             let hit = m.post_recv(GateId(1), 9, RecvReqId(0));
@@ -128,7 +127,7 @@ fn matching(c: &mut Criterion) {
                 gate as u64 % 10,
                 Unexpected::Eager {
                     seq: 0,
-                    data: Bytes::new(),
+                    data: NmBuf::default(),
                 },
             );
         }
@@ -146,7 +145,7 @@ fn eager_pw(id: u64, len: usize) -> PacketWrapper {
             seq: id,
             send_req: SendReqId(id as u32),
         },
-        data: Bytes::from(vec![0u8; len]),
+        data: NmBuf::from(vec![0u8; len]),
         enqueued_at: SimTime::ZERO,
     }
 }
@@ -185,7 +184,7 @@ fn strategies(c: &mut Criterion) {
     });
     g.bench_function("split-4MB-two-rails", |b| {
         let mut s = nmad::strategy::make(StrategyKind::SplitBalanced);
-        let payload = Bytes::from(vec![0u8; 4 << 20]);
+        let payload = NmBuf::from(vec![0u8; 4 << 20]);
         b.iter_batched(
             || {
                 let pw = PacketWrapper {
@@ -195,7 +194,7 @@ fn strategies(c: &mut Criterion) {
                         rdv_id: 1,
                         offset: 0,
                     },
-                    data: payload.clone(),
+                    data: payload.share(),
                     enqueued_at: SimTime::ZERO,
                 };
                 (VecDeque::from(vec![pw]), rails())
@@ -278,6 +277,51 @@ fn full_stack_pingpong(c: &mut Criterion) {
     g.finish();
 }
 
+/// The eager-path hand-off chain, measured both ways: the pre-refactor
+/// discipline cloned the payload at every layer boundary (app → CH3
+/// packet → NewMadeleine wrapper → wire), the NmBuf discipline pays one
+/// metered boundary copy and shares the allocation from there on. Same
+/// four hand-offs, real wall-clock cost of the copies the CopyMeter
+/// merely counts.
+fn copy_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy-path");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let payload = vec![0xA5u8; size];
+        let label = |k: &str| format!("{k}-{}KB", size / 1024);
+        let p = payload.clone();
+        g.bench_function(&label("clone-per-layer"), move |b| {
+            // black_box every hand-off so the optimizer cannot elide the
+            // intermediate copies it would otherwise see as dead.
+            b.iter(|| {
+                let app = std::hint::black_box(std::hint::black_box(&p).to_vec()); // app → MPI
+                let ch3 = std::hint::black_box(app.clone()); // MPI → CH3 packet
+                let nm = std::hint::black_box(ch3.clone()); // CH3 → nmad wrapper
+                let wire = std::hint::black_box(nm.clone()); // wrapper → wire
+                std::hint::black_box(wire.len())
+            });
+        });
+        let p = payload.clone();
+        g.bench_function(&label("share-per-layer"), move |b| {
+            let meter = CopyMeter::new();
+            b.iter(|| {
+                // One metered boundary copy…
+                let app = std::hint::black_box(NmBuf::copied_from_slice(
+                    std::hint::black_box(&p[..]),
+                    BufOrigin::App,
+                    &meter,
+                ));
+                // …then every hand-off is a refcount bump.
+                let ch3 = std::hint::black_box(app.share());
+                let nm = std::hint::black_box(ch3.share());
+                let wire = std::hint::black_box(nm.slice(..));
+                std::hint::black_box(wire.len())
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     nem_queue,
@@ -285,6 +329,7 @@ criterion_group!(
     strategies,
     sampling,
     event_queue,
-    full_stack_pingpong
+    full_stack_pingpong,
+    copy_path
 );
 criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E14 — per-message copy breakdown, by integration and message size.
+//!
+//! The CopyMeter threaded through every layer (MPI boundary → CH3 →
+//! NewMadeleine → fabric) counts each physical memcpy of payload bytes and
+//! each zero-copy share. This table prints the per-message totals for the
+//! paper's bypass integration (§3.1) against the legacy netmod tunnel
+//! (§2.1.3): the tunnel pays the module-queue encode copy of Fig. 2 on
+//! every frame, the bypass path pays exactly the MPI-boundary copy-in plus
+//! the receive-side reassembly, independent of chunking.
+
+use std::sync::Arc;
+
+use mpi_ch3::stack::{run_mpi, StackConfig};
+use mpi_ch3::{MpiHandle, Src};
+use simnet::{Cluster, CopySnapshot, Placement};
+
+/// Rank 0 sends `count` messages of `len` bytes to rank 1; returns the
+/// job-wide copy totals.
+fn measure(cfg: &StackConfig, count: usize, len: usize) -> CopySnapshot {
+    let cluster = Cluster::xeon_pair();
+    let placement = Placement::one_per_node(2, &cluster);
+    let outcome = run_mpi(
+        &cluster,
+        &placement,
+        cfg,
+        2,
+        Arc::new(move |mpi: MpiHandle| {
+            if mpi.rank() == 0 {
+                let payload = vec![0x42u8; len];
+                for round in 0..count {
+                    mpi.send(1, round as u32, &payload);
+                }
+            } else {
+                for round in 0..count {
+                    let (data, _) = mpi.recv(Src::Rank(0), round as u32);
+                    assert_eq!(data.len(), len);
+                }
+            }
+            mpi.barrier();
+        }),
+    );
+    outcome.copy
+}
+
+/// Per-message copy counters: a `count`-message run minus the 0-message
+/// baseline (startup barrier traffic), divided by `count`.
+fn per_message(cfg: &StackConfig, count: usize, len: usize) -> (f64, f64, f64, f64) {
+    let base = measure(cfg, 0, len);
+    let full = measure(cfg, count, len);
+    let d = full.since(&base);
+    let n = count as f64;
+    (
+        d.memcpy_calls as f64 / n,
+        d.bytes_copied as f64 / n,
+        d.allocations as f64 / n,
+        d.slice_refs as f64 / n,
+    )
+}
+
+fn main() {
+    const COUNT: usize = 8;
+    let sizes: [(&str, usize); 3] = [
+        ("4 KiB (eager)", 4 * 1024),
+        ("64 KiB (rendezvous)", 64 * 1024),
+        ("1 MiB (rendezvous)", 1024 * 1024),
+    ];
+    let stacks: [(&str, StackConfig); 2] = [
+        ("MPICH2-NMad bypass (§3.1)", StackConfig::mpich2_nmad(false)),
+        ("NMad netmod tunnel (§2.1.3)", StackConfig::mpich2_nmad_netmod(0)),
+    ];
+
+    println!("E14 — per-message copy breakdown ({COUNT} messages per cell)");
+    println!();
+    println!(
+        "| {:<27} | {:<19} | {:>7} | {:>12} | {:>6} | {:>6} |",
+        "stack", "message size", "memcpy", "bytes copied", "allocs", "shares"
+    );
+    println!("|{:-<29}|{:-<21}|{:-<9}|{:-<14}|{:-<8}|{:-<8}|", "", "", "", "", "", "");
+    for (stack_name, cfg) in &stacks {
+        for (size_name, len) in &sizes {
+            let (memcpy, bytes, allocs, shares) = per_message(cfg, COUNT, *len);
+            println!(
+                "| {:<27} | {:<19} | {:>7.1} | {:>12.0} | {:>6.1} | {:>6.1} |",
+                stack_name, size_name, memcpy, bytes, allocs, shares
+            );
+        }
+    }
+    println!();
+    println!(
+        "memcpy/bytes = physical copies of payload bytes; shares = zero-copy\n\
+         refcount bumps. The tunnel's extra memcpys per message are the\n\
+         module-queue encode copies of Fig. 2; the bypass path stays at the\n\
+         MPI-boundary copy-in plus receive-side reassembly."
+    );
+}

@@ -39,7 +39,10 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{Fabric, NodeId, RailId, Scheduler, SimDuration, SimTime};
+use simnet::{
+    BufOrigin, CopyMeter, CopySnapshot, Fabric, NmBuf, NodeId, RailId, Scheduler, SimDuration,
+    SimTime,
+};
 
 use crate::config::{NmConfig, RetryConfig};
 use crate::matching::{GateId, MatchEngine, Unexpected};
@@ -92,6 +95,10 @@ pub struct NmStats {
     pub dup_envelopes: u64,
     /// Retry mode: duplicate DATA bytes discarded by range tracking.
     pub dup_data: u64,
+    /// Copy accounting for the whole stack this core belongs to (memcpys,
+    /// allocations, zero-copy shares) — the measured side of the Fig. 2
+    /// bypass argument.
+    pub copy: CopySnapshot,
 }
 
 impl NmStats {
@@ -113,7 +120,7 @@ struct RecvReq {
 
 struct RdvOut {
     send_req: SendReqId,
-    data: Bytes,
+    data: NmBuf,
     /// Bytes not yet handed to a rail.
     bytes_remaining: usize,
     /// Chunks handed to a rail whose send-completion hasn't fired.
@@ -155,7 +162,7 @@ struct EnvRetx {
 
 /// An envelope (matchable) message after transport reordering.
 enum Envelope {
-    Eager(Bytes),
+    Eager(NmBuf),
     Rts { rdv_id: u64, len: usize },
 }
 
@@ -194,6 +201,9 @@ struct Inner {
     next_pw: u64,
     next_rdv: u64,
     stats: NmStats,
+    /// The stack-wide copy meter; attached to every payload entering this
+    /// core so downstream shares/copies keep charging the same counters.
+    meter: Arc<CopyMeter>,
 }
 
 /// Merge `[start, end)` into a sorted, disjoint range set; returns how many
@@ -245,6 +255,18 @@ struct Outgoing {
 
 impl NmCore {
     pub fn new(cfg: NmConfig, rank: usize, net: NmNet) -> Arc<NmCore> {
+        Self::with_meter(cfg, rank, net, CopyMeter::new())
+    }
+
+    /// Like [`NmCore::new`] but sharing a caller-provided [`CopyMeter`] —
+    /// the MPI stack builder passes one job-wide meter so MPI-ingress,
+    /// Nemesis and nmad copies all land in the same tally.
+    pub fn with_meter(
+        cfg: NmConfig,
+        rank: usize,
+        net: NmNet,
+        meter: Arc<CopyMeter>,
+    ) -> Arc<NmCore> {
         assert!(!net.rails.is_empty(), "a core needs at least one rail");
         // Startup sampling: fit each rail's latency/bandwidth profile
         // (§2.2, the adaptive split ratio input).
@@ -278,6 +300,7 @@ impl NmCore {
                 next_pw: 0,
                 next_rdv: 0,
                 stats: NmStats::default(),
+                meter,
             }),
             hook: Mutex::new(None),
         })
@@ -303,8 +326,13 @@ impl NmCore {
         *self.hook.lock() = None;
     }
 
+    /// The stack-wide copy meter this core charges.
+    pub fn meter(&self) -> Arc<CopyMeter> {
+        Arc::clone(&self.inner.lock().meter)
+    }
+
     fn fire_hook(&self, sched: &Scheduler) {
-        let hook = self.hook.lock().clone();
+        let hook = self.hook.lock().as_ref().map(Arc::clone);
         if let Some(h) = hook {
             h(sched);
         }
@@ -319,11 +347,17 @@ impl NmCore {
         sched: &Scheduler,
         dst: usize,
         tag: u64,
-        data: Bytes,
+        data: impl Into<NmBuf>,
         cookie: u64,
     ) -> SendReqId {
         assert_ne!(dst, self.rank, "nmad is inter-node only; intra-node goes via Nemesis");
         let mut inner = self.inner.lock();
+        // Attach the stack meter unless the buffer already carries one
+        // (i.e. it was metered at a higher layer, MPI ingress or CH3).
+        let mut data = data.into();
+        if data.meter().is_none() {
+            data = data.with_meter(&inner.meter);
+        }
         let req = SendReqId(inner.send_reqs.len() as u32);
         inner.send_reqs.push(SendReq {
             cookie,
@@ -387,7 +421,7 @@ impl NmCore {
                     rdv_id,
                     len,
                 },
-                data: Bytes::new(),
+                data: NmBuf::default(),
                 enqueued_at: now,
             };
             inner.gates.entry(dst).or_default().push_back(pw);
@@ -502,6 +536,12 @@ impl NmCore {
         self.inner.lock().matching.unexpected_len()
     }
 
+    /// Packet wrappers sitting in the submission windows — the library's
+    /// "outbox" depth (diagnostics).
+    pub fn window_depth(&self) -> usize {
+        self.inner.lock().gates.values().map(|g| g.len()).sum()
+    }
+
     /// Nothing in flight, nothing pending?
     pub fn quiescent(&self) -> bool {
         let inner = self.inner.lock();
@@ -514,9 +554,12 @@ impl NmCore {
             && inner.ctrl_out.is_empty()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (includes the live copy-meter tally).
     pub fn stats(&self) -> NmStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut s = inner.stats;
+        s.copy = inner.meter.snapshot();
+        s
     }
 
     // ------------------------------------------------------------------
@@ -728,7 +771,7 @@ impl NmCore {
         }
     }
 
-    fn complete_recv(inner: &mut Inner, req: RecvReqId, data: Bytes, gate: GateId, tag: u64) {
+    fn complete_recv(inner: &mut Inner, req: RecvReqId, data: NmBuf, gate: GateId, tag: u64) {
         let r = &mut inner.recv_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of recv request");
         r.done = true;
@@ -736,7 +779,13 @@ impl NmCore {
         let cookie = r.cookie;
         inner.completions.push_back(NmCompletion {
             cookie,
-            kind: CompletionKind::Recv { data, gate, tag },
+            // Lineage ends at the user-facing completion: surrender the
+            // underlying Bytes view (zero-copy, storage still aliased).
+            kind: CompletionKind::Recv {
+                data: data.into_bytes(),
+                gate,
+                tag,
+            },
         });
     }
 
@@ -769,6 +818,9 @@ impl NmCore {
             .map(|rc| rc.timeout)
             .unwrap_or(SimDuration::ZERO);
         let deadline = inner.cfg.retry.map(|rc| sched.now() + rc.timeout);
+        // The rendezvous landing buffer is a fresh payload allocation; the
+        // chunk memcpys into it are charged as each DATA lands.
+        inner.meter.record_alloc();
         let prev = inner.rdv_in.insert(
             (src, rdv_id),
             RdvIn {
@@ -790,7 +842,7 @@ impl NmCore {
             id: pw_id,
             dst: src,
             body: PwBody::Cts { rdv_id },
-            data: Bytes::new(),
+            data: NmBuf::default(),
             enqueued_at: sched.now(),
         };
         inner.gates.entry(src).or_default().push_back(pw);
@@ -813,7 +865,8 @@ impl NmCore {
         // Disarm the RTS timer; it re-arms as a FIN timer once every DATA
         // chunk has left the local NIC.
         rdv.deadline = None;
-        let data = rdv.data.clone();
+        // Zero-copy: the DATA wrapper shares the sender's payload storage.
+        let data = rdv.data.share();
         let dst = *inner
             .rdv_dst
             .get(&rdv_id)
@@ -840,7 +893,7 @@ impl NmCore {
         src: usize,
         rdv_id: u64,
         offset: usize,
-        data: Bytes,
+        data: NmBuf,
     ) {
         let key = (src, rdv_id);
         let retry = inner.cfg.retry.is_some();
@@ -861,7 +914,9 @@ impl NmCore {
                 // the sender's FIN timer replays it.
                 return;
             };
-            rdv.buf[offset..offset + data.len()].copy_from_slice(&data);
+            // The one unavoidable receive-side memcpy of the rendezvous
+            // path: gather the chunk into the contiguous landing buffer.
+            data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
             let dup = if retry {
                 let fresh = insert_range(&mut rdv.ranges, offset, offset + data.len());
                 rdv.received += fresh;
@@ -889,13 +944,10 @@ impl NmCore {
                     .ctrl_out
                     .push_back((src, WirePayload::RdvFin { rdv_id }));
             }
-            Self::complete_recv(
-                inner,
-                rdv.recv_req,
-                Bytes::from(rdv.buf),
-                GateId(rdv.gate),
-                rdv.tag,
-            );
+            // Freeze the landing buffer without a copy (the allocation was
+            // charged in start_rdv_in, the fills as each chunk landed).
+            let buf = NmBuf::adopt(Bytes::from(rdv.buf), BufOrigin::Nmad, &inner.meter);
+            Self::complete_recv(inner, rdv.recv_req, buf, GateId(rdv.gate), rdv.tag);
         }
     }
 
@@ -937,7 +989,9 @@ impl NmCore {
                     bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
                     rx.deadline = now + rx.timeout;
                     inner.stats.eager_retries += 1;
-                    resend.push((dst, rx.payload.clone()));
+                    // share(): the replayed envelope reuses the queued
+                    // payload storage — retransmission never copies bytes.
+                    resend.push((dst, rx.payload.share()));
                 }
             }
             // rdv_out / rdv_in are HashMaps: collect + sort so the replay
@@ -975,7 +1029,8 @@ impl NmCore {
                         WirePayload::Data {
                             rdv_id,
                             offset: 0,
-                            data: rdv.data.clone(),
+                            // Zero-copy replay of the held payload.
+                            data: rdv.data.share(),
                         },
                     ));
                 }
@@ -1115,7 +1170,7 @@ impl NmCore {
         let track_eager = |env_unacked: &mut BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
                                tag: u64,
                                seq: u64,
-                               data: &Bytes| {
+                               data: &NmBuf| {
             if let Some(rc) = retry {
                 env_unacked.entry((dst, tag)).or_default().insert(
                     seq,
@@ -1123,7 +1178,9 @@ impl NmCore {
                         payload: WirePayload::Eager {
                             tag,
                             seq,
-                            data: data.clone(),
+                            // The retransmit queue holds a share of the
+                            // wire payload, not a copy.
+                            data: data.share(),
                         },
                         deadline: now + rc.timeout,
                         timeout: rc.timeout,

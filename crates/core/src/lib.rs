@@ -44,6 +44,10 @@
 //! `mpi-ch3::costs`), while wire timing comes from the `simnet` fabric the
 //! core is bound to.
 
+// Data-path crate: every payload clone must be a metered zero-copy share
+// (`NmBuf::share`/`slice`) or carry an ownership-constraint comment.
+#![warn(clippy::redundant_clone)]
+
 pub mod config;
 pub mod core;
 pub mod matching;
@@ -53,7 +57,7 @@ pub mod sr;
 pub mod strategy;
 pub mod wire;
 
-pub use crate::core::{NmCore, NmNet};
+pub use crate::core::{NmCore, NmNet, NmStats};
 pub use config::{NmConfig, RetryConfig, StrategyKind};
 pub use matching::GateId;
 pub use sampling::LinkProfile;

@@ -16,7 +16,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use simnet::NmBuf;
 
 use crate::sr::RecvReqId;
 
@@ -29,7 +29,7 @@ pub struct GateId(pub usize);
 #[derive(Clone, Debug)]
 pub enum Unexpected {
     /// A whole eager message (payload retained).
-    Eager { seq: u64, data: Bytes },
+    Eager { seq: u64, data: NmBuf },
     /// A rendezvous announcement; the payload is still on the sender.
     Rts { seq: u64, rdv_id: u64, len: usize },
 }
@@ -224,7 +224,7 @@ mod tests {
     fn eager(seq: u64) -> Unexpected {
         Unexpected::Eager {
             seq,
-            data: Bytes::from(vec![seq as u8]),
+            data: NmBuf::from(vec![seq as u8]),
         }
     }
 

@@ -6,8 +6,7 @@
 //! possibly several wrappers into one packet (aggregation) or one wrapper
 //! into several packets (multirail split).
 
-use bytes::Bytes;
-use simnet::SimTime;
+use simnet::{NmBuf, SimTime};
 
 use crate::sr::SendReqId;
 
@@ -44,7 +43,7 @@ pub struct PacketWrapper {
     /// Destination rank (gate).
     pub dst: usize,
     pub body: PwBody,
-    pub data: Bytes,
+    pub data: NmBuf,
     /// When the wrapper entered the window (diagnostics / fairness).
     pub enqueued_at: SimTime,
 }
@@ -82,7 +81,7 @@ mod tests {
             id: PwId(0),
             dst: 1,
             body,
-            data: Bytes::from(vec![0u8; len]),
+            data: NmBuf::from(vec![0u8; len]),
             enqueued_at: SimTime::ZERO,
         }
     }

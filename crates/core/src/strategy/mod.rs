@@ -79,8 +79,7 @@ pub(crate) mod testutil {
     use super::*;
     use crate::pack::{PwBody, PwId};
     use crate::sr::SendReqId;
-    use bytes::Bytes;
-    use simnet::{SimDuration, SimTime};
+    use simnet::{NmBuf, SimDuration, SimTime};
 
     pub fn eager_pw(id: u64, len: usize) -> PacketWrapper {
         PacketWrapper {
@@ -91,7 +90,7 @@ pub(crate) mod testutil {
                 seq: id,
                 send_req: SendReqId(id as u32),
             },
-            data: Bytes::from(vec![id as u8; len]),
+            data: NmBuf::from(vec![id as u8; len]),
             enqueued_at: SimTime::ZERO,
         }
     }
@@ -101,7 +100,7 @@ pub(crate) mod testutil {
             id: PwId(id),
             dst: 1,
             body: PwBody::Data { rdv_id, offset: 0 },
-            data: Bytes::from(vec![0u8; len]),
+            data: NmBuf::from(vec![0u8; len]),
             enqueued_at: SimTime::ZERO,
         }
     }

@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use simnet::NmBuf;
 
 use crate::config::NmConfig;
 use crate::pack::{PacketWrapper, PwBody};
@@ -117,7 +117,7 @@ impl Strategy for StratSplitBalanced {
 
 /// Build a zero-copy chunk view (used by tests to validate slicing).
 #[allow(dead_code)]
-fn slice_chunk(data: &Bytes, off: usize, len: usize) -> Bytes {
+fn slice_chunk(data: &NmBuf, off: usize, len: usize) -> NmBuf {
     data.slice(off..off + len)
 }
 

@@ -7,7 +7,7 @@
 //! so aggregation trades per-packet latency against extra header bytes the
 //! way the real library does.
 
-use bytes::Bytes;
+use simnet::NmBuf;
 
 /// Modelled size of the packet header on the wire.
 pub const WIRE_HEADER_BYTES: usize = 32;
@@ -20,14 +20,14 @@ pub const AGG_SUBHEADER_BYTES: usize = 16;
 pub struct EagerFrag {
     pub tag: u64,
     pub seq: u64,
-    pub data: Bytes,
+    pub data: NmBuf,
 }
 
 /// Payload variants of a wire packet.
 #[derive(Clone, Debug)]
 pub enum WirePayload {
     /// A whole small message.
-    Eager { tag: u64, seq: u64, data: Bytes },
+    Eager { tag: u64, seq: u64, data: NmBuf },
     /// Several small messages to the same gate coalesced into one NIC
     /// transfer by the aggregation strategy.
     Aggregate(Vec<EagerFrag>),
@@ -45,7 +45,7 @@ pub enum WirePayload {
     Data {
         rdv_id: u64,
         offset: usize,
-        data: Bytes,
+        data: NmBuf,
     },
     /// Retry mode only — cumulative acknowledgement for one (src, tag)
     /// envelope flow: every sequence number below `next` has arrived.
@@ -53,6 +53,49 @@ pub enum WirePayload {
     /// Retry mode only — the receiver finished assembling `rdv_id`; the
     /// sender may release the payload and complete the send.
     RdvFin { rdv_id: u64 },
+}
+
+impl WirePayload {
+    /// Duplicate this payload without copying payload bytes: data-bearing
+    /// variants share their [`NmBuf`] (a metered refcount bump), control
+    /// variants are plain field copies. Retransmission queues use this so
+    /// keeping a packet around for replay never clones the payload.
+    pub fn share(&self) -> WirePayload {
+        match self {
+            WirePayload::Eager { tag, seq, data } => WirePayload::Eager {
+                tag: *tag,
+                seq: *seq,
+                data: data.share(),
+            },
+            WirePayload::Aggregate(frags) => WirePayload::Aggregate(
+                frags
+                    .iter()
+                    .map(|f| EagerFrag {
+                        tag: f.tag,
+                        seq: f.seq,
+                        data: f.data.share(),
+                    })
+                    .collect(),
+            ),
+            WirePayload::Rts { tag, seq, rdv_id, len } => WirePayload::Rts {
+                tag: *tag,
+                seq: *seq,
+                rdv_id: *rdv_id,
+                len: *len,
+            },
+            WirePayload::Cts { rdv_id } => WirePayload::Cts { rdv_id: *rdv_id },
+            WirePayload::Data { rdv_id, offset, data } => WirePayload::Data {
+                rdv_id: *rdv_id,
+                offset: *offset,
+                data: data.share(),
+            },
+            WirePayload::Ack { tag, next } => WirePayload::Ack {
+                tag: *tag,
+                next: *next,
+            },
+            WirePayload::RdvFin { rdv_id } => WirePayload::RdvFin { rdv_id: *rdv_id },
+        }
+    }
 }
 
 /// A packet as it crosses the fabric.
@@ -96,7 +139,7 @@ mod tests {
             payload: WirePayload::Eager {
                 tag: 1,
                 seq: 0,
-                data: Bytes::from_static(&[0u8; 100]),
+                data: NmBuf::from(vec![0u8; 100]),
             },
         };
         assert_eq!(w.wire_bytes(), WIRE_HEADER_BYTES + 100);
@@ -107,7 +150,7 @@ mod tests {
         let frag = |n: usize| EagerFrag {
             tag: 0,
             seq: 0,
-            data: Bytes::from(vec![0u8; n]),
+            data: NmBuf::from(vec![0u8; n]),
         };
         let w = NmWire {
             src_rank: 0,

@@ -1,0 +1,129 @@
+//! Allocation-aliasing proofs for the eager path: the payload `Bytes`
+//! delivered by a receive completion must be a refcounted view of the
+//! *sender's* allocation — same backing storage, strong count > 1 while
+//! the source handle lives — never a copy. This pins the zero-copy claim
+//! at the pointer level, below what the CopyMeter counters can show.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simnet::{
+    Fabric, NicModel, NodeId, RailId, RankCtx, Sim, SimBuilder, SimDuration,
+};
+
+use nmad::{NmConfig, NmCore, NmNet, NmWire, StrategyKind};
+
+/// Two cores on two single-rank nodes over one IB rail (the
+/// core_integration fixture, trimmed to the pair this test needs).
+fn fixture(cfg: NmConfig) -> (Sim, Vec<Arc<NmCore>>) {
+    let sim = SimBuilder::new().build();
+    let fabric: Arc<Fabric<NmWire>> = Fabric::new(2, vec![NicModel::connectx_ib()]);
+    let rank_to_node = Arc::new(vec![NodeId(0), NodeId(1)]);
+    let rail_ids: Vec<RailId> = (0..fabric.num_rails()).map(RailId).collect();
+    let cores: Vec<Arc<NmCore>> = (0..2)
+        .map(|r| {
+            NmCore::new(
+                cfg,
+                r,
+                NmNet {
+                    fabric: Arc::clone(&fabric),
+                    node: NodeId(r),
+                    rails: rail_ids.clone(),
+                    rank_to_node: Arc::clone(&rank_to_node),
+                },
+            )
+        })
+        .collect();
+    for (r, c) in cores.iter().enumerate() {
+        let core = Arc::clone(c);
+        fabric.set_sink(NodeId(r), Box::new(move |s, d| core.accept(s, d.msg)));
+    }
+    (sim, cores)
+}
+
+/// Drive progress until one completion appears; returns its payload.
+fn wait_one(ctx: &RankCtx, core: &Arc<NmCore>, cookie: u64) -> Option<Bytes> {
+    let sched = ctx.scheduler();
+    let mut spins = 0u32;
+    loop {
+        core.schedule(&sched);
+        if let Some(c) = core.drain_completions().into_iter().next() {
+            assert_eq!(c.cookie, cookie, "unexpected completion cookie");
+            return match c.kind {
+                nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
+                nmad::sr::CompletionKind::Send => None,
+            };
+        }
+        ctx.advance(SimDuration::nanos(100));
+        spins += 1;
+        assert!(spins < 10_000_000, "wait_one never completed");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// For any eager-sized payload, on either scheduling strategy, the
+    /// delivered `Bytes` aliases the source allocation: equal
+    /// `storage_ptr`, and a backing refcount that still sees the anchor
+    /// handle held outside the stack.
+    #[test]
+    fn eager_delivery_aliases_source_allocation(
+        len in 1usize..4096,
+        fill in any::<u8>(),
+        aggregate in any::<bool>(),
+    ) {
+        let strategy = if aggregate {
+            StrategyKind::Aggreg
+        } else {
+            StrategyKind::Default
+        };
+        let (mut sim, cores) = fixture(NmConfig::with_strategy(strategy));
+
+        let source = Bytes::from(vec![fill; len]);
+        // Anchor handle: keeps the allocation's refcount observable from
+        // the receiver even after the sender's stack dropped its views.
+        let anchor = source.clone();
+        let src_ptr = source.storage_ptr() as usize;
+
+        let delivered: Arc<Mutex<Option<Bytes>>> = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&delivered);
+
+        let c0 = Arc::clone(&cores[0]);
+        let c1 = Arc::clone(&cores[1]);
+        sim.spawn_rank("sender", move |ctx| {
+            let sched = ctx.scheduler();
+            c0.isend(&sched, 1, 9, source, 100);
+            assert!(wait_one(&ctx, &c0, 100).is_none());
+        });
+        sim.spawn_rank("receiver", move |ctx| {
+            let sched = ctx.scheduler();
+            c1.irecv(&sched, 0, 9, 200);
+            let data = wait_one(&ctx, &c1, 200).expect("recv payload");
+            *out.lock() = Some(data);
+        });
+        sim.run().unwrap();
+
+        let data = delivered.lock().take().expect("receiver stored payload");
+        prop_assert_eq!(data.len(), len);
+        prop_assert!(data.iter().all(|&b| b == fill));
+        prop_assert_eq!(
+            data.storage_ptr() as usize,
+            src_ptr,
+            "delivered bytes live in a different allocation: the eager \
+             path copied instead of sharing"
+        );
+        let rc = data.ref_count().expect("heap-backed payload is refcounted");
+        prop_assert!(
+            rc >= 2,
+            "refcount {} < 2: the anchor handle and the delivered view \
+             must share one allocation",
+            rc
+        );
+        drop(anchor);
+        let rc_after = data.ref_count().unwrap();
+        prop_assert!(rc_after < rc, "dropping the anchor must release a reference");
+    }
+}

@@ -4,9 +4,8 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
 use proptest::prelude::*;
-use simnet::{SimDuration, SimTime};
+use simnet::{NmBuf, SimDuration, SimTime};
 
 use nmad::config::{NmConfig, StrategyKind};
 use nmad::pack::{PacketWrapper, PwBody, PwId};
@@ -46,7 +45,7 @@ fn build(specs: &[PwSpec]) -> VecDeque<PacketWrapper> {
                         seq: i as u64,
                         send_req: SendReqId(i as u32),
                     },
-                    data: Bytes::from(vec![i as u8; *len]),
+                    data: NmBuf::from(vec![i as u8; *len]),
                     enqueued_at: SimTime::ZERO,
                 },
                 PwSpec::Data { len } => PacketWrapper {
@@ -56,7 +55,7 @@ fn build(specs: &[PwSpec]) -> VecDeque<PacketWrapper> {
                         rdv_id: i as u64,
                         offset: 0,
                     },
-                    data: Bytes::from(vec![i as u8; *len]),
+                    data: NmBuf::from(vec![i as u8; *len]),
                     enqueued_at: SimTime::ZERO,
                 },
                 PwSpec::Rts => PacketWrapper {
@@ -68,14 +67,14 @@ fn build(specs: &[PwSpec]) -> VecDeque<PacketWrapper> {
                         rdv_id: i as u64,
                         len: 1 << 20,
                     },
-                    data: Bytes::new(),
+                    data: NmBuf::default(),
                     enqueued_at: SimTime::ZERO,
                 },
                 PwSpec::Cts => PacketWrapper {
                     id,
                     dst: 1,
                     body: PwBody::Cts { rdv_id: i as u64 },
-                    data: Bytes::new(),
+                    data: NmBuf::default(),
                     enqueued_at: SimTime::ZERO,
                 },
             }

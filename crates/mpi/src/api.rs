@@ -7,7 +7,7 @@
 //! this type and run unchanged on every stack configuration.
 
 use bytes::Bytes;
-use simnet::{RankCtx, SimDuration, SimTime};
+use simnet::{BufOrigin, NmBuf, RankCtx, SimDuration, SimTime};
 
 use crate::progress::ProcState;
 use crate::request::Req;
@@ -80,15 +80,18 @@ impl MpiHandle {
         &self.ctx
     }
 
-    /// Nonblocking send.
+    /// Nonblocking send. The borrowed application buffer is copied once at
+    /// the MPI boundary (metered: the only send-side copy of the bypass
+    /// path); everything below shares that allocation.
     pub fn isend(&self, dst: usize, tag: u32, data: &[u8]) -> Req {
-        self.state
-            .isend(&self.ctx, dst, tag, Bytes::copy_from_slice(data))
+        let buf = NmBuf::copied_from_slice(data, BufOrigin::App, &self.state.meter);
+        self.state.isend(&self.ctx, dst, tag, buf)
     }
 
-    /// Nonblocking send of an owned buffer (avoids the copy).
+    /// Nonblocking send of an owned buffer (avoids even the boundary copy).
     pub fn isend_bytes(&self, dst: usize, tag: u32, data: Bytes) -> Req {
-        self.state.isend(&self.ctx, dst, tag, data)
+        let buf = NmBuf::adopt(data, BufOrigin::App, &self.state.meter);
+        self.state.isend(&self.ctx, dst, tag, buf)
     }
 
     /// Nonblocking receive.

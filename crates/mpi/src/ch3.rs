@@ -10,10 +10,11 @@
 //! pathology §2.1.3 describes).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
-use simnet::Scheduler;
+use simnet::{BufOrigin, CopyMeter, NmBuf, Scheduler};
 
 use crate::queues::{Ch3Queues, UnexMsg};
 use crate::request::Req;
@@ -21,13 +22,15 @@ use crate::request::Req;
 /// Modelled CH3 packet-header size on the wire.
 pub const CH3_HEADER_BYTES: usize = 40;
 
-/// A CH3 protocol packet.
+/// A CH3 protocol packet. Payloads are [`NmBuf`] handles: cloning a packet
+/// (retransmit queues, self-loops) bumps a refcount, it never copies the
+/// payload bytes.
 #[derive(Clone, Debug)]
 pub enum Ch3Pkt {
-    Eager { key: u64, data: Bytes },
+    Eager { key: u64, data: NmBuf },
     Rts { key: u64, rdv_id: u64, len: usize },
     Cts { rdv_id: u64 },
-    Data { rdv_id: u64, offset: usize, data: Bytes },
+    Data { rdv_id: u64, offset: usize, data: NmBuf },
     /// Per-fragment acknowledgement of an ACK-throttled rendezvous
     /// pipeline (Open MPI 1.2-era openib behaviour: the next fragment only
     /// leaves once the previous one is acknowledged).
@@ -50,7 +53,18 @@ impl Ch3Pkt {
     /// Binary encoding — used where a transport can only carry opaque
     /// bytes (the legacy netmod path tunnels CH3 packets through
     /// NewMadeleine messages).
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// This serialization is the *module-queue copy* of §2.1.3: the payload
+    /// bytes are physically duplicated into the encoded frame. The copy is
+    /// charged to the payload's [`CopyMeter`] so the copy-discipline tests
+    /// can prove the bypass path skips it.
+    pub fn encode(&self) -> NmBuf {
+        let meter = match self {
+            Ch3Pkt::Eager { data, .. } | Ch3Pkt::Data { data, .. } => {
+                data.meter().map(Arc::clone)
+            }
+            _ => None,
+        };
         let mut b = BytesMut::with_capacity(33 + 16);
         match self {
             Ch3Pkt::Eager { key, data } => {
@@ -85,22 +99,46 @@ impl Ch3Pkt {
                 b.extend_from_slice(&rdv_id.to_le_bytes());
             }
         }
-        b.freeze()
+        let frame = b.freeze();
+        match meter {
+            Some(m) => {
+                // One fresh allocation plus a memcpy of the whole frame —
+                // the tunnel's per-packet cost the bypass avoids.
+                m.record_alloc();
+                m.record_copy(frame.len());
+                NmBuf::adopt(frame, BufOrigin::Ch3, &m)
+            }
+            None => NmBuf::from_bytes(frame, BufOrigin::Ch3),
+        }
     }
 
-    /// Decode [`Ch3Pkt::encode`]'s output.
+    /// Decode [`Ch3Pkt::encode`]'s output. The decoded payload is a
+    /// zero-copy view into the encoded frame (a slice-ref, not a memcpy),
+    /// and it inherits the frame's meter.
     ///
     /// # Panics
     /// Panics on malformed input — transports are trusted in-process.
-    pub fn decode(mut raw: Bytes) -> Ch3Pkt {
+    pub fn decode(raw: NmBuf) -> Ch3Pkt {
         use bytes::Buf;
+        let meter = raw.meter().map(Arc::clone);
+        let mut raw = raw.into_bytes();
+        let payload = |rest: Bytes| match &meter {
+            Some(m) => {
+                m.record_slice();
+                NmBuf::adopt(rest, BufOrigin::Ch3, m)
+            }
+            None => NmBuf::from_bytes(rest, BufOrigin::Ch3),
+        };
         let variant = raw.get_u8();
         match variant {
             0 => {
                 let key = raw.get_u64_le();
                 let len = raw.get_u64_le() as usize;
                 assert_eq!(raw.len(), len, "eager length mismatch");
-                Ch3Pkt::Eager { key, data: raw }
+                Ch3Pkt::Eager {
+                    key,
+                    data: payload(raw),
+                }
             }
             1 => Ch3Pkt::Rts {
                 key: raw.get_u64_le(),
@@ -118,7 +156,7 @@ impl Ch3Pkt {
                 Ch3Pkt::Data {
                     rdv_id,
                     offset,
-                    data: raw,
+                    data: payload(raw),
                 }
             }
             4 => Ch3Pkt::DataAck {
@@ -151,7 +189,7 @@ pub enum Ch3Event {
 struct RdvOut {
     req: Req,
     dst: usize,
-    data: Bytes,
+    data: NmBuf,
     /// Bytes already handed to the transport (ACK-throttled mode).
     cursor: usize,
 }
@@ -185,6 +223,9 @@ pub struct Ch3Engine {
     /// 1.2-era openib behaviour — the source of its medium-size bandwidth
     /// dip, Fig. 4b).
     rdv_ack: bool,
+    /// Copy accounting for the engine's own buffer work (rendezvous
+    /// landing buffers, the receive-side reassembly memcpy).
+    meter: Option<Arc<CopyMeter>>,
 }
 
 impl Ch3Engine {
@@ -216,7 +257,15 @@ impl Ch3Engine {
             eager_threshold,
             rdv_chunk,
             rdv_ack,
+            meter: None,
         }
+    }
+
+    /// Attach the job-wide copy meter (builder style — the stack assembles
+    /// engines before handing them to `ProcState`).
+    pub fn with_copy_meter(mut self, meter: &Arc<CopyMeter>) -> Ch3Engine {
+        self.meter = Some(Arc::clone(meter));
+        self
     }
 
     pub fn eager_threshold(&self) -> usize {
@@ -242,7 +291,7 @@ impl Ch3Engine {
         req: Req,
         dst: usize,
         key: u64,
-        data: Bytes,
+        data: NmBuf,
         eager_limit: usize,
     ) -> bool {
         if data.len() <= eager_limit {
@@ -288,7 +337,8 @@ impl Ch3Engine {
             }) => (
                 Some(Ch3Event::RecvDone {
                     req,
-                    data,
+                    // Lineage ends at the user-facing completion.
+                    data: data.into_bytes(),
                     src: s,
                     key: k,
                     was_any: src.is_none(),
@@ -309,6 +359,10 @@ impl Ch3Engine {
     }
 
     fn begin_rdv_in(&self, req: Req, src: usize, key: u64, was_any: bool, rdv_id: u64, len: usize) {
+        if let Some(m) = &self.meter {
+            // The rendezvous landing buffer — one allocation, no copy yet.
+            m.record_alloc();
+        }
         let mut inner = self.inner.lock();
         let prev = inner.rdv_in.insert(
             (src, rdv_id),
@@ -338,7 +392,9 @@ impl Ch3Engine {
             Ch3Pkt::Eager { key, data } => match self.queues.match_arrival(src, key) {
                 Some(entry) => events.push(Ch3Event::RecvDone {
                     req: entry.req,
-                    data,
+                    // Zero-copy: the completion hands out the same storage
+                    // the transport delivered.
+                    data: data.into_bytes(),
                     src,
                     key,
                     was_any: entry.src.is_none(),
@@ -441,7 +497,9 @@ impl Ch3Engine {
                         .rdv_in
                         .get_mut(&(src, rdv_id))
                         .expect("DATA for unknown CH3 rendezvous");
-                    rdv.buf[offset..offset + data.len()].copy_from_slice(&data);
+                    // The one receive-side reassembly memcpy of the CH3
+                    // rendezvous (charged to the payload's meter).
+                    data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
                     rdv.received += data.len();
                     (rdv.received == rdv.buf.len(), rdv.src)
                 };
@@ -539,7 +597,7 @@ mod tests {
         let pkts = vec![
             Ch3Pkt::Eager {
                 key: 7,
-                data: Bytes::from_static(b"abc"),
+                data: NmBuf::from(Bytes::from_static(b"abc")),
             },
             Ch3Pkt::Rts {
                 key: 9,
@@ -550,7 +608,7 @@ mod tests {
             Ch3Pkt::Data {
                 rdv_id: 3,
                 offset: 512,
-                data: Bytes::from_static(b"payload"),
+                data: NmBuf::from(Bytes::from_static(b"payload")),
             },
         ];
         for p in pkts {
@@ -604,7 +662,15 @@ mod tests {
         let req = t.create(ReqKind::Send, ReqPath::Net);
         let mut sent = Vec::new();
         let mut send = |_: &Scheduler, dst: usize, p: Ch3Pkt| sent.push((dst, p));
-        let done = e.send_msg(&s, &mut send, req, 1, 7, Bytes::from_static(b"small"), 16 * 1024);
+        let done = e.send_msg(
+            &s,
+            &mut send,
+            req,
+            1,
+            7,
+            NmBuf::from(Bytes::from_static(b"small")),
+            16 * 1024,
+        );
         assert!(done);
         assert_eq!(sent.len(), 1);
         assert!(matches!(sent[0].1, Ch3Pkt::Eager { key: 7, .. }));
@@ -618,13 +684,13 @@ mod tests {
         let e1 = Ch3Engine::new(1, 1024, None);
         let sreq = t.create(ReqKind::Send, ReqPath::Net);
         let rreq = t.create(ReqKind::Recv, ReqPath::Net);
-        let payload = Bytes::from(vec![0x5A; 10_000]);
+        let payload = NmBuf::from(vec![0x5A; 10_000]);
 
         let mut queue: Vec<(usize, usize, Ch3Pkt)> = Vec::new();
         let mut events = Vec::new();
         {
             let mut send0 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((0, dst, p));
-            assert!(!e0.send_msg(&s, &mut send0, sreq, 1, 7, payload.clone(), 1024));
+            assert!(!e0.send_msg(&s, &mut send0, sreq, 1, 7, payload.share(), 1024));
         }
         {
             let mut send1 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((1, dst, p));
@@ -643,7 +709,7 @@ mod tests {
                 }
                 Ch3Event::RecvDone { req, data, src, .. } => {
                     assert_eq!((who, req, src), (1, rreq, 0));
-                    assert_eq!(data, payload);
+                    assert_eq!(&data[..], &payload[..]);
                     recv_done = true;
                 }
             }
@@ -672,7 +738,15 @@ mod tests {
         }
         {
             let mut send0 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((0, dst, p));
-            e0.send_msg(&s, &mut send0, sreq, 1, 7, Bytes::from(payload.clone()), 1024);
+            e0.send_msg(
+                &s,
+                &mut send0,
+                sreq,
+                1,
+                7,
+                NmBuf::from(Bytes::copy_from_slice(&payload)),
+                1024,
+            );
         }
         // Manual pump to count DATA packets.
         while let Some((src, dst, pkt)) = queue.pop() {
@@ -692,9 +766,9 @@ mod tests {
         }
         assert_eq!(data_pkts, 3, "10000 bytes in 4096-byte chunks");
         let got = events
-            .iter()
+            .into_iter()
             .find_map(|e| match e {
-                Ch3Event::RecvDone { data, .. } => Some(data.clone()),
+                Ch3Event::RecvDone { data, .. } => Some(data),
                 _ => None,
             })
             .expect("recv completes");

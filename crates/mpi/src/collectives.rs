@@ -14,6 +14,7 @@
 use std::sync::atomic::Ordering;
 
 use bytes::Bytes;
+use simnet::NmBuf;
 
 use crate::api::{MpiHandle, Src};
 use crate::progress::COLL_CTX;
@@ -66,7 +67,7 @@ pub fn barrier(mpi: &MpiHandle) {
         let key = coll_key(OP_BARRIER, round, seq);
         let r = mpi
             .state
-            .isend_key(&mpi.ctx, to, key, Bytes::new());
+            .isend_key(&mpi.ctx, to, key, NmBuf::default());
         let rr = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
         mpi.state.wait(&mpi.ctx, r);
         mpi.state.wait(&mpi.ctx, rr);
@@ -83,10 +84,12 @@ pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
     let seq = next_seq(mpi);
     let key = coll_key(OP_BCAST, 0, seq);
     let vrank = (rank + size - root) % size;
+    // Internally the payload is an NmBuf handle: forwarding to several
+    // children shares one allocation instead of cloning per child.
     let mut payload = if rank == root {
-        data.expect("bcast root must supply data")
+        NmBuf::from(data.expect("bcast root must supply data"))
     } else {
-        Bytes::new()
+        NmBuf::default()
     };
     // Receive from parent.
     let mut mask = 1usize;
@@ -95,7 +98,7 @@ pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
             let parent = ((vrank - mask) + root) % size;
             let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(parent), key);
             let (d, _) = mpi.state.wait(&mpi.ctx, r);
-            payload = d.expect("bcast data");
+            payload = NmBuf::from(d.expect("bcast data"));
             break;
         }
         mask <<= 1;
@@ -108,7 +111,7 @@ pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
             let child = ((vrank + mask) + root) % size;
             sends.push(
                 mpi.state
-                    .isend_key(&mpi.ctx, child, key, payload.clone()),
+                    .isend_key(&mpi.ctx, child, key, payload.share()),
             );
         }
         mask >>= 1;
@@ -116,7 +119,7 @@ pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
     for s in sends {
         mpi.state.wait(&mpi.ctx, s);
     }
-    payload
+    payload.into_bytes()
 }
 
 /// Binomial-tree sum-reduction of equal-length f64 vectors to `root`.
@@ -126,6 +129,8 @@ pub fn reduce_sum(mpi: &MpiHandle, root: usize, contrib: &[f64]) -> Option<Vec<f
     let seq = next_seq(mpi);
     let key = coll_key(OP_REDUCE, 0, seq);
     let vrank = (rank + size - root) % size;
+    // The accumulator is mutated in place each round; it cannot alias the
+    // caller's borrowed contribution.
     let mut acc = contrib.to_vec();
     let mut mask = 1usize;
     while mask < size {
@@ -177,23 +182,21 @@ pub fn alltoall(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
     assert_eq!(blocks.len(), size, "need one block per rank");
     let seq = next_seq(mpi);
     let key = coll_key(OP_ALLTOALL, 0, seq);
+    // Share handles instead of cloning block storage per destination.
+    let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
     let mut recvs = Vec::with_capacity(size - 1);
     for i in 1..size {
         let from = (rank + size - i) % size;
         recvs.push((from, mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key)));
     }
+    result[rank] = Some(blocks[rank].share().into_bytes());
     let mut sends = Vec::with_capacity(size - 1);
-    for (i, block) in blocks.iter().enumerate() {
-        if i == rank {
-            result[rank] = Some(block.clone());
-        }
-    }
     for i in 1..size {
         let to = (rank + i) % size;
         sends.push(
             mpi.state
-                .isend_key(&mpi.ctx, to, key, blocks[to].clone()),
+                .isend_key(&mpi.ctx, to, key, blocks[to].share()),
         );
     }
     for (from, r) in recvs {
@@ -212,25 +215,27 @@ pub fn allgather(mpi: &MpiHandle, mine: Bytes) -> Vec<Bytes> {
     let (rank, size) = (mpi.rank(), mpi.size());
     let seq = next_seq(mpi);
     let key = coll_key(OP_ALLGATHER, 0, seq);
+    let mine = NmBuf::from(mine);
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
-    result[rank] = Some(mine.clone());
+    result[rank] = Some(mine.share().into_bytes());
     if size == 1 {
         return result.into_iter().map(|b| b.unwrap()).collect();
     }
     // Ring: in step s, send the block received in step s-1 to the right
-    // neighbour; after size-1 steps everyone has everything.
+    // neighbour; after size-1 steps everyone has everything. Each block is
+    // forwarded as a shared handle — one allocation travels the whole ring.
     let right = (rank + 1) % size;
     let left = (rank + size - 1) % size;
     let mut outgoing = mine;
     for step in 0..size - 1 {
         let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(left), key);
-        let s = mpi.state.isend_key(&mpi.ctx, right, key, outgoing.clone());
+        let s = mpi.state.isend_key(&mpi.ctx, right, key, outgoing.share());
         let (d, _) = mpi.state.wait(&mpi.ctx, r);
         mpi.state.wait(&mpi.ctx, s);
-        let block = d.expect("allgather block");
+        let block = NmBuf::from(d.expect("allgather block"));
         // The block received in step s originated at rank - s - 1.
         let origin = (rank + size - step - 1) % size;
-        result[origin] = Some(block.clone());
+        result[origin] = Some(block.share().into_bytes());
         outgoing = block;
     }
     result.into_iter().map(|b| b.expect("hole")).collect()
@@ -245,8 +250,9 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
     assert_eq!(blocks.len(), size, "need one block per rank");
     let seq = next_seq(mpi);
     let key = coll_key(OP_ALLTOALLV, 0, seq);
+    let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
-    result[rank] = Some(blocks[rank].clone());
+    result[rank] = Some(blocks[rank].share().into_bytes());
     let mut recvs = Vec::with_capacity(size - 1);
     for i in 1..size {
         let from = (rank + size - i) % size;
@@ -257,7 +263,7 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
         let to = (rank + i) % size;
         sends.push(
             mpi.state
-                .isend_key(&mpi.ctx, to, key, blocks[to].clone()),
+                .isend_key(&mpi.ctx, to, key, blocks[to].share()),
         );
     }
     for (from, r) in recvs {

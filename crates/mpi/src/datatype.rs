@@ -96,6 +96,8 @@ impl Datatype {
             "source buffer shorter than the datatype extent"
         );
         match self {
+            // Packing IS the copy (MPI_Pack semantics): the packed buffer
+            // must be owned and contiguous, independent of `src`.
             Datatype::Contiguous { element_size } => src[..element_size * count].to_vec(),
             Datatype::Vector {
                 count: blocks,

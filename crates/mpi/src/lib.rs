@@ -31,6 +31,10 @@
 //! and progress runs in the background on event kicks — which is what makes
 //! Fig. 7's communication/computation overlap possible.
 
+// Data-path crate: every payload clone must be a metered zero-copy share
+// (`NmBuf::share`/`slice`) or carry an ownership-constraint comment.
+#![warn(clippy::redundant_clone)]
+
 pub mod anysource;
 pub mod api;
 pub mod ch3;

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{RankCtx, Scheduler, SimDuration, SimSemaphore};
+use simnet::{CopyMeter, NmBuf, RankCtx, Scheduler, SimDuration, SimSemaphore};
 
 use nemesis::ShmModel;
 use nmad::sr::CompletionKind;
@@ -103,6 +103,9 @@ pub struct ProcState {
     pub net_eager_limit: usize,
     pub anysource: AnySourceLists,
     pub costs: SoftwareCosts,
+    /// Job-wide copy accounting: MPI-ingress copies are charged here and
+    /// the meter rides along inside every payload handle.
+    pub meter: Arc<CopyMeter>,
     pub piom: Option<Arc<PiomServer>>,
     /// Wake semaphore for blocked waiters (PIOMan mode).
     pub wake: SimSemaphore,
@@ -125,6 +128,7 @@ impl ProcState {
         net: NetPath,
         net_eager_limit: usize,
         costs: SoftwareCosts,
+        meter: Arc<CopyMeter>,
         piom: Option<Arc<PiomServer>>,
     ) -> Arc<ProcState> {
         Arc::new(ProcState {
@@ -139,6 +143,7 @@ impl ProcState {
             net_eager_limit,
             anysource: AnySourceLists::new(),
             costs,
+            meter,
             piom,
             wake: SimSemaphore::new(format!("mpi-wake-{rank}")),
             selfq: Mutex::new(VecDeque::new()),
@@ -151,9 +156,17 @@ impl ProcState {
     // ------------------------------------------------------------------
 
     /// Nonblocking send (MPID_Isend). Charges the sender-side software
-    /// cost on the caller's clock.
-    pub fn isend(self: &Arc<Self>, ctx: &RankCtx, dst: usize, tag: u32, data: Bytes) -> Req {
-        self.isend_key(ctx, dst, key_of(USER_CTX, tag), data)
+    /// cost on the caller's clock. The payload handle flows down the whole
+    /// stack without further copies; unmetered handles pick up the job
+    /// meter here.
+    pub fn isend(
+        self: &Arc<Self>,
+        ctx: &RankCtx,
+        dst: usize,
+        tag: u32,
+        data: impl Into<NmBuf>,
+    ) -> Req {
+        self.isend_key(ctx, dst, key_of(USER_CTX, tag), data.into())
     }
 
     pub(crate) fn isend_key(
@@ -161,8 +174,14 @@ impl ProcState {
         ctx: &RankCtx,
         dst: usize,
         key: u64,
-        data: Bytes,
+        data: impl Into<NmBuf>,
     ) -> Req {
+        let data = data.into();
+        let data = if data.meter().is_none() {
+            data.with_meter(&self.meter)
+        } else {
+            data
+        };
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         let sched = ctx.scheduler();
         match self.vcs.path(dst) {

@@ -17,8 +17,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
+use simnet::NmBuf;
 
 use crate::request::Req;
 
@@ -34,11 +34,12 @@ pub struct PostedEntry {
     pub active: ActiveFlag,
 }
 
-/// A message that arrived before its receive was posted.
+/// A message that arrived before its receive was posted. Cloning shares
+/// the payload handle (refcount bump), it never copies the bytes.
 #[derive(Clone, Debug)]
 pub enum UnexMsg {
     /// A complete eager payload.
-    Eager { src: usize, key: u64, data: Bytes },
+    Eager { src: usize, key: u64, data: NmBuf },
     /// A CH3 rendezvous announcement (payload still on the sender).
     Rts {
         src: usize,
@@ -171,7 +172,7 @@ mod tests {
         UnexMsg::Eager {
             src,
             key,
-            data: Bytes::from_static(b"m"),
+            data: NmBuf::from(bytes::Bytes::from_static(b"m")),
         }
     }
 

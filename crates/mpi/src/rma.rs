@@ -118,6 +118,8 @@ impl Window {
 
     /// Read this rank's exposed memory (outside an access epoch).
     pub fn local(&self) -> Vec<u8> {
+        // Ownership constraint: the snapshot must outlive the window lock
+        // (concurrent Puts keep mutating the exposed memory).
         self.local.lock().clone()
     }
 

@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::{
-    Cluster, Fabric, FabricOpts, FaultCounters, FaultPlan, NodeId, Placement, RailId,
-    SimBuilder, SimOutcome,
+    Cluster, CopyMeter, CopySnapshot, Fabric, FabricOpts, FaultCounters, FaultPlan,
+    NodeId, Placement, RailId, SimBuilder, SimOutcome,
 };
 
 use nemesis::{ShmDomain, ShmModel};
@@ -192,6 +192,10 @@ pub struct RunOutcome {
     pub rail_counters: Vec<(u64, u64)>,
     /// Total PIOMan watchdog stall re-kicks across all ranks.
     pub piom_rekicks: u64,
+    /// Job-wide copy accounting: every payload memcpy/allocation/share from
+    /// MPI ingress down to the NIC, across all ranks (the Fig. 2 copy
+    /// breakdown). Deterministic for a fixed seed.
+    pub copy: CopySnapshot,
 }
 
 /// Run `program` on `nranks` simulated processes over `cluster` with the
@@ -214,6 +218,9 @@ pub fn run_mpi(
     }
     let mut sim = builder.build();
     let sched = sim.scheduler();
+    // One job-wide copy meter: MPI ingress, Nemesis cells, NewMadeleine and
+    // the CH3 engines all charge the same tally (surfaced in `RunOutcome`).
+    let meter = CopyMeter::new();
     let rank_to_node: Arc<Vec<NodeId>> =
         Arc::new((0..nranks).map(|r| placement.node_of(r)).collect());
 
@@ -228,7 +235,12 @@ pub fn run_mpi(
         for (local, &g) in ranks.iter().enumerate() {
             local_index[g] = local;
         }
-        *domain = Some(ShmDomain::new(&ranks, cfg.cells_per_rank, cfg.shm_model));
+        *domain = Some(ShmDomain::with_meter(
+            &ranks,
+            cfg.cells_per_rank,
+            cfg.shm_model,
+            Arc::clone(&meter),
+        ));
     }
     let local_index = Arc::new(local_index);
 
@@ -243,6 +255,8 @@ pub fn run_mpi(
         (0..nranks).any(|d| d != r && !placement.same_node(r, d))
     });
     let mut nm_fabric: Option<Arc<Fabric<NmWire>>> = None;
+    // The fabric takes ownership of its NIC models, so the cluster's rail
+    // descriptions must be cloned out of the borrowed `Cluster`.
     let rail_models = |subset: &Option<Vec<usize>>| -> Vec<simnet::NicModel> {
         match subset {
             Some(idx) => idx.iter().map(|&i| cluster.rails[i].clone()).collect(),
@@ -267,7 +281,7 @@ pub fn run_mpi(
                     models,
                     FabricOpts {
                         seed: cfg.fabric_seed,
-                        fault: cfg.faults.clone(),
+                        fault: cfg.faults.as_ref().map(Arc::clone),
                     },
                 );
                 let rail_ids: Vec<RailId> =
@@ -276,15 +290,17 @@ pub fn run_mpi(
                 nm_cfg.strategy = *strategy;
                 let cores: Vec<Arc<NmCore>> = (0..nranks)
                     .map(|r| {
-                        NmCore::new(
+                        NmCore::with_meter(
                             nm_cfg,
                             r,
                             NmNet {
                                 fabric: Arc::clone(&fabric),
                                 node: placement.node_of(r),
+                                // Each core owns its rail list (Copy ids).
                                 rails: rail_ids.clone(),
                                 rank_to_node: Arc::clone(&rank_to_node),
                             },
+                            Arc::clone(&meter),
                         )
                     })
                     .collect();
@@ -319,6 +335,8 @@ pub fn run_mpi(
                 }
             }
             InterNode::Tailored(profile) => {
+                // The fabric owns its NIC model; cloned out of the
+                // borrowed `Cluster` description.
                 let models = vec![cluster.rails[profile.rail].clone()];
                 let fabric: Arc<Fabric<Ch3Wire>> = Fabric::new(cluster.nodes, models);
                 let inboxes: Vec<Arc<Inbox>> = (0..nranks).map(|_| Inbox::new()).collect();
@@ -344,6 +362,8 @@ pub fn run_mpi(
                         }),
                     );
                 }
+                // The profile is cloned out of the borrowed config: the
+                // setup enum outlives the `cfg` borrow inside the loop.
                 NetSetup::Tailored(inboxes, fabric, profile.clone())
             }
         }
@@ -367,7 +387,7 @@ pub fn run_mpi(
                     } else {
                         NetPath::None
                     },
-                    Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
                     cfg.costs,
                     cfg.nm.eager_threshold,
                 )
@@ -387,7 +407,7 @@ pub fn run_mpi(
                 };
                 (
                     net,
-                    Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
                     cfg.costs,
                     cfg.nm.eager_threshold,
                 )
@@ -404,6 +424,7 @@ pub fn run_mpi(
                         profile.reg_cache,
                         profile.rdv_setup,
                     );
+                    t.set_copy_meter(&meter);
                     NetPath::Ch3(Arc::new(t) as Arc<dyn Ch3Transport>)
                 } else {
                     NetPath::None
@@ -415,14 +436,15 @@ pub fn run_mpi(
                         profile.eager_threshold,
                         profile.rdv_chunk,
                         profile.rdv_ack,
-                    ),
+                    )
+                    .with_copy_meter(&meter),
                     profile.costs,
                     profile.eager_threshold,
                 )
             }
             NetSetup::None => (
                 NetPath::None,
-                Ch3Engine::new(r, cfg.nm.eager_threshold, None),
+                Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
                 cfg.costs,
                 cfg.nm.eager_threshold,
             ),
@@ -454,7 +476,8 @@ pub fn run_mpi(
             net,
             net_eager,
             costs,
-            piom_server.clone(),
+            Arc::clone(&meter),
+            piom_server.as_ref().map(Arc::clone),
         );
         // PIOMan wiring (part 1): the progress cycle becomes an ltask and
         // the shared-memory side kicks this rank's server on deliveries
@@ -486,7 +509,7 @@ pub fn run_mpi(
             let node_servers: Vec<Arc<PiomServer>> = placement
                 .ranks_on(node)
                 .into_iter()
-                .filter_map(|peer| piom_servers[peer].clone())
+                .filter_map(|peer| piom_servers[peer].as_ref().map(Arc::clone))
                 .collect();
             let hook: Arc<dyn Fn(&simnet::Scheduler) + Send + Sync> =
                 Arc::new(move |s| {
@@ -561,6 +584,7 @@ pub fn run_mpi(
             .flatten()
             .map(|s| s.rekicks())
             .sum(),
+        copy: meter.snapshot(),
     }
 }
 

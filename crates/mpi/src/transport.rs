@@ -22,9 +22,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{Fabric, NodeId, RailId, Scheduler};
+use simnet::{BufOrigin, CopyMeter, Fabric, NmBuf, NodeId, RailId, Scheduler};
 
 use nemesis::{MsgHeader, ShmDomain};
 use nmad::sr::CompletionKind;
@@ -93,7 +92,7 @@ impl ShmTransport {
         }
     }
 
-    fn header_of(&self, dst: usize, pkt: &Ch3Pkt) -> (MsgHeader, Bytes) {
+    fn header_of(&self, dst: usize, pkt: &Ch3Pkt) -> (MsgHeader, NmBuf) {
         let me = self.domain.global_rank(self.my_local);
         let mut h = MsgHeader {
             src_rank: me,
@@ -104,18 +103,20 @@ impl ShmTransport {
             Ch3Pkt::Eager { key, data } => {
                 h.packet_type = 0;
                 h.tag = *key;
-                (h, data.clone())
+                // Zero-copy hand-off: the cell queues copy-in from this
+                // shared view, the packet keeps its own handle.
+                (h, data.share())
             }
             Ch3Pkt::Rts { key, rdv_id, len } => {
                 h.packet_type = 1;
                 h.tag = *key;
                 h.aux = [*rdv_id, *len as u64];
-                (h, Bytes::new())
+                (h, NmBuf::default())
             }
             Ch3Pkt::Cts { rdv_id } => {
                 h.packet_type = 2;
                 h.aux = [*rdv_id, 0];
-                (h, Bytes::new())
+                (h, NmBuf::default())
             }
             Ch3Pkt::Data {
                 rdv_id,
@@ -124,17 +125,17 @@ impl ShmTransport {
             } => {
                 h.packet_type = 3;
                 h.aux = [*rdv_id, *offset as u64];
-                (h, data.clone())
+                (h, data.share())
             }
             Ch3Pkt::DataAck { rdv_id } => {
                 h.packet_type = 4;
                 h.aux = [*rdv_id, 0];
-                (h, Bytes::new())
+                (h, NmBuf::default())
             }
         }
     }
 
-    fn pkt_of(h: &MsgHeader, data: Bytes) -> Ch3Pkt {
+    fn pkt_of(h: &MsgHeader, data: NmBuf) -> Ch3Pkt {
         match h.packet_type {
             0 => Ch3Pkt::Eager { key: h.tag, data },
             1 => Ch3Pkt::Rts {
@@ -180,6 +181,15 @@ impl Ch3Transport for ShmTransport {
         self.domain
             .set_delivery_hook(local, Arc::new(move |s, _l| hook(s)));
     }
+
+    fn debug_state(&self) -> String {
+        format!(
+            "shm local={} outbox=0 pending_deliveries={} copy[{}]",
+            self.my_local,
+            self.domain.mailbox(self.my_local).pending(),
+            self.domain.meter().snapshot(),
+        )
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -216,7 +226,7 @@ impl Inbox {
     /// Deliver a packet (called by the node's fabric sink).
     pub fn push(&self, sched: &Scheduler, src: usize, pkt: Ch3Pkt) {
         self.q.lock().push_back((src, pkt));
-        let hook = self.hook.lock().clone();
+        let hook = self.hook.lock().as_ref().map(Arc::clone);
         if let Some(h) = hook {
             h(sched);
         }
@@ -238,6 +248,9 @@ pub struct FabricTransport {
     /// Pipeline-startup delay before a CTS leaves (tailored stacks with a
     /// costly rendezvous protocol switch).
     rdv_setup: simnet::SimDuration,
+    /// Job-wide copy meter, installed by the stack builder (diagnostics;
+    /// the payload handles carry the charging meter themselves).
+    meter: Mutex<Option<Arc<CopyMeter>>>,
 }
 
 impl FabricTransport {
@@ -284,7 +297,13 @@ impl FabricTransport {
             inbox,
             reg_cache,
             rdv_setup,
+            meter: Mutex::new(None),
         }
+    }
+
+    /// Install the job-wide copy meter (shown by [`Ch3Transport::debug_state`]).
+    pub fn set_copy_meter(&self, meter: &Arc<CopyMeter>) {
+        *self.meter.lock() = Some(Arc::clone(meter));
     }
 }
 
@@ -339,6 +358,21 @@ impl Ch3Transport for FabricTransport {
         *self.inbox.hook.lock() = Some(hook);
     }
 
+    fn debug_state(&self) -> String {
+        let copy = self
+            .meter
+            .lock()
+            .as_ref()
+            .map(|m| m.snapshot().to_string())
+            .unwrap_or_else(|| "unmetered".into());
+        format!(
+            "fabric rank={} outbox={} inbox={} copy[{copy}]",
+            self.my_rank,
+            self.outbox.lock().len(),
+            self.inbox.q.lock().len(),
+        )
+    }
+
     fn quiescent(&self) -> bool {
         self.outbox.lock().is_empty()
     }
@@ -361,14 +395,19 @@ pub struct NmadNetmodTransport {
     /// Remote peers (one pre-posted receive each, reposted on completion).
     peers: Vec<usize>,
     started: Mutex<bool>,
+    /// The core's copy meter, re-attached to inbound frames (the completion
+    /// boundary hands out plain `Bytes`, which drops the lineage).
+    meter: Arc<CopyMeter>,
 }
 
 impl NmadNetmodTransport {
     pub fn new(core: Arc<NmCore>, peers: Vec<usize>) -> NmadNetmodTransport {
+        let meter = core.meter();
         NmadNetmodTransport {
             core,
             peers,
             started: Mutex::new(false),
+            meter,
         }
     }
 
@@ -408,7 +447,8 @@ impl Ch3Transport for NmadNetmodTransport {
                 }
                 CompletionKind::Recv { data, gate, .. } => {
                     debug_assert_eq!(c.cookie, NETMOD_RECV_BASE + gate.0 as u64);
-                    out.push((gate.0, Ch3Pkt::decode(data)));
+                    let frame = NmBuf::adopt(data, BufOrigin::Ch3, &self.meter);
+                    out.push((gate.0, Ch3Pkt::decode(frame)));
                     // Repost — the module must always be ready to poll.
                     self.core
                         .irecv(sched, gate.0, NETMOD_KEY, NETMOD_RECV_BASE + gate.0 as u64);
@@ -430,10 +470,12 @@ impl Ch3Transport for NmadNetmodTransport {
 
     fn debug_state(&self) -> String {
         format!(
-            "netmod nm: posted={} unexpected={} quiescent={} stats={:?}",
+            "netmod nm: posted={} unexpected={} outbox={} quiescent={} copy[{}] stats={:?}",
             self.core.posted_recvs(),
             self.core.unexpected_msgs(),
+            self.core.window_depth(),
             self.core.quiescent(),
+            self.meter.snapshot(),
             self.core.stats()
         )
     }
@@ -459,7 +501,7 @@ mod tests {
         let pkts = vec![
             Ch3Pkt::Eager {
                 key: 5,
-                data: Bytes::from_static(b"e"),
+                data: NmBuf::from(bytes::Bytes::from_static(b"e")),
             },
             Ch3Pkt::Rts {
                 key: 6,
@@ -470,7 +512,7 @@ mod tests {
             Ch3Pkt::Data {
                 rdv_id: 1,
                 offset: 4,
-                data: Bytes::from_static(b"dd"),
+                data: NmBuf::from(bytes::Bytes::from_static(b"dd")),
             },
         ];
         let n = pkts.len();
@@ -552,12 +594,17 @@ mod tests {
                 1,
                 Ch3Pkt::Eager {
                     key: 1,
-                    data: Bytes::from_static(b"x"),
+                    data: NmBuf::from(bytes::Bytes::from_static(b"x")),
                 },
             );
             // Outboxed: nothing on the wire yet.
             ctx.advance(SimDuration::micros(10));
             assert_eq!(port0.counters().0, 0, "send must be deferred");
+            let state = t0b.debug_state();
+            assert!(
+                state.contains("outbox=1"),
+                "deferred packet missing from debug_state: {state}"
+            );
             t0b.progress(&sched); // flush
         });
         sim.spawn_rank("receiver", move |ctx| {
@@ -573,5 +620,57 @@ mod tests {
             }
         });
         sim.run().unwrap();
+    }
+
+    /// Satellite check: every transport's `debug_state` reports its outbox
+    /// depth and the copy-meter counters it is wired to.
+    #[test]
+    fn debug_state_reports_outbox_and_copy_meter() {
+        let meter = CopyMeter::new();
+
+        let domain =
+            ShmDomain::with_meter(&[0, 1], 16, nemesis::ShmModel::xeon(), Arc::clone(&meter));
+        let l: Arc<dyn Fn(usize) -> usize + Send + Sync> = Arc::new(|g| g);
+        let shm = ShmTransport::new(domain, 0, l);
+        let s = shm.debug_state();
+        assert!(s.contains("copy["), "shm debug_state lacks copy meter: {s}");
+
+        let fabric: Arc<Fabric<Ch3Wire>> =
+            Fabric::new(2, vec![simnet::NicModel::connectx_ib()]);
+        let rank_to_node = Arc::new(vec![NodeId(0), NodeId(1)]);
+        let ft = FabricTransport::new(
+            Arc::clone(&fabric),
+            0,
+            NodeId(0),
+            RailId(0),
+            Arc::clone(&rank_to_node),
+            Inbox::new(),
+            false,
+        );
+        ft.set_copy_meter(&meter);
+        let s = ft.debug_state();
+        assert!(
+            s.contains("outbox=") && s.contains("copy["),
+            "fabric debug_state incomplete: {s}"
+        );
+
+        let nm_fabric: Arc<Fabric<nmad::NmWire>> =
+            Fabric::new(2, vec![simnet::NicModel::connectx_ib()]);
+        let core = NmCore::new(
+            nmad::NmConfig::default(),
+            0,
+            nmad::NmNet {
+                fabric: nm_fabric,
+                node: NodeId(0),
+                rails: vec![RailId(0)],
+                rank_to_node,
+            },
+        );
+        let nt = NmadNetmodTransport::new(core, vec![1]);
+        let s = nt.debug_state();
+        assert!(
+            s.contains("outbox=") && s.contains("copy["),
+            "netmod debug_state incomplete: {s}"
+        );
     }
 }

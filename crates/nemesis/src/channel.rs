@@ -20,9 +20,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{Scheduler, SimDuration, SimTime};
+use simnet::{BufOrigin, CopyMeter, NmBuf, Scheduler, SimDuration, SimTime};
 
 use crate::cell::{CellHandle, CellPool, MsgHeader, MsgKind, CELL_PAYLOAD};
 use crate::mailbox::Mailbox;
@@ -73,7 +72,7 @@ impl ShmModel {
 struct PendingOut {
     dst_local: usize,
     header: MsgHeader,
-    data: Bytes,
+    data: NmBuf,
     /// Bytes already pushed into cells.
     sent: usize,
     /// True once the First/Only fragment has gone out.
@@ -100,7 +99,7 @@ struct Endpoint {
     /// Per-destination sequence numbers.
     next_seq: Mutex<HashMap<usize, u64>>,
     /// Completed inbound messages ready for the upper layer.
-    inbox: Mutex<VecDeque<(MsgHeader, Bytes)>>,
+    inbox: Mutex<VecDeque<(MsgHeader, NmBuf)>>,
     /// Optional hook fired (on the engine) whenever a cell lands in this
     /// endpoint's receive queue — PIOMan uses it to react immediately.
     on_delivery: Mutex<Option<DeliveryHook>>,
@@ -115,12 +114,24 @@ pub struct ShmDomain {
     pool: Arc<CellPool>,
     endpoints: Vec<Endpoint>,
     model: ShmModel,
+    /// Stack-wide copy accounting; every cell copy-in/out is charged here.
+    meter: Arc<CopyMeter>,
 }
 
 impl ShmDomain {
     /// Create a domain for the given co-located ranks (their *global* MPI
     /// ranks, in local order) with `cells_per_rank` cells each.
     pub fn new(global_ranks: &[usize], cells_per_rank: usize, model: ShmModel) -> Arc<ShmDomain> {
+        Self::with_meter(global_ranks, cells_per_rank, model, CopyMeter::new())
+    }
+
+    /// Like [`ShmDomain::new`], charging copies to an existing stack meter.
+    pub fn with_meter(
+        global_ranks: &[usize],
+        cells_per_rank: usize,
+        model: ShmModel,
+        meter: Arc<CopyMeter>,
+    ) -> Arc<ShmDomain> {
         let (pool, initial) = CellPool::new(global_ranks.len().max(1), cells_per_rank);
         let mut endpoints = Vec::with_capacity(global_ranks.len());
         for (local, &g) in global_ranks.iter().enumerate() {
@@ -143,6 +154,7 @@ impl ShmDomain {
             pool,
             endpoints,
             model,
+            meter,
         });
         // Seed each endpoint's free queue with its initial cells.
         for (local, handles) in initial.into_iter().enumerate() {
@@ -160,6 +172,11 @@ impl ShmDomain {
         &self.model
     }
 
+    /// The copy meter this domain charges.
+    pub fn meter(&self) -> &Arc<CopyMeter> {
+        &self.meter
+    }
+
     /// Number of endpoints (co-located ranks).
     pub fn num_local(&self) -> usize {
         self.endpoints.len()
@@ -167,7 +184,7 @@ impl ShmDomain {
 
     /// The PIOMan mailbox of a local endpoint.
     pub fn mailbox(&self, local: usize) -> Mailbox {
-        self.endpoints[local].mailbox.clone()
+        Mailbox::clone(&self.endpoints[local].mailbox)
     }
 
     /// Install the delivery hook for `local` (PIOMan integration).
@@ -185,7 +202,7 @@ impl ShmDomain {
         src_local: usize,
         dst_local: usize,
         mut header: MsgHeader,
-        data: Bytes,
+        data: NmBuf,
     ) -> u64 {
         assert_ne!(src_local, dst_local, "self-send must be handled above");
         let seq = {
@@ -243,6 +260,9 @@ impl ShmDomain {
             cell.kind = kind;
             cell.header = front.header;
             cell.fill(&front.data[front.sent..front.sent + frag_len]);
+            // The copy-in *into* the shared cell is one of the two
+            // unavoidable shm copies (Fig. 2's copy-in/copy-out pair).
+            self.meter.record_copy(frag_len);
             front.sent += frag_len;
             front.started = true;
             let dst_local = front.dst_local;
@@ -275,7 +295,7 @@ impl ShmDomain {
         let ep = &self.endpoints[dst_local];
         ep.recv_queue.enqueue(cell);
         ep.mailbox.raise();
-        let hook = ep.on_delivery.lock().clone();
+        let hook = ep.on_delivery.lock().as_ref().map(Arc::clone);
         if let Some(hook) = hook {
             hook(sched, dst_local);
         }
@@ -285,7 +305,7 @@ impl ShmDomain {
     /// reassembly. Returns a completed message when one finishes. The cell
     /// is returned to its origin's free queue and the origin's pump runs
     /// (it may have been starved of cells).
-    pub fn poll(self: &Arc<Self>, sched: &Scheduler, local: usize) -> Option<(MsgHeader, Bytes)> {
+    pub fn poll(self: &Arc<Self>, sched: &Scheduler, local: usize) -> Option<(MsgHeader, NmBuf)> {
         // Return anything already assembled first.
         if let Some(done) = self.endpoints[local].inbox.lock().pop_front() {
             return Some(done);
@@ -308,17 +328,28 @@ impl ShmDomain {
 
     /// Fold one received fragment into reassembly state; returns the
     /// message if this fragment completed it.
-    fn absorb(&self, local: usize, cell: &CellHandle) -> Option<(MsgHeader, Bytes)> {
+    fn absorb(&self, local: usize, cell: &CellHandle) -> Option<(MsgHeader, NmBuf)> {
         let ep = &self.endpoints[local];
         match cell.kind {
-            MsgKind::Only => Some((cell.header, Bytes::copy_from_slice(cell.payload()))),
+            MsgKind::Only => Some((
+                cell.header,
+                // Copy-out of the shared cell into private storage (the
+                // second half of the copy-in/copy-out pair).
+                NmBuf::copied_from_slice(cell.payload(), BufOrigin::Nemesis, &self.meter),
+            )),
             MsgKind::First => {
+                // Reassembly landing buffer: allocated once at the final
+                // size, then each fragment is copied out of its cell.
+                let mut buf = Vec::with_capacity(cell.header.total_len);
+                buf.extend_from_slice(cell.payload());
+                self.meter.record_alloc();
+                self.meter.record_copy(cell.payload().len());
                 let mut partials = ep.partials.lock();
                 let prev = partials.insert(
                     cell.header.src_rank,
                     Partial {
                         header: cell.header,
-                        buf: cell.payload().to_vec(),
+                        buf,
                     },
                 );
                 assert!(
@@ -334,6 +365,7 @@ impl ShmDomain {
                     .get_mut(&cell.header.src_rank)
                     .expect("Middle/Last fragment without a First");
                 partial.buf.extend_from_slice(cell.payload());
+                self.meter.record_copy(cell.payload().len());
                 if cell.kind == MsgKind::Last {
                     let done = partials.remove(&cell.header.src_rank).unwrap();
                     assert_eq!(
@@ -341,7 +373,13 @@ impl ShmDomain {
                         done.header.total_len,
                         "reassembled length mismatch"
                     );
-                    Some((done.header, Bytes::from(done.buf)))
+                    // Freezing the landing buffer into an NmBuf is
+                    // zero-copy (Vec -> refcounted storage handoff); the
+                    // allocation was already charged at the First fragment.
+                    Some((
+                        done.header,
+                        NmBuf::adopt(done.buf.into(), BufOrigin::Nemesis, &self.meter),
+                    ))
                 } else {
                     None
                 }
@@ -366,6 +404,7 @@ impl ShmDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use simnet::{SimBuilder, SimTime};
 
     fn run_shm<T: Send + 'static>(
@@ -395,7 +434,7 @@ mod tests {
                     tag: 9,
                     ..Default::default()
                 };
-                d.send(s, 0, 1, hdr, Bytes::from_static(b"ping"));
+                d.send(s, 0, 1, hdr, NmBuf::from(Bytes::from_static(b"ping")));
                 d
             },
             |d, final_time| {
@@ -415,10 +454,12 @@ mod tests {
 
     #[test]
     fn large_message_fragments_and_reassembles() {
-        let payload: Vec<u8> = (0..(2 * CELL_PAYLOAD + 1234))
-            .map(|i| (i % 251) as u8)
-            .collect();
-        let expect = payload.clone();
+        let payload = Bytes::from(
+            (0..(2 * CELL_PAYLOAD + 1234))
+                .map(|i| (i % 251) as u8)
+                .collect::<Vec<u8>>(),
+        );
+        let expect = payload.slice(..); // zero-copy view shared with the send
         run_shm(
             move |s, d| {
                 let hdr = MsgHeader {
@@ -427,7 +468,7 @@ mod tests {
                     tag: 5,
                     ..Default::default()
                 };
-                d.send(s, 0, 1, hdr, Bytes::from(payload));
+                d.send(s, 0, 1, hdr, NmBuf::from(payload));
                 d
             },
             move |d, _| {
@@ -457,7 +498,7 @@ mod tests {
                 dst_rank: 1,
                 ..Default::default()
             };
-            d2.send(s, 0, 1, hdr, Bytes::from(payload));
+            d2.send(s, 0, 1, hdr, NmBuf::from(payload));
         });
         let got = Arc::new(Mutex::new(None));
         let got2 = Arc::clone(&got);
@@ -495,8 +536,8 @@ mod tests {
                 tag,
                 ..Default::default()
             };
-            d2.send(s, 0, 1, mk(1), Bytes::from(big));
-            d2.send(s, 0, 1, mk(2), Bytes::from_static(b"small"));
+            d2.send(s, 0, 1, mk(1), NmBuf::from(big));
+            d2.send(s, 0, 1, mk(2), NmBuf::from(Bytes::from_static(b"small")));
         });
         let order = Arc::new(Mutex::new(Vec::new()));
         let o2 = Arc::clone(&order);
@@ -529,12 +570,12 @@ mod tests {
                     0,
                     1,
                     MsgHeader::default(),
-                    Bytes::from_static(b"m"),
+                    NmBuf::from(Bytes::from_static(b"m")),
                 );
             }
         });
         let d3 = Arc::clone(&domain);
-        let mb2 = mb.clone();
+        let mb2 = Mailbox::clone(&mb);
         sim.spawn_rank("receiver", move |ctx| {
             let sched = ctx.scheduler();
             // Wait until all three cells landed.
@@ -568,7 +609,7 @@ mod tests {
         let d2 = Arc::clone(&domain);
         let sched = sim.scheduler();
         sched.schedule_at(SimTime::ZERO, move |s| {
-            d2.send(s, 0, 1, MsgHeader::default(), Bytes::from_static(b"x"));
+            d2.send(s, 0, 1, MsgHeader::default(), NmBuf::from(Bytes::from_static(b"x")));
         });
         sim.run().unwrap();
         assert_eq!(*hits.lock(), 1);

@@ -24,6 +24,10 @@
 //! them from one thread at a time; this is the substrate an actual
 //! shared-memory port would keep.
 
+// Data-path crate: every payload clone must be a metered zero-copy share
+// (`NmBuf::share`/`slice`) or carry an ownership-constraint comment.
+#![warn(clippy::redundant_clone)]
+
 pub mod cell;
 pub mod channel;
 pub mod mailbox;

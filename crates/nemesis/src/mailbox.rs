@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn clones_share_state() {
         let m = Mailbox::new();
-        let m2 = m.clone();
+        let m2 = Mailbox::clone(&m);
         m.raise();
         assert_eq!(m2.pending(), 1);
         m2.consume();

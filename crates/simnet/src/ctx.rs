@@ -45,7 +45,7 @@ impl RankCtx {
 
     /// A scheduler handle for posting events from rank code.
     pub fn scheduler(&self) -> Scheduler {
-        Scheduler::new(self.core.clone())
+        Scheduler::new(Arc::clone(&self.core))
     }
 
     /// Advance this rank's local time by `d` — models computation (or any

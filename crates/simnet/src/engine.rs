@@ -245,7 +245,7 @@ impl Sim {
     /// Shared core handle, for constructing [`Scheduler`]s before the run
     /// starts (e.g. to schedule initial background events).
     pub fn scheduler(&self) -> Scheduler {
-        Scheduler::new(self.core.clone())
+        Scheduler::new(Arc::clone(&self.core))
     }
 
     /// Spawn a rank thread running `f`. The rank starts (receives the token
@@ -258,7 +258,9 @@ impl Sim {
         let id = RankId(self.ranks.len());
         let name = name.into();
         let (go_tx, go_rx) = mpsc::channel();
-        let ctx = RankCtx::new(self.core.clone(), id, go_rx, self.report_tx.clone());
+        // Ownership constraint: each rank thread needs its own mpsc sender
+        // endpoint (Sender is a per-handle channel capability, not data).
+        let ctx = RankCtx::new(Arc::clone(&self.core), id, go_rx, self.report_tx.clone());
         let report_tx = self.report_tx.clone();
         let tname = format!("sim-{name}");
         let join = std::thread::Builder::new()
@@ -316,7 +318,7 @@ impl Sim {
     }
 
     fn run_inner(&mut self) -> Result<SimOutcome, SimError> {
-        let sched = Scheduler::new(self.core.clone());
+        let sched = Scheduler::new(Arc::clone(&self.core));
         let mut done_count = self
             .ranks
             .iter()
@@ -348,6 +350,8 @@ impl Sim {
                         .ranks
                         .iter()
                         .filter(|r| !matches!(r.state, RankState::Done))
+                        // Ownership constraint: the deadlock report outlives
+                        // `self`, so the stuck ranks' names must be owned.
                         .map(|r| r.name.clone())
                         .collect();
                     return Err(SimError::Deadlock(stuck));
@@ -442,7 +446,7 @@ mod tests {
     fn single_rank_advances_clock() {
         let mut sim = SimBuilder::new().build();
         let seen = Arc::new(Mutex::new(Vec::new()));
-        let seen2 = seen.clone();
+        let seen2 = Arc::clone(&seen);
         sim.spawn_rank("r0", move |ctx| {
             seen2.lock().push(ctx.now());
             ctx.advance(SimDuration::micros(5));
@@ -463,7 +467,7 @@ mod tests {
         let mut sim = SimBuilder::new().build();
         let log = Arc::new(Mutex::new(Vec::new()));
         for r in 0..2u64 {
-            let log = log.clone();
+            let log = Arc::clone(&log);
             sim.spawn_rank(format!("r{r}"), move |ctx| {
                 for step in 0..3u64 {
                     log.lock().push((r, step, ctx.now()));
@@ -490,12 +494,12 @@ mod tests {
     fn callbacks_fire_between_rank_steps() {
         let mut sim = SimBuilder::new().build();
         let hits = Arc::new(AtomicUsize::new(0));
-        let hits2 = hits.clone();
+        let hits2 = Arc::clone(&hits);
         let sched = sim.scheduler();
         sched.schedule_at(SimTime(2_000), move |_| {
             hits2.fetch_add(1, Ordering::SeqCst);
         });
-        let hits3 = hits.clone();
+        let hits3 = Arc::clone(&hits);
         sim.spawn_rank("r0", move |ctx| {
             ctx.advance(SimDuration::micros(1));
             assert_eq!(hits3.load(Ordering::SeqCst), 0);
@@ -510,10 +514,10 @@ mod tests {
     fn semaphore_handoff_between_ranks() {
         let mut sim = SimBuilder::new().build();
         let sem = SimSemaphore::new("test");
-        let sem2 = sem.clone();
+        let sem2 = SimSemaphore::clone(&sem);
         let order = Arc::new(Mutex::new(Vec::new()));
-        let o1 = order.clone();
-        let o2 = order.clone();
+        let o1 = Arc::clone(&order);
+        let o2 = Arc::clone(&order);
         sim.spawn_rank("waiter", move |ctx| {
             sem2.wait(&ctx);
             o1.lock().push(("woken", ctx.now()));
@@ -575,10 +579,10 @@ mod tests {
                 return;
             }
             count.fetch_add(1, Ordering::SeqCst);
-            let c = count.clone();
+            let c = Arc::clone(&count);
             s.schedule_in(SimDuration::micros(1), move |s| tick(s, c, left - 1));
         }
-        let c = count.clone();
+        let c = Arc::clone(&count);
         sched.schedule_at(SimTime::ZERO, move |s| tick(s, c, 5));
         // Need at least one rank so the run isn't trivially empty? No — pure
         // callback sims are fine.
@@ -592,12 +596,12 @@ mod tests {
     fn yield_now_lets_same_time_events_run() {
         let mut sim = SimBuilder::new().build();
         let flag = Arc::new(AtomicUsize::new(0));
-        let f1 = flag.clone();
-        let f2 = flag.clone();
+        let f1 = Arc::clone(&flag);
+        let f2 = Arc::clone(&flag);
         sim.spawn_rank("r0", move |ctx| {
             // Schedule a same-time callback, then yield; it must have fired
             // by the time we resume.
-            let f = f1.clone();
+            let f = Arc::clone(&f1);
             ctx.scheduler()
                 .schedule_in(SimDuration::ZERO, move |_| {
                     f.store(1, Ordering::SeqCst);

@@ -36,9 +36,16 @@
 //! * [`fault`] — seeded, replayable fault injection (drop / duplicate /
 //!   delay / reorder / NIC stalls / registration-cache misses).
 //! * [`topology`] — cluster description and rank placement.
+//! * [`copy`] — copy accounting ([`CopyMeter`]) and the lineage-tracked
+//!   payload buffer ([`NmBuf`]) every layer above carries.
 //! * [`stats`] — latency/bandwidth series helpers used by the harnesses.
 //! * [`trace`] — optional structured event tracing for debugging.
 
+// Data-path crates must not duplicate payloads by accident: a clone that
+// the borrow checker would let us elide is a real memcpy on the hot path.
+#![warn(clippy::redundant_clone)]
+
+pub mod copy;
 pub mod ctx;
 pub mod engine;
 pub mod event;
@@ -51,6 +58,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use copy::{BufOrigin, CopyMeter, CopySnapshot, NmBuf};
 pub use ctx::RankCtx;
 pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
 pub use fabric::{Delivery, Fabric, FabricOpts, RailId, WireMessage};

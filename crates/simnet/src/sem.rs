@@ -92,7 +92,7 @@ impl SimSemaphore {
     /// Release one permit after `delay` — models a completion detected with
     /// some latency (e.g. PIOMan's synchronization cost).
     pub fn signal_in(&self, sched: &Scheduler, delay: SimDuration) {
-        let sem = self.clone();
+        let sem = SimSemaphore::clone(self);
         sched.schedule_in(delay, move |s| sem.signal(s));
     }
 }
@@ -108,7 +108,7 @@ mod tests {
     fn banked_permit_does_not_block() {
         let mut sim = SimBuilder::new().build();
         let sem = SimSemaphore::new("s");
-        let sem2 = sem.clone();
+        let sem2 = SimSemaphore::clone(&sem);
         let sched = sim.scheduler();
         sched.schedule_at(SimTime::ZERO, move |s| sem2.signal(s));
         sim.spawn_rank("r", move |ctx| {
@@ -124,7 +124,7 @@ mod tests {
     fn try_wait_only_takes_banked() {
         let mut sim = SimBuilder::new().build();
         let sem = SimSemaphore::new("s");
-        let sem2 = sem.clone();
+        let sem2 = SimSemaphore::clone(&sem);
         sim.spawn_rank("r", move |ctx| {
             assert!(!sem2.try_wait());
             sem2.signal(&ctx.scheduler());
@@ -141,8 +141,8 @@ mod tests {
         let sem = SimSemaphore::new("s");
         let order = Arc::new(PlMutex::new(Vec::new()));
         for i in 0..3 {
-            let sem = sem.clone();
-            let order = order.clone();
+            let sem = SimSemaphore::clone(&sem);
+            let order = Arc::clone(&order);
             sim.spawn_rank(format!("w{i}"), move |ctx| {
                 // Stagger arrivals so the waiter queue is w0, w1, w2.
                 ctx.advance(SimDuration::nanos(i));
@@ -150,7 +150,7 @@ mod tests {
                 order.lock().push(i);
             });
         }
-        let sem2 = sem.clone();
+        let sem2 = SimSemaphore::clone(&sem);
         sim.spawn_rank("signaler", move |ctx| {
             ctx.advance(SimDuration::micros(1));
             let sched = ctx.scheduler();
@@ -167,8 +167,8 @@ mod tests {
         let mut sim = SimBuilder::new().build();
         let sem = SimSemaphore::new("s");
         let woke_at = Arc::new(PlMutex::new(SimTime::ZERO));
-        let woke = woke_at.clone();
-        let sem2 = sem.clone();
+        let woke = Arc::clone(&woke_at);
+        let sem2 = SimSemaphore::clone(&sem);
         sim.spawn_rank("w", move |ctx| {
             sem2.wait(&ctx);
             *woke.lock() = ctx.now();

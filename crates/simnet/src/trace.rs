@@ -48,6 +48,8 @@ impl Tracer {
 
     /// Snapshot of all entries so far.
     pub fn entries(&self) -> Vec<TraceEntry> {
+        // Ownership constraint: callers must not hold the trace lock while
+        // the sim keeps appending, so the snapshot must be an owned copy.
         self.entries.lock().clone()
     }
 

@@ -30,7 +30,7 @@ pub mod sim_harness {
     use crate::mpi_ch3::stack::{run_mpi_collect, RunOutcome, StackConfig};
     use crate::mpi_ch3::{MpiHandle, Src};
     use crate::nmad::core::NmStats;
-    use crate::simnet::{Cluster, FaultCounters, FaultPlan, FaultSpec, Placement};
+    use crate::simnet::{Cluster, CopySnapshot, FaultCounters, FaultPlan, FaultSpec, Placement};
 
     /// Which traffic pattern a scenario drives.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +71,10 @@ pub mod sim_harness {
         pub rail_counters: Vec<(u64, u64)>,
         pub piom_rekicks: u64,
         pub payload_hash: u64,
+        /// Job-wide copy-accounting totals: memcpys, bytes memcpied,
+        /// allocations and zero-copy shares. Part of the replay identity —
+        /// the copy discipline must be as deterministic as the payloads.
+        pub copy: CopySnapshot,
     }
 
     impl Fingerprint {
@@ -149,6 +153,7 @@ pub mod sim_harness {
             rail_counters: outcome.rail_counters.clone(),
             piom_rekicks: outcome.piom_rekicks,
             payload_hash,
+            copy: outcome.copy,
         }
     }
 

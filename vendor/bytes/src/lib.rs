@@ -108,6 +108,24 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Address of the first byte of the *backing storage* (not of this
+    /// view). Two `Bytes` alias the same allocation iff their storage
+    /// pointers are equal. Only meaningful for comparison; never
+    /// dereference it.
+    pub fn storage_ptr(&self) -> *const u8 {
+        self.storage().as_ptr()
+    }
+
+    /// Strong count of the shared backing allocation, or `None` for
+    /// `'static` storage (which is never refcounted). A count > 1 proves
+    /// the allocation is aliased by another live `Bytes`.
+    pub fn ref_count(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Static(_) => None,
+            Repr::Shared(a) => Some(Arc::strong_count(a)),
+        }
+    }
 }
 
 impl Default for Bytes {
