@@ -20,7 +20,7 @@ use nmad::matching::{GateId, MatchEngine, Unexpected};
 use nmad::pack::{PacketWrapper, PwBody, PwId};
 use nmad::sampling::{split_sizes, LinkProfile};
 use nmad::sr::RecvReqId;
-use nmad::{NmConfig, SendReqId, StrategyKind};
+use nmad::{NmConfig, RailHealth, SendReqId, StrategyKind};
 use simnet::event::{EventKind, EventQueue};
 use simnet::{BufOrigin, CopyMeter, NmBuf, SimDuration, SimTime};
 
@@ -161,6 +161,8 @@ fn strategies(c: &mut Criterion) {
                     latency: SimDuration::nanos(1200),
                     bandwidth_bps: 1.25e9,
                 },
+                health: RailHealth::Up,
+                weight: 1.0,
             },
             nmad::strategy::RailState {
                 idle: true,
@@ -168,6 +170,8 @@ fn strategies(c: &mut Criterion) {
                     latency: SimDuration::nanos(1500),
                     bandwidth_bps: 1.1e9,
                 },
+                health: RailHealth::Up,
+                weight: 1.0,
             },
         ]
     };

@@ -34,6 +34,22 @@ pub struct RetryConfig {
     pub max_timeout: SimDuration,
     /// Retransmission attempts before the core declares the link dead.
     pub max_attempts: u32,
+    /// Rail-health hysteresis: consecutive retransmission timeouts on one
+    /// rail before it is demoted `Up → Suspect`. Kept above 1 so a single
+    /// misattributed timeout (a multi-rail rendezvous can't always name
+    /// the guilty rail) never demotes a healthy rail.
+    pub suspect_after: u32,
+    /// Consecutive timeouts before a `Suspect` rail is declared `Down`
+    /// and its traffic rerouted to survivors.
+    pub down_after: u32,
+    /// How often a `Down` rail is probed for recovery (`Down → Probing`).
+    pub probe_interval: SimDuration,
+    /// Probe acknowledgements required to re-admit a rail (`Probing → Up`).
+    pub probe_successes: u32,
+    /// Re-admission ramp: a recovered rail's scheduling weight climbs from
+    /// 25 % back to 100 % linearly over this window, so a flapping link
+    /// can't immediately re-capture half of every split.
+    pub ramp: SimDuration,
 }
 
 impl Default for RetryConfig {
@@ -43,6 +59,11 @@ impl Default for RetryConfig {
             backoff: 2,
             max_timeout: SimDuration::millis(1),
             max_attempts: 64,
+            suspect_after: 2,
+            down_after: 4,
+            probe_interval: SimDuration::micros(500),
+            probe_successes: 2,
+            ramp: SimDuration::millis(1),
         }
     }
 }
@@ -64,6 +85,10 @@ pub struct NmConfig {
     /// Transport-level retransmission (fault-tolerant mode). `None` keeps
     /// the exact happy-path wire behaviour.
     pub retry: Option<RetryConfig>,
+    /// Smallest chunk a renormalized multirail split may assign to one
+    /// rail; anything smaller is folded into the largest chunk (per-chunk
+    /// header and handoff costs would dominate below this).
+    pub min_split_chunk: usize,
 }
 
 impl Default for NmConfig {
@@ -75,6 +100,7 @@ impl Default for NmConfig {
             max_aggreg_bytes: 8 * 1024,
             max_aggreg_count: 16,
             retry: None,
+            min_split_chunk: 4 * 1024,
         }
     }
 }

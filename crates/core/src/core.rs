@@ -47,6 +47,7 @@ use simnet::{
 use crate::config::{NmConfig, RetryConfig};
 use crate::matching::{GateId, MatchEngine, Unexpected};
 use crate::pack::{PacketWrapper, PwBody, PwId};
+use crate::railhealth::{RailHealth, RailHealthTable};
 use crate::sampling::LinkProfile;
 use crate::sr::{CompletionKind, NmCompletion, RecvReqId, SendReqId};
 use crate::strategy::{self, RailState, Strategy, Submission};
@@ -95,6 +96,22 @@ pub struct NmStats {
     pub dup_envelopes: u64,
     /// Retry mode: duplicate DATA bytes discarded by range tracking.
     pub dup_data: u64,
+    /// Frames discarded at delivery because the end-to-end CRC failed
+    /// (wire corruption); the retry layer replays them like drops.
+    pub crc_drops: u64,
+    /// Rail-health state machine transitions (any edge of
+    /// `Up/Suspect/Down/Probing`).
+    pub rail_transitions: u64,
+    /// Payload bytes whose retransmission was moved off the rail that
+    /// failed them onto a survivor.
+    pub rerouted_bytes: u64,
+    /// Cumulative rail-nanoseconds spent in a non-`Up` health state
+    /// (time-in-degraded-mode, summed over rails).
+    pub degraded_nanos: u64,
+    /// Health probes emitted on `Probing` rails.
+    pub probes_sent: u64,
+    /// Probe acknowledgements accepted (stale ones are not counted).
+    pub probe_acks: u64,
     /// Copy accounting for the whole stack this core belongs to (memcpys,
     /// allocations, zero-copy shares) — the measured side of the Fig. 2
     /// bypass argument.
@@ -126,6 +143,10 @@ struct RdvOut {
     /// Chunks handed to a rail whose send-completion hasn't fired.
     chunks_in_flight: usize,
     cts_received: bool,
+    /// Bitmask of local rail indices the outstanding RTS/DATA packets of
+    /// this rendezvous last went out on — the set of rails a timeout is
+    /// attributed to, and the set a reroute moves away from.
+    last_rails: u64,
     /// Matching envelope identity, kept for RTS retransmission.
     tag: u64,
     seq: u64,
@@ -158,6 +179,9 @@ struct EnvRetx {
     deadline: SimTime,
     timeout: SimDuration,
     attempts: u32,
+    /// Local rail index the envelope last went out on (health attribution
+    /// and reroute target).
+    rail: usize,
 }
 
 /// An envelope (matchable) message after transport reordering.
@@ -195,9 +219,18 @@ struct Inner {
     /// Retry mode: receiver-side tombstones of finished rendezvous — a
     /// replayed RTS/DATA for one of these gets a FIN, not a new transfer.
     rdv_done: HashSet<(usize, u64)>,
-    /// Retry mode: acks/FINs to put on the wire after the current inbound
-    /// batch (sent outside the inner lock).
-    ctrl_out: VecDeque<(usize, WirePayload)>,
+    /// Retry mode: acks/FINs/probe replies to put on the wire after the
+    /// current inbound batch (sent outside the inner lock). The third
+    /// element pins the packet to a specific local rail; `None` lets
+    /// [`NmCore::send_direct`] pick the healthiest one.
+    ctrl_out: VecDeque<(usize, WirePayload, Option<usize>)>,
+    /// Retry mode: per-rail health state machine (`None` without retry —
+    /// the happy path has no failure signals to drive it).
+    health: Option<RailHealthTable>,
+    /// Rail each peer's most recent inbound packet arrived on — control
+    /// replies are routed back the same way, so an ack never chases a
+    /// peer into a rail that just died.
+    last_in_rail: HashMap<usize, usize>,
     next_pw: u64,
     next_rdv: u64,
     stats: NmStats,
@@ -233,11 +266,24 @@ fn insert_range(ranges: &mut Vec<(usize, usize)>, start: usize, end: usize) -> u
     fresh
 }
 
+/// Payload bytes (not wire framing) carried by one retransmittable packet —
+/// what `rerouted_bytes` counts when a replay moves rails.
+fn payload_data_len(p: &WirePayload) -> usize {
+    match p {
+        WirePayload::Eager { data, .. } | WirePayload::Data { data, .. } => data.len(),
+        WirePayload::Aggregate(frags) => frags.iter().map(|f| f.data.len()).sum(),
+        _ => 0,
+    }
+}
+
 /// One NewMadeleine instance (per process).
 pub struct NmCore {
     rank: usize,
     net: NmNet,
     profiles: Vec<LinkProfile>,
+    /// Lowest rank on a different node — the peer health probes are
+    /// aimed at (`None` in single-peer-less topologies).
+    probe_peer: Option<usize>,
     inner: Mutex<Inner>,
     hook: Mutex<Option<EventHook>>,
 }
@@ -270,15 +316,25 @@ impl NmCore {
         assert!(!net.rails.is_empty(), "a core needs at least one rail");
         // Startup sampling: fit each rail's latency/bandwidth profile
         // (§2.2, the adaptive split ratio input).
-        let profiles = net
+        let profiles: Vec<LinkProfile> = net
             .rails
             .iter()
             .map(|&rid| LinkProfile::sample(net.fabric.model(rid)))
             .collect();
+        let health = cfg
+            .retry
+            .map(|rc| RailHealthTable::new(rc, net.rails.len()));
+        let probe_peer = net
+            .rank_to_node
+            .iter()
+            .enumerate()
+            .find(|&(r, &n)| r != rank && n != net.node)
+            .map(|(r, _)| r);
         Arc::new(NmCore {
             rank,
             net,
             profiles,
+            probe_peer,
             inner: Mutex::new(Inner {
                 strategy: strategy::make(cfg.strategy),
                 cfg,
@@ -297,6 +353,8 @@ impl NmCore {
                 env_unacked: BTreeMap::new(),
                 rdv_done: HashSet::new(),
                 ctrl_out: VecDeque::new(),
+                health,
+                last_in_rail: HashMap::new(),
                 next_pw: 0,
                 next_rdv: 0,
                 stats: NmStats::default(),
@@ -405,6 +463,7 @@ impl NmCore {
                     bytes_remaining: len,
                     chunks_in_flight: 0,
                     cts_received: false,
+                    last_rails: 0,
                     tag,
                     seq,
                     deadline: None,
@@ -469,9 +528,42 @@ impl NmCore {
     /// deferred to the next `schedule`; the event hook lets a background
     /// progress engine run one promptly.
     pub fn accept(self: &Arc<Self>, sched: &Scheduler, wire: NmWire) {
+        self.accept_delivery(sched, wire, 0, false);
+    }
+
+    /// [`NmCore::accept`] with delivery metadata from the fabric: the
+    /// local rail index the packet arrived on and whether the wire flagged
+    /// it as corrupted. A corrupted frame fails the end-to-end CRC and is
+    /// dropped here — the retry layer replays it like a lost packet.
+    pub fn accept_delivery(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        mut wire: NmWire,
+        rail: usize,
+        corrupted: bool,
+    ) {
         debug_assert_eq!(wire.dst_rank, self.rank, "misrouted packet");
+        if corrupted {
+            // Model bit-rot without touching payload bytes: the sender's
+            // retransmit queue shares this very storage, so the damage is
+            // recorded in the (owned) header CRC instead.
+            wire.crc ^= 1;
+        }
         let retry = {
             let mut inner = self.inner.lock();
+            if !wire.crc_ok() {
+                inner.stats.crc_drops += 1;
+                return;
+            }
+            inner.last_in_rail.insert(wire.src_rank, rail);
+            // An intact arrival is live proof of this rail: inbound credit
+            // is the only success signal that cannot be fooled by a
+            // multi-rail attempt mask (a rendezvous whose dead-rail chunks
+            // were rerouted still *finishes*, but only the survivor ever
+            // lands a frame here).
+            if let Some(h) = inner.health.as_mut() {
+                h.record_success(rail, sched.now());
+            }
             inner.inbound.push_back(wire);
             inner.cfg.retry.is_some()
         };
@@ -491,6 +583,7 @@ impl NmCore {
     pub fn schedule(self: &Arc<Self>, sched: &Scheduler) {
         self.process_inbound(sched);
         self.sweep_retries(sched);
+        self.sweep_probes(sched);
         self.try_commit(sched);
     }
 
@@ -554,12 +647,38 @@ impl NmCore {
             && inner.ctrl_out.is_empty()
     }
 
-    /// Counter snapshot (includes the live copy-meter tally).
+    /// Counter snapshot (includes the live copy-meter tally and the
+    /// rail-health table's failover counters).
     pub fn stats(&self) -> NmStats {
         let inner = self.inner.lock();
         let mut s = inner.stats;
         s.copy = inner.meter.snapshot();
+        if let Some(h) = inner.health.as_ref() {
+            s.rail_transitions = h.transitions();
+            s.degraded_nanos = h.degraded_nanos();
+            let (sent, acked) = h.probe_counts();
+            s.probes_sent = sent;
+            s.probe_acks = acked;
+        }
         s
+    }
+
+    /// Current health state of one local rail (`Up` when health tracking
+    /// is off — the happy path treats every rail as healthy).
+    pub fn rail_state(&self, rail: usize) -> RailHealth {
+        self.inner
+            .lock()
+            .health
+            .as_ref()
+            .map(|h| h.state(rail))
+            .unwrap_or(RailHealth::Up)
+    }
+
+    /// One-line failover summary for transport `debug_state` strings, e.g.
+    /// `failover[rails=Up,Down transitions=2 probes=4/2 degraded=…ns]`.
+    /// `None` when health tracking is off.
+    pub fn health_summary(&self) -> Option<String> {
+        self.inner.lock().health.as_ref().map(|h| h.summary())
     }
 
     // ------------------------------------------------------------------
@@ -567,7 +686,9 @@ impl NmCore {
     // ------------------------------------------------------------------
 
     fn process_inbound(self: &Arc<Self>, sched: &Scheduler) {
-        let mut inner = self.inner.lock();
+        let now = sched.now();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
         // Retry mode: (src, tag) envelope flows touched by this batch — each
         // gets one cumulative ack afterwards (BTreeSet: deterministic order).
         let mut touched: BTreeSet<(usize, u64)> = BTreeSet::new();
@@ -579,21 +700,14 @@ impl NmCore {
                     if retry {
                         touched.insert((src, tag));
                     }
-                    Self::deliver_envelope(&mut inner, sched, src, tag, seq, Envelope::Eager(data));
+                    Self::deliver_envelope(inner, sched, src, tag, seq, Envelope::Eager(data));
                 }
                 WirePayload::Aggregate(frags) => {
                     for EagerFrag { tag, seq, data } in frags {
                         if retry {
                             touched.insert((src, tag));
                         }
-                        Self::deliver_envelope(
-                            &mut inner,
-                            sched,
-                            src,
-                            tag,
-                            seq,
-                            Envelope::Eager(data),
-                        );
+                        Self::deliver_envelope(inner, sched, src, tag, seq, Envelope::Eager(data));
                     }
                 }
                 WirePayload::Rts {
@@ -605,30 +719,44 @@ impl NmCore {
                     if retry {
                         touched.insert((src, tag));
                     }
-                    Self::deliver_envelope(
-                        &mut inner,
-                        sched,
-                        src,
-                        tag,
-                        seq,
-                        Envelope::Rts { rdv_id, len },
-                    );
+                    Self::deliver_envelope(inner, sched, src, tag, seq, Envelope::Rts {
+                        rdv_id,
+                        len,
+                    });
                 }
                 WirePayload::Cts { rdv_id } => {
-                    Self::handle_cts(&mut inner, sched, rdv_id);
+                    // No rail credit from the handshake: `last_rails` is an
+                    // attempt mask, and crediting attempts would resurrect a
+                    // dead rail every time its rerouted rendezvous completes.
+                    // Arrival credit in `accept_delivery` covers the rail the
+                    // CTS actually used.
+                    Self::handle_cts(inner, sched, rdv_id);
                 }
                 WirePayload::Data {
                     rdv_id,
                     offset,
                     data,
                 } => {
-                    Self::handle_data(&mut inner, sched.now(), src, rdv_id, offset, data);
+                    Self::handle_data(inner, now, src, rdv_id, offset, data);
                 }
                 WirePayload::Ack { tag, next } => {
+                    let mut credited: Vec<usize> = Vec::new();
                     if let Some(map) = inner.env_unacked.get_mut(&(src, tag)) {
-                        map.retain(|&seq, _| seq >= next);
+                        map.retain(|&seq, rx| {
+                            if seq >= next {
+                                true
+                            } else {
+                                credited.push(rx.rail);
+                                false
+                            }
+                        });
                         if map.is_empty() {
                             inner.env_unacked.remove(&(src, tag));
+                        }
+                    }
+                    if let Some(h) = inner.health.as_mut() {
+                        for rail in credited {
+                            h.record_success(rail, now);
                         }
                     }
                 }
@@ -637,7 +765,19 @@ impl NmCore {
                     // send. A replayed FIN finds nothing — ignore it.
                     if let Some(rdv) = inner.rdv_out.remove(&rdv_id) {
                         inner.rdv_dst.remove(&rdv_id);
-                        Self::complete_send(&mut inner, rdv.send_req);
+                        Self::complete_send(inner, rdv.send_req);
+                    }
+                }
+                WirePayload::Probe { rail, seq } => {
+                    // Reply on the probed rail itself — a probe answered on
+                    // a different rail would re-admit a link it never used.
+                    inner
+                        .ctrl_out
+                        .push_back((src, WirePayload::ProbeAck { rail, seq }, Some(rail)));
+                }
+                WirePayload::ProbeAck { rail, seq } => {
+                    if let Some(h) = inner.health.as_mut() {
+                        h.record_probe_ack(rail, seq, now);
                     }
                 }
             }
@@ -645,10 +785,15 @@ impl NmCore {
         for (src, tag) in touched {
             let next = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
             inner.stats.acks_sent += 1;
-            inner.ctrl_out.push_back((src, WirePayload::Ack { tag, next }));
+            // Route the ack back the way the peer's traffic came in — never
+            // into a rail the peer may have already abandoned.
+            let via = inner.last_in_rail.get(&src).copied();
+            inner
+                .ctrl_out
+                .push_back((src, WirePayload::Ack { tag, next }, via));
         }
         let had_completion = !inner.completions.is_empty();
-        drop(inner);
+        drop(guard);
         self.flush_ctrl(sched);
         if had_completion {
             self.fire_hook(sched);
@@ -661,29 +806,83 @@ impl NmCore {
         loop {
             let next = self.inner.lock().ctrl_out.pop_front();
             match next {
-                Some((dst, payload)) => self.send_direct(sched, dst, payload),
+                Some((dst, payload, via)) => self.send_direct(sched, dst, payload, via),
                 None => break,
             }
         }
     }
 
-    /// Put one control/retransmission packet directly on rail 0.
-    fn send_direct(self: &Arc<Self>, sched: &Scheduler, dst: usize, payload: WirePayload) {
-        let wire = NmWire {
-            src_rank: self.rank,
-            dst_rank: dst,
-            payload,
+    /// Healthiest local rail for control traffic: the lowest-latency `Up`
+    /// rail, else the lowest-latency still-usable (`Suspect`) one, else
+    /// rail 0 (with everything down, any choice is a guess — keep it
+    /// deterministic).
+    fn preferred_rail(health: Option<&RailHealthTable>, profiles: &[LinkProfile]) -> usize {
+        let Some(h) = health else { return 0 };
+        let best = |want_up: bool| -> Option<usize> {
+            (0..profiles.len())
+                .filter(|&i| {
+                    let st = h.state(i);
+                    if want_up {
+                        st == RailHealth::Up
+                    } else {
+                        st.usable()
+                    }
+                })
+                .min_by_key(|&i| (profiles[i].latency, i))
         };
+        best(true).or_else(|| best(false)).unwrap_or(0)
+    }
+
+    fn pick_ctrl_rail(&self) -> usize {
+        let inner = self.inner.lock();
+        Self::preferred_rail(inner.health.as_ref(), &self.profiles)
+    }
+
+    /// Put one control/retransmission packet directly on the wire, on the
+    /// pinned rail `via` (health probes, rail-pinned replies) or on the
+    /// healthiest rail otherwise.
+    fn send_direct(
+        self: &Arc<Self>,
+        sched: &Scheduler,
+        dst: usize,
+        payload: WirePayload,
+        via: Option<usize>,
+    ) {
+        let rail_idx = via
+            .filter(|&r| r < self.net.rails.len())
+            .unwrap_or_else(|| self.pick_ctrl_rail());
+        let wire = NmWire::new(self.rank, dst, payload);
         let bytes = wire.wire_bytes();
-        self.net.fabric.send(
+        // Express lane: acks, handshake replays and probes must not sit
+        // FIFO behind a queued rendezvous payload, or every control round
+        // trip inflates past the retransmission timeout and the retry
+        // layer starts indicting healthy rails.
+        self.net.fabric.send_express(
             sched,
-            self.net.rails[0],
+            self.net.rails[rail_idx],
             self.net.node,
             self.net.rank_to_node[dst],
             bytes,
             wire,
             None,
         );
+    }
+
+    /// Retry mode: let the health table emit due recovery probes (`Down →
+    /// Probing` transitions and follow-ups) and put them on their pinned
+    /// rails, aimed at the closest off-node peer.
+    fn sweep_probes(self: &Arc<Self>, sched: &Scheduler) {
+        let Some(peer) = self.probe_peer else { return };
+        let probes = {
+            let mut inner = self.inner.lock();
+            match inner.health.as_mut() {
+                Some(h) => h.tick(sched.now()),
+                None => return,
+            }
+        };
+        for (rail, seq) in probes {
+            self.send_direct(sched, peer, WirePayload::Probe { rail, seq }, Some(rail));
+        }
     }
 
     /// Transport-level reordering: envelopes are fed to matching strictly
@@ -706,14 +905,17 @@ impl NmCore {
                 // A replayed RTS may mean the handshake reply was lost:
                 // replay the CTS (transfer live) or the FIN (finished).
                 if let Envelope::Rts { rdv_id, .. } = env {
+                    let via = inner.last_in_rail.get(&src).copied();
                     if inner.rdv_done.contains(&(src, rdv_id)) {
                         inner.stats.fins_sent += 1;
                         inner
                             .ctrl_out
-                            .push_back((src, WirePayload::RdvFin { rdv_id }));
+                            .push_back((src, WirePayload::RdvFin { rdv_id }, via));
                     } else if inner.rdv_in.contains_key(&(src, rdv_id)) {
                         inner.stats.cts_retries += 1;
-                        inner.ctrl_out.push_back((src, WirePayload::Cts { rdv_id }));
+                        inner
+                            .ctrl_out
+                            .push_back((src, WirePayload::Cts { rdv_id }, via));
                     }
                 }
             }
@@ -901,9 +1103,10 @@ impl NmCore {
             // The sender's FIN was lost and it replayed the payload.
             inner.stats.dup_data += 1;
             inner.stats.fins_sent += 1;
+            let via = inner.last_in_rail.get(&src).copied();
             inner
                 .ctrl_out
-                .push_back((src, WirePayload::RdvFin { rdv_id }));
+                .push_back((src, WirePayload::RdvFin { rdv_id }, via));
             return;
         }
         let (done, dup_bytes) = {
@@ -940,9 +1143,10 @@ impl NmCore {
             if retry {
                 inner.rdv_done.insert(key);
                 inner.stats.fins_sent += 1;
+                let via = inner.last_in_rail.get(&src).copied();
                 inner
                     .ctrl_out
-                    .push_back((src, WirePayload::RdvFin { rdv_id }));
+                    .push_back((src, WirePayload::RdvFin { rdv_id }, via));
             }
             // Freeze the landing buffer without a copy (the allocation was
             // charged in start_rdv_in, the fills as each chunk landed).
@@ -963,7 +1167,7 @@ impl NmCore {
     /// `NmConfig.retry` is set.
     fn sweep_retries(self: &Arc<Self>, sched: &Scheduler) {
         let now = sched.now();
-        let mut resend: Vec<(usize, WirePayload)> = Vec::new();
+        let mut resend: Vec<(usize, WirePayload, Option<usize>)> = Vec::new();
         {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
@@ -989,9 +1193,19 @@ impl NmCore {
                     bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
                     rx.deadline = now + rx.timeout;
                     inner.stats.eager_retries += 1;
+                    // The timeout indicts the rail the envelope went out on;
+                    // the replay moves to the current healthiest rail.
+                    if let Some(h) = inner.health.as_mut() {
+                        h.record_failure(rx.rail, now);
+                    }
+                    let new_rail = Self::preferred_rail(inner.health.as_ref(), &self.profiles);
+                    if new_rail != rx.rail {
+                        inner.stats.rerouted_bytes += payload_data_len(&rx.payload) as u64;
+                        rx.rail = new_rail;
+                    }
                     // share(): the replayed envelope reuses the queued
                     // payload storage — retransmission never copies bytes.
-                    resend.push((dst, rx.payload.share()));
+                    resend.push((dst, rx.payload.share(), Some(rx.rail)));
                 }
             }
             // rdv_out / rdv_in are HashMaps: collect + sort so the replay
@@ -1005,9 +1219,30 @@ impl NmCore {
             out_ids.sort_unstable();
             for rdv_id in out_ids {
                 let dst = inner.rdv_dst[&rdv_id];
+                let mask = {
+                    let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+                    bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (sender)");
+                    rdv.deadline = Some(now + rdv.timeout);
+                    rdv.last_rails
+                };
+                // Every rail the outstanding packets used shares the blame
+                // (a multi-rail split can't name the guilty one — that's
+                // why demotion needs `suspect_after` repeats).
+                if let Some(h) = inner.health.as_mut() {
+                    for rail in 0..h.num_rails() {
+                        if mask & (1 << rail) != 0 {
+                            h.record_failure(rail, now);
+                        }
+                    }
+                }
+                let new_rail = Self::preferred_rail(inner.health.as_ref(), &self.profiles);
+                // A replay reroutes whenever it abandons any rail of the
+                // attempt mask — a split that covered {0,1} and replays on
+                // {0} moved the dead rail's share even though rail 0 was
+                // already in the mask.
+                let rerouted = mask != 0 && mask != 1 << new_rail;
                 let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
-                bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (sender)");
-                rdv.deadline = Some(now + rdv.timeout);
+                rdv.last_rails = 1 << new_rail;
                 if !rdv.cts_received {
                     inner.stats.rts_retries += 1;
                     resend.push((
@@ -1018,12 +1253,16 @@ impl NmCore {
                             rdv_id,
                             len: rdv.data.len(),
                         },
+                        Some(new_rail),
                     ));
                 } else {
                     // FIN wait: the receiver never confirmed. Replay the
                     // whole payload — range tracking dedups whatever did
                     // arrive, and a tombstoned receiver replays the FIN.
                     inner.stats.data_retries += 1;
+                    if rerouted {
+                        inner.stats.rerouted_bytes += rdv.data.len() as u64;
+                    }
                     resend.push((
                         dst,
                         WirePayload::Data {
@@ -1032,6 +1271,7 @@ impl NmCore {
                             // Zero-copy replay of the held payload.
                             data: rdv.data.share(),
                         },
+                        Some(new_rail),
                     ));
                 }
             }
@@ -1047,11 +1287,15 @@ impl NmCore {
                 bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
                 rdv.deadline = Some(now + rdv.timeout);
                 inner.stats.cts_retries += 1;
-                resend.push((key.0, WirePayload::Cts { rdv_id: key.1 }));
+                // Receiver-side timeout: could be the lost CTS or the
+                // sender going quiet — no rail to indict. Route the replay
+                // along the sender's last inbound rail.
+                let via = inner.last_in_rail.get(&key.0).copied();
+                resend.push((key.0, WirePayload::Cts { rdv_id: key.1 }, via));
             }
         }
-        for (dst, payload) in resend {
-            self.send_direct(sched, dst, payload);
+        for (dst, payload, via) in resend {
+            self.send_direct(sched, dst, payload, via);
         }
     }
 
@@ -1063,20 +1307,31 @@ impl NmCore {
     /// the wire.
     fn try_commit(self: &Arc<Self>, sched: &Scheduler) {
         let now = sched.now();
-        let mut rails: Vec<RailState> = self
-            .net
-            .rails
-            .iter()
-            .zip(&self.profiles)
-            .map(|(&rid, &profile)| RailState {
-                idle: !self.net.fabric.rail_busy(rid, self.net.node, now),
-                profile,
-            })
-            .collect();
         let mut outgoing: Vec<Outgoing> = Vec::new();
         {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
+            let mut rails: Vec<RailState> = self
+                .net
+                .rails
+                .iter()
+                .enumerate()
+                .zip(&self.profiles)
+                .map(|((i, &rid), &profile)| RailState {
+                    idle: !self.net.fabric.rail_busy(rid, self.net.node, now),
+                    profile,
+                    health: inner
+                        .health
+                        .as_ref()
+                        .map(|h| h.state(i))
+                        .unwrap_or(RailHealth::Up),
+                    weight: inner
+                        .health
+                        .as_ref()
+                        .map(|h| h.weight(i, now))
+                        .unwrap_or(1.0),
+                })
+                .collect();
             for (&dst, pending) in inner.gates.iter_mut() {
                 if pending.is_empty() {
                     continue;
@@ -1160,7 +1415,8 @@ impl NmCore {
         dst: usize,
         sub: Submission,
     ) -> Outgoing {
-        let rail = net.rails[sub.rail];
+        let rail_idx = sub.rail;
+        let rail = net.rails[rail_idx];
         let dst_node = net.rank_to_node[dst];
         stats.packets_sent += 1;
         let mut eager_reqs = Vec::new();
@@ -1185,6 +1441,7 @@ impl NmCore {
                         deadline: now + rc.timeout,
                         timeout: rc.timeout,
                         attempts: 0,
+                        rail: rail_idx,
                     },
                 );
             }
@@ -1243,6 +1500,7 @@ impl NmCore {
                             .expect("RTS for unknown rendezvous");
                         rdv.deadline = Some(now + rc.timeout);
                         rdv.timeout = rc.timeout;
+                        rdv.last_rails = 1 << rail_idx;
                     }
                     WirePayload::Rts {
                         tag,
@@ -1262,6 +1520,7 @@ impl NmCore {
                         .checked_sub(pw.data.len())
                         .expect("chunk exceeds remaining bytes");
                     rdv.chunks_in_flight += 1;
+                    rdv.last_rails |= 1 << rail_idx;
                     data_chunk_rdv = Some(rdv_id);
                     WirePayload::Data {
                         rdv_id,
@@ -1271,11 +1530,7 @@ impl NmCore {
                 }
             }
         };
-        let wire = NmWire {
-            src_rank: my_rank,
-            dst_rank: dst,
-            payload,
-        };
+        let wire = NmWire::new(my_rank, dst, payload);
         let bytes = wire.wire_bytes();
         Outgoing {
             rail,

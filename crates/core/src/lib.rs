@@ -52,6 +52,7 @@ pub mod config;
 pub mod core;
 pub mod matching;
 pub mod pack;
+pub mod railhealth;
 pub mod sampling;
 pub mod sr;
 pub mod strategy;
@@ -60,6 +61,7 @@ pub mod wire;
 pub use crate::core::{NmCore, NmNet, NmStats};
 pub use config::{NmConfig, RetryConfig, StrategyKind};
 pub use matching::GateId;
+pub use railhealth::{RailHealth, RailHealthTable};
 pub use sampling::LinkProfile;
 pub use sr::{NmCompletion, RecvReqId, SendReqId};
 pub use wire::{NmWire, WirePayload, WIRE_HEADER_BYTES};

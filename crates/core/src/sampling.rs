@@ -56,12 +56,87 @@ impl LinkProfile {
 /// Compute the equal-finish-time split of `size` bytes over `profiles`.
 /// Returns one chunk length per rail (zeros allowed); chunks sum to `size`.
 pub fn split_sizes(size: usize, profiles: &[LinkProfile]) -> Vec<usize> {
+    split_sizes_weighted(size, profiles, &vec![1.0; profiles.len()], 1)
+}
+
+/// Health-aware variant of [`split_sizes`]: each rail's bandwidth is scaled
+/// by its scheduling `weight` (0 excludes the rail entirely — a `Down` or
+/// `Probing` rail must carry zero payload), and any nonzero chunk smaller
+/// than `min_chunk` is folded into the largest chunk (per-chunk header and
+/// handoff costs would dominate below it). Chunks always sum to `size`.
+///
+/// If every weight is zero (no usable rail — the caller should not split at
+/// all, but stay total), the weights are ignored and the plain profile
+/// split is returned.
+pub fn split_sizes_weighted(
+    size: usize,
+    profiles: &[LinkProfile],
+    weights: &[f64],
+    min_chunk: usize,
+) -> Vec<usize> {
     assert!(!profiles.is_empty(), "split over zero rails");
-    if profiles.len() == 1 {
+    assert_eq!(profiles.len(), weights.len(), "one weight per rail");
+    let all_dead = weights.iter().all(|&w| w <= 0.0);
+    let effective: Vec<LinkProfile> = profiles
+        .iter()
+        .zip(weights)
+        .map(|(p, &w)| LinkProfile {
+            latency: p.latency,
+            bandwidth_bps: p.bandwidth_bps * if all_dead { 1.0 } else { w.max(0.0) },
+        })
+        .collect();
+    let usable = |i: usize| all_dead || weights[i] > 0.0;
+    if effective.len() == 1 {
         return vec![size];
     }
+    if (0..effective.len()).filter(|&i| usable(i)).count() == 1 {
+        let mut chunks = vec![0usize; effective.len()];
+        chunks[(0..effective.len()).find(|&i| usable(i)).unwrap()] = size;
+        return chunks;
+    }
+    let mut chunks = solve_equal_finish(size, &effective, &|i| usable(i));
+    enforce_min_chunk(&mut chunks, min_chunk);
+    chunks
+}
+
+/// Fold nonzero chunks below `min_chunk` into the largest chunk.
+fn enforce_min_chunk(chunks: &mut [usize], min_chunk: usize) {
+    if min_chunk <= 1 {
+        return;
+    }
+    loop {
+        let Some(small) = chunks
+            .iter()
+            .position(|&c| c > 0 && c < min_chunk)
+        else {
+            return;
+        };
+        let largest = chunks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != small)
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i);
+        match largest {
+            Some(big) if chunks[big] > 0 => {
+                chunks[big] += chunks[small];
+                chunks[small] = 0;
+            }
+            // Nothing else carries bytes: the "small" chunk is the whole
+            // message, leave it.
+            _ => return,
+        }
+    }
+}
+
+/// The equal-finish-time solve over the rails `usable` admits.
+fn solve_equal_finish(
+    size: usize,
+    profiles: &[LinkProfile],
+    usable: &dyn Fn(usize) -> bool,
+) -> Vec<usize> {
     // Iteratively drop rails whose latency exceeds the common finish time.
-    let mut active: Vec<bool> = vec![true; profiles.len()];
+    let mut active: Vec<bool> = (0..profiles.len()).map(usable).collect();
     loop {
         let sum_bw: f64 = profiles
             .iter()
@@ -110,11 +185,12 @@ pub fn split_sizes(size: usize, profiles: &[LinkProfile]) -> Vec<usize> {
             return chunks;
         }
         if active.iter().all(|&a| !a) {
-            // Degenerate: give everything to the lowest-latency rail.
+            // Degenerate: give everything to the lowest-latency usable rail.
             let mut chunks = vec![0usize; profiles.len()];
             let best = profiles
                 .iter()
                 .enumerate()
+                .filter(|&(i, _)| usable(i))
                 .min_by_key(|(_, p)| p.latency)
                 .map(|(i, _)| i)
                 .unwrap();
@@ -211,6 +287,70 @@ mod tests {
     #[test]
     fn single_rail_gets_everything() {
         assert_eq!(split_sizes(12345, &[prof(1, 1.0)]), vec![12345]);
+    }
+
+    #[test]
+    fn zero_weight_rail_gets_nothing() {
+        let a = prof(1_200, 1250.0);
+        let b = prof(1_500, 1100.0);
+        let size = 8 << 20;
+        let chunks = split_sizes_weighted(size, &[a, b], &[1.0, 0.0], 4096);
+        assert_eq!(chunks, vec![size, 0], "down rail must carry zero bytes");
+        let chunks = split_sizes_weighted(size, &[a, b], &[0.0, 1.0], 4096);
+        assert_eq!(chunks, vec![0, size]);
+    }
+
+    #[test]
+    fn ramp_weight_shrinks_a_rails_share() {
+        let p = prof(1_000, 1000.0);
+        let size = 4 << 20;
+        let healthy = split_sizes_weighted(size, &[p, p], &[1.0, 1.0], 1);
+        let ramping = split_sizes_weighted(size, &[p, p], &[1.0, 0.25], 1);
+        assert_eq!(ramping.iter().sum::<usize>(), size);
+        assert!(
+            ramping[1] < healthy[1] / 2,
+            "quarter-weight rail got {} vs healthy {}",
+            ramping[1],
+            healthy[1]
+        );
+        assert!(ramping[1] > 0, "ramping rail still participates");
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_plain_split() {
+        let a = prof(1_200, 1250.0);
+        let b = prof(1_500, 1100.0);
+        let size = 8 << 20;
+        assert_eq!(
+            split_sizes_weighted(size, &[a, b], &[0.0, 0.0], 1),
+            split_sizes(size, &[a, b])
+        );
+    }
+
+    #[test]
+    fn min_chunk_folds_slivers_into_largest() {
+        let fast = prof(1_000, 4000.0);
+        let slow = prof(1_000, 100.0);
+        // Pick a size where the slow rail's share lands under min_chunk.
+        let size = 200_000;
+        let raw = split_sizes(size, &[fast, slow]);
+        assert!(raw[1] > 0 && raw[1] < 8 * 1024, "premise: sliver {raw:?}");
+        let folded = split_sizes_weighted(size, &[fast, slow], &[1.0, 1.0], 8 * 1024);
+        assert_eq!(folded, vec![size, 0]);
+        assert_eq!(folded.iter().sum::<usize>(), size);
+    }
+
+    #[test]
+    fn weighted_split_matches_unweighted_at_full_weight() {
+        let a = prof(1_200, 1250.0);
+        let b = prof(1_500, 1100.0);
+        for &size in &[1usize, 4096, 65_537, 4 << 20] {
+            assert_eq!(
+                split_sizes_weighted(size, &[a, b], &[1.0, 1.0], 1),
+                split_sizes(size, &[a, b]),
+                "size {size}"
+            );
+        }
     }
 
     #[test]

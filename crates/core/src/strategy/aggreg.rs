@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use crate::config::NmConfig;
 use crate::pack::PacketWrapper;
 
-use super::{RailState, Strategy, Submission};
+use super::{first_usable_rail, RailState, Strategy, Submission};
 
 #[derive(Default)]
 pub struct StratAggreg;
@@ -41,9 +41,11 @@ impl Strategy for StratAggreg {
         rails: &mut [RailState],
     ) -> Vec<Submission> {
         let mut out = Vec::new();
-        let rail = match rails.first_mut() {
-            Some(r) if r.idle => r,
-            _ => return out,
+        // Primary healthy rail (failover: next usable index when the
+        // first is demoted; any idle rail when everything is unhealthy).
+        let rail = match first_usable_rail(rails) {
+            Some(r) => r,
+            None => return out,
         };
         let first = match pending.pop_front() {
             Some(pw) => pw,
@@ -65,8 +67,8 @@ impl Strategy for StratAggreg {
                 }
             }
         }
-        rail.idle = false;
-        out.push(Submission { rail: 0, pws });
+        rails[rail].idle = false;
+        out.push(Submission { rail, pws });
         out
     }
 }

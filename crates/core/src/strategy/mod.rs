@@ -29,7 +29,8 @@ use std::collections::VecDeque;
 
 use crate::config::{NmConfig, StrategyKind};
 use crate::pack::PacketWrapper;
-use crate::sampling::LinkProfile;
+use crate::railhealth::RailHealth;
+use crate::sampling::{fastest_rail, LinkProfile};
 
 /// Momentary state of one rail as the strategy sees it. The strategy marks
 /// rails busy as it assigns packets so a single pass over several gates
@@ -38,6 +39,67 @@ use crate::sampling::LinkProfile;
 pub struct RailState {
     pub idle: bool,
     pub profile: LinkProfile,
+    /// Live health from the rail-health state machine (`Up` when health
+    /// tracking is off).
+    pub health: RailHealth,
+    /// Scheduling weight: 1.0 for a healthy rail, 0.0 for `Down`/`Probing`
+    /// ones, ramping back up after re-admission. Splits renormalize over
+    /// it; a zero-weight rail gets no payload bytes.
+    pub weight: f64,
+}
+
+impl RailState {
+    /// May the strategy hand this rail payload traffic right now?
+    pub fn schedulable(&self) -> bool {
+        self.idle && self.health.usable() && self.weight > 0.0
+    }
+}
+
+/// Rails a strategy may split payload across: idle, usable, weighted.
+pub(crate) fn schedulable_rails(rails: &[RailState]) -> Vec<usize> {
+    (0..rails.len()).filter(|&i| rails[i].schedulable()).collect()
+}
+
+/// Single-rail choice with a progress guarantee: the fastest idle `Up`
+/// rail, else the fastest idle still-usable (`Suspect`) one, else the
+/// fastest idle rail of any state — with every rail unhealthy the traffic
+/// still goes out (the retry layer owns recovery; stalling here would turn
+/// a degraded fabric into a livelock).
+pub(crate) fn pick_single_rail(rails: &[RailState], bytes: usize) -> Option<usize> {
+    let idle: Vec<usize> = (0..rails.len()).filter(|&i| rails[i].idle).collect();
+    if idle.is_empty() {
+        return None;
+    }
+    let up: Vec<usize> = idle
+        .iter()
+        .copied()
+        .filter(|&i| rails[i].health == RailHealth::Up && rails[i].weight > 0.0)
+        .collect();
+    let cand = if !up.is_empty() {
+        up
+    } else {
+        let usable: Vec<usize> = idle
+            .iter()
+            .copied()
+            .filter(|&i| rails[i].health.usable())
+            .collect();
+        if !usable.is_empty() {
+            usable
+        } else {
+            idle
+        }
+    };
+    let profiles: Vec<LinkProfile> = cand.iter().map(|&i| rails[i].profile).collect();
+    Some(cand[fastest_rail(bytes, &profiles)])
+}
+
+/// Lowest-index schedulable rail, falling back to the lowest-index idle
+/// rail — the single-rail strategies' (default/aggreg) rail choice.
+pub(crate) fn first_usable_rail(rails: &[RailState]) -> Option<usize> {
+    rails
+        .iter()
+        .position(RailState::schedulable)
+        .or_else(|| rails.iter().position(|r| r.idle))
 }
 
 /// One wire packet to emit: `pws` is a single wrapper, or several
@@ -114,8 +176,19 @@ pub(crate) mod testutil {
                     latency: SimDuration::nanos(1_200 + 300 * i as u64),
                     bandwidth_bps: (1250.0 - 150.0 * i as f64) * 1024.0 * 1024.0,
                 },
+                health: RailHealth::Up,
+                weight: 1.0,
             })
             .collect()
+    }
+
+    /// `rails(n)` with one rail forced into a health state (weight follows:
+    /// 0 unless the state is usable).
+    pub fn rails_with_health(n: usize, rail: usize, health: RailHealth) -> Vec<RailState> {
+        let mut rs = rails(n);
+        rs[rail].health = health;
+        rs[rail].weight = if health.usable() { 1.0 } else { 0.0 };
+        rs
     }
 
     pub fn cfg() -> NmConfig {

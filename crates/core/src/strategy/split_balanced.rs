@@ -17,9 +17,9 @@ use simnet::NmBuf;
 
 use crate::config::NmConfig;
 use crate::pack::{PacketWrapper, PwBody};
-use crate::sampling::{fastest_rail, split_sizes, LinkProfile};
+use crate::sampling::{split_sizes_weighted, LinkProfile};
 
-use super::{RailState, Strategy, Submission};
+use super::{pick_single_rail, schedulable_rails, RailState, Strategy, Submission};
 
 #[derive(Default)]
 pub struct StratSplitBalanced;
@@ -43,26 +43,31 @@ impl Strategy for StratSplitBalanced {
     ) -> Vec<Submission> {
         let mut out = Vec::new();
         loop {
-            let idle: Vec<usize> = (0..rails.len()).filter(|&i| rails[i].idle).collect();
-            if idle.is_empty() {
+            if !rails.iter().any(|r| r.idle) {
                 return out;
             }
             let front = match pending.front() {
                 Some(f) => f,
                 None => return out,
             };
-            if front.can_split() && front.len() >= cfg.multirail_threshold && idle.len() > 1 {
-                // Large rendezvous data: split across every idle rail.
+            // Splits go over healthy rails only: Down/Probing rails get
+            // zero bytes, a ramping (recently re-admitted) rail gets a
+            // weight-shrunk share.
+            let usable = schedulable_rails(rails);
+            if front.can_split() && front.len() >= cfg.multirail_threshold && usable.len() > 1 {
+                // Large rendezvous data: split across every usable idle rail.
                 let pw = pending.pop_front().unwrap();
                 let profiles: Vec<LinkProfile> =
-                    idle.iter().map(|&i| rails[i].profile).collect();
-                let chunks = split_sizes(pw.len(), &profiles);
+                    usable.iter().map(|&i| rails[i].profile).collect();
+                let weights: Vec<f64> = usable.iter().map(|&i| rails[i].weight).collect();
+                let chunks =
+                    split_sizes_weighted(pw.len(), &profiles, &weights, cfg.min_split_chunk);
                 let (rdv_id, base) = match pw.body {
                     PwBody::Data { rdv_id, offset } => (rdv_id, offset),
                     _ => unreachable!("can_split implies Data"),
                 };
                 let mut off = 0usize;
-                for (k, &rail) in idle.iter().enumerate() {
+                for (k, &rail) in usable.iter().enumerate() {
                     let len = chunks[k];
                     if len == 0 {
                         continue;
@@ -87,11 +92,13 @@ impl Strategy for StratSplitBalanced {
                 debug_assert_eq!(off, pw.data.len(), "split must cover the payload");
                 continue;
             }
-            // Small (or single-idle-rail) case: fastest idle rail for the
-            // front packet, aggregating a prefix of small eager sends.
+            // Small (or single-usable-rail) case: fastest healthy idle rail
+            // for the front packet, aggregating a prefix of small eager
+            // sends. Falls back to an unhealthy rail rather than stalling.
             let len = front.len();
-            let profiles: Vec<LinkProfile> = idle.iter().map(|&i| rails[i].profile).collect();
-            let rail = idle[fastest_rail(len, &profiles)];
+            let Some(rail) = pick_single_rail(rails, len) else {
+                return out;
+            };
             let first = pending.pop_front().unwrap();
             let mut pws = vec![first];
             if pws[0].can_aggregate() {
@@ -212,6 +219,44 @@ mod tests {
         assert!(!rs[0].idle && !rs[1].idle);
         // 12 KB exceeds the aggregate byte budget, so no coalescing.
         assert!(subs.iter().all(|s| s.pws.len() == 1));
+    }
+
+    #[test]
+    fn down_rail_excluded_from_split() {
+        use crate::railhealth::RailHealth;
+        let mut s = StratSplitBalanced::new();
+        let size = 4 << 20;
+        let mut pending: VecDeque<_> = vec![data_pw(0, 7, size)].into();
+        let mut rs = rails_with_health(2, 1, RailHealth::Down);
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert_eq!(subs.len(), 1, "split collapses onto the survivor");
+        assert_eq!(subs[0].rail, 0);
+        assert_eq!(subs[0].pws[0].len(), size, "every byte still goes out");
+    }
+
+    #[test]
+    fn small_message_prefers_up_over_suspect() {
+        use crate::railhealth::RailHealth;
+        let mut s = StratSplitBalanced::new();
+        let mut pending: VecDeque<_> = vec![eager_pw(0, 64)].into();
+        // Rail 0 is faster but Suspect: the packet should take the slower
+        // but fully healthy rail 1.
+        let mut rs = rails_with_health(2, 0, RailHealth::Suspect);
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].rail, 1);
+    }
+
+    #[test]
+    fn all_rails_down_still_makes_progress() {
+        use crate::railhealth::RailHealth;
+        let mut s = StratSplitBalanced::new();
+        let mut pending: VecDeque<_> = vec![eager_pw(0, 64)].into();
+        let mut rs = rails_with_health(2, 0, RailHealth::Down);
+        rs[1].health = RailHealth::Down;
+        rs[1].weight = 0.0;
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert_eq!(subs.len(), 1, "traffic never stalls on health alone");
     }
 
     #[test]

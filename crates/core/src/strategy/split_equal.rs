@@ -10,9 +10,8 @@ use std::collections::VecDeque;
 
 use crate::config::NmConfig;
 use crate::pack::{PacketWrapper, PwBody};
-use crate::sampling::fastest_rail;
 
-use super::{RailState, Strategy, Submission};
+use super::{pick_single_rail, schedulable_rails, RailState, Strategy, Submission};
 
 #[derive(Default)]
 pub struct StratSplitEqual;
@@ -36,25 +35,27 @@ impl Strategy for StratSplitEqual {
     ) -> Vec<Submission> {
         let mut out = Vec::new();
         loop {
-            let idle: Vec<usize> = (0..rails.len()).filter(|&i| rails[i].idle).collect();
-            if idle.is_empty() {
+            if !rails.iter().any(|r| r.idle) {
                 return out;
             }
             let front = match pending.front() {
                 Some(f) => f,
                 None => return out,
             };
-            if front.can_split() && front.len() >= cfg.multirail_threshold && idle.len() > 1 {
+            // Same survivor filtering as split_balanced so the ablation
+            // isolates the ratio choice, not the failover behaviour.
+            let usable = schedulable_rails(rails);
+            if front.can_split() && front.len() >= cfg.multirail_threshold && usable.len() > 1 {
                 let pw = pending.pop_front().unwrap();
                 let (rdv_id, base) = match pw.body {
                     PwBody::Data { rdv_id, offset } => (rdv_id, offset),
                     _ => unreachable!("can_split implies Data"),
                 };
-                // Equal shares, remainder to the last idle rail.
-                let share = pw.len() / idle.len();
+                // Equal shares, remainder to the last usable rail.
+                let share = pw.len() / usable.len();
                 let mut off = 0usize;
-                for (k, &rail) in idle.iter().enumerate() {
-                    let len = if k + 1 == idle.len() {
+                for (k, &rail) in usable.iter().enumerate() {
+                    let len = if k + 1 == usable.len() {
                         pw.len() - off
                     } else {
                         share
@@ -81,11 +82,12 @@ impl Strategy for StratSplitEqual {
                 }
                 continue;
             }
-            // Small messages: same policy as split_balanced (fastest idle
-            // rail) so the ablation isolates the ratio choice.
+            // Small messages: same policy as split_balanced (fastest
+            // healthy idle rail) so the ablation isolates the ratio choice.
             let len = front.len();
-            let profiles: Vec<_> = idle.iter().map(|&i| rails[i].profile).collect();
-            let rail = idle[fastest_rail(len, &profiles)];
+            let Some(rail) = pick_single_rail(rails, len) else {
+                return out;
+            };
             let pw = pending.pop_front().unwrap();
             rails[rail].idle = false;
             out.push(Submission {
@@ -122,5 +124,18 @@ mod tests {
         let mut rs = rails(2);
         let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
         assert_eq!(subs[0].rail, 0);
+    }
+
+    #[test]
+    fn down_rail_collapses_split_onto_survivor() {
+        use crate::railhealth::RailHealth;
+        let mut s = StratSplitEqual::new();
+        let size = 4 << 20;
+        let mut pending: VecDeque<_> = vec![data_pw(0, 7, size)].into();
+        let mut rs = rails_with_health(2, 0, RailHealth::Down);
+        let subs = s.try_and_commit(&cfg(), &mut pending, &mut rs);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].rail, 1);
+        assert_eq!(subs[0].pws[0].len(), size);
     }
 }

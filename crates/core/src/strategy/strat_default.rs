@@ -8,7 +8,7 @@ use std::collections::VecDeque;
 use crate::config::NmConfig;
 use crate::pack::PacketWrapper;
 
-use super::{RailState, Strategy, Submission};
+use super::{first_usable_rail, RailState, Strategy, Submission};
 
 #[derive(Default)]
 pub struct StratDefault;
@@ -31,16 +31,16 @@ impl Strategy for StratDefault {
         rails: &mut [RailState],
     ) -> Vec<Submission> {
         let mut out = Vec::new();
-        // Primary rail only; submit the front packet if the rail is free.
-        if let Some(rail) = rails.first_mut() {
-            if rail.idle {
-                if let Some(pw) = pending.pop_front() {
-                    rail.idle = false;
-                    out.push(Submission {
-                        rail: 0,
-                        pws: vec![pw],
-                    });
-                }
+        // One packet per pass on the primary (lowest-index) healthy rail;
+        // with every rail unhealthy, fall back to the first idle one so
+        // traffic keeps flowing for the retry layer to repair.
+        if let Some(rail) = first_usable_rail(rails) {
+            if let Some(pw) = pending.pop_front() {
+                rails[rail].idle = false;
+                out.push(Submission {
+                    rail,
+                    pws: vec![pw],
+                });
             }
         }
         out

@@ -9,6 +9,7 @@ use simnet::{NmBuf, SimDuration, SimTime};
 
 use nmad::config::{NmConfig, StrategyKind};
 use nmad::pack::{PacketWrapper, PwBody, PwId};
+use nmad::railhealth::RailHealth;
 use nmad::sampling::LinkProfile;
 use nmad::sr::SendReqId;
 use nmad::strategy::{self, RailState, Submission};
@@ -90,6 +91,8 @@ fn rails(n: usize, all_idle: bool) -> Vec<RailState> {
                 latency: SimDuration::nanos(1_000 + 250 * i as u64),
                 bandwidth_bps: (1250.0 - 100.0 * i as f64) * 1024.0 * 1024.0,
             },
+            health: RailHealth::Up,
+            weight: 1.0,
         })
         .collect()
 }
@@ -222,5 +225,69 @@ proptest! {
             expect = off + l;
         }
         prop_assert_eq!(expect, len);
+    }
+
+    /// Weighted split invariants: the chunks sum to the request, a
+    /// zero-weight rail gets nothing (unless *every* weight is zero — the
+    /// all-dead fallback ignores weights), and no nonzero chunk is a
+    /// sliver below the min-chunk floor.
+    #[test]
+    fn weighted_split_invariants(
+        size in 4_096usize..(16 << 20),
+        weights in proptest::collection::vec(
+            prop_oneof![Just(0.0f64), 0.05f64..1.0],
+            2..5
+        ),
+        min_chunk in prop_oneof![Just(1usize), Just(4_096usize), Just(65_536usize)],
+    ) {
+        let n = weights.len();
+        let profiles: Vec<LinkProfile> = (0..n)
+            .map(|i| LinkProfile {
+                latency: SimDuration::nanos(1_000 + 400 * i as u64),
+                bandwidth_bps: (1250.0 - 120.0 * i as f64) * 1024.0 * 1024.0,
+            })
+            .collect();
+        let chunks = nmad::sampling::split_sizes_weighted(size, &profiles, &weights, min_chunk);
+        prop_assert_eq!(chunks.len(), n);
+        prop_assert_eq!(chunks.iter().sum::<usize>(), size, "split must cover the request");
+        let any_alive = weights.iter().any(|&w| w > 0.0);
+        for (i, &c) in chunks.iter().enumerate() {
+            if any_alive && weights[i] == 0.0 {
+                prop_assert_eq!(c, 0, "zero-weight rail {} got bytes", i);
+            }
+            if c > 0 {
+                prop_assert!(
+                    c >= min_chunk.min(size),
+                    "rail {} got a {}-byte sliver below the {}-byte floor",
+                    i, c, min_chunk
+                );
+            }
+        }
+    }
+
+    /// The split strategy never schedules payload onto a Down rail and
+    /// still covers the whole request via the survivors.
+    #[test]
+    fn down_rails_get_zero_bytes_from_strategy(
+        len in 65_536usize..(4 << 20),
+        down in 0usize..2,
+        kind in prop_oneof![
+            Just(StrategyKind::SplitBalanced),
+            Just(StrategyKind::SplitEqual)
+        ],
+    ) {
+        let mut pending = build(&[PwSpec::Data { len }]);
+        let cfg = NmConfig::with_strategy(kind);
+        let mut s = strategy::make(kind);
+        let mut rs = rails(2, true);
+        rs[down].health = RailHealth::Down;
+        rs[down].weight = 0.0;
+        let subs = s.try_and_commit(&cfg, &mut pending, &mut rs);
+        let mut total = 0usize;
+        for sub in &subs {
+            prop_assert_ne!(sub.rail, down, "Down rail was scheduled");
+            total += sub.pws.iter().map(|p| p.len()).sum::<usize>();
+        }
+        prop_assert_eq!(total, len, "survivors must carry every byte");
     }
 }

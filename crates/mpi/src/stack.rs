@@ -198,6 +198,29 @@ pub struct RunOutcome {
     pub copy: CopySnapshot,
 }
 
+impl RunOutcome {
+    /// Failover totals across all ranks: `(rail state transitions,
+    /// rerouted payload bytes, degraded rail-nanoseconds)`. All zero on a
+    /// healthy run — the degraded-mode counters only move when the
+    /// rail-health machine demotes a rail.
+    pub fn failover_totals(&self) -> (u64, u64, u64) {
+        self.nm_stats.iter().fold((0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.rail_transitions,
+                acc.1 + s.rerouted_bytes,
+                acc.2 + s.degraded_nanos,
+            )
+        })
+    }
+
+    /// Probe totals across all ranks: `(probes sent, probe acks)`.
+    pub fn probe_totals(&self) -> (u64, u64) {
+        self.nm_stats
+            .iter()
+            .fold((0, 0), |acc, s| (acc.0 + s.probes_sent, acc.1 + s.probe_acks))
+    }
+}
+
 /// Run `program` on `nranks` simulated processes over `cluster` with the
 /// given placement and stack.
 pub fn run_mpi(
@@ -323,7 +346,10 @@ pub fn run_mpi(
                                 .find(|(r, _)| *r == dst)
                                 .map(|(_, c)| c)
                                 .unwrap_or_else(|| panic!("no core for rank {dst}"));
-                            core.accept(s, d.msg);
+                            // Cores index rails identically to the fabric
+                            // (NmNet.rails is the full 0..n id list), so the
+                            // fabric rail id doubles as the local index.
+                            core.accept_delivery(s, d.msg, d.rail.0, d.corrupted);
                         }),
                     );
                 }
@@ -556,10 +582,12 @@ pub fn run_mpi(
             let rdv = st.engine.rdv_in_flight();
             let nm = match &st.net {
                 NetPath::Direct(core) => format!(
-                    "nm: posted={} unexpected={} quiescent={} stats={:?}",
+                    "nm: posted={} unexpected={} quiescent={} {} stats={:?}",
                     core.posted_recvs(),
                     core.unexpected_msgs(),
                     core.quiescent(),
+                    core.health_summary()
+                        .unwrap_or_else(|| "failover[off: no retry layer]".into()),
                     core.stats()
                 ),
                 NetPath::Ch3(t) => format!("ch3-net {}", t.debug_state()),

@@ -184,7 +184,7 @@ impl Ch3Transport for ShmTransport {
 
     fn debug_state(&self) -> String {
         format!(
-            "shm local={} outbox=0 pending_deliveries={} copy[{}]",
+            "shm local={} outbox=0 pending_deliveries={} copy[{}] failover[n/a: shared memory has no rails]",
             self.my_local,
             self.domain.mailbox(self.my_local).pending(),
             self.domain.meter().snapshot(),
@@ -366,7 +366,7 @@ impl Ch3Transport for FabricTransport {
             .map(|m| m.snapshot().to_string())
             .unwrap_or_else(|| "unmetered".into());
         format!(
-            "fabric rank={} outbox={} inbox={} copy[{copy}]",
+            "fabric rank={} outbox={} inbox={} copy[{copy}] failover[n/a: tailored stack is single-rail]",
             self.my_rank,
             self.outbox.lock().len(),
             self.inbox.q.lock().len(),
@@ -470,12 +470,15 @@ impl Ch3Transport for NmadNetmodTransport {
 
     fn debug_state(&self) -> String {
         format!(
-            "netmod nm: posted={} unexpected={} outbox={} quiescent={} copy[{}] stats={:?}",
+            "netmod nm: posted={} unexpected={} outbox={} quiescent={} copy[{}] {} stats={:?}",
             self.core.posted_recvs(),
             self.core.unexpected_msgs(),
             self.core.window_depth(),
             self.core.quiescent(),
             self.meter.snapshot(),
+            self.core
+                .health_summary()
+                .unwrap_or_else(|| "failover[off: no retry layer]".into()),
             self.core.stats()
         )
     }

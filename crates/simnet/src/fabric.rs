@@ -28,6 +28,9 @@ pub struct Delivery<M> {
     pub src: NodeId,
     pub rail: RailId,
     pub msg: M,
+    /// The wire corrupted the payload in flight (injected by the fault
+    /// plan's `corrupt_pct`); an end-to-end checksum above must catch it.
+    pub corrupted: bool,
 }
 
 /// Per-node handler invoked (on the engine thread) for every arriving
@@ -91,7 +94,7 @@ impl<M: Send + 'static> Fabric<M> {
             let mut ports = Vec::with_capacity(nodes);
             for n in 0..nodes {
                 let sinks = Arc::clone(&sinks);
-                let deliver: DeliverFn<M> = Arc::new(move |sched, src, dst, msg| {
+                let deliver: DeliverFn<M> = Arc::new(move |sched, src, dst, msg, corrupted| {
                     let mut sinks = sinks.lock();
                     let slot = sinks
                         .get_mut(dst.0)
@@ -103,6 +106,7 @@ impl<M: Send + 'static> Fabric<M> {
                                 src,
                                 rail: rail_id,
                                 msg,
+                                corrupted,
                             },
                         ),
                         None => panic!("delivery to node {dst:?} with no sink installed"),
@@ -205,6 +209,39 @@ impl<M: Send + 'static> Fabric<M> {
         msg: M,
         on_sent: Option<crate::nic::SentHook>,
     ) {
+        self.submit(sched, rail, src, dst, bytes, msg, on_sent, false);
+    }
+
+    /// Submit a latency-critical control frame on `rail`: it queues in the
+    /// port's express lane, ahead of waiting bulk transfers (it still
+    /// cannot preempt the transfer already on the wire). Keeps handshakes
+    /// and acks reactive when a rail is saturated with rendezvous data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_express(
+        &self,
+        sched: &Scheduler,
+        rail: RailId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+        on_sent: Option<crate::nic::SentHook>,
+    ) {
+        self.submit(sched, rail, src, dst, bytes, msg, on_sent, true);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &self,
+        sched: &Scheduler,
+        rail: RailId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        msg: M,
+        on_sent: Option<crate::nic::SentHook>,
+        priority: bool,
+    ) {
         assert_ne!(src, dst, "fabric is inter-node only; use the shm channel");
         self.port(rail, src).submit(
             sched,
@@ -213,6 +250,7 @@ impl<M: Send + 'static> Fabric<M> {
                 bytes,
                 msg,
                 on_sent,
+                priority,
             },
         );
     }

@@ -150,6 +150,15 @@ pub struct Transfer<M> {
     /// Invoked on the engine when the NIC has finished reading the send
     /// buffer (sender-side completion).
     pub on_sent: Option<SentHook>,
+    /// Latency-critical control frame: transmitted on the port's express
+    /// channel, which does not wait for (or extend) the serial transmit
+    /// engine's occupancy. A real NIC interleaves such MTU-sized control
+    /// packets between the fragments of an in-flight bulk message;
+    /// NewMadeleine relies on this to keep acks and handshakes reactive
+    /// while a rail is saturated with rendezvous data. Express frames
+    /// still pay the model's send overhead, serialization and latency,
+    /// and still pass through the fault plan.
+    pub priority: bool,
 }
 
 /// Sender-side completion callback: fires on the engine once the NIC has
@@ -177,10 +186,11 @@ pub struct NicPort<M: Send + 'static> {
 }
 
 /// Routing hook installed by the [`crate::fabric::Fabric`]: given the
-/// scheduler, source node, destination node and the message, arrange
-/// delivery to the destination's sink.
+/// scheduler, source node, destination node, the message and whether the
+/// wire corrupted its payload in flight, arrange delivery to the
+/// destination's sink.
 pub(crate) type DeliverFn<M> =
-    Arc<dyn Fn(&Scheduler, NodeId, NodeId, M) + Send + Sync>;
+    Arc<dyn Fn(&Scheduler, NodeId, NodeId, M, bool) + Send + Sync>;
 
 /// Message replicator used to materialize duplicate deliveries. Installed
 /// only when the wire-message type is `Clone` (see `Fabric::with_opts`).
@@ -258,6 +268,12 @@ impl<M: Send + 'static> NicPort<M> {
     /// otherwise it is queued FIFO behind in-flight transfers.
     pub fn submit(self: &Arc<Self>, sched: &Scheduler, xfer: Transfer<M>) {
         let now = sched.now();
+        if xfer.priority {
+            // Express channel: never queued, never occupies the serial
+            // transmit engine.
+            self.start_transfer(sched, now, xfer);
+            return;
+        }
         let start = {
             let mut st = self.state.lock();
             if st.busy_until > now || !st.backlog.is_empty() {
@@ -277,10 +293,19 @@ impl<M: Send + 'static> NicPort<M> {
         let fault = self
             .fault
             .as_ref()
-            .map(|pf| pf.plan.on_transfer(pf.rail, xfer.bytes))
+            .map(|pf| pf.plan.on_transfer(pf.rail, xfer.bytes, start))
             .unwrap_or_default();
-        let mut occupancy = self.model.occupancy(xfer.bytes);
+        let mut serialization = self.model.serialization(xfer.bytes);
         let mut latency = self.model.latency;
+        if let Some((bw_factor, lat_factor)) = fault.brownout {
+            // A brown-out slows the wire, not the host: only the
+            // serialization and latency legs stretch, the send overhead
+            // stays at model cost.
+            serialization =
+                SimDuration::nanos((serialization.as_nanos() as f64 * bw_factor) as u64);
+            latency = SimDuration::nanos((latency.as_nanos() as f64 * lat_factor) as u64);
+        }
+        let mut occupancy = self.model.send_overhead + serialization;
         if let Some(stall) = fault.stall {
             occupancy = stall + occupancy;
         }
@@ -292,7 +317,9 @@ impl<M: Send + 'static> NicPort<M> {
                 occupancy = SimDuration::nanos((occupancy.as_nanos() as f64 * f) as u64);
                 latency = SimDuration::nanos((latency.as_nanos() as f64 * f) as u64);
             }
-            st.busy_until = start + occupancy;
+            if !xfer.priority {
+                st.busy_until = start + occupancy;
+            }
             st.messages_sent += 1;
             st.bytes_sent += xfer.bytes as u64;
         }
@@ -300,14 +327,18 @@ impl<M: Send + 'static> NicPort<M> {
         let delivered_at = sent_at + latency + fault.extra_delay;
         // Sender-side completion + backlog continuation. These fire even
         // for dropped transfers: the NIC *did* read the send buffer — only
-        // the wire ate the packet.
+        // the wire ate the packet. Express frames never held the transmit
+        // engine, so they have no backlog to continue.
         let port = Arc::clone(self);
         let on_sent = xfer.on_sent;
+        let express = xfer.priority;
         sched.schedule_at(sent_at, move |s| {
             if let Some(cb) = on_sent {
                 cb(s);
             }
-            port.pump(s);
+            if !express {
+                port.pump(s);
+            }
         });
         if fault.drop {
             return;
@@ -320,15 +351,19 @@ impl<M: Send + 'static> NicPort<M> {
                 let deliver = Arc::clone(&self.deliver);
                 let (src, dst) = (self.node, xfer.dst);
                 sched.schedule_at(delivered_at + fault.dup_extra_delay, move |s| {
-                    deliver(s, src, dst, copy);
+                    // Duplicates re-walk the wire independently; model them
+                    // as arriving intact (the original carries the corrupt
+                    // verdict).
+                    deliver(s, src, dst, copy, false);
                 });
             }
         }
         // Delivery at the destination.
         let deliver = Arc::clone(&self.deliver);
         let (src, dst, msg) = (self.node, xfer.dst, xfer.msg);
+        let corrupted = fault.corrupt;
         sched.schedule_at(delivered_at, move |s| {
-            deliver(s, src, dst, msg);
+            deliver(s, src, dst, msg, corrupted);
         });
     }
 

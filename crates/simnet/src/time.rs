@@ -20,6 +20,12 @@ impl SimTime {
     /// The instant at which every simulation starts.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The instant `n` nanoseconds after simulation start.
+    #[inline]
+    pub const fn from_nanos(n: u64) -> SimTime {
+        SimTime(n)
+    }
+
     /// Nanoseconds since simulation start.
     #[inline]
     pub fn as_nanos(self) -> u64 {
