@@ -68,6 +68,69 @@ impl Default for RetryConfig {
     }
 }
 
+/// Receiver-managed credit-based eager flow control (overload
+/// protection). Every eager send consumes one credit from the sender's
+/// per-gate pool; the receiver returns credits as the messages are
+/// consumed, piggybacked on ctrl frames over the express channel. A
+/// sender whose pool is empty degrades gracefully: the message takes the
+/// rendezvous path (RTS/CTS is natural backpressure — data only moves
+/// once the receiver posted), it never blocks and never drops.
+///
+/// The receiver additionally bounds its unexpected-queue memory with
+/// high/low-water hysteresis on `unex_bytes_cap`: while its buffered
+/// unexpected eager bytes sit above `high_water`, earned credit returns
+/// are withheld (every sender's pool drains and eager traffic degrades to
+/// rendezvous); they are released in a batch once consumption pulls the
+/// queue back below `low_water`. `None` (the default) keeps the
+/// happy-path wire behaviour byte-identical to the calibrated model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Eager sends in flight (sent, credit not yet returned) allowed per
+    /// destination gate before the sender falls back to rendezvous. The
+    /// pools make `peers × eager_credits × eager_threshold` a hard
+    /// ceiling on any receiver's unexpected eager bytes.
+    pub eager_credits: u32,
+    /// Target ceiling on unexpected eager bytes buffered by one receiver
+    /// (all gates together). Size the pools so
+    /// `peers × eager_credits × eager_threshold ≤ unex_bytes_cap` and the
+    /// cap is a hard bound; the hysteresis marks below keep a slow
+    /// consumer from being refilled against while it drains.
+    pub unex_bytes_cap: usize,
+    /// Withhold credit returns while the receiver's unexpected bytes
+    /// exceed this mark (≤ `unex_bytes_cap`).
+    pub high_water: usize,
+    /// Release withheld credits once the unexpected bytes drain below
+    /// this mark (≤ `high_water`).
+    pub low_water: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        // 16 credits × the 16 KB default eager threshold = 256 KB of
+        // eager data in flight per peer; cap at that, start throttling at
+        // half and refill below a quarter.
+        FlowConfig {
+            eager_credits: 16,
+            unex_bytes_cap: 256 * 1024,
+            high_water: 128 * 1024,
+            low_water: 64 * 1024,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// A pool sized so `credits × eager_threshold` never exceeds the cap
+    /// (with hysteresis marks at 1/2 and 1/4 of it).
+    pub fn bounded(eager_credits: u32, unex_bytes_cap: usize) -> FlowConfig {
+        FlowConfig {
+            eager_credits,
+            unex_bytes_cap,
+            high_water: unex_bytes_cap / 2,
+            low_water: unex_bytes_cap / 4,
+        }
+    }
+}
+
 /// Tunables of one NewMadeleine instance.
 #[derive(Clone, Copy, Debug)]
 pub struct NmConfig {
@@ -89,6 +152,9 @@ pub struct NmConfig {
     /// rail; anything smaller is folded into the largest chunk (per-chunk
     /// header and handoff costs would dominate below this).
     pub min_split_chunk: usize,
+    /// Credit-based eager flow control (overload protection). `None`
+    /// keeps the exact happy-path wire behaviour.
+    pub flow: Option<FlowConfig>,
 }
 
 impl Default for NmConfig {
@@ -101,6 +167,7 @@ impl Default for NmConfig {
             max_aggreg_count: 16,
             retry: None,
             min_split_chunk: 4 * 1024,
+            flow: None,
         }
     }
 }
@@ -132,5 +199,26 @@ mod tests {
         let c = NmConfig::with_strategy(StrategyKind::Aggreg);
         assert_eq!(c.strategy, StrategyKind::Aggreg);
         assert_eq!(c.eager_threshold, NmConfig::default().eager_threshold);
+    }
+
+    #[test]
+    fn flow_control_is_off_by_default() {
+        assert!(NmConfig::default().flow.is_none());
+    }
+
+    #[test]
+    fn bounded_flow_config_orders_its_marks() {
+        let f = FlowConfig::bounded(4, 128 * 1024);
+        assert_eq!(f.unex_bytes_cap, 128 * 1024);
+        assert!(f.low_water <= f.high_water);
+        assert!(f.high_water <= f.unex_bytes_cap);
+        let d = FlowConfig::default();
+        assert!(d.low_water <= d.high_water && d.high_water <= d.unex_bytes_cap);
+        // The default pool is a hard bound against the default eager
+        // threshold: credits × threshold = cap.
+        assert_eq!(
+            d.eager_credits as usize * NmConfig::default().eager_threshold,
+            d.unex_bytes_cap
+        );
     }
 }

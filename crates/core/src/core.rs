@@ -112,6 +112,24 @@ pub struct NmStats {
     pub probes_sent: u64,
     /// Probe acknowledgements accepted (stale ones are not counted).
     pub probe_acks: u64,
+    /// Flow control: eager sends admitted by consuming a credit.
+    pub fc_eager_admitted: u64,
+    /// Flow control: sends that found the per-gate credit pool empty (each
+    /// one also counts as a fallback below).
+    pub fc_credit_stalls: u64,
+    /// Flow control: eager-sized sends demoted to the rendezvous path
+    /// because the destination gate was out of credits.
+    pub fc_fallback_sends: u64,
+    /// Flow control: eager credits returned to peers (receiver side,
+    /// piggybacked on acks or sent as standalone `Credit` frames).
+    pub fc_credits_returned: u64,
+    /// Flow control: credit returns deferred by the high-water hysteresis
+    /// (each credit counts once, when it is first withheld).
+    pub fc_credits_withheld: u64,
+    /// Peak bytes of unexpected eager payload buffered by this receiver.
+    /// Tracked whether or not flow control is armed, so a flow-off run can
+    /// report how far past the cap it went.
+    pub fc_peak_unex_bytes: u64,
     /// Copy accounting for the whole stack this core belongs to (memcpys,
     /// allocations, zero-copy shares) — the measured side of the Fig. 2
     /// bypass argument.
@@ -231,6 +249,21 @@ struct Inner {
     /// replies are routed back the same way, so an ack never chases a
     /// peer into a rail that just died.
     last_in_rail: HashMap<usize, usize>,
+    /// Flow control, sender side: remaining eager credits per destination
+    /// gate (lazily seeded from `FlowConfig::eager_credits`).
+    send_credits: HashMap<usize, u32>,
+    /// Bytes of unexpected eager payload currently buffered (receiver
+    /// side; always tracked — it feeds `fc_peak_unex_bytes`).
+    unex_eager_bytes: usize,
+    /// Flow control, receiver side: credits earned per gate (an eager
+    /// message was consumed) awaiting return on the next ctrl flush.
+    credit_owed: BTreeMap<usize, u32>,
+    /// Flow control, receiver side: credits whose return the high-water
+    /// hysteresis is withholding until the unexpected queue drains.
+    credit_withheld: BTreeMap<usize, u32>,
+    /// Hysteresis latch: set when `unex_eager_bytes` climbs past
+    /// `high_water`, cleared when it falls back to `low_water`.
+    fc_throttled: bool,
     next_pw: u64,
     next_rdv: u64,
     stats: NmStats,
@@ -355,6 +388,11 @@ impl NmCore {
                 ctrl_out: VecDeque::new(),
                 health,
                 last_in_rail: HashMap::new(),
+                send_credits: HashMap::new(),
+                unex_eager_bytes: 0,
+                credit_owed: BTreeMap::new(),
+                credit_withheld: BTreeMap::new(),
+                fc_throttled: false,
                 next_pw: 0,
                 next_rdv: 0,
                 stats: NmStats::default(),
@@ -430,7 +468,30 @@ impl NmCore {
         let pw_id = PwId(inner.next_pw);
         inner.next_pw += 1;
         let now = sched.now();
-        if data.len() <= inner.cfg.eager_threshold {
+        // Flow-control admission: an eager-sized message needs a credit
+        // from the destination gate's pool; with the pool empty it degrades
+        // to the rendezvous path (RTS/CTS is natural backpressure — the
+        // payload only moves once the receiver posted) instead of blocking
+        // or dropping. Zero-length messages bypass the pool on both sides:
+        // credits protect receiver payload memory, which they cannot use.
+        let eager = data.len() <= inner.cfg.eager_threshold
+            && match inner.cfg.flow {
+                Some(fc) if !data.as_slice().is_empty() => {
+                    let credits =
+                        inner.send_credits.entry(dst).or_insert(fc.eager_credits);
+                    if *credits > 0 {
+                        *credits -= 1;
+                        inner.stats.fc_eager_admitted += 1;
+                        true
+                    } else {
+                        inner.stats.fc_credit_stalls += 1;
+                        inner.stats.fc_fallback_sends += 1;
+                        false
+                    }
+                }
+                _ => true,
+            };
+        if eager {
             inner.stats.eager_sends += 1;
             let pw = PacketWrapper {
                 id: pw_id,
@@ -510,6 +571,7 @@ impl NmCore {
         match inner.matching.post_recv(gate, tag, req) {
             None => {}
             Some(Unexpected::Eager { data, .. }) => {
+                Self::consume_unexpected_eager(&mut inner, src, data.len());
                 Self::complete_recv(&mut inner, req, data, gate, tag);
             }
             Some(Unexpected::Rts { rdv_id, len, .. }) => {
@@ -681,6 +743,53 @@ impl NmCore {
         self.inner.lock().health.as_ref().map(|h| h.summary())
     }
 
+    /// Is credit-based eager flow control armed?
+    pub fn flow_enabled(&self) -> bool {
+        self.inner.lock().cfg.flow.is_some()
+    }
+
+    /// Bytes of unexpected eager payload currently buffered (tracked
+    /// whether or not flow control is armed).
+    pub fn unexpected_eager_bytes(&self) -> usize {
+        self.inner.lock().unex_eager_bytes
+    }
+
+    /// One-line flow-control summary for transport `debug_state` strings,
+    /// e.g. `flow[unex=0B/peak=12KB stalls=3 fallback=3 ret=40 held=8]`.
+    /// `None` when flow control is off.
+    pub fn flow_summary(&self) -> Option<String> {
+        let inner = self.inner.lock();
+        inner.cfg.flow.map(|_| {
+            let s = &inner.stats;
+            format!(
+                "flow[unex={}B/peak={}B stalls={} fallback={} ret={} held={}{}]",
+                inner.unex_eager_bytes,
+                s.fc_peak_unex_bytes,
+                s.fc_credit_stalls,
+                s.fc_fallback_sends,
+                s.fc_credits_returned,
+                s.fc_credits_withheld,
+                if inner.fc_throttled { " throttled" } else { "" },
+            )
+        })
+    }
+
+    /// A peer returned eager credits for our gate to it: refill the pool.
+    /// The pool can never legitimately exceed its initial size (credits
+    /// are only minted by our own sends), but stay clamped regardless.
+    fn apply_credits(inner: &mut Inner, src: usize, credits: u32) {
+        if credits == 0 {
+            return;
+        }
+        let Some(fc) = inner.cfg.flow else { return };
+        let pool = inner.send_credits.entry(src).or_insert(fc.eager_credits);
+        debug_assert!(
+            *pool + credits <= fc.eager_credits,
+            "credit return overflows the pool"
+        );
+        *pool = pool.saturating_add(credits).min(fc.eager_credits);
+    }
+
     // ------------------------------------------------------------------
     // Inbound path
     // ------------------------------------------------------------------
@@ -739,7 +848,11 @@ impl NmCore {
                 } => {
                     Self::handle_data(inner, now, src, rdv_id, offset, data);
                 }
-                WirePayload::Ack { tag, next } => {
+                WirePayload::Credit { credits } => {
+                    Self::apply_credits(inner, src, credits);
+                }
+                WirePayload::Ack { tag, next, credits } => {
+                    Self::apply_credits(inner, src, credits);
                     let mut credited: Vec<usize> = Vec::new();
                     if let Some(map) = inner.env_unacked.get_mut(&(src, tag)) {
                         map.retain(|&seq, rx| {
@@ -790,8 +903,11 @@ impl NmCore {
             let via = inner.last_in_rail.get(&src).copied();
             inner
                 .ctrl_out
-                .push_back((src, WirePayload::Ack { tag, next }, via));
+                .push_back((src, WirePayload::Ack { tag, next, credits: 0 }, via));
         }
+        // Earned credit returns ride out with this batch (piggybacked on
+        // the acks above when one targets the same gate).
+        Self::flush_credits(inner);
         let had_completion = !inner.completions.is_empty();
         drop(guard);
         self.flush_ctrl(sched);
@@ -958,17 +1074,96 @@ impl NmCore {
         let gate = GateId(src);
         match inner.matching.try_match_arrival(gate, tag, seq) {
             Some(req) => match env {
-                Envelope::Eager(data) => Self::complete_recv(inner, req, data, gate, tag),
+                Envelope::Eager(data) => {
+                    // Matched on arrival: the credit cycle completes without
+                    // the message ever occupying the unexpected queue.
+                    Self::owe_credit(inner, src, data.len());
+                    Self::complete_recv(inner, req, data, gate, tag)
+                }
                 Envelope::Rts { rdv_id, len } => {
                     Self::start_rdv_in(inner, sched, req, src, tag, rdv_id, len)
                 }
             },
             None => {
                 let msg = match env {
-                    Envelope::Eager(data) => Unexpected::Eager { seq, data },
+                    Envelope::Eager(data) => {
+                        inner.unex_eager_bytes += data.len();
+                        inner.stats.fc_peak_unex_bytes = inner
+                            .stats
+                            .fc_peak_unex_bytes
+                            .max(inner.unex_eager_bytes as u64);
+                        Unexpected::Eager { seq, data }
+                    }
                     Envelope::Rts { rdv_id, len } => Unexpected::Rts { seq, rdv_id, len },
                 };
                 inner.matching.store_unexpected(gate, tag, msg);
+            }
+        }
+    }
+
+    /// A buffered unexpected eager message was consumed by a receive:
+    /// shrink the byte account and owe the sender its credit back.
+    fn consume_unexpected_eager(inner: &mut Inner, src: usize, len: usize) {
+        debug_assert!(inner.unex_eager_bytes >= len, "unexpected-byte underflow");
+        inner.unex_eager_bytes -= len;
+        Self::owe_credit(inner, src, len);
+    }
+
+    /// Flow control: one eager message from `src` was consumed; queue the
+    /// credit for return on the next ctrl flush. Zero-length messages never
+    /// consumed a credit (see `isend`), so none is owed.
+    fn owe_credit(inner: &mut Inner, src: usize, len: usize) {
+        if inner.cfg.flow.is_some() && len > 0 {
+            *inner.credit_owed.entry(src).or_insert(0) += 1;
+        }
+    }
+
+    /// Flow control: move owed credits onto the ctrl queue, honouring the
+    /// high/low-water hysteresis — while the unexpected queue sits above
+    /// `high_water` the returns are withheld (the senders drain their
+    /// pools and fall back to rendezvous), and they are released in a
+    /// batch once consumption pulls the queue below `low_water`. Returns
+    /// piggyback on an ack already queued for the same gate when one is
+    /// there (retry mode), else ride a standalone `Credit` frame — either
+    /// way on the express channel, never behind bulk frames.
+    fn flush_credits(inner: &mut Inner) {
+        let Some(fc) = inner.cfg.flow else { return };
+        if inner.fc_throttled {
+            if inner.unex_eager_bytes <= fc.low_water {
+                inner.fc_throttled = false;
+            }
+        } else if inner.unex_eager_bytes > fc.high_water {
+            inner.fc_throttled = true;
+        }
+        if inner.fc_throttled {
+            // Defer every owed credit; each is counted once, as it moves
+            // into the withheld pool.
+            while let Some((src, n)) = inner.credit_owed.pop_first() {
+                inner.stats.fc_credits_withheld += n as u64;
+                *inner.credit_withheld.entry(src).or_insert(0) += n;
+            }
+            return;
+        }
+        while let Some((src, mut n)) = inner.credit_withheld.pop_first() {
+            n += inner.credit_owed.remove(&src).unwrap_or(0);
+            inner.credit_owed.insert(src, n);
+        }
+        while let Some((src, n)) = inner.credit_owed.pop_first() {
+            inner.stats.fc_credits_returned += n as u64;
+            let piggyback = inner.ctrl_out.iter_mut().find_map(|(dst, p, _)| {
+                match p {
+                    WirePayload::Ack { credits, .. } if *dst == src => Some(credits),
+                    _ => None,
+                }
+            });
+            match piggyback {
+                Some(credits) => *credits += n,
+                None => {
+                    let via = inner.last_in_rail.get(&src).copied();
+                    inner
+                        .ctrl_out
+                        .push_back((src, WirePayload::Credit { credits: n }, via));
+                }
             }
         }
     }

@@ -59,7 +59,7 @@ pub mod strategy;
 pub mod wire;
 
 pub use crate::core::{NmCore, NmNet, NmStats};
-pub use config::{NmConfig, RetryConfig, StrategyKind};
+pub use config::{FlowConfig, NmConfig, RetryConfig, StrategyKind};
 pub use matching::GateId;
 pub use railhealth::{RailHealth, RailHealthTable};
 pub use sampling::LinkProfile;

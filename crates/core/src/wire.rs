@@ -49,7 +49,13 @@ pub enum WirePayload {
     },
     /// Retry mode only — cumulative acknowledgement for one (src, tag)
     /// envelope flow: every sequence number below `next` has arrived.
-    Ack { tag: u64, next: u64 },
+    /// With flow control armed, `credits` piggybacks eager credit returns
+    /// earned on this gate (0 when flow control is off or nothing is
+    /// owed); it rides in header padding, so the wire size is unchanged.
+    Ack { tag: u64, next: u64, credits: u32 },
+    /// Flow control only — standalone eager credit return for one gate,
+    /// sent on the express channel when no ack is going that way anyway.
+    Credit { credits: u32 },
     /// Retry mode only — the receiver finished assembling `rdv_id`; the
     /// sender may release the payload and complete the send.
     RdvFin { rdv_id: u64 },
@@ -95,9 +101,13 @@ impl WirePayload {
                 offset: *offset,
                 data: data.share(),
             },
-            WirePayload::Ack { tag, next } => WirePayload::Ack {
+            WirePayload::Ack { tag, next, credits } => WirePayload::Ack {
                 tag: *tag,
                 next: *next,
+                credits: *credits,
+            },
+            WirePayload::Credit { credits } => WirePayload::Credit {
+                credits: *credits,
             },
             WirePayload::RdvFin { rdv_id } => WirePayload::RdvFin { rdv_id: *rdv_id },
             WirePayload::Probe { rail, seq } => WirePayload::Probe {
@@ -159,6 +169,7 @@ impl NmWire {
                 WirePayload::Cts { .. } => 8,
                 WirePayload::Data { data, .. } => 8 + data.len(),
                 WirePayload::Ack { .. } => 16,
+                WirePayload::Credit { .. } => 8,
                 WirePayload::RdvFin { .. } => 8,
                 WirePayload::Probe { .. } => 16,
                 WirePayload::ProbeAck { .. } => 16,
@@ -234,10 +245,15 @@ fn compute_crc(src_rank: usize, dst_rank: usize, payload: &WirePayload) -> u64 {
             h.word(*offset as u64);
             h.bytes(data.as_slice());
         }
-        WirePayload::Ack { tag, next } => {
+        WirePayload::Ack { tag, next, credits } => {
             h.word(6);
             h.word(*tag);
             h.word(*next);
+            h.word(*credits as u64);
+        }
+        WirePayload::Credit { credits } => {
+            h.word(10);
+            h.word(*credits as u64);
         }
         WirePayload::RdvFin { rdv_id } => {
             h.word(7);
@@ -303,9 +319,11 @@ mod tests {
         );
         let cts = NmWire::new(1, 0, WirePayload::Cts { rdv_id: 1 });
         let probe = NmWire::new(0, 1, WirePayload::Probe { rail: 1, seq: 3 });
+        let credit = NmWire::new(1, 0, WirePayload::Credit { credits: 4 });
         assert!(rts.wire_bytes() <= 64);
         assert!(cts.wire_bytes() <= 64);
         assert!(probe.wire_bytes() <= 64);
+        assert!(credit.wire_bytes() <= 64);
     }
 
     #[test]
@@ -343,6 +361,10 @@ mod tests {
         let c = NmWire::new(0, 1, WirePayload::Probe { rail: 0, seq: 1 });
         let d = NmWire::new(0, 1, WirePayload::ProbeAck { rail: 0, seq: 1 });
         assert_ne!(c.crc, d.crc);
+        // The piggybacked credit count is sealed too.
+        let e = NmWire::new(0, 1, WirePayload::Ack { tag: 1, next: 2, credits: 0 });
+        let f = NmWire::new(0, 1, WirePayload::Ack { tag: 1, next: 2, credits: 3 });
+        assert_ne!(e.crc, f.crc, "credit field is covered");
         // share() preserves the payload identity, so the CRC still holds.
         let shared = NmWire {
             payload: a.payload.share(),

@@ -80,6 +80,17 @@ impl MpiHandle {
         &self.ctx
     }
 
+    /// This rank's CH3 unexpected-queue backlog: `(current bytes, high-
+    /// water mark)` — overload tests assert cap compliance through this.
+    pub fn unexpected_backlog(&self) -> (usize, usize) {
+        self.state.unexpected_backlog()
+    }
+
+    /// One-line flow/overload diagnostic (see [`ProcState::flow_state`]).
+    pub fn flow_state(&self) -> String {
+        self.state.flow_state()
+    }
+
     /// Nonblocking send. The borrowed application buffer is copied once at
     /// the MPI boundary (metered: the only send-side copy of the bypass
     /// path); everything below shares that allocation.

@@ -10,6 +10,7 @@
 //! pathology §2.1.3 describes).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
@@ -226,6 +227,11 @@ pub struct Ch3Engine {
     /// Copy accounting for the engine's own buffer work (rendezvous
     /// landing buffers, the receive-side reassembly memcpy).
     meter: Option<Arc<CopyMeter>>,
+    /// Malformed or stray protocol packets tolerated and dropped (e.g. a
+    /// duplicated DATA/CTS for a rendezvous that already finished —
+    /// reachable with faults armed). A counter, not a crash: one bad
+    /// frame must never take the rank down.
+    protocol_errors: AtomicU64,
 }
 
 impl Ch3Engine {
@@ -258,7 +264,17 @@ impl Ch3Engine {
             rdv_chunk,
             rdv_ack,
             meter: None,
+            protocol_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Stray/malformed packets dropped instead of crashing (diagnostics).
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attach the job-wide copy meter (builder style — the stack assembles
@@ -418,10 +434,13 @@ impl Ch3Engine {
                     // Depth-1 pipeline: send the first fragment, wait for
                     // its DataAck before the next.
                     let mut inner = self.inner.lock();
-                    let rdv = inner
-                        .rdv_out
-                        .get_mut(&rdv_id)
-                        .expect("CTS for unknown CH3 rendezvous");
+                    let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
+                        // Duplicated CTS for a rendezvous that already
+                        // finished: tolerate and drop.
+                        drop(inner);
+                        self.note_protocol_error();
+                        return;
+                    };
                     let (dst, pkt, finished, req) = Self::next_fragment(
                         rdv,
                         rdv_id,
@@ -437,12 +456,12 @@ impl Ch3Engine {
                         send(sched, dst, pkt);
                     }
                 } else {
-                    let rdv = self
-                        .inner
-                        .lock()
-                        .rdv_out
-                        .remove(&rdv_id)
-                        .expect("CTS for unknown CH3 rendezvous");
+                    let Some(rdv) = self.inner.lock().rdv_out.remove(&rdv_id) else {
+                        // Duplicated CTS for a rendezvous that already
+                        // finished: tolerate and drop.
+                        self.note_protocol_error();
+                        return;
+                    };
                     // Hand the payload to the transport (chunked if
                     // configured) and complete the send — buffered
                     // semantics.
@@ -467,10 +486,13 @@ impl Ch3Engine {
             Ch3Pkt::DataAck { rdv_id } => {
                 debug_assert!(self.rdv_ack, "DataAck on a non-throttled engine");
                 let mut inner = self.inner.lock();
-                let rdv = inner
-                    .rdv_out
-                    .get_mut(&rdv_id)
-                    .expect("DataAck for unknown CH3 rendezvous");
+                let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
+                    // Stray/duplicated ack after the final fragment left:
+                    // tolerate and drop.
+                    drop(inner);
+                    self.note_protocol_error();
+                    return;
+                };
                 let (dst, pkt, finished, req) = Self::next_fragment(
                     rdv,
                     rdv_id,
@@ -491,26 +513,49 @@ impl Ch3Engine {
                 offset,
                 data,
             } => {
-                let (done, ack_dst) = {
+                // One lock scope for the whole update: the old
+                // copy / unlock / re-lock / `remove().unwrap()` sequence
+                // crashed on a duplicated final chunk (the entry was gone
+                // by the second lock).
+                let (done, ack_dst, finished) = {
                     let mut inner = self.inner.lock();
-                    let rdv = inner
-                        .rdv_in
-                        .get_mut(&(src, rdv_id))
-                        .expect("DATA for unknown CH3 rendezvous");
+                    let Some(rdv) = inner.rdv_in.get_mut(&(src, rdv_id)) else {
+                        // DATA for a rendezvous this engine doesn't know —
+                        // already finished (duplicated final chunk / FIN
+                        // race) or never started. Reachable with faults
+                        // armed; count it and drop the chunk.
+                        drop(inner);
+                        self.note_protocol_error();
+                        return;
+                    };
+                    let end = offset.checked_add(data.len());
+                    if end.is_none_or(|e| e > rdv.buf.len()) {
+                        // A chunk past the announced length corrupts the
+                        // landing buffer — drop it instead.
+                        drop(inner);
+                        self.note_protocol_error();
+                        return;
+                    }
                     // The one receive-side reassembly memcpy of the CH3
                     // rendezvous (charged to the payload's meter).
                     data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
                     rdv.received += data.len();
-                    (rdv.received == rdv.buf.len(), rdv.src)
+                    let done = rdv.received == rdv.buf.len();
+                    let ack_dst = rdv.src;
+                    let finished = done.then(|| {
+                        inner
+                            .rdv_in
+                            .remove(&(src, rdv_id))
+                            .expect("entry held under the same lock")
+                    });
+                    (done, ack_dst, finished)
                 };
                 // ACK-throttled mode: request the next fragment (the last
                 // one needs no ack — the sender finished with it).
                 if self.rdv_ack && !done {
                     send(sched, ack_dst, Ch3Pkt::DataAck { rdv_id });
                 }
-                let mut inner = self.inner.lock();
-                if done {
-                    let rdv = inner.rdv_in.remove(&(src, rdv_id)).unwrap();
+                if let Some(rdv) = finished {
                     events.push(Ch3Event::RecvDone {
                         req: rdv.req,
                         data: Bytes::from(rdv.buf),
@@ -773,6 +818,111 @@ mod tests {
             })
             .expect("recv completes");
         assert_eq!(&got[..], &payload[..]);
+    }
+
+    /// Regression: a duplicated final DATA chunk (the "dup'd FIN" of a
+    /// fault-armed transport) used to hit `rdv_in.remove().unwrap()` on an
+    /// entry the first copy already removed, crashing the rank. It must be
+    /// a counted protocol error instead — and the same goes for a
+    /// duplicated CTS replayed at the sender after the rendezvous is done.
+    #[test]
+    fn duplicated_final_data_is_counted_not_a_crash() {
+        let s = sched();
+        let t = RequestTable::new();
+        let e0 = Ch3Engine::new(0, 1024, None);
+        let e1 = Ch3Engine::new(1, 1024, None);
+        let sreq = t.create(ReqKind::Send, ReqPath::Net);
+        let rreq = t.create(ReqKind::Recv, ReqPath::Net);
+        let payload = NmBuf::from(vec![0x7E; 5_000]);
+
+        let mut queue: Vec<(usize, usize, Ch3Pkt)> = Vec::new();
+        let mut events = Vec::new();
+        {
+            let mut send1 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((1, dst, p));
+            e1.post_recv(&s, &mut send1, rreq, Some(0), 7);
+        }
+        {
+            let mut send0 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((0, dst, p));
+            e0.send_msg(&s, &mut send0, sreq, 1, 7, payload.share(), 1024);
+        }
+        // Pump by hand, duplicating every DATA and CTS frame — the lossy
+        // transport's replay, concentrated on the packets that used to
+        // kill the receiver (DATA after completion) and the sender (CTS
+        // after the payload left).
+        let engines = [&e0, &e1];
+        while let Some((src, dst, pkt)) = queue.pop() {
+            let dup = matches!(pkt, Ch3Pkt::Data { .. } | Ch3Pkt::Cts { .. })
+                .then(|| pkt.clone());
+            let mut replies = Vec::new();
+            let mut evs = Vec::new();
+            {
+                let mut send =
+                    |_: &Scheduler, to: usize, p: Ch3Pkt| replies.push((dst, to, p));
+                engines[dst].on_packet(&s, &mut send, src, pkt, &mut evs);
+                if let Some(p) = dup {
+                    engines[dst].on_packet(&s, &mut send, src, p, &mut evs);
+                }
+            }
+            events.extend(evs);
+            queue.extend(replies);
+        }
+        // The transfer still completed exactly once, byte-exact…
+        let recvs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Ch3Event::RecvDone { data, .. } => Some(data),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recvs.len(), 1, "exactly one receive completion");
+        assert_eq!(&recvs[0][..], &payload[..]);
+        // …and the duplicates were tallied, not fatal: the replayed final
+        // DATA at the receiver, the replayed CTS at the sender.
+        assert!(e1.protocol_errors() >= 1, "dup final DATA counted");
+        assert!(e0.protocol_errors() >= 1, "dup CTS counted");
+        assert_eq!(e0.rdv_in_flight(), 0);
+        assert_eq!(e1.rdv_in_flight(), 0);
+    }
+
+    /// An out-of-bounds DATA chunk (offset past the announced length) is
+    /// dropped and counted, never written.
+    #[test]
+    fn out_of_bounds_data_chunk_is_dropped() {
+        let s = sched();
+        let t = RequestTable::new();
+        let e1 = Ch3Engine::new(1, 64, None);
+        let rreq = t.create(ReqKind::Recv, ReqPath::Net);
+        let mut queue: Vec<(usize, usize, Ch3Pkt)> = Vec::new();
+        let mut events = Vec::new();
+        {
+            let mut send1 = |_: &Scheduler, dst: usize, p: Ch3Pkt| queue.push((1, dst, p));
+            e1.post_recv(&s, &mut send1, rreq, Some(0), 7);
+            e1.on_packet(
+                &s,
+                &mut |_: &Scheduler, _: usize, _: Ch3Pkt| {},
+                0,
+                Ch3Pkt::Rts {
+                    key: 7,
+                    rdv_id: 0,
+                    len: 100,
+                },
+                &mut events,
+            );
+            e1.on_packet(
+                &s,
+                &mut |_: &Scheduler, _: usize, _: Ch3Pkt| {},
+                0,
+                Ch3Pkt::Data {
+                    rdv_id: 0,
+                    offset: 90,
+                    data: NmBuf::from(vec![0xFF; 50]),
+                },
+                &mut events,
+            );
+        }
+        assert!(events.is_empty(), "no completion from the bad chunk");
+        assert_eq!(e1.protocol_errors(), 1);
+        assert_eq!(e1.rdv_in_flight(), 1, "the rendezvous stays live");
     }
 
     #[test]

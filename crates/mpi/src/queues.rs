@@ -61,13 +61,48 @@ impl UnexMsg {
             UnexMsg::Eager { key, .. } | UnexMsg::Rts { key, .. } => *key,
         }
     }
+
+    /// Payload bytes this entry keeps alive in the receiver. Only eager
+    /// entries buffer payload; an RTS is an announcement — its bytes still
+    /// sit on the sender.
+    fn buffered_bytes(&self) -> usize {
+        match self {
+            UnexMsg::Eager { data, .. } => data.len(),
+            UnexMsg::Rts { .. } => 0,
+        }
+    }
+}
+
+/// The unexpected queue with incremental byte accounting: current
+/// buffered payload bytes and their high-water mark are maintained on
+/// every push/consume, never by scanning (the overload diagnostics read
+/// them on hot failure-dump and debug paths).
+#[derive(Default)]
+struct UnexQueue {
+    q: VecDeque<UnexMsg>,
+    bytes: usize,
+    hwm: usize,
+}
+
+impl UnexQueue {
+    fn push(&mut self, msg: UnexMsg) {
+        self.bytes += msg.buffered_bytes();
+        self.hwm = self.hwm.max(self.bytes);
+        self.q.push_back(msg);
+    }
+
+    fn take(&mut self, pos: usize) -> UnexMsg {
+        let msg = self.q.remove(pos).expect("position just found");
+        self.bytes -= msg.buffered_bytes();
+        msg
+    }
 }
 
 /// The queue pair.
 #[derive(Default)]
 pub struct Ch3Queues {
     posted: Mutex<VecDeque<PostedEntry>>,
-    unexpected: Mutex<VecDeque<UnexMsg>>,
+    unexpected: Mutex<UnexQueue>,
 }
 
 impl Ch3Queues {
@@ -82,10 +117,11 @@ impl Ch3Queues {
         {
             let mut unexpected = self.unexpected.lock();
             if let Some(pos) = unexpected
+                .q
                 .iter()
                 .position(|m| m.key() == key && src.is_none_or(|s| s == m.src()))
             {
-                return Err(unexpected.remove(pos).unwrap());
+                return Err(unexpected.take(pos));
             }
         }
         let active: ActiveFlag = Arc::new(AtomicBool::new(true));
@@ -121,7 +157,7 @@ impl Ch3Queues {
 
     /// Store an unmatched arrival.
     pub fn store_unexpected(&self, msg: UnexMsg) {
-        self.unexpected.lock().push_back(msg);
+        self.unexpected.lock().push(msg);
     }
 
     /// Is any unexpected message with `key` queued (any source)? Returns
@@ -135,6 +171,7 @@ impl Ch3Queues {
     pub fn probe(&self, src: Option<usize>, key: u64) -> Option<(usize, usize)> {
         self.unexpected
             .lock()
+            .q
             .iter()
             .find(|m| m.key() == key && src.is_none_or(|s| s == m.src()))
             .map(|m| {
@@ -155,7 +192,19 @@ impl Ch3Queues {
     }
 
     pub fn unexpected_len(&self) -> usize {
-        self.unexpected.lock().len()
+        self.unexpected.lock().q.len()
+    }
+
+    /// Payload bytes the unexpected queue currently buffers (incremental,
+    /// not a scan).
+    pub fn unexpected_bytes(&self) -> usize {
+        self.unexpected.lock().bytes
+    }
+
+    /// High-water mark of [`Ch3Queues::unexpected_bytes`] over this
+    /// queue's lifetime.
+    pub fn unexpected_hwm(&self) -> usize {
+        self.unexpected.lock().hwm
     }
 }
 
@@ -256,6 +305,34 @@ mod tests {
         q.store_unexpected(eager(9, 7));
         assert_eq!(q.probe_key(7), Some(9));
         assert_eq!(q.probe_key(8), None);
+    }
+
+    #[test]
+    fn unexpected_bytes_track_pushes_and_consumes() {
+        let t = RequestTable::new();
+        let q = Ch3Queues::new();
+        assert_eq!((q.unexpected_bytes(), q.unexpected_hwm()), (0, 0));
+        let payload = |n: usize| UnexMsg::Eager {
+            src: 1,
+            key: 7,
+            data: NmBuf::from(bytes::Bytes::from(vec![0u8; n])),
+        };
+        q.store_unexpected(payload(100));
+        q.store_unexpected(payload(50));
+        // An RTS announcement buffers no payload on the receiver.
+        q.store_unexpected(UnexMsg::Rts {
+            src: 1,
+            key: 8,
+            rdv_id: 1,
+            len: 1 << 20,
+        });
+        assert_eq!(q.unexpected_bytes(), 150);
+        assert_eq!(q.unexpected_hwm(), 150);
+        q.post(req(&t), Some(1), 7).expect_err("consumes 100B eager");
+        assert_eq!(q.unexpected_bytes(), 50);
+        assert_eq!(q.unexpected_hwm(), 150, "high-water mark is sticky");
+        q.post(req(&t), Some(1), 8).expect_err("consumes the RTS");
+        assert_eq!(q.unexpected_bytes(), 50, "RTS consume moves no bytes");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use simnet::{
 };
 
 use nemesis::{ShmDomain, ShmModel};
-use nmad::{NmConfig, NmCore, NmNet, NmWire, RetryConfig, StrategyKind};
+use nmad::{FlowConfig, NmConfig, NmCore, NmNet, NmWire, RetryConfig, StrategyKind};
 use piom::{PiomConfig, PiomServer};
 
 use crate::api::MpiHandle;
@@ -173,6 +173,14 @@ impl StackConfig {
         self
     }
 
+    /// Arm credit-based eager flow control on the NewMadeleine paths
+    /// (overload protection; ignored by tailored stacks, whose CH3 wire
+    /// protocol has no credit layer).
+    pub fn with_flow(mut self, flow: FlowConfig) -> StackConfig {
+        self.nm.flow = Some(flow);
+        self
+    }
+
     /// Does this stack bypass CH3 for inter-node traffic?
     pub fn bypass(&self) -> bool {
         matches!(self.inter, InterNode::NmadDirect { .. })
@@ -198,7 +206,43 @@ pub struct RunOutcome {
     pub copy: CopySnapshot,
 }
 
+/// Job-wide flow-control totals, summed across every rank's NewMadeleine
+/// core (see [`RunOutcome::flow_totals`]). All zero when `NmConfig.flow`
+/// is `None` — except `peak_unex_bytes`, which is tracked unconditionally
+/// so an *unarmed* overload run can still report how far past a would-be
+/// cap it went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTotals {
+    /// Eager sends admitted by consuming a credit.
+    pub eager_admitted: u64,
+    /// Times a sender found an empty credit pool.
+    pub credit_stalls: u64,
+    /// Sends that degraded to the rendezvous path for lack of credits.
+    pub fallback_sends: u64,
+    /// Credits returned to senders (piggybacked or standalone).
+    pub credits_returned: u64,
+    /// Credit returns withheld by the high-water throttle.
+    pub credits_withheld: u64,
+    /// Largest per-rank unexpected-eager-byte backlog seen anywhere in the
+    /// job (a max across ranks, not a sum — the cap is per receiver).
+    pub peak_unex_bytes: u64,
+}
+
 impl RunOutcome {
+    /// Flow-control totals across all ranks (see [`FlowTotals`]).
+    pub fn flow_totals(&self) -> FlowTotals {
+        self.nm_stats.iter().fold(FlowTotals::default(), |acc, s| {
+            FlowTotals {
+                eager_admitted: acc.eager_admitted + s.fc_eager_admitted,
+                credit_stalls: acc.credit_stalls + s.fc_credit_stalls,
+                fallback_sends: acc.fallback_sends + s.fc_fallback_sends,
+                credits_returned: acc.credits_returned + s.fc_credits_returned,
+                credits_withheld: acc.credits_withheld + s.fc_credits_withheld,
+                peak_unex_bytes: acc.peak_unex_bytes.max(s.fc_peak_unex_bytes),
+            }
+        })
+    }
+
     /// Failover totals across all ranks: `(rail state transitions,
     /// rerouted payload bytes, degraded rail-nanoseconds)`. All zero on a
     /// healthy run — the degraded-mode counters only move when the
@@ -579,22 +623,31 @@ pub fn run_mpi(
         for (r, st) in states.iter().enumerate() {
             let (posted, unexpected) =
                 (st.engine.queues.posted_len(), st.engine.queues.unexpected_len());
+            let (unex_bytes, unex_hwm) = (
+                st.engine.queues.unexpected_bytes(),
+                st.engine.queues.unexpected_hwm(),
+            );
             let rdv = st.engine.rdv_in_flight();
+            let proto_errs = st.engine.protocol_errors();
             let nm = match &st.net {
                 NetPath::Direct(core) => format!(
-                    "nm: posted={} unexpected={} quiescent={} {} stats={:?}",
+                    "nm: posted={} unexpected={} quiescent={} {} {} stats={:?}",
                     core.posted_recvs(),
                     core.unexpected_msgs(),
                     core.quiescent(),
                     core.health_summary()
                         .unwrap_or_else(|| "failover[off: no retry layer]".into()),
+                    core.flow_summary()
+                        .unwrap_or_else(|| "flow[off: no credit layer]".into()),
                     core.stats()
                 ),
                 NetPath::Ch3(t) => format!("ch3-net {}", t.debug_state()),
                 NetPath::None => "no-net".into(),
             };
             eprintln!(
-                "  rank{r}: ch3 posted={posted} unexpected={unexpected} rdv_in_flight={rdv}; {nm}"
+                "  rank{r}: ch3 posted={posted} unexpected={unexpected} \
+                 unex_bytes={unex_bytes}B (hwm {unex_hwm}B) rdv_in_flight={rdv} \
+                 protocol_errors={proto_errs}; {nm}"
             );
         }
         panic!("MPI job '{}' failed: {e}", cfg.name);

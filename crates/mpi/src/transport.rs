@@ -184,9 +184,12 @@ impl Ch3Transport for ShmTransport {
 
     fn debug_state(&self) -> String {
         format!(
-            "shm local={} outbox=0 pending_deliveries={} copy[{}] failover[n/a: shared memory has no rails]",
+            "shm local={} outbox=0 pending_deliveries={} reasm[cur={}B hwm={}B] copy[{}] \
+             failover[n/a: shared memory has no rails] flow[n/a: cell pool is the shm backpressure]",
             self.my_local,
             self.domain.mailbox(self.my_local).pending(),
+            self.domain.reassembly_bytes(self.my_local),
+            self.domain.reassembly_hwm(self.my_local),
             self.domain.meter().snapshot(),
         )
     }
@@ -366,7 +369,8 @@ impl Ch3Transport for FabricTransport {
             .map(|m| m.snapshot().to_string())
             .unwrap_or_else(|| "unmetered".into());
         format!(
-            "fabric rank={} outbox={} inbox={} copy[{copy}] failover[n/a: tailored stack is single-rail]",
+            "fabric rank={} outbox={} inbox={} copy[{copy}] \
+             failover[n/a: tailored stack is single-rail] flow[n/a: tailored stack has no credits]",
             self.my_rank,
             self.outbox.lock().len(),
             self.inbox.q.lock().len(),
@@ -470,7 +474,7 @@ impl Ch3Transport for NmadNetmodTransport {
 
     fn debug_state(&self) -> String {
         format!(
-            "netmod nm: posted={} unexpected={} outbox={} quiescent={} copy[{}] {} stats={:?}",
+            "netmod nm: posted={} unexpected={} outbox={} quiescent={} copy[{}] {} {} stats={:?}",
             self.core.posted_recvs(),
             self.core.unexpected_msgs(),
             self.core.window_depth(),
@@ -479,6 +483,9 @@ impl Ch3Transport for NmadNetmodTransport {
             self.core
                 .health_summary()
                 .unwrap_or_else(|| "failover[off: no retry layer]".into()),
+            self.core
+                .flow_summary()
+                .unwrap_or_else(|| "flow[off: no credit layer]".into()),
             self.core.stats()
         )
     }
@@ -637,6 +644,10 @@ mod tests {
         let shm = ShmTransport::new(domain, 0, l);
         let s = shm.debug_state();
         assert!(s.contains("copy["), "shm debug_state lacks copy meter: {s}");
+        assert!(
+            s.contains("reasm[") && s.contains("flow["),
+            "shm debug_state lacks reassembly/flow state: {s}"
+        );
 
         let fabric: Arc<Fabric<Ch3Wire>> =
             Fabric::new(2, vec![simnet::NicModel::connectx_ib()]);
@@ -653,7 +664,7 @@ mod tests {
         ft.set_copy_meter(&meter);
         let s = ft.debug_state();
         assert!(
-            s.contains("outbox=") && s.contains("copy["),
+            s.contains("outbox=") && s.contains("copy[") && s.contains("flow["),
             "fabric debug_state incomplete: {s}"
         );
 
@@ -672,7 +683,7 @@ mod tests {
         let nt = NmadNetmodTransport::new(core, vec![1]);
         let s = nt.debug_state();
         assert!(
-            s.contains("outbox=") && s.contains("copy["),
+            s.contains("outbox=") && s.contains("copy[") && s.contains("flow[off"),
             "netmod debug_state incomplete: {s}"
         );
     }

@@ -80,6 +80,15 @@ impl VcTable {
     pub fn has_remote(&self) -> bool {
         !self.remote_peers().is_empty()
     }
+
+    /// How many peers can hold eager credits against this rank — the
+    /// `peers` term of the hard ceiling `peers × eager_credits ×
+    /// eager_threshold` that sizes [`nmad::FlowConfig::unex_bytes_cap`].
+    /// Intra-node peers never consume credits (the Nemesis cell pool is
+    /// the shared-memory backpressure), so only remote VCs count.
+    pub fn credit_peer_count(&self) -> usize {
+        self.remote_peers().len()
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +107,7 @@ mod tests {
         assert_eq!(vc.path(3), VcPath::NmadDirect);
         assert_eq!(vc.remote_peers(), vec![2, 3]);
         assert!(vc.has_remote());
+        assert_eq!(vc.credit_peer_count(), 2);
     }
 
     #[test]

@@ -85,6 +85,28 @@ struct Partial {
     buf: Vec<u8>,
 }
 
+/// Incremental accounting of the bytes an endpoint has parked in
+/// reassembly buffers — the shared-memory analogue of the network side's
+/// unexpected-queue bytes. Maintained on every fragment, never by
+/// scanning, so overload diagnostics can read it on hot paths.
+#[derive(Default)]
+struct ReasmAccount {
+    cur: usize,
+    hwm: usize,
+}
+
+impl ReasmAccount {
+    fn charge(&mut self, len: usize) {
+        self.cur += len;
+        self.hwm = self.hwm.max(self.cur);
+    }
+
+    fn release(&mut self, len: usize) {
+        debug_assert!(self.cur >= len, "reassembly byte accounting underflow");
+        self.cur -= len;
+    }
+}
+
 struct Endpoint {
     global_rank: usize,
     recv_queue: NemQueue,
@@ -100,6 +122,8 @@ struct Endpoint {
     next_seq: Mutex<HashMap<usize, u64>>,
     /// Completed inbound messages ready for the upper layer.
     inbox: Mutex<VecDeque<(MsgHeader, NmBuf)>>,
+    /// Bytes parked in reassembly buffers (and their high-water mark).
+    reasm: Mutex<ReasmAccount>,
     /// Optional hook fired (on the engine) whenever a cell lands in this
     /// endpoint's receive queue — PIOMan uses it to react immediately.
     on_delivery: Mutex<Option<DeliveryHook>>,
@@ -145,6 +169,7 @@ impl ShmDomain {
                 pipe_free_at: Mutex::new(SimTime::ZERO),
                 next_seq: Mutex::new(HashMap::new()),
                 inbox: Mutex::new(VecDeque::new()),
+                reasm: Mutex::new(ReasmAccount::default()),
                 on_delivery: Mutex::new(None),
             };
             endpoints.push(ep);
@@ -331,12 +356,21 @@ impl ShmDomain {
     fn absorb(&self, local: usize, cell: &CellHandle) -> Option<(MsgHeader, NmBuf)> {
         let ep = &self.endpoints[local];
         match cell.kind {
-            MsgKind::Only => Some((
-                cell.header,
-                // Copy-out of the shared cell into private storage (the
-                // second half of the copy-in/copy-out pair).
-                NmBuf::copied_from_slice(cell.payload(), BufOrigin::Nemesis, &self.meter),
-            )),
+            MsgKind::Only => {
+                // Bytes pass straight through to the caller: charge so the
+                // high-water mark sees them, release because nothing stays
+                // parked.
+                let mut reasm = ep.reasm.lock();
+                reasm.charge(cell.payload().len());
+                reasm.release(cell.payload().len());
+                drop(reasm);
+                Some((
+                    cell.header,
+                    // Copy-out of the shared cell into private storage (the
+                    // second half of the copy-in/copy-out pair).
+                    NmBuf::copied_from_slice(cell.payload(), BufOrigin::Nemesis, &self.meter),
+                ))
+            }
             MsgKind::First => {
                 // Reassembly landing buffer: allocated once at the final
                 // size, then each fragment is copied out of its cell.
@@ -344,6 +378,7 @@ impl ShmDomain {
                 buf.extend_from_slice(cell.payload());
                 self.meter.record_alloc();
                 self.meter.record_copy(cell.payload().len());
+                ep.reasm.lock().charge(cell.payload().len());
                 let mut partials = ep.partials.lock();
                 let prev = partials.insert(
                     cell.header.src_rank,
@@ -366,8 +401,10 @@ impl ShmDomain {
                     .expect("Middle/Last fragment without a First");
                 partial.buf.extend_from_slice(cell.payload());
                 self.meter.record_copy(cell.payload().len());
+                ep.reasm.lock().charge(cell.payload().len());
                 if cell.kind == MsgKind::Last {
                     let done = partials.remove(&cell.header.src_rank).unwrap();
+                    ep.reasm.lock().release(done.buf.len());
                     assert_eq!(
                         done.buf.len(),
                         done.header.total_len,
@@ -398,6 +435,17 @@ impl ShmDomain {
     /// Global rank of a local endpoint.
     pub fn global_rank(&self, local: usize) -> usize {
         self.endpoints[local].global_rank
+    }
+
+    /// Bytes `local` currently has parked in reassembly buffers.
+    pub fn reassembly_bytes(&self, local: usize) -> usize {
+        self.endpoints[local].reasm.lock().cur
+    }
+
+    /// High-water mark of [`ShmDomain::reassembly_bytes`] — peak inbound
+    /// buffering this endpoint ever saw (overload diagnostics).
+    pub fn reassembly_hwm(&self, local: usize) -> usize {
+        self.endpoints[local].reasm.lock().hwm
     }
 }
 
@@ -589,6 +637,41 @@ mod tests {
             }
             assert_eq!(n, 3);
             assert_eq!(mb2.pending(), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn reassembly_accounting_tracks_fragments() {
+        // A 2.5-cell message parks bytes during reassembly; once polled the
+        // current count returns to zero but the high-water mark keeps the
+        // peak.
+        let len = 2 * CELL_PAYLOAD + 100;
+        let payload: Vec<u8> = vec![3u8; len];
+        let mut sim = SimBuilder::new().build();
+        let domain = ShmDomain::new(&[0, 1], 8, ShmModel::xeon());
+        let d2 = Arc::clone(&domain);
+        let sched = sim.scheduler();
+        sched.schedule_at(SimTime::ZERO, move |s| {
+            let hdr = MsgHeader {
+                src_rank: 0,
+                dst_rank: 1,
+                ..Default::default()
+            };
+            d2.send(s, 0, 1, hdr, NmBuf::from(payload));
+        });
+        let d3 = Arc::clone(&domain);
+        sim.spawn_rank("receiver", move |ctx| {
+            let sched = ctx.scheduler();
+            loop {
+                if d3.poll(&sched, 1).is_some() {
+                    break;
+                }
+                ctx.advance(SimDuration::nanos(200));
+            }
+            assert_eq!(d3.reassembly_bytes(1), 0, "nothing parked after poll");
+            assert_eq!(d3.reassembly_hwm(1), len, "peak saw the whole message");
+            assert_eq!(d3.reassembly_hwm(0), 0, "sender buffered nothing");
         });
         sim.run().unwrap();
     }

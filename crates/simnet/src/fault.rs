@@ -447,6 +447,93 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic eager-flood schedule for overload tests: N senders
+/// each get a burst plan of `(gap, len)` pairs drawn once at build time
+/// from an RNG derived from `(seed, sender)` alone — the same idiom as
+/// [`LinkWindow::flapping`]. Each sender also draws a *skew* factor, so
+/// some senders hammer the receiver in tight bursts while others trickle;
+/// a uniform flood would synchronize with credit-return round trips and
+/// understate the worst-case unexpected backlog.
+///
+/// The plan is pure data: consuming it (in a rank program) touches no
+/// shared RNG, so overload runs replay bit-for-bit from the seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverloadPlan {
+    seed: u64,
+    /// `bursts[sender]` = that sender's `(gap before send, payload len)`
+    /// sequence.
+    bursts: Vec<Vec<(SimDuration, usize)>>,
+}
+
+impl OverloadPlan {
+    /// Build the flood schedule: `senders` ranks, `msgs_per_sender`
+    /// messages each, payload lengths in `len_range` (inclusive), gaps
+    /// averaging `mean_gap` before per-sender skew.
+    pub fn new(
+        seed: u64,
+        senders: usize,
+        msgs_per_sender: usize,
+        len_range: (usize, usize),
+        mean_gap: SimDuration,
+    ) -> OverloadPlan {
+        assert!(senders > 0 && msgs_per_sender > 0, "empty flood");
+        assert!(
+            0 < len_range.0 && len_range.0 <= len_range.1,
+            "payload range must be non-empty and non-zero (zero-length \
+             messages bypass credit accounting)"
+        );
+        let bursts = (0..senders)
+            .map(|sender| {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ 0x0F10_0D00_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (sender as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                );
+                // Skew: gap scale in [1/4, 2] — bursty vs trickling senders.
+                let skew = rng.gen_range(0.25..=2.0);
+                (0..msgs_per_sender)
+                    .map(|_| {
+                        let span = (mean_gap.as_nanos() * 2).max(1);
+                        let gap = (rng.gen_range(0..=span) as f64 * skew) as u64;
+                        let len = rng.gen_range(len_range.0..=len_range.1);
+                        (SimDuration::nanos(gap), len)
+                    })
+                    .collect()
+            })
+            .collect();
+        OverloadPlan { seed, bursts }
+    }
+
+    /// The master seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of flooding senders.
+    pub fn senders(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// Sender `s`'s burst sequence: `(gap to wait before the send, len)`.
+    pub fn schedule(&self, sender: usize) -> &[(SimDuration, usize)] {
+        &self.bursts[sender]
+    }
+
+    /// Total payload bytes the flood will deliver (receiver-side ground
+    /// truth for byte-exactness assertions).
+    pub fn total_bytes(&self) -> u64 {
+        self.bursts
+            .iter()
+            .flatten()
+            .map(|(_, len)| *len as u64)
+            .sum()
+    }
+
+    /// Total messages across all senders.
+    pub fn total_msgs(&self) -> usize {
+        self.bursts.iter().map(|b| b.len()).sum()
+    }
+}
+
 impl std::fmt::Debug for FaultPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FaultPlan")
@@ -639,6 +726,34 @@ mod tests {
         let d = LinkWindow::flapping(43, 1, from, until, mean);
         assert_ne!(a, c, "different rail must flap differently");
         assert_ne!(a, d, "different seed must flap differently");
+    }
+
+    #[test]
+    fn overload_plan_is_deterministic_and_skewed() {
+        let a = OverloadPlan::new(42, 8, 50, (512, 2048), SimDuration::micros(2));
+        let b = OverloadPlan::new(42, 8, 50, (512, 2048), SimDuration::micros(2));
+        assert_eq!(a, b, "same seed must replay the same flood");
+        assert_eq!(a.senders(), 8);
+        assert_eq!(a.total_msgs(), 8 * 50);
+        assert!(a.total_bytes() >= (8 * 50 * 512) as u64);
+        for s in 0..8 {
+            assert!(a
+                .schedule(s)
+                .iter()
+                .all(|(_, len)| (512..=2048).contains(len)));
+        }
+        // Skew: at least two senders must pace differently.
+        let mean_gap = |s: usize| -> u64 {
+            let sched = a.schedule(s);
+            sched.iter().map(|(g, _)| g.as_nanos()).sum::<u64>() / sched.len() as u64
+        };
+        let gaps: Vec<u64> = (0..8).map(mean_gap).collect();
+        assert!(
+            gaps.iter().max().unwrap() > &(gaps.iter().min().unwrap() * 2),
+            "flood should be skewed, got mean gaps {gaps:?}"
+        );
+        let c = OverloadPlan::new(43, 8, 50, (512, 2048), SimDuration::micros(2));
+        assert_ne!(a, c, "different seed must flood differently");
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub use copy::{BufOrigin, CopyMeter, CopySnapshot, NmBuf};
 pub use ctx::RankCtx;
 pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
 pub use fabric::{Delivery, Fabric, FabricOpts, RailId, WireMessage};
-pub use fault::{FaultCounters, FaultPlan, FaultSpec, LinkFault, LinkWindow, TransferFault};
+pub use fault::{
+    FaultCounters, FaultPlan, FaultSpec, LinkFault, LinkWindow, OverloadPlan, TransferFault,
+};
 pub use nic::{JitterModel, NicModel, NicPort};
 pub use sem::SimSemaphore;
 pub use time::{SimDuration, SimTime};

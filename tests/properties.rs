@@ -138,3 +138,141 @@ proptest! {
         prop_assert!(ok.into_iter().all(|b| b));
     }
 }
+
+// ---------------------------------------------------------------------
+// CH3 queue-pair invariant: posted ∩ unexpected = ∅
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::Ordering;
+
+use mpich2_nmad_repro::mpi_ch3::queues::{Ch3Queues, UnexMsg};
+use mpich2_nmad_repro::mpi_ch3::request::{ReqKind, ReqPath, RequestTable};
+use mpich2_nmad_repro::simnet::NmBuf;
+
+/// One step of a random post/arrive/stall interleaving against the CH3
+/// queue pair.
+#[derive(Clone, Debug)]
+enum QOp {
+    /// Post a receive (src `None` = MPI_ANY_SOURCE).
+    Post { src: Option<usize>, key: u64 },
+    /// An eager envelope arrives from the wire.
+    Arrive { src: usize, key: u64, len: usize },
+    /// The any-source list machinery deactivates a posted entry (the
+    /// "stall" transition: the request moved to NewMadeleine and its CH3
+    /// entry must be lazily skipped, never matched).
+    Deactivate { pick: usize },
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![
+        // src 0 stands for MPI_ANY_SOURCE (the stub proptest has no
+        // `option::of` combinator).
+        (0usize..=3, 0u64..4).prop_map(|(src, key)| QOp::Post {
+            src: (src > 0).then_some(src),
+            key,
+        }),
+        (1usize..=3, 0u64..4, 1usize..2048)
+            .prop_map(|(src, key, len)| QOp::Arrive { src, key, len }),
+        (0usize..8).prop_map(|pick| QOp::Deactivate { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 192, // pure queue ops, no simulation: cheap to run wide
+        .. ProptestConfig::default()
+    })]
+
+    /// For ANY interleaving of posts, arrivals and any-source stalls, a
+    /// (src, key) envelope is never simultaneously claimable from both
+    /// queues: each transition either matches-and-removes or enqueues on
+    /// exactly one side. Verified against a shadow model that the real
+    /// queue must agree with step by step — return values, lengths, byte
+    /// accounting and probe results included.
+    #[test]
+    fn posted_and_unexpected_stay_disjoint(ops in proptest::collection::vec(qop_strategy(), 1..60)) {
+        let table = RequestTable::new();
+        let q = Ch3Queues::new();
+        // Shadow model: live posted entries (with their shared active
+        // flags) and unexpected messages, both in queue order.
+        let mut posted: Vec<(Option<usize>, u64, std::sync::Arc<std::sync::atomic::AtomicBool>)> = Vec::new();
+        let mut unex: Vec<(usize, u64, usize)> = Vec::new();
+        let mut hwm = 0usize;
+        for op in ops {
+            match op {
+                QOp::Post { src, key } => {
+                    let hit = unex.iter().position(|&(s, k, _)| {
+                        k == key && src.is_none_or(|want| want == s)
+                    });
+                    let req = table.create(ReqKind::Recv, ReqPath::Shm);
+                    match (q.post(req, src, key), hit) {
+                        (Err(m), Some(i)) => {
+                            let (s, k, len) = unex.remove(i);
+                            prop_assert_eq!(m.src(), s, "consumed the wrong sender");
+                            prop_assert_eq!(m.key(), k);
+                            match m {
+                                UnexMsg::Eager { data, .. } => prop_assert_eq!(data.len(), len),
+                                UnexMsg::Rts { .. } => prop_assert!(false, "model only feeds eagers"),
+                            }
+                        }
+                        (Ok(flag), None) => posted.push((src, key, flag)),
+                        (Err(_), None) => prop_assert!(false, "queue invented an unexpected hit"),
+                        (Ok(_), Some(_)) => prop_assert!(false, "queue missed a waiting unexpected"),
+                    }
+                }
+                QOp::Arrive { src, key, len } => {
+                    let hit = posted.iter().position(|(ps, pk, _)| {
+                        *pk == key && ps.is_none_or(|p| p == src)
+                    });
+                    match (q.match_arrival(src, key), hit) {
+                        (Some(e), Some(i)) => {
+                            let (ps, pk, _) = posted.remove(i);
+                            prop_assert_eq!(e.src, ps, "matched out of posted order");
+                            prop_assert_eq!(e.key, pk);
+                        }
+                        (None, None) => {
+                            q.store_unexpected(UnexMsg::Eager {
+                                src,
+                                key,
+                                data: NmBuf::from(Bytes::from(vec![0u8; len])),
+                            });
+                            unex.push((src, key, len));
+                        }
+                        (Some(_), None) => prop_assert!(false, "matched a receive the model never posted"),
+                        (None, Some(_)) => prop_assert!(false, "queue missed a posted receive"),
+                    }
+                }
+                QOp::Deactivate { pick } => {
+                    if !posted.is_empty() {
+                        let (_, _, flag) = posted.remove(pick % posted.len());
+                        flag.store(false, Ordering::Release);
+                    }
+                }
+            }
+            // THE invariant: nothing in the unexpected queue has a live
+            // posted receive that would claim it.
+            for &(s, k, _) in &unex {
+                prop_assert!(
+                    !posted.iter().any(|(ps, pk, _)| *pk == k && ps.is_none_or(|p| p == s)),
+                    "(src {s}, key {k}) sits unexpected while a matching receive is posted"
+                );
+            }
+            // The real queue must agree with the model on every observable.
+            let bytes: usize = unex.iter().map(|&(_, _, len)| len).sum();
+            hwm = hwm.max(bytes);
+            prop_assert_eq!(q.posted_len(), posted.len());
+            prop_assert_eq!(q.unexpected_len(), unex.len());
+            prop_assert_eq!(q.unexpected_bytes(), bytes);
+            prop_assert_eq!(q.unexpected_hwm(), hwm);
+            for key in 0..4u64 {
+                for src in [None, Some(1), Some(2), Some(3)] {
+                    let want = unex
+                        .iter()
+                        .find(|&&(s, k, _)| k == key && src.is_none_or(|w| w == s))
+                        .map(|&(s, _, len)| (s, len));
+                    prop_assert_eq!(q.probe(src, key), want, "probe disagrees with model");
+                }
+            }
+        }
+    }
+}
