@@ -48,6 +48,7 @@ pub fn mvapich2(rail: usize) -> StackConfig {
         compute_factor: 1.0,
         fabric_seed: 0,
         faults: None,
+        obs: Default::default(),
     }
 }
 
@@ -77,6 +78,7 @@ pub fn openmpi_btl(rail: usize) -> StackConfig {
         compute_factor: 1.06,
         fabric_seed: 0,
         faults: None,
+        obs: Default::default(),
     }
 }
 
@@ -103,6 +105,7 @@ pub fn openmpi_pml(rail: usize) -> StackConfig {
         compute_factor: 1.06,
         fabric_seed: 0,
         faults: None,
+        obs: Default::default(),
     }
 }
 

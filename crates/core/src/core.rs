@@ -146,11 +146,21 @@ impl NmStats {
 struct SendReq {
     cookie: u64,
     done: bool,
+    /// Message identity for lifecycle spans (dst, tag, per-(dst,tag) seq).
+    dst: usize,
+    tag: u64,
+    seq: u64,
 }
 
 struct RecvReq {
     cookie: u64,
     done: bool,
+    /// Message identity for lifecycle spans. `seq` starts as the posted
+    /// counter value and is pinned to the matched envelope's sequence at
+    /// match time (the two agree under in-order matching).
+    src: usize,
+    tag: u64,
+    seq: u64,
 }
 
 struct RdvOut {
@@ -180,6 +190,8 @@ struct RdvIn {
     recv_req: RecvReqId,
     gate: usize,
     tag: u64,
+    /// Envelope sequence of the matched RTS (lifecycle-span identity).
+    seq: u64,
     buf: Vec<u8>,
     received: usize,
     /// Retry mode: disjoint, sorted byte ranges already landed — makes
@@ -270,6 +282,24 @@ struct Inner {
     /// The stack-wide copy meter; attached to every payload entering this
     /// core so downstream shares/copies keep charging the same counters.
     meter: Arc<CopyMeter>,
+    /// Lifecycle-span recording handle, stamped with this core's rank.
+    /// Lives inside `Inner` so the lock-free static helpers
+    /// (`complete_send`, `handle_data`, …) can record through it.
+    rec: obs::RankRec,
+    /// Receiver-side posted-receive counter per (src, tag): the sequence a
+    /// newly posted receive will match under in-order delivery, used to
+    /// key its `recv_posted` span event.
+    recv_posted: HashMap<(usize, u64), u64>,
+}
+
+/// Span key for a message `src → dst` under `tag` with envelope `seq`.
+fn mkey(src: usize, dst: usize, tag: u64, seq: u64) -> obs::MsgKey {
+    obs::MsgKey {
+        src: src as u32,
+        dst: dst as u32,
+        tag,
+        seq,
+    }
 }
 
 /// Merge `[start, end)` into a sorted, disjoint range set; returns how many
@@ -346,6 +376,19 @@ impl NmCore {
         net: NmNet,
         meter: Arc<CopyMeter>,
     ) -> Arc<NmCore> {
+        Self::with_instruments(cfg, rank, net, meter, None)
+    }
+
+    /// Like [`NmCore::with_meter`], additionally recording typed lifecycle
+    /// span events (message phases, retries, credit movements) through
+    /// `recorder`.
+    pub fn with_instruments(
+        cfg: NmConfig,
+        rank: usize,
+        net: NmNet,
+        meter: Arc<CopyMeter>,
+        recorder: Option<&Arc<obs::Recorder>>,
+    ) -> Arc<NmCore> {
         assert!(!net.rails.is_empty(), "a core needs at least one rail");
         // Startup sampling: fit each rail's latency/bandwidth profile
         // (§2.2, the adaptive split ratio input).
@@ -397,6 +440,8 @@ impl NmCore {
                 next_rdv: 0,
                 stats: NmStats::default(),
                 meter,
+                rec: obs::RankRec::new(recorder, rank as u32),
+                recv_posted: HashMap::new(),
             }),
             hook: Mutex::new(None),
         })
@@ -455,19 +500,31 @@ impl NmCore {
             data = data.with_meter(&inner.meter);
         }
         let req = SendReqId(inner.send_reqs.len() as u32);
-        inner.send_reqs.push(SendReq {
-            cookie,
-            done: false,
-        });
         let seq = {
             let c = inner.send_seq.entry((dst, tag)).or_insert(0);
             let v = *c;
             *c += 1;
             v
         };
+        inner.send_reqs.push(SendReq {
+            cookie,
+            done: false,
+            dst,
+            tag,
+            seq,
+        });
         let pw_id = PwId(inner.next_pw);
         inner.next_pw += 1;
         let now = sched.now();
+        inner.rec.phase(
+            now.0,
+            mkey(self.rank, dst, tag, seq),
+            obs::Phase::SendPosted {
+                len: data.len() as u64,
+            },
+        );
+        inner.rec.inc("nmad.isend", 1);
+        inner.rec.observe("nmad.send.bytes", data.len() as u64);
         // Flow-control admission: an eager-sized message needs a credit
         // from the destination gate's pool; with the pool empty it degrades
         // to the rendezvous path (RTS/CTS is natural backpressure — the
@@ -482,10 +539,16 @@ impl NmCore {
                     if *credits > 0 {
                         *credits -= 1;
                         inner.stats.fc_eager_admitted += 1;
+                        inner
+                            .rec
+                            .engine(now.0, obs::EngineEvent::CreditDebit { peer: dst as u32 });
                         true
                     } else {
                         inner.stats.fc_credit_stalls += 1;
                         inner.stats.fc_fallback_sends += 1;
+                        inner
+                            .rec
+                            .phase(now.0, mkey(self.rank, dst, tag, seq), obs::Phase::CreditStall);
                         false
                     }
                 }
@@ -562,20 +625,49 @@ impl NmCore {
     ) -> RecvReqId {
         assert_ne!(src, self.rank, "nmad is inter-node only");
         let mut inner = self.inner.lock();
+        let now = sched.now();
         let req = RecvReqId(inner.recv_reqs.len() as u32);
+        let posted_seq = {
+            let c = inner.recv_posted.entry((src, tag)).or_insert(0);
+            let v = *c;
+            *c += 1;
+            v
+        };
         inner.recv_reqs.push(RecvReq {
             cookie,
             done: false,
+            src,
+            tag,
+            seq: posted_seq,
         });
+        let my_rank = self.rank;
+        inner.rec.phase(
+            now.0,
+            mkey(src, my_rank, tag, posted_seq),
+            obs::Phase::RecvPosted,
+        );
+        inner.rec.inc("nmad.irecv", 1);
         let gate = GateId(src);
         match inner.matching.post_recv(gate, tag, req) {
             None => {}
-            Some(Unexpected::Eager { data, .. }) => {
+            Some(Unexpected::Eager { seq, data }) => {
+                inner.recv_reqs[req.0 as usize].seq = seq;
+                inner.rec.phase(
+                    now.0,
+                    mkey(src, my_rank, tag, seq),
+                    obs::Phase::Matched { unexpected: true },
+                );
                 Self::consume_unexpected_eager(&mut inner, src, data.len());
-                Self::complete_recv(&mut inner, req, data, gate, tag);
+                Self::complete_recv(&mut inner, now.0, req, data, gate, tag);
             }
-            Some(Unexpected::Rts { rdv_id, len, .. }) => {
-                Self::start_rdv_in(&mut inner, sched, req, src, tag, rdv_id, len);
+            Some(Unexpected::Rts { seq, rdv_id, len }) => {
+                inner.recv_reqs[req.0 as usize].seq = seq;
+                inner.rec.phase(
+                    now.0,
+                    mkey(src, my_rank, tag, seq),
+                    obs::Phase::Matched { unexpected: true },
+                );
+                Self::start_rdv_in(&mut inner, sched, req, src, tag, seq, rdv_id, len);
             }
         }
         let had_completion = !inner.completions.is_empty();
@@ -777,11 +869,18 @@ impl NmCore {
     /// A peer returned eager credits for our gate to it: refill the pool.
     /// The pool can never legitimately exceed its initial size (credits
     /// are only minted by our own sends), but stay clamped regardless.
-    fn apply_credits(inner: &mut Inner, src: usize, credits: u32) {
+    fn apply_credits(inner: &mut Inner, t_ns: u64, src: usize, credits: u32) {
         if credits == 0 {
             return;
         }
         let Some(fc) = inner.cfg.flow else { return };
+        inner.rec.engine(
+            t_ns,
+            obs::EngineEvent::CreditRefill {
+                peer: src as u32,
+                credits,
+            },
+        );
         let pool = inner.send_credits.entry(src).or_insert(fc.eager_credits);
         debug_assert!(
             *pool + credits <= fc.eager_credits,
@@ -849,10 +948,10 @@ impl NmCore {
                     Self::handle_data(inner, now, src, rdv_id, offset, data);
                 }
                 WirePayload::Credit { credits } => {
-                    Self::apply_credits(inner, src, credits);
+                    Self::apply_credits(inner, now.0, src, credits);
                 }
                 WirePayload::Ack { tag, next, credits } => {
-                    Self::apply_credits(inner, src, credits);
+                    Self::apply_credits(inner, now.0, src, credits);
                     let mut credited: Vec<usize> = Vec::new();
                     if let Some(map) = inner.env_unacked.get_mut(&(src, tag)) {
                         map.retain(|&seq, rx| {
@@ -877,8 +976,13 @@ impl NmCore {
                     // Receiver finished: release the payload, complete the
                     // send. A replayed FIN finds nothing — ignore it.
                     if let Some(rdv) = inner.rdv_out.remove(&rdv_id) {
-                        inner.rdv_dst.remove(&rdv_id);
-                        Self::complete_send(inner, rdv.send_req);
+                        let dst = inner.rdv_dst.remove(&rdv_id).unwrap_or(src);
+                        inner.rec.phase(
+                            now.0,
+                            mkey(inner.rec.rank() as usize, dst, rdv.tag, rdv.seq),
+                            obs::Phase::FinRx,
+                        );
+                        Self::complete_send(inner, now.0, rdv.send_req);
                     }
                 }
                 WirePayload::Probe { rail, seq } => {
@@ -1022,13 +1126,29 @@ impl NmCore {
                 // replay the CTS (transfer live) or the FIN (finished).
                 if let Envelope::Rts { rdv_id, .. } = env {
                     let via = inner.last_in_rail.get(&src).copied();
+                    let mk = mkey(src, inner.rec.rank() as usize, tag, seq);
                     if inner.rdv_done.contains(&(src, rdv_id)) {
                         inner.stats.fins_sent += 1;
+                        inner.rec.phase(sched.now().0, mk, obs::Phase::FinTx);
                         inner
                             .ctrl_out
                             .push_back((src, WirePayload::RdvFin { rdv_id }, via));
                     } else if inner.rdv_in.contains_key(&(src, rdv_id)) {
                         inner.stats.cts_retries += 1;
+                        inner.rec.phase(
+                            sched.now().0,
+                            mk,
+                            obs::Phase::Retry {
+                                kind: obs::RetryKind::Cts,
+                            },
+                        );
+                        inner.rec.phase(
+                            sched.now().0,
+                            mk,
+                            obs::Phase::CtsTx {
+                                rail: via.unwrap_or(0) as u8,
+                            },
+                        );
                         inner
                             .ctrl_out
                             .push_back((src, WirePayload::Cts { rdv_id }, via));
@@ -1071,19 +1191,31 @@ impl NmCore {
         env: Envelope,
     ) {
         inner.recv_expected.insert((src, tag), seq + 1);
+        let now = sched.now();
+        let key = mkey(src, inner.rec.rank() as usize, tag, seq);
+        match &env {
+            Envelope::Eager(_) => inner.rec.phase(now.0, key, obs::Phase::EagerRx),
+            Envelope::Rts { .. } => inner.rec.phase(now.0, key, obs::Phase::RtsRx),
+        }
         let gate = GateId(src);
         match inner.matching.try_match_arrival(gate, tag, seq) {
-            Some(req) => match env {
-                Envelope::Eager(data) => {
-                    // Matched on arrival: the credit cycle completes without
-                    // the message ever occupying the unexpected queue.
-                    Self::owe_credit(inner, src, data.len());
-                    Self::complete_recv(inner, req, data, gate, tag)
+            Some(req) => {
+                inner.recv_reqs[req.0 as usize].seq = seq;
+                inner
+                    .rec
+                    .phase(now.0, key, obs::Phase::Matched { unexpected: false });
+                match env {
+                    Envelope::Eager(data) => {
+                        // Matched on arrival: the credit cycle completes without
+                        // the message ever occupying the unexpected queue.
+                        Self::owe_credit(inner, src, data.len());
+                        Self::complete_recv(inner, now.0, req, data, gate, tag)
+                    }
+                    Envelope::Rts { rdv_id, len } => {
+                        Self::start_rdv_in(inner, sched, req, src, tag, seq, rdv_id, len)
+                    }
                 }
-                Envelope::Rts { rdv_id, len } => {
-                    Self::start_rdv_in(inner, sched, req, src, tag, rdv_id, len)
-                }
-            },
+            }
             None => {
                 let msg = match env {
                     Envelope::Eager(data) => {
@@ -1168,12 +1300,28 @@ impl NmCore {
         }
     }
 
-    fn complete_recv(inner: &mut Inner, req: RecvReqId, data: NmBuf, gate: GateId, tag: u64) {
+    fn complete_recv(
+        inner: &mut Inner,
+        t_ns: u64,
+        req: RecvReqId,
+        data: NmBuf,
+        gate: GateId,
+        tag: u64,
+    ) {
         let r = &mut inner.recv_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of recv request");
         r.done = true;
         inner.stats.recv_completions += 1;
         let cookie = r.cookie;
+        let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Completed {
+                side: obs::Side::Recv,
+            },
+        );
+        inner.rec.inc("nmad.recv_completions", 1);
         inner.completions.push_back(NmCompletion {
             cookie,
             // Lineage ends at the user-facing completion: surrender the
@@ -1186,12 +1334,21 @@ impl NmCore {
         });
     }
 
-    fn complete_send(inner: &mut Inner, req: SendReqId) {
+    fn complete_send(inner: &mut Inner, t_ns: u64, req: SendReqId) {
         let r = &mut inner.send_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of send request");
         r.done = true;
         inner.stats.send_completions += 1;
         let cookie = r.cookie;
+        let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Completed {
+                side: obs::Side::Send,
+            },
+        );
+        inner.rec.inc("nmad.send_completions", 1);
         inner.completions.push_back(NmCompletion {
             cookie,
             kind: CompletionKind::Send,
@@ -1200,12 +1357,14 @@ impl NmCore {
 
     /// The receiver matched an RTS: allocate the landing buffer and queue a
     /// CTS control packet back to the sender.
+    #[allow(clippy::too_many_arguments)]
     fn start_rdv_in(
         inner: &mut Inner,
         sched: &Scheduler,
         req: RecvReqId,
         src: usize,
         tag: u64,
+        seq: u64,
         rdv_id: u64,
         len: usize,
     ) {
@@ -1224,6 +1383,7 @@ impl NmCore {
                 recv_req: req,
                 gate: src,
                 tag,
+                seq,
                 buf: vec![0u8; len],
                 received: 0,
                 ranges: Vec::new(),
@@ -1248,6 +1408,8 @@ impl NmCore {
     /// The sender got clear-to-send: queue the payload as splittable DATA.
     fn handle_cts(inner: &mut Inner, sched: &Scheduler, rdv_id: u64) {
         let retry = inner.cfg.retry.is_some();
+        let my_rank = inner.rec.rank() as usize;
+        let cts_dst = inner.rdv_dst.get(&rdv_id).copied();
         let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
             // Only reachable via retransmission: the rendezvous finished
             // (FIN processed) and a replayed CTS straggled in.
@@ -1259,6 +1421,13 @@ impl NmCore {
             return;
         }
         rdv.cts_received = true;
+        if let Some(dst) = cts_dst {
+            inner.rec.phase(
+                sched.now().0,
+                mkey(my_rank, dst, rdv.tag, rdv.seq),
+                obs::Phase::CtsRx,
+            );
+        }
         // Disarm the RTS timer; it re-arms as a FIN timer once every DATA
         // chunk has left the local NIC.
         rdv.deadline = None;
@@ -1304,6 +1473,7 @@ impl NmCore {
                 .push_back((src, WirePayload::RdvFin { rdv_id }, via));
             return;
         }
+        let my_rank = inner.rec.rank() as usize;
         let (done, dup_bytes) = {
             let Some(rdv) = inner.rdv_in.get_mut(&key) else {
                 assert!(retry, "DATA for unknown rendezvous");
@@ -1312,6 +1482,15 @@ impl NmCore {
                 // the sender's FIN timer replays it.
                 return;
             };
+            inner.rec.phase(
+                now.0,
+                mkey(src, my_rank, rdv.tag, rdv.seq),
+                obs::Phase::DataChunkRx {
+                    offset: offset as u64,
+                    len: data.len() as u64,
+                },
+            );
+            inner.rec.observe("nmad.chunk.bytes", data.len() as u64);
             // The one unavoidable receive-side memcpy of the rendezvous
             // path: gather the chunk into the contiguous landing buffer.
             data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
@@ -1338,6 +1517,11 @@ impl NmCore {
             if retry {
                 inner.rdv_done.insert(key);
                 inner.stats.fins_sent += 1;
+                inner.rec.phase(
+                    now.0,
+                    mkey(src, my_rank, rdv.tag, rdv.seq),
+                    obs::Phase::FinTx,
+                );
                 let via = inner.last_in_rail.get(&src).copied();
                 inner
                     .ctrl_out
@@ -1346,7 +1530,7 @@ impl NmCore {
             // Freeze the landing buffer without a copy (the allocation was
             // charged in start_rdv_in, the fills as each chunk landed).
             let buf = NmBuf::adopt(Bytes::from(rdv.buf), BufOrigin::Nmad, &inner.meter);
-            Self::complete_recv(inner, rdv.recv_req, buf, GateId(rdv.gate), rdv.tag);
+            Self::complete_recv(inner, now.0, rdv.recv_req, buf, GateId(rdv.gate), rdv.tag);
         }
     }
 
@@ -1380,14 +1564,22 @@ impl NmCore {
                     .min(rc.max_timeout.as_nanos());
                 *timeout = SimDuration::nanos(t);
             };
-            for (&(dst, _tag), flow) in inner.env_unacked.iter_mut() {
-                for rx in flow.values_mut() {
+            for (&(dst, tag), flow) in inner.env_unacked.iter_mut() {
+                for (&seq, rx) in flow.iter_mut() {
                     if now < rx.deadline {
                         continue;
                     }
                     bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
                     rx.deadline = now + rx.timeout;
                     inner.stats.eager_retries += 1;
+                    let key = mkey(self.rank, dst, tag, seq);
+                    inner.rec.phase(
+                        now.0,
+                        key,
+                        obs::Phase::Retry {
+                            kind: obs::RetryKind::Eager,
+                        },
+                    );
                     // The timeout indicts the rail the envelope went out on;
                     // the replay moves to the current healthiest rail.
                     if let Some(h) = inner.health.as_mut() {
@@ -1395,9 +1587,23 @@ impl NmCore {
                     }
                     let new_rail = Self::preferred_rail(inner.health.as_ref(), &self.profiles);
                     if new_rail != rx.rail {
-                        inner.stats.rerouted_bytes += payload_data_len(&rx.payload) as u64;
+                        let moved = payload_data_len(&rx.payload) as u64;
+                        inner.stats.rerouted_bytes += moved;
+                        inner.rec.phase(
+                            now.0,
+                            key,
+                            obs::Phase::Reroute {
+                                to_rail: new_rail as u8,
+                                bytes: moved,
+                            },
+                        );
                         rx.rail = new_rail;
                     }
+                    // Retransmissions bypass the strategy queue, so the
+                    // wire event is recorded here, not in build_outgoing.
+                    inner
+                        .rec
+                        .phase(now.0, key, obs::Phase::EagerTx { rail: rx.rail as u8 });
                     // share(): the replayed envelope reuses the queued
                     // payload storage — retransmission never copies bytes.
                     resend.push((dst, rx.payload.share(), Some(rx.rail)));
@@ -1438,8 +1644,35 @@ impl NmCore {
                 let rerouted = mask != 0 && mask != 1 << new_rail;
                 let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
                 rdv.last_rails = 1 << new_rail;
+                let key = mkey(self.rank, dst, rdv.tag, rdv.seq);
                 if !rdv.cts_received {
                     inner.stats.rts_retries += 1;
+                    inner.rec.phase(
+                        now.0,
+                        key,
+                        obs::Phase::Retry {
+                            kind: obs::RetryKind::Rts,
+                        },
+                    );
+                    if rerouted {
+                        inner.rec.phase(
+                            now.0,
+                            key,
+                            obs::Phase::Reroute {
+                                to_rail: new_rail as u8,
+                                bytes: 0,
+                            },
+                        );
+                    }
+                    // Replayed wire event (bypasses build_outgoing).
+                    inner.rec.phase(
+                        now.0,
+                        key,
+                        obs::Phase::RtsTx {
+                            rail: new_rail as u8,
+                            len: rdv.data.len() as u64,
+                        },
+                    );
                     resend.push((
                         dst,
                         WirePayload::Rts {
@@ -1455,9 +1688,34 @@ impl NmCore {
                     // whole payload — range tracking dedups whatever did
                     // arrive, and a tombstoned receiver replays the FIN.
                     inner.stats.data_retries += 1;
+                    inner.rec.phase(
+                        now.0,
+                        key,
+                        obs::Phase::Retry {
+                            kind: obs::RetryKind::Data,
+                        },
+                    );
                     if rerouted {
                         inner.stats.rerouted_bytes += rdv.data.len() as u64;
+                        inner.rec.phase(
+                            now.0,
+                            key,
+                            obs::Phase::Reroute {
+                                to_rail: new_rail as u8,
+                                bytes: rdv.data.len() as u64,
+                            },
+                        );
                     }
+                    // Replayed wire event (bypasses build_outgoing).
+                    inner.rec.phase(
+                        now.0,
+                        key,
+                        obs::Phase::DataChunkTx {
+                            rail: new_rail as u8,
+                            offset: 0,
+                            len: rdv.data.len() as u64,
+                        },
+                    );
                     resend.push((
                         dst,
                         WirePayload::Data {
@@ -1482,10 +1740,26 @@ impl NmCore {
                 bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
                 rdv.deadline = Some(now + rdv.timeout);
                 inner.stats.cts_retries += 1;
+                let mk = mkey(key.0, self.rank, rdv.tag, rdv.seq);
+                inner.rec.phase(
+                    now.0,
+                    mk,
+                    obs::Phase::Retry {
+                        kind: obs::RetryKind::Cts,
+                    },
+                );
                 // Receiver-side timeout: could be the lost CTS or the
                 // sender going quiet — no rail to indict. Route the replay
                 // along the sender's last inbound rail.
                 let via = inner.last_in_rail.get(&key.0).copied();
+                // Replayed wire event (bypasses build_outgoing).
+                inner.rec.phase(
+                    now.0,
+                    mk,
+                    obs::Phase::CtsTx {
+                        rail: via.unwrap_or(0) as u8,
+                    },
+                );
                 resend.push((key.0, WirePayload::Cts { rdv_id: key.1 }, via));
             }
         }
@@ -1540,7 +1814,9 @@ impl NmCore {
                         &self.net,
                         &mut inner.stats,
                         &mut inner.rdv_out,
+                        &inner.rdv_in,
                         &mut inner.env_unacked,
+                        &inner.rec,
                         inner.cfg.retry,
                         now,
                         dst,
@@ -1604,7 +1880,9 @@ impl NmCore {
         net: &NmNet,
         stats: &mut NmStats,
         rdv_out: &mut HashMap<u64, RdvOut>,
+        rdv_in: &HashMap<(usize, u64), RdvIn>,
         env_unacked: &mut BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
+        rec: &obs::RankRec,
         retry: Option<RetryConfig>,
         now: SimTime,
         dst: usize,
@@ -1655,6 +1933,13 @@ impl NmCore {
                     } => {
                         eager_reqs.push(send_req);
                         track_eager(env_unacked, tag, seq, &pw.data);
+                        rec.phase(
+                            now.0,
+                            mkey(my_rank, dst, tag, seq),
+                            obs::Phase::EagerTx {
+                                rail: rail_idx as u8,
+                            },
+                        );
                         EagerFrag {
                             tag,
                             seq,
@@ -1675,6 +1960,13 @@ impl NmCore {
                 } => {
                     eager_reqs.push(send_req);
                     track_eager(env_unacked, tag, seq, &pw.data);
+                    rec.phase(
+                        now.0,
+                        mkey(my_rank, dst, tag, seq),
+                        obs::Phase::EagerTx {
+                            rail: rail_idx as u8,
+                        },
+                    );
                     WirePayload::Eager {
                         tag,
                         seq,
@@ -1697,6 +1989,14 @@ impl NmCore {
                         rdv.timeout = rc.timeout;
                         rdv.last_rails = 1 << rail_idx;
                     }
+                    rec.phase(
+                        now.0,
+                        mkey(my_rank, dst, tag, seq),
+                        obs::Phase::RtsTx {
+                            rail: rail_idx as u8,
+                            len: len as u64,
+                        },
+                    );
                     WirePayload::Rts {
                         tag,
                         seq,
@@ -1704,7 +2004,21 @@ impl NmCore {
                         len,
                     }
                 }
-                PwBody::Cts { rdv_id } => WirePayload::Cts { rdv_id },
+                PwBody::Cts { rdv_id } => {
+                    // The CTS answers `dst`'s rendezvous: the span key is
+                    // the *sender's* message identity, looked up in the
+                    // inbound rendezvous table.
+                    if let Some(rdv) = rdv_in.get(&(dst, rdv_id)) {
+                        rec.phase(
+                            now.0,
+                            mkey(dst, my_rank, rdv.tag, rdv.seq),
+                            obs::Phase::CtsTx {
+                                rail: rail_idx as u8,
+                            },
+                        );
+                    }
+                    WirePayload::Cts { rdv_id }
+                }
                 PwBody::Data { rdv_id, offset } => {
                     stats.data_chunks_sent += 1;
                     let rdv = rdv_out
@@ -1717,6 +2031,15 @@ impl NmCore {
                     rdv.chunks_in_flight += 1;
                     rdv.last_rails |= 1 << rail_idx;
                     data_chunk_rdv = Some(rdv_id);
+                    rec.phase(
+                        now.0,
+                        mkey(my_rank, dst, rdv.tag, rdv.seq),
+                        obs::Phase::DataChunkTx {
+                            rail: rail_idx as u8,
+                            offset: offset as u64,
+                            len: pw.data.len() as u64,
+                        },
+                    );
                     WirePayload::Data {
                         rdv_id,
                         offset,
@@ -1727,6 +2050,8 @@ impl NmCore {
         };
         let wire = NmWire::new(my_rank, dst, payload);
         let bytes = wire.wire_bytes();
+        rec.inc("nmad.packets", 1);
+        rec.observe("nmad.wire.bytes", bytes as u64);
         Outgoing {
             rail,
             dst_node,
@@ -1746,10 +2071,11 @@ impl NmCore {
         data_chunk_rdv: Option<u64>,
     ) {
         let mut fired = false;
+        let t_ns = sched.now().0;
         {
             let mut inner = self.inner.lock();
             for &req in eager_reqs {
-                Self::complete_send(&mut inner, req);
+                Self::complete_send(&mut inner, t_ns, req);
                 fired = true;
             }
             if let Some(rdv_id) = data_chunk_rdv {
@@ -1777,7 +2103,7 @@ impl NmCore {
                     } else {
                         let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
                         inner.rdv_dst.remove(&rdv_id);
-                        Self::complete_send(&mut inner, rdv.send_req);
+                        Self::complete_send(&mut inner, t_ns, rdv.send_req);
                         fired = true;
                     }
                 }

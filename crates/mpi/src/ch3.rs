@@ -227,6 +227,10 @@ pub struct Ch3Engine {
     /// Copy accounting for the engine's own buffer work (rendezvous
     /// landing buffers, the receive-side reassembly memcpy).
     meter: Option<Arc<CopyMeter>>,
+    /// Observability handle: CH3 protocol counters (eager/RTS/CTS/DATA
+    /// traffic). Inert — and allocation-free — unless the job armed
+    /// `ObsConfig`.
+    rec: obs::RankRec,
     /// Malformed or stray protocol packets tolerated and dropped (e.g. a
     /// duplicated DATA/CTS for a rendezvous that already finished —
     /// reachable with faults armed). A counter, not a crash: one bad
@@ -264,6 +268,7 @@ impl Ch3Engine {
             rdv_chunk,
             rdv_ack,
             meter: None,
+            rec: obs::RankRec::off(),
             protocol_errors: AtomicU64::new(0),
         }
     }
@@ -281,6 +286,12 @@ impl Ch3Engine {
     /// engines before handing them to `ProcState`).
     pub fn with_copy_meter(mut self, meter: &Arc<CopyMeter>) -> Ch3Engine {
         self.meter = Some(Arc::clone(meter));
+        self
+    }
+
+    /// Attach the observability handle (builder style, like the meter).
+    pub fn with_recorder(mut self, rec: obs::RankRec) -> Ch3Engine {
+        self.rec = rec;
         self
     }
 
@@ -311,6 +322,8 @@ impl Ch3Engine {
         eager_limit: usize,
     ) -> bool {
         if data.len() <= eager_limit {
+            self.rec.inc("ch3.eager_tx", 1);
+            self.rec.observe("ch3.eager.bytes", data.len() as u64);
             send(sched, dst, Ch3Pkt::Eager { key, data });
             true
         } else {
@@ -328,6 +341,8 @@ impl Ch3Engine {
                 },
             );
             drop(inner);
+            self.rec.inc("ch3.rts_tx", 1);
+            self.rec.observe("ch3.rdv.bytes", len as u64);
             send(sched, dst, Ch3Pkt::Rts { key, rdv_id, len });
             false
         }
@@ -404,6 +419,16 @@ impl Ch3Engine {
         pkt: Ch3Pkt,
         events: &mut Vec<Ch3Event>,
     ) {
+        self.rec.inc(
+            match &pkt {
+                Ch3Pkt::Eager { .. } => "ch3.eager_rx",
+                Ch3Pkt::Rts { .. } => "ch3.rts_rx",
+                Ch3Pkt::Cts { .. } => "ch3.cts_rx",
+                Ch3Pkt::Data { .. } => "ch3.data_rx",
+                Ch3Pkt::DataAck { .. } => "ch3.data_ack_rx",
+            },
+            1,
+        );
         match pkt {
             Ch3Pkt::Eager { key, data } => match self.queues.match_arrival(src, key) {
                 Some(entry) => events.push(Ch3Event::RecvDone {

@@ -106,6 +106,9 @@ pub struct ProcState {
     /// Job-wide copy accounting: MPI-ingress copies are charged here and
     /// the meter rides along inside every payload handle.
     pub meter: Arc<CopyMeter>,
+    /// Observability handle (inert unless the job armed `ObsConfig`):
+    /// progress-engine counters land in the shared metrics registry.
+    pub rec: obs::RankRec,
     pub piom: Option<Arc<PiomServer>>,
     /// Wake semaphore for blocked waiters (PIOMan mode).
     pub wake: SimSemaphore,
@@ -129,6 +132,7 @@ impl ProcState {
         net_eager_limit: usize,
         costs: SoftwareCosts,
         meter: Arc<CopyMeter>,
+        rec: obs::RankRec,
         piom: Option<Arc<PiomServer>>,
     ) -> Arc<ProcState> {
         Arc::new(ProcState {
@@ -144,6 +148,7 @@ impl ProcState {
             anysource: AnySourceLists::new(),
             costs,
             meter,
+            rec,
             piom,
             wake: SimSemaphore::new(format!("mpi-wake-{rank}")),
             selfq: Mutex::new(VecDeque::new()),
@@ -353,6 +358,7 @@ impl ProcState {
     /// timing costs are charged by waiters (app-polling) or as completion
     /// delays (PIOMan).
     pub fn progress_cycle(self: &Arc<Self>, sched: &Scheduler) {
+        self.rec.inc("mpi.progress_cycles", 1);
         // 1. Inter-node.
         match &self.net {
             NetPath::Direct(core) => {

@@ -97,6 +97,11 @@ pub struct StackConfig {
     /// Fault plan installed on the NewMadeleine fabric (ignored by tailored
     /// stacks — their CH3 wire protocol has no retransmission layer).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Structured observability: message-lifecycle spans and metric
+    /// histograms across every layer of the stack. Off by default — a
+    /// disabled config costs one branch per instrumentation site and
+    /// allocates nothing.
+    pub obs: obs::ObsConfig,
 }
 
 impl StackConfig {
@@ -121,6 +126,7 @@ impl StackConfig {
             compute_factor: 1.0,
             fabric_seed: 0,
             faults: None,
+            obs: obs::ObsConfig::default(),
         }
     }
 
@@ -152,6 +158,7 @@ impl StackConfig {
             compute_factor: 1.0,
             fabric_seed: 0,
             faults: None,
+            obs: obs::ObsConfig::default(),
         }
     }
 
@@ -181,6 +188,13 @@ impl StackConfig {
         self
     }
 
+    /// Arm structured observability: per-message lifecycle spans and/or
+    /// metric histograms, surfaced on [`RunOutcome::obs`].
+    pub fn with_obs(mut self, obs: obs::ObsConfig) -> StackConfig {
+        self.obs = obs;
+        self
+    }
+
     /// Does this stack bypass CH3 for inter-node traffic?
     pub fn bypass(&self) -> bool {
         matches!(self.inter, InterNode::NmadDirect { .. })
@@ -204,6 +218,9 @@ pub struct RunOutcome {
     /// MPI ingress down to the NIC, across all ranks (the Fig. 2 copy
     /// breakdown). Deterministic for a fixed seed.
     pub copy: CopySnapshot,
+    /// Structured observability report: the job-wide span stream and
+    /// metric registry (None unless the stack armed `ObsConfig`).
+    pub obs: Option<obs::Report>,
 }
 
 /// Job-wide flow-control totals, summed across every rank's NewMadeleine
@@ -263,6 +280,12 @@ impl RunOutcome {
             .iter()
             .fold((0, 0), |acc, s| (acc.0 + s.probes_sent, acc.1 + s.probe_acks))
     }
+
+    /// Per-phase latency breakdown reconstructed from the span stream
+    /// (None unless the run armed span recording).
+    pub fn phase_breakdown(&self) -> Option<obs::PhaseBreakdown> {
+        self.obs.as_ref().map(|r| r.breakdown())
+    }
 }
 
 /// Run `program` on `nranks` simulated processes over `cluster` with the
@@ -283,6 +306,13 @@ pub fn run_mpi(
             builder = builder.max_events(n);
         }
     }
+    // One job-wide span/metric recorder (None when observability is off:
+    // every instrumentation site below degrades to a single branch).
+    let recorder: Option<Arc<obs::Recorder>> =
+        cfg.obs.enabled().then(|| obs::Recorder::new(cfg.obs));
+    if let Some(rec) = &recorder {
+        builder = builder.with_recorder(rec);
+    }
     let mut sim = builder.build();
     let sched = sim.scheduler();
     // One job-wide copy meter: MPI ingress, Nemesis cells, NewMadeleine and
@@ -302,11 +332,12 @@ pub fn run_mpi(
         for (local, &g) in ranks.iter().enumerate() {
             local_index[g] = local;
         }
-        *domain = Some(ShmDomain::with_meter(
+        *domain = Some(ShmDomain::with_instruments(
             &ranks,
             cfg.cells_per_rank,
             cfg.shm_model,
             Arc::clone(&meter),
+            recorder.as_ref(),
         ));
     }
     let local_index = Arc::new(local_index);
@@ -349,6 +380,7 @@ pub fn run_mpi(
                     FabricOpts {
                         seed: cfg.fabric_seed,
                         fault: cfg.faults.as_ref().map(Arc::clone),
+                        recorder: recorder.as_ref().map(Arc::clone),
                     },
                 );
                 let rail_ids: Vec<RailId> =
@@ -357,7 +389,7 @@ pub fn run_mpi(
                 nm_cfg.strategy = *strategy;
                 let cores: Vec<Arc<NmCore>> = (0..nranks)
                     .map(|r| {
-                        NmCore::with_meter(
+                        NmCore::with_instruments(
                             nm_cfg,
                             r,
                             NmNet {
@@ -368,6 +400,7 @@ pub fn run_mpi(
                                 rank_to_node: Arc::clone(&rank_to_node),
                             },
                             Arc::clone(&meter),
+                            recorder.as_ref(),
                         )
                     })
                     .collect();
@@ -457,7 +490,9 @@ pub fn run_mpi(
                     } else {
                         NetPath::None
                     },
-                    Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None)
+                        .with_copy_meter(&meter)
+                        .with_recorder(obs::RankRec::new(recorder.as_ref(), r as u32)),
                     cfg.costs,
                     cfg.nm.eager_threshold,
                 )
@@ -477,7 +512,9 @@ pub fn run_mpi(
                 };
                 (
                     net,
-                    Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
+                    Ch3Engine::new(r, cfg.nm.eager_threshold, None)
+                        .with_copy_meter(&meter)
+                        .with_recorder(obs::RankRec::new(recorder.as_ref(), r as u32)),
                     cfg.costs,
                     cfg.nm.eager_threshold,
                 )
@@ -507,14 +544,17 @@ pub fn run_mpi(
                         profile.rdv_chunk,
                         profile.rdv_ack,
                     )
-                    .with_copy_meter(&meter),
+                    .with_copy_meter(&meter)
+                    .with_recorder(obs::RankRec::new(recorder.as_ref(), r as u32)),
                     profile.costs,
                     profile.eager_threshold,
                 )
             }
             NetSetup::None => (
                 NetPath::None,
-                Ch3Engine::new(r, cfg.nm.eager_threshold, None).with_copy_meter(&meter),
+                Ch3Engine::new(r, cfg.nm.eager_threshold, None)
+                        .with_copy_meter(&meter)
+                        .with_recorder(obs::RankRec::new(recorder.as_ref(), r as u32)),
                 cfg.costs,
                 cfg.nm.eager_threshold,
             ),
@@ -536,6 +576,9 @@ pub fn run_mpi(
             (None, Some(cfg.shm_model))
         };
         let piom_server = cfg.pioman.map(PiomServer::new);
+        if let Some(server) = &piom_server {
+            server.set_recorder(obs::RankRec::new(recorder.as_ref(), r as u32));
+        }
         let state = ProcState::new(
             r,
             nranks,
@@ -547,6 +590,7 @@ pub fn run_mpi(
             net_eager,
             costs,
             Arc::clone(&meter),
+            obs::RankRec::new(recorder.as_ref(), r as u32),
             piom_server.as_ref().map(Arc::clone),
         );
         // PIOMan wiring (part 1): the progress cycle becomes an ltask and
@@ -666,6 +710,7 @@ pub fn run_mpi(
             .map(|s| s.rekicks())
             .sum(),
         copy: meter.snapshot(),
+        obs: recorder.as_ref().map(|r| r.report()),
     }
 }
 

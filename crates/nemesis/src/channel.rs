@@ -109,6 +109,8 @@ impl ReasmAccount {
 
 struct Endpoint {
     global_rank: usize,
+    /// Observability handle stamped with this endpoint's global rank.
+    rec: obs::RankRec,
     recv_queue: NemQueue,
     free_queue: NemQueue,
     mailbox: Mailbox,
@@ -156,11 +158,24 @@ impl ShmDomain {
         model: ShmModel,
         meter: Arc<CopyMeter>,
     ) -> Arc<ShmDomain> {
+        Self::with_instruments(global_ranks, cells_per_rank, model, meter, None)
+    }
+
+    /// Like [`ShmDomain::with_meter`], additionally emitting typed `obs`
+    /// engine events (fragment copies, deliveries) through `recorder`.
+    pub fn with_instruments(
+        global_ranks: &[usize],
+        cells_per_rank: usize,
+        model: ShmModel,
+        meter: Arc<CopyMeter>,
+        recorder: Option<&Arc<obs::Recorder>>,
+    ) -> Arc<ShmDomain> {
         let (pool, initial) = CellPool::new(global_ranks.len().max(1), cells_per_rank);
         let mut endpoints = Vec::with_capacity(global_ranks.len());
         for (local, &g) in global_ranks.iter().enumerate() {
             let ep = Endpoint {
                 global_rank: g,
+                rec: obs::RankRec::new(recorder, g as u32),
                 recv_queue: NemQueue::new(),
                 free_queue: NemQueue::new(),
                 mailbox: Mailbox::new(),
@@ -299,6 +314,14 @@ impl ShmDomain {
 
             // Reserve the sender's serial copy pipe.
             let now = sched.now();
+            ep.rec.engine(
+                now.0,
+                obs::EngineEvent::ShmFragCopy {
+                    bytes: frag_len as u64,
+                },
+            );
+            ep.rec.inc("shm.frag.copies", 1);
+            ep.rec.observe("shm.frag.bytes", frag_len as u64);
             let (start, end) = {
                 let mut free_at = ep.pipe_free_at.lock();
                 let start = (*free_at).max(now);
@@ -318,6 +341,13 @@ impl ShmDomain {
     /// Delivery event: the cell lands in the destination's receive queue.
     fn deliver(self: &Arc<Self>, sched: &Scheduler, dst_local: usize, cell: CellHandle) {
         let ep = &self.endpoints[dst_local];
+        ep.rec.engine(
+            sched.now().0,
+            obs::EngineEvent::ShmDeliver {
+                src_local: cell.origin as u32,
+            },
+        );
+        ep.rec.inc("shm.cells.delivered", 1);
         ep.recv_queue.enqueue(cell);
         ep.mailbox.raise();
         let hook = ep.on_delivery.lock().as_ref().map(Arc::clone);

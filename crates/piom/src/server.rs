@@ -77,6 +77,9 @@ pub struct PiomServer {
     watchdog_seen: AtomicU64,
     /// Stall detections: watchdog periods in which no ltask pass happened.
     rekicks: AtomicU64,
+    /// Observability handle (installed by the stack glue after
+    /// construction; defaults to the inert handle).
+    rec: Mutex<obs::RankRec>,
 }
 
 impl PiomServer {
@@ -91,7 +94,14 @@ impl PiomServer {
             watchdog_running: AtomicBool::new(false),
             watchdog_seen: AtomicU64::new(0),
             rekicks: AtomicU64::new(0),
+            rec: Mutex::new(obs::RankRec::off()),
         })
+    }
+
+    /// Install the observability handle this server stamps its events with
+    /// (kicks, ltask passes, watchdog re-kicks).
+    pub fn set_recorder(&self, rec: obs::RankRec) {
+        *self.rec.lock() = rec;
     }
 
     pub fn config(&self) -> &PiomConfig {
@@ -129,6 +139,16 @@ impl PiomServer {
         self.runs.fetch_add(1, Ordering::Relaxed);
         // Clone out so ltasks may register further ltasks without deadlock.
         let tasks: Vec<LTask> = self.ltasks.lock().clone();
+        {
+            let rec = self.rec.lock();
+            rec.engine(
+                sched.now().0,
+                obs::EngineEvent::PiomLtaskPass {
+                    tasks: tasks.len() as u32,
+                },
+            );
+            rec.inc("piom.ltask_passes", 1);
+        }
         for t in &tasks {
             t.run(sched);
         }
@@ -138,11 +158,21 @@ impl PiomServer {
     /// network synchronization cost — if an idle core is polling. In
     /// timer-driven mode the event waits for the next tick.
     pub fn kick_net(self: &Arc<Self>, sched: &Scheduler) {
+        {
+            let rec = self.rec.lock();
+            rec.engine(sched.now().0, obs::EngineEvent::PiomKick { net: true });
+            rec.inc("piom.kicks.net", 1);
+        }
         self.kick(sched, self.cfg.net_sync);
     }
 
     /// A shared-memory mailbox was raised (Nemesis hook).
     pub fn kick_shm(self: &Arc<Self>, sched: &Scheduler) {
+        {
+            let rec = self.rec.lock();
+            rec.engine(sched.now().0, obs::EngineEvent::PiomKick { net: false });
+            rec.inc("piom.kicks.shm", 1);
+        }
         self.kick(sched, self.cfg.shm_sync);
     }
 
@@ -207,6 +237,11 @@ impl PiomServer {
                 && !server.stopped.load(Ordering::Acquire)
             {
                 server.rekicks.fetch_add(1, Ordering::Relaxed);
+                {
+                    let rec = server.rec.lock();
+                    rec.engine(s.now().0, obs::EngineEvent::PiomRekick);
+                    rec.inc("piom.rekicks", 1);
+                }
                 server.run_ltasks(s);
                 server.watchdog_seen
                     .store(server.runs.load(Ordering::Relaxed), Ordering::Relaxed);

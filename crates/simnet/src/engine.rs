@@ -64,6 +64,8 @@ pub struct SimCore {
     /// from anywhere without locking.
     clock_ns: AtomicU64,
     pub(crate) tracer: Tracer,
+    /// Typed observability sink for the dispatch loop (off by default).
+    rec: obs::RankRec,
 }
 
 impl SimCore {
@@ -156,6 +158,7 @@ struct RankSlot {
 pub struct SimBuilder {
     trace: bool,
     max_events: Option<u64>,
+    recorder: Option<Arc<obs::Recorder>>,
 }
 
 
@@ -164,9 +167,18 @@ impl SimBuilder {
         Self::default()
     }
 
-    /// Record a structured trace of every dispatched event (debugging aid).
+    /// Enable the ad-hoc string [`Tracer`] (free-form notes from user
+    /// code; the dispatch loop itself records typed events via
+    /// [`SimBuilder::with_recorder`]).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Record typed dispatch events (`dispatch_call` / `dispatch_wake`)
+    /// into the given observability recorder.
+    pub fn with_recorder(mut self, rec: &Arc<obs::Recorder>) -> Self {
+        self.recorder = Some(Arc::clone(rec));
         self
     }
 
@@ -182,6 +194,7 @@ impl SimBuilder {
             queue: Mutex::new(EventQueue::new()),
             clock_ns: AtomicU64::new(0),
             tracer: Tracer::new(self.trace),
+            rec: obs::RankRec::new(self.recorder.as_ref(), obs::ENGINE_RANK),
         });
         let (report_tx, report_rx) = mpsc::channel();
         Sim {
@@ -366,7 +379,7 @@ impl Sim {
             }
             match kind {
                 EventKind::Call(f) => {
-                    self.core.tracer.record(t, "call", "");
+                    self.core.rec.engine(t.0, obs::EngineEvent::DispatchCall);
                     f(&sched);
                 }
                 EventKind::Wake(rank) => {
@@ -384,7 +397,7 @@ impl Sim {
                         }
                         RankState::Parked => {}
                     }
-                    self.core.tracer.record(t, "wake", &slot.name);
+                    self.core.rec.engine(t.0, obs::EngineEvent::DispatchWake);
                     slot.go_tx
                         .send(())
                         .expect("rank thread died without reporting");

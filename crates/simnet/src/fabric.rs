@@ -58,6 +58,9 @@ pub struct FabricOpts {
     pub seed: u64,
     /// Optional fault-injection plan (see [`crate::fault`]).
     pub fault: Option<Arc<FaultPlan>>,
+    /// Optional observability recorder: every port emits `nic_tx` engine
+    /// events (and NIC metrics) through it, stamped with the source node.
+    pub recorder: Option<Arc<obs::Recorder>>,
 }
 
 /// All networks of a simulated cluster.
@@ -124,6 +127,7 @@ impl<M: Send + 'static> Fabric<M> {
                     opts.seed,
                     deliver,
                     fault,
+                    obs::RankRec::new(opts.recorder.as_ref(), n as u32),
                 ));
             }
             rails.push(RailPorts { model, ports });

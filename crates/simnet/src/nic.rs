@@ -179,10 +179,13 @@ struct PortState<M> {
 pub struct NicPort<M: Send + 'static> {
     pub model: Arc<NicModel>,
     node: NodeId,
+    rail: usize,
     state: Mutex<PortState<M>>,
     deliver: DeliverFn<M>,
     /// Fault injection for this port, if the fabric installed a plan.
     fault: Option<PortFault<M>>,
+    /// Observability handle (rank = this port's node id).
+    rec: obs::RankRec,
 }
 
 /// Routing hook installed by the [`crate::fabric::Fabric`]: given the
@@ -212,6 +215,7 @@ impl<M: Send + 'static> NicPort<M> {
         seed: u64,
         deliver: DeliverFn<M>,
         fault: Option<PortFault<M>>,
+        rec: obs::RankRec,
     ) -> Arc<Self> {
         use rand::SeedableRng;
         let rng = model.jitter.map(|j| {
@@ -227,6 +231,7 @@ impl<M: Send + 'static> NicPort<M> {
         Arc::new(NicPort {
             model,
             node,
+            rail,
             state: Mutex::new(PortState {
                 busy_until: SimTime::ZERO,
                 backlog: VecDeque::new(),
@@ -236,6 +241,7 @@ impl<M: Send + 'static> NicPort<M> {
             }),
             deliver,
             fault,
+            rec,
         })
     }
 
@@ -325,6 +331,17 @@ impl<M: Send + 'static> NicPort<M> {
         }
         let sent_at = start + occupancy;
         let delivered_at = sent_at + latency + fault.extra_delay;
+        self.rec.engine(
+            start.0,
+            obs::EngineEvent::NicTx {
+                rail: self.rail as u8,
+                bytes: xfer.bytes as u64,
+                occupancy_ns: occupancy.as_nanos(),
+            },
+        );
+        self.rec.inc("nic.tx.msgs", 1);
+        self.rec.inc("nic.tx.bytes", xfer.bytes as u64);
+        self.rec.observe("nic.tx.occupancy_ns", occupancy.as_nanos());
         // Sender-side completion + backlog continuation. These fire even
         // for dropped transfers: the NIC *did* read the send buffer — only
         // the wire ate the packet. Express frames never held the transmit

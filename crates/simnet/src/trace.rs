@@ -1,5 +1,11 @@
-//! Optional structured tracing of dispatched events, for debugging the
-//! protocol stacks. Disabled by default (zero overhead beyond a branch).
+//! Optional ad-hoc string tracing, for debugging the protocol stacks.
+//! Disabled by default (zero overhead beyond a branch).
+//!
+//! The engine's dispatch loop used to log "call"/"wake" strings here;
+//! those sites now emit typed `obs` events (see
+//! [`crate::engine::SimBuilder::with_recorder`]). The `Tracer` remains
+//! for free-form notes from user code via
+//! [`crate::engine::Scheduler::tracer`].
 
 use parking_lot::Mutex;
 
@@ -53,11 +59,17 @@ impl Tracer {
         self.entries.lock().clone()
     }
 
-    /// Render the trace as text, one entry per line.
+    /// Render the trace as text, one entry per line. Streams into one
+    /// buffer with `write!` — no per-entry intermediate strings.
     pub fn dump(&self) -> String {
-        let mut out = String::new();
-        for e in self.entries.lock().iter() {
-            out.push_str(&format!("{:>14}  {:<8} {}\n", format!("{}", e.time), e.kind, e.detail));
+        use std::fmt::Write as _;
+        let entries = self.entries.lock();
+        let mut out = String::with_capacity(entries.len() * 48);
+        let mut time = String::new();
+        for e in entries.iter() {
+            time.clear();
+            let _ = write!(time, "{}", e.time);
+            let _ = writeln!(out, "{time:>14}  {:<8} {}", e.kind, e.detail);
         }
         out
     }

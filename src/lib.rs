@@ -5,6 +5,7 @@
 
 pub use baselines;
 pub use mpi_ch3;
+pub use obs;
 pub use nasbench;
 pub use nemesis;
 pub use netpipe;
@@ -108,6 +109,25 @@ pub mod sim_harness {
             let stack = StackConfig::mpich2_nmad(self.pioman).with_fabric_seed(self.seed);
             run_workload(self.workload, &stack, self.seed)
         }
+
+        /// [`Scenario::run`] with full observability armed: returns the
+        /// fingerprint plus the structured span/metric report. Recording
+        /// is a pure side channel — the fingerprint must equal the
+        /// untraced run's (the replay tests pin that down).
+        pub fn run_traced(&self) -> (Fingerprint, crate::obs::Report) {
+            let stack = StackConfig::mpich2_nmad(self.pioman)
+                .with_faults(FaultPlan::uniform(self.seed, self.spec))
+                .with_obs(crate::obs::ObsConfig::full());
+            run_workload_traced(self.workload, &stack, self.seed)
+        }
+
+        /// [`Scenario::run_clean`] with full observability armed.
+        pub fn run_clean_traced(&self) -> (Fingerprint, crate::obs::Report) {
+            let stack = StackConfig::mpich2_nmad(self.pioman)
+                .with_fabric_seed(self.seed)
+                .with_obs(crate::obs::ObsConfig::full());
+            run_workload_traced(self.workload, &stack, self.seed)
+        }
     }
 
     /// Deterministic pseudo-random byte for (seed, index) — same LCG
@@ -158,6 +178,26 @@ pub mod sim_harness {
     }
 
     fn run_workload(workload: Workload, stack: &StackConfig, seed: u64) -> Fingerprint {
+        run_workload_full(workload, stack, seed).0
+    }
+
+    /// Like [`run_workload`] but also hands back the observability report
+    /// (panics if the stack did not arm `ObsConfig` — the traced entry
+    /// points always do).
+    fn run_workload_traced(
+        workload: Workload,
+        stack: &StackConfig,
+        seed: u64,
+    ) -> (Fingerprint, crate::obs::Report) {
+        let (fp, report) = run_workload_full(workload, stack, seed);
+        (fp, report.expect("traced run must carry an obs report"))
+    }
+
+    fn run_workload_full(
+        workload: Workload,
+        stack: &StackConfig,
+        seed: u64,
+    ) -> (Fingerprint, Option<crate::obs::Report>) {
         let (cluster, nranks) = match workload {
             Workload::SendRecv | Workload::Multirail => (Cluster::xeon_pair(), 2),
             Workload::AnySource => (Cluster::grid5000_opteron(), 1 + ANYSRC_SENDERS),
@@ -180,7 +220,8 @@ pub mod sim_harness {
                 })
             }
         };
-        fingerprint(&outcome, &hashes)
+        let fp = fingerprint(&outcome, &hashes);
+        (fp, outcome.obs)
     }
 
     /// Sizes straddle the 16 KiB eager/rendezvous boundary.

@@ -189,3 +189,64 @@ fn multirail_workload_uses_both_rails() {
         assert!(bytes > 0, "rail {rail} carried no bytes");
     }
 }
+
+#[test]
+fn golden_trace_same_seed_bit_identical_span_stream() {
+    // Golden-trace replay: with observability armed, the same seed must
+    // reproduce the span stream bit-for-bit — every event, in the same
+    // append order, with the same canonical hash — including under a
+    // fault-injected schedule where the trace is full of retries and
+    // reroutes. Any nondeterminism the fingerprint's aggregate counters
+    // could average away shows up here as a single diverging event.
+    let scenarios = [
+        Scenario::new(21, FaultSpec::NONE, Workload::SendRecv, false),
+        Scenario::new(23, FaultSpec::mixed(), Workload::Multirail, true),
+        Scenario::new(29, FaultSpec::drop_heavy(), Workload::AnySource, false),
+    ];
+    for sc in scenarios {
+        let ((fa, ra), (fb, rb)) = if sc.spec == FaultSpec::NONE {
+            (sc.run_clean_traced(), sc.run_clean_traced())
+        } else {
+            (sc.run_traced(), sc.run_traced())
+        };
+        assert_eq!(fa, fb, "fingerprint diverged for {sc:?}");
+        assert_eq!(ra.events, rb.events, "span stream diverged for {sc:?}");
+        assert_eq!(ra.hash(), rb.hash(), "trace hash diverged for {sc:?}");
+        assert_eq!(
+            ra.to_jsonl(),
+            rb.to_jsonl(),
+            "JSONL export diverged for {sc:?}"
+        );
+        assert!(!ra.events.is_empty(), "traced run recorded nothing: {sc:?}");
+    }
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    // Arming the recorder must not perturb the simulation: the traced
+    // run's fingerprint equals the untraced run's, faults and all.
+    let scenarios = [
+        Scenario::new(31, FaultSpec::NONE, Workload::SendRecv, true),
+        Scenario::new(37, FaultSpec::mixed(), Workload::Multirail, false),
+    ];
+    for sc in scenarios {
+        let (traced, untraced) = if sc.spec == FaultSpec::NONE {
+            (sc.run_clean_traced().0, sc.run_clean())
+        } else {
+            (sc.run_traced().0, sc.run())
+        };
+        assert_eq!(
+            traced, untraced,
+            "recording changed the simulation for {sc:?}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    // The seed reaches the span stream: two fault seeds diverge in
+    // recorded events, not just in aggregate counters.
+    let a = Scenario::new(1, FaultSpec::drop_heavy(), Workload::SendRecv, false).run_traced();
+    let b = Scenario::new(2, FaultSpec::drop_heavy(), Workload::SendRecv, false).run_traced();
+    assert_ne!(a.1.hash(), b.1.hash(), "distinct seeds traced identically");
+}
