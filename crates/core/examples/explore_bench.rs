@@ -1,0 +1,23 @@
+//! Per-configuration sizing of the model-explorer standard suite
+//! (E18 source data): `cargo run --release -p nmad --example explore_bench`.
+
+use std::time::Instant;
+
+use nmad::protocol::explore;
+
+fn main() {
+    for cfg in explore::standard_suite() {
+        let t = Instant::now();
+        match explore::explore(&cfg) {
+            Ok(s) => println!(
+                "{:<24} states={:>9} edges={:>10} terminals={:>8}  {:.2?}",
+                s.name,
+                s.states,
+                s.edges,
+                s.terminals,
+                t.elapsed()
+            ),
+            Err(e) => println!("{:<24} VIOLATION after {:.2?}: {e}", cfg.name, t.elapsed()),
+        }
+    }
+}

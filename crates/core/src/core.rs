@@ -47,6 +47,7 @@ use simnet::{
 use crate::config::{NmConfig, RetryConfig};
 use crate::matching::{GateId, MatchEngine, Unexpected};
 use crate::pack::{PacketWrapper, PwBody, PwId};
+use crate::protocol::{self, Action, Verdict};
 use crate::railhealth::{RailHealth, RailHealthTable};
 use crate::sampling::LinkProfile;
 use crate::sr::{CompletionKind, NmCompletion, RecvReqId, SendReqId};
@@ -96,6 +97,11 @@ pub struct NmStats {
     pub dup_envelopes: u64,
     /// Retry mode: duplicate DATA bytes discarded by range tracking.
     pub dup_data: u64,
+    /// Malformed or stale frames the protocol table classified as errors
+    /// (CTS/DATA/FIN for an unknown rendezvous without a retry layer to
+    /// explain them, DATA chunks outside the announced payload range):
+    /// counted and dropped — never a panic.
+    pub protocol_errors: u64,
     /// Frames discarded at delivery because the end-to-end CRC failed
     /// (wire corruption); the retry layer replays them like drops.
     pub crc_drops: u64,
@@ -170,7 +176,13 @@ struct RdvOut {
     bytes_remaining: usize,
     /// Chunks handed to a rail whose send-completion hasn't fired.
     chunks_in_flight: usize,
-    cts_received: bool,
+    /// Protocol-table state of this outbound rendezvous. Every decision
+    /// about an arriving frame or firing timer is a [`protocol::step`]
+    /// lookup against this; the handlers only execute the emitted
+    /// actions. (Inbound rendezvous state is derived: a live `rdv_in`
+    /// entry is `RWaitData`, a `rdv_done` tombstone is `RDone`, anything
+    /// else is `Gone`.)
+    state: protocol::State,
     /// Bitmask of local rail indices the outstanding RTS/DATA packets of
     /// this rendezvous last went out on — the set of rails a timeout is
     /// attributed to, and the set a reroute moves away from.
@@ -300,6 +312,35 @@ fn mkey(src: usize, dst: usize, tag: u64, seq: u64) -> obs::MsgKey {
         tag,
         seq,
     }
+}
+
+/// Guard context for a [`protocol::step`] lookup in this adapter. The
+/// core always speaks the pipelined dialect (CH3's buffered/ack modes
+/// answer those guards in `mpi-ch3`).
+fn pctx(retry: bool, in_range: bool, last: bool, credit_fallback: bool) -> protocol::Ctx {
+    protocol::Ctx {
+        retry,
+        ack_mode: false,
+        buffered: false,
+        in_range,
+        last,
+        credit_fallback,
+    }
+}
+
+/// How many bytes of `[start, end)` are *not* already covered by the
+/// sorted, disjoint range set — computed without mutating, so the
+/// protocol table's `Last` guard can be answered before the copy runs.
+fn fresh_len(ranges: &[(usize, usize)], start: usize, end: usize) -> usize {
+    let mut fresh = end - start;
+    for &(rs, re) in ranges {
+        let os = start.max(rs);
+        let oe = end.min(re);
+        if os < oe {
+            fresh -= oe - os;
+        }
+    }
+    fresh
 }
 
 /// Merge `[start, end)` into a sorted, disjoint range set; returns how many
@@ -569,6 +610,22 @@ impl NmCore {
             };
             inner.gates.entry(dst).or_default().push_back(pw);
         } else {
+            // Rendezvous entry: `entry/size` (payload above the eager
+            // threshold) or `entry/credit-fallback` (eager-sized send
+            // demoted because the credit pool ran dry). Same actions,
+            // distinct table rows so the explorer proves both entries
+            // live.
+            let retry = inner.cfg.retry.is_some();
+            let credit_fallback = data.len() <= inner.cfg.eager_threshold;
+            let verdict = protocol::step(
+                protocol::State::Gone,
+                protocol::Event::SendRdv,
+                pctx(retry, false, false, credit_fallback),
+            );
+            let Verdict::Step { actions, next, .. } = verdict else {
+                unreachable!("rendezvous entry must be a table row");
+            };
+            debug_assert!(actions.contains(&Action::SendRts));
             inner.stats.rdv_sends += 1;
             let rdv_id = inner.next_rdv;
             inner.next_rdv += 1;
@@ -579,6 +636,9 @@ impl NmCore {
                 .map(|rc| rc.timeout)
                 .unwrap_or(SimDuration::ZERO);
             inner.rdv_dst.insert(rdv_id, dst);
+            // `ArmRtsTimer` is realized lazily: the deadline is armed in
+            // `build_outgoing` when the RTS actually leaves the node (a
+            // queued-but-uncommitted RTS cannot time out).
             inner.rdv_out.insert(
                 rdv_id,
                 RdvOut {
@@ -586,7 +646,7 @@ impl NmCore {
                     data,
                     bytes_remaining: len,
                     chunks_in_flight: 0,
-                    cts_received: false,
+                    state: next,
                     last_rails: 0,
                     tag,
                     seq,
@@ -973,16 +1033,36 @@ impl NmCore {
                     }
                 }
                 WirePayload::RdvFin { rdv_id } => {
-                    // Receiver finished: release the payload, complete the
-                    // send. A replayed FIN finds nothing — ignore it.
-                    if let Some(rdv) = inner.rdv_out.remove(&rdv_id) {
-                        let dst = inner.rdv_dst.remove(&rdv_id).unwrap_or(src);
-                        inner.rec.phase(
-                            now.0,
-                            mkey(inner.rec.rank() as usize, dst, rdv.tag, rdv.seq),
-                            obs::Phase::FinRx,
-                        );
-                        Self::complete_send(inner, now.0, rdv.send_req);
+                    // Receiver finished: `fin/early` (chunks still on the
+                    // local NIC) or `fin/confirmed` (FIN-wait) release the
+                    // payload and complete the send; a replayed FIN finds
+                    // `Gone` and is a declared ignore. Without retry no
+                    // FIN is ever legal — a protocol error, not a panic.
+                    let retry = inner.cfg.retry.is_some();
+                    let state = inner
+                        .rdv_out
+                        .get(&rdv_id)
+                        .map_or(protocol::State::Gone, |r| r.state);
+                    match protocol::step(
+                        state,
+                        protocol::Event::FinRx,
+                        pctx(retry, false, false, false),
+                    ) {
+                        Verdict::Step { actions, .. } => {
+                            debug_assert!(actions.contains(&Action::CompleteSend));
+                            let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
+                            let dst = inner.rdv_dst.remove(&rdv_id).unwrap_or(src);
+                            inner.rec.phase(
+                                now.0,
+                                mkey(inner.rec.rank() as usize, dst, rdv.tag, rdv.seq),
+                                obs::Phase::FinRx,
+                            );
+                            Self::complete_send(inner, now.0, rdv.send_req);
+                        }
+                        Verdict::Ignore { .. } => {}
+                        Verdict::Error => {
+                            Self::protocol_error(inner, "nmad.protocol_errors.fin");
+                        }
                     }
                 }
                 WirePayload::Probe { rail, seq } => {
@@ -1117,23 +1197,56 @@ impl NmCore {
     ) {
         let expected = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
         if seq < expected {
-            // Already delivered: a retransmission or a wire duplicate.
+            // Already delivered: a retransmission or a wire duplicate. A
+            // duplicated eager envelope is plain transport bookkeeping; a
+            // duplicated RTS is a protocol event — the handshake reply
+            // may have been lost, and the table decides the replay:
+            // `replay/fin-on-rts` (tombstone → FIN again),
+            // `replay/cts-on-rts` (live → CTS again), or
+            // `replay/rts-unmatched` (count only). A duplicate without a
+            // retry layer to explain it is a counted protocol error.
             let retry = inner.cfg.retry.is_some();
-            debug_assert!(retry, "duplicate or replayed envelope");
-            inner.stats.dup_envelopes += 1;
-            if retry {
-                // A replayed RTS may mean the handshake reply was lost:
-                // replay the CTS (transfer live) or the FIN (finished).
-                if let Envelope::Rts { rdv_id, .. } = env {
-                    let via = inner.last_in_rail.get(&src).copied();
-                    let mk = mkey(src, inner.rec.rank() as usize, tag, seq);
-                    if inner.rdv_done.contains(&(src, rdv_id)) {
+            let Envelope::Rts { rdv_id, .. } = env else {
+                if retry {
+                    inner.stats.dup_envelopes += 1;
+                } else {
+                    Self::protocol_error(inner, "nmad.protocol_errors.dup_envelope");
+                }
+                return;
+            };
+            let key = (src, rdv_id);
+            let state = if inner.rdv_done.contains(&key) {
+                protocol::State::RDone
+            } else if inner.rdv_in.contains_key(&key) {
+                protocol::State::RWaitData
+            } else {
+                protocol::State::Gone
+            };
+            let actions = match protocol::step(
+                state,
+                protocol::Event::DupRts,
+                pctx(retry, false, false, false),
+            ) {
+                Verdict::Step { actions, .. } => actions,
+                Verdict::Ignore { .. } => return,
+                Verdict::Error => {
+                    Self::protocol_error(inner, "nmad.protocol_errors.dup_envelope");
+                    return;
+                }
+            };
+            let via = inner.last_in_rail.get(&src).copied();
+            let mk = mkey(src, inner.rec.rank() as usize, tag, seq);
+            for &action in actions {
+                match action {
+                    Action::CountDupEnvelope => inner.stats.dup_envelopes += 1,
+                    Action::ReplayFin => {
                         inner.stats.fins_sent += 1;
                         inner.rec.phase(sched.now().0, mk, obs::Phase::FinTx);
                         inner
                             .ctrl_out
                             .push_back((src, WirePayload::RdvFin { rdv_id }, via));
-                    } else if inner.rdv_in.contains_key(&(src, rdv_id)) {
+                    }
+                    Action::ReplayCts => {
                         inner.stats.cts_retries += 1;
                         inner.rec.phase(
                             sched.now().0,
@@ -1153,6 +1266,7 @@ impl NmCore {
                             .ctrl_out
                             .push_back((src, WirePayload::Cts { rdv_id }, via));
                     }
+                    _ => unreachable!("DupRts rows emit no other action"),
                 }
             }
             return;
@@ -1334,6 +1448,15 @@ impl NmCore {
         });
     }
 
+    /// The protocol table classified a frame as malformed or stale
+    /// ([`Verdict::Error`]): count it — overall and per frame class — and
+    /// drop it. The one thing this must never do is panic.
+    fn protocol_error(inner: &mut Inner, counter: &'static str) {
+        inner.stats.protocol_errors += 1;
+        inner.rec.inc("nmad.protocol_errors", 1);
+        inner.rec.inc(counter, 1);
+    }
+
     fn complete_send(inner: &mut Inner, t_ns: u64, req: SendReqId) {
         let r = &mut inner.send_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of send request");
@@ -1368,6 +1491,19 @@ impl NmCore {
         rdv_id: u64,
         len: usize,
     ) {
+        // `entry/rts-matched`: allocate the landing buffer, answer with
+        // the CTS, arm the progress timer (`ArmRecvTimer` is a no-op
+        // without retry).
+        let verdict = protocol::step(
+            protocol::State::Gone,
+            protocol::Event::RtsMatched,
+            pctx(inner.cfg.retry.is_some(), false, false, false),
+        );
+        let Verdict::Step { actions, .. } = verdict else {
+            unreachable!("rts-matched entry must be a table row");
+        };
+        debug_assert!(actions.contains(&Action::AllocLanding));
+        debug_assert!(actions.contains(&Action::SendCts));
         let timeout = inner
             .cfg
             .retry
@@ -1405,54 +1541,74 @@ impl NmCore {
         inner.gates.entry(src).or_default().push_back(pw);
     }
 
-    /// The sender got clear-to-send: queue the payload as splittable DATA.
+    /// The sender got clear-to-send. Table lookup: `cts/pipelined` queues
+    /// the payload as splittable DATA; a duplicated or straggling CTS in
+    /// retry mode is a declared ignore; a CTS the table cannot place
+    /// (unknown rendezvous without retry) is a counted protocol error —
+    /// never a panic.
     fn handle_cts(inner: &mut Inner, sched: &Scheduler, rdv_id: u64) {
         let retry = inner.cfg.retry.is_some();
         let my_rank = inner.rec.rank() as usize;
-        let cts_dst = inner.rdv_dst.get(&rdv_id).copied();
-        let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
-            // Only reachable via retransmission: the rendezvous finished
-            // (FIN processed) and a replayed CTS straggled in.
-            assert!(retry, "CTS for unknown rendezvous");
-            return;
-        };
-        if rdv.cts_received {
-            debug_assert!(retry, "duplicate CTS");
-            return;
-        }
-        rdv.cts_received = true;
-        if let Some(dst) = cts_dst {
-            inner.rec.phase(
-                sched.now().0,
-                mkey(my_rank, dst, rdv.tag, rdv.seq),
-                obs::Phase::CtsRx,
-            );
-        }
-        // Disarm the RTS timer; it re-arms as a FIN timer once every DATA
-        // chunk has left the local NIC.
-        rdv.deadline = None;
-        // Zero-copy: the DATA wrapper shares the sender's payload storage.
-        let data = rdv.data.share();
+        let state = inner
+            .rdv_out
+            .get(&rdv_id)
+            .map_or(protocol::State::Gone, |r| r.state);
+        let (actions, next) =
+            match protocol::step(state, protocol::Event::CtsRx, pctx(retry, false, false, false)) {
+                Verdict::Step { actions, next, .. } => (actions, next),
+                Verdict::Ignore { .. } => return,
+                Verdict::Error => {
+                    Self::protocol_error(inner, "nmad.protocol_errors.cts");
+                    return;
+                }
+            };
+        let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+        rdv.state = next;
         let dst = *inner
             .rdv_dst
             .get(&rdv_id)
             .expect("rendezvous destination missing");
-        let pw_id = PwId(inner.next_pw);
-        inner.next_pw += 1;
-        let pw = PacketWrapper {
-            id: pw_id,
-            dst,
-            body: PwBody::Data { rdv_id, offset: 0 },
-            data,
-            enqueued_at: sched.now(),
-        };
-        inner.gates.entry(dst).or_default().push_back(pw);
+        inner.rec.phase(
+            sched.now().0,
+            mkey(my_rank, dst, inner.rdv_out[&rdv_id].tag, inner.rdv_out[&rdv_id].seq),
+            obs::Phase::CtsRx,
+        );
+        for &action in actions {
+            match action {
+                Action::DisarmTimer => {
+                    // The RTS timer re-arms as a FIN timer once every DATA
+                    // chunk has left the local NIC (`sent/await-fin`).
+                    inner.rdv_out.get_mut(&rdv_id).unwrap().deadline = None;
+                }
+                Action::QueueData => {
+                    // Zero-copy: the DATA wrapper shares the sender's
+                    // payload storage.
+                    let data = inner.rdv_out[&rdv_id].data.share();
+                    let pw_id = PwId(inner.next_pw);
+                    inner.next_pw += 1;
+                    let pw = PacketWrapper {
+                        id: pw_id,
+                        dst,
+                        body: PwBody::Data { rdv_id, offset: 0 },
+                        data,
+                        enqueued_at: sched.now(),
+                    };
+                    inner.gates.entry(dst).or_default().push_back(pw);
+                }
+                _ => unreachable!("cts/pipelined emits no other action"),
+            }
+        }
     }
 
-    /// A DATA chunk landed: copy it into the rendezvous buffer; complete
-    /// the receive when the last byte arrives. In retry mode replayed
-    /// chunks are idempotent (range tracking) and chunks for a finished
-    /// rendezvous replay the FIN.
+    /// A DATA chunk landed. Table lookup against the derived receiver
+    /// state (live entry = `RWaitData`, tombstone = `RDone`, neither =
+    /// `Gone`): `data/chunk` copies and bumps the progress timer,
+    /// `data/last*` completes the receive (and in retry mode sends the
+    /// FIN and tombstones), `replay/fin-on-data` answers a replayed
+    /// payload at a tombstone with the FIN again. Chunks outside the
+    /// announced payload range — or for an unknown rendezvous without
+    /// retry — are counted protocol errors, never a panic or a wild
+    /// slice.
     fn handle_data(
         inner: &mut Inner,
         now: SimTime,
@@ -1463,70 +1619,126 @@ impl NmCore {
     ) {
         let key = (src, rdv_id);
         let retry = inner.cfg.retry.is_some();
-        if retry && inner.rdv_done.contains(&key) {
-            // The sender's FIN was lost and it replayed the payload.
-            inner.stats.dup_data += 1;
-            inner.stats.fins_sent += 1;
-            let via = inner.last_in_rail.get(&src).copied();
-            inner
-                .ctrl_out
-                .push_back((src, WirePayload::RdvFin { rdv_id }, via));
-            return;
-        }
-        let my_rank = inner.rec.rank() as usize;
-        let (done, dup_bytes) = {
-            let Some(rdv) = inner.rdv_in.get_mut(&key) else {
-                assert!(retry, "DATA for unknown rendezvous");
-                // Not tombstoned and not live: the RTS retransmit that will
-                // recreate the rendezvous hasn't landed yet. Drop the chunk;
-                // the sender's FIN timer replays it.
-                return;
-            };
-            inner.rec.phase(
-                now.0,
-                mkey(src, my_rank, rdv.tag, rdv.seq),
-                obs::Phase::DataChunkRx {
-                    offset: offset as u64,
-                    len: data.len() as u64,
-                },
-            );
-            inner.rec.observe("nmad.chunk.bytes", data.len() as u64);
-            // The one unavoidable receive-side memcpy of the rendezvous
-            // path: gather the chunk into the contiguous landing buffer.
-            data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
-            let dup = if retry {
-                let fresh = insert_range(&mut rdv.ranges, offset, offset + data.len());
-                rdv.received += fresh;
-                // Progress arrived: push the CTS retransmission timer out.
-                if let Some(dl) = rdv.deadline.as_mut() {
-                    *dl = now + rdv.timeout;
-                }
-                (data.len() - fresh) as u64
-            } else {
-                rdv.received += data.len();
-                0
-            };
-            debug_assert!(rdv.received <= rdv.buf.len());
-            (rdv.received == rdv.buf.len(), dup)
+        let state = if inner.rdv_done.contains(&key) {
+            protocol::State::RDone
+        } else if inner.rdv_in.contains_key(&key) {
+            protocol::State::RWaitData
+        } else {
+            protocol::State::Gone
         };
-        if dup_bytes > 0 {
-            inner.stats.dup_data += 1;
+        // Answer the `InRange` / `Last` guards before anything mutates:
+        // the chunk must lie inside the landing buffer, and `last` means
+        // it completes the payload (under retry, counting only bytes not
+        // already covered by a replay).
+        let (in_range, last) = match inner.rdv_in.get(&key) {
+            Some(rdv) => {
+                let end = offset.checked_add(data.len());
+                let in_range = end.is_some_and(|e| e <= rdv.buf.len());
+                let last = in_range && {
+                    let end = end.unwrap();
+                    let fresh = if retry {
+                        fresh_len(&rdv.ranges, offset, end)
+                    } else {
+                        data.len()
+                    };
+                    rdv.received + fresh == rdv.buf.len()
+                };
+                (in_range, last)
+            }
+            None => (true, false),
+        };
+        let actions = match protocol::step(
+            state,
+            protocol::Event::DataRx,
+            pctx(retry, in_range, last, false),
+        ) {
+            Verdict::Step { actions, .. } => actions,
+            // `ignore/data-before-reentry` (defensive): drop the chunk;
+            // the sender's FIN timer replays it.
+            Verdict::Ignore { .. } => return,
+            Verdict::Error => {
+                Self::protocol_error(inner, "nmad.protocol_errors.data");
+                return;
+            }
+        };
+        let my_rank = inner.rec.rank() as usize;
+        let mut done = false;
+        for &action in actions {
+            match action {
+                Action::CopyChunk => {
+                    let rdv = inner.rdv_in.get_mut(&key).unwrap();
+                    inner.rec.phase(
+                        now.0,
+                        mkey(src, my_rank, rdv.tag, rdv.seq),
+                        obs::Phase::DataChunkRx {
+                            offset: offset as u64,
+                            len: data.len() as u64,
+                        },
+                    );
+                    inner.rec.observe("nmad.chunk.bytes", data.len() as u64);
+                    // The one unavoidable receive-side memcpy of the
+                    // rendezvous path: gather the chunk into the
+                    // contiguous landing buffer.
+                    data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
+                    let dup_bytes = if retry {
+                        let fresh = insert_range(&mut rdv.ranges, offset, offset + data.len());
+                        rdv.received += fresh;
+                        (data.len() - fresh) as u64
+                    } else {
+                        rdv.received += data.len();
+                        0
+                    };
+                    debug_assert!(rdv.received <= rdv.buf.len());
+                    if dup_bytes > 0 {
+                        inner.stats.dup_data += 1;
+                    }
+                }
+                Action::BumpRecvTimer => {
+                    // Progress arrived: push the CTS retransmission timer
+                    // out (a no-op without retry, where no timer is armed).
+                    let rdv = inner.rdv_in.get_mut(&key).unwrap();
+                    let timeout = rdv.timeout;
+                    if let Some(dl) = rdv.deadline.as_mut() {
+                        *dl = now + timeout;
+                    }
+                }
+                Action::Tombstone => {
+                    inner.rdv_done.insert(key);
+                }
+                Action::SendFin => {
+                    let rdv = &inner.rdv_in[&key];
+                    inner.stats.fins_sent += 1;
+                    inner.rec.phase(
+                        now.0,
+                        mkey(src, my_rank, rdv.tag, rdv.seq),
+                        obs::Phase::FinTx,
+                    );
+                    let via = inner.last_in_rail.get(&src).copied();
+                    inner
+                        .ctrl_out
+                        .push_back((src, WirePayload::RdvFin { rdv_id }, via));
+                }
+                Action::CompleteRecv => {
+                    done = true;
+                }
+                Action::CountDupData => {
+                    // Replayed payload at a tombstone: the sender's FIN
+                    // was lost.
+                    inner.stats.dup_data += 1;
+                }
+                Action::ReplayFin => {
+                    inner.stats.fins_sent += 1;
+                    let via = inner.last_in_rail.get(&src).copied();
+                    inner
+                        .ctrl_out
+                        .push_back((src, WirePayload::RdvFin { rdv_id }, via));
+                }
+                _ => unreachable!("DataRx rows emit no other action"),
+            }
         }
         if done {
             let rdv = inner.rdv_in.remove(&key).unwrap();
-            if retry {
-                inner.rdv_done.insert(key);
-                inner.stats.fins_sent += 1;
-                inner.rec.phase(
-                    now.0,
-                    mkey(src, my_rank, rdv.tag, rdv.seq),
-                    obs::Phase::FinTx,
-                );
-                let via = inner.last_in_rail.get(&src).copied();
-                inner
-                    .ctrl_out
-                    .push_back((src, WirePayload::RdvFin { rdv_id }, via));
-            }
+            debug_assert_eq!(rdv.received, rdv.buf.len());
             // Freeze the landing buffer without a copy (the allocation was
             // charged in start_rdv_in, the fills as each chunk landed).
             let buf = NmBuf::adopt(Bytes::from(rdv.buf), BufOrigin::Nmad, &inner.meter);
@@ -1620,6 +1832,25 @@ impl NmCore {
             out_ids.sort_unstable();
             for rdv_id in out_ids {
                 let dst = inner.rdv_dst[&rdv_id];
+                // Table lookup: `timer/rts` (waiting for the CTS — replay
+                // the RTS) or `timer/data` (waiting for the FIN — replay
+                // the payload). The timer is only armed in those two
+                // states, so anything else is a protocol error: disarm
+                // and count rather than replaying garbage.
+                let state = inner.rdv_out[&rdv_id].state;
+                let verdict = protocol::step(
+                    state,
+                    protocol::Event::SendTimeout,
+                    pctx(true, false, false, false),
+                );
+                let Verdict::Step { actions, .. } = verdict else {
+                    Self::protocol_error(inner, "nmad.protocol_errors.timer");
+                    inner.rdv_out.get_mut(&rdv_id).unwrap().deadline = None;
+                    continue;
+                };
+                // `Backoff`: bump the attempt count and re-arm with the
+                // backed-off timeout.
+                debug_assert!(actions.contains(&Action::Backoff));
                 let mask = {
                     let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
                     bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (sender)");
@@ -1645,7 +1876,7 @@ impl NmCore {
                 let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
                 rdv.last_rails = 1 << new_rail;
                 let key = mkey(self.rank, dst, rdv.tag, rdv.seq);
-                if !rdv.cts_received {
+                if actions.contains(&Action::ReplayRts) {
                     inner.stats.rts_retries += 1;
                     inner.rec.phase(
                         now.0,
@@ -1684,9 +1915,11 @@ impl NmCore {
                         Some(new_rail),
                     ));
                 } else {
-                    // FIN wait: the receiver never confirmed. Replay the
-                    // whole payload — range tracking dedups whatever did
-                    // arrive, and a tombstoned receiver replays the FIN.
+                    // `timer/data` — FIN wait: the receiver never
+                    // confirmed. Replay the whole payload — range tracking
+                    // dedups whatever did arrive, and a tombstoned
+                    // receiver replays the FIN.
+                    debug_assert!(actions.contains(&Action::ReplayData));
                     inner.stats.data_retries += 1;
                     inner.rec.phase(
                         now.0,
@@ -1736,6 +1969,18 @@ impl NmCore {
                 .collect();
             in_ids.sort_unstable();
             for key in in_ids {
+                // A live inbound entry is `RWaitData` by construction;
+                // `timer/cts` backs off and replays the CTS.
+                let verdict = protocol::step(
+                    protocol::State::RWaitData,
+                    protocol::Event::RecvTimeout,
+                    pctx(true, false, false, false),
+                );
+                let Verdict::Step { actions, .. } = verdict else {
+                    unreachable!("timer/cts must be a table row");
+                };
+                debug_assert!(actions.contains(&Action::Backoff));
+                debug_assert!(actions.contains(&Action::ReplayCts));
                 let rdv = inner.rdv_in.get_mut(&key).unwrap();
                 bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
                 rdv.deadline = Some(now + rdv.timeout);
@@ -2085,26 +2330,52 @@ impl NmCore {
                         rdv.chunks_in_flight -= 1;
                         rdv.chunks_in_flight == 0 && rdv.bytes_remaining == 0
                     }
-                    None => {
-                        // Retry mode: the receiver's FIN (driven by a
-                        // retransmitted chunk) beat this NIC completion.
-                        assert!(retry.is_some(), "sent chunk for unknown rendezvous");
-                        false
-                    }
+                    None => false,
                 };
                 if finished {
-                    if let Some(rc) = retry {
-                        // Local completion isn't delivery: hold the payload
-                        // and wait for the receiver's FIN.
-                        let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
-                        rdv.attempts = 0;
-                        rdv.timeout = rc.timeout;
-                        rdv.deadline = Some(sched.now() + rc.timeout);
-                    } else {
-                        let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
-                        inner.rdv_dst.remove(&rdv_id);
-                        Self::complete_send(&mut inner, t_ns, rdv.send_req);
-                        fired = true;
+                    // The final DATA chunk cleared the local NIC — the
+                    // `LastChunkSent` event: `sent/await-fin` (retry mode
+                    // arms the FIN timer and holds the payload — local
+                    // completion isn't delivery) or `sent/complete`.
+                    let state = inner.rdv_out[&rdv_id].state;
+                    match protocol::step(
+                        state,
+                        protocol::Event::LastChunkSent,
+                        pctx(retry.is_some(), false, false, false),
+                    ) {
+                        Verdict::Step { actions, next, .. } => {
+                            if actions.contains(&Action::ArmFinTimer) {
+                                let rc = retry.expect("FIN timer implies retry");
+                                let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+                                rdv.state = next;
+                                rdv.attempts = 0;
+                                rdv.timeout = rc.timeout;
+                                rdv.deadline = Some(sched.now() + rc.timeout);
+                            } else {
+                                debug_assert!(actions.contains(&Action::CompleteSend));
+                                let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
+                                inner.rdv_dst.remove(&rdv_id);
+                                Self::complete_send(&mut inner, t_ns, rdv.send_req);
+                                fired = true;
+                            }
+                        }
+                        Verdict::Ignore { .. } => {}
+                        Verdict::Error => {
+                            Self::protocol_error(&mut inner, "nmad.protocol_errors.sent");
+                        }
+                    }
+                } else if !inner.rdv_out.contains_key(&rdv_id) {
+                    // The entry is gone: in retry mode the receiver's FIN
+                    // (driven by a retransmitted chunk) legally beat this
+                    // NIC completion (`ignore/fin-beat-nic-completion`);
+                    // otherwise it is a protocol error.
+                    match protocol::step(
+                        protocol::State::Gone,
+                        protocol::Event::LastChunkSent,
+                        pctx(retry.is_some(), false, false, false),
+                    ) {
+                        Verdict::Ignore { .. } => {}
+                        _ => Self::protocol_error(&mut inner, "nmad.protocol_errors.sent"),
                     }
                 }
             }

@@ -52,6 +52,7 @@ pub mod config;
 pub mod core;
 pub mod matching;
 pub mod pack;
+pub mod protocol;
 pub mod railhealth;
 pub mod sampling;
 pub mod sr;

@@ -1,0 +1,726 @@
+//! # Bounded exhaustive exploration of the rendezvous table
+//!
+//! A small-model checker for [`super::TABLE`]: a handful of messages, a
+//! network modelled as a bag of frames (delivery order free — reordering
+//! is inherent), and budgeted fault operators (drop, duplicate, timer
+//! fire). The explorer walks **every** reachable interleaving by DFS with
+//! a visited-state memo and, on every edge, drives the delivered frame or
+//! local happening through [`super::step`] — exactly the lookup the
+//! runtime adapters perform.
+//!
+//! What a run proves for its configuration:
+//!
+//! * **no protocol errors** — no reachable (state, event, ctx) falls off
+//!   the table (other than declared ignores);
+//! * **no defensive firings** — rows declared unreachable stay so;
+//! * **lifecycle soundness** — completions fire exactly once per side,
+//!   and a receive only completes with every payload chunk assembled;
+//! * **eventual completion** — every terminal state (no enabled moves)
+//!   has both sides of every message complete and the net drained;
+//! * **coverage** — which table rows and ignores fired, so a suite of
+//!   configurations can assert there are *no unreachable table entries*.
+//!
+//! Soundness of the memo: violations and coverage are edge properties
+//! and every enabled edge is executed (even into already-visited
+//! states); terminal properties are checked per distinct state. Budgets
+//! make the space finite; the drop budget is tied to the sender timeout
+//! budget (a drop is only enabled while a recovery timer firing remains)
+//! so exhausted-budget dead ends cannot masquerade as protocol bugs.
+
+use std::collections::HashSet;
+
+use super::{step, Action, Ctx, Event, State, Verdict, IGNORES, TABLE};
+
+/// One modelled message: an independent rendezvous flow `src → dst`.
+/// Ranks are descriptive (they name the 2–3 rank shape of a config);
+/// flows do not otherwise interact — transport-level envelope ordering
+/// across flows is the sequencing layer's concern, tested elsewhere.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgCfg {
+    pub src: u8,
+    pub dst: u8,
+    /// DATA chunks the payload splits into (1–3 keeps the model small).
+    pub chunks: u8,
+}
+
+/// One bounded model configuration.
+#[derive(Clone, Debug)]
+pub struct ModelCfg {
+    pub name: &'static str,
+    pub msgs: Vec<MsgCfg>,
+    /// Core retry mode (arms timers, FIN leg, replay rows).
+    pub retry: bool,
+    /// CH3 DataAck-throttled pipeline (implies `buffered`).
+    pub ack_mode: bool,
+    /// CH3 buffered semantics (sender completes on handoff).
+    pub buffered: bool,
+    /// Enter the rendezvous via the credit-exhaustion fallback guard.
+    pub credit_fallback: bool,
+    /// Per-message frame-drop budget (needs `retry` to recover).
+    pub max_drops: u8,
+    /// Which frame kinds may be duplicated (once per original frame).
+    pub dup_rts: bool,
+    pub dup_cts: bool,
+    pub dup_data: bool,
+    pub dup_fin: bool,
+    /// Per-message timer-firing budgets.
+    pub max_send_timeouts: u8,
+    pub max_recv_timeouts: u8,
+}
+
+impl ModelCfg {
+    /// A fault-free configuration skeleton.
+    pub fn clean(name: &'static str, msgs: Vec<MsgCfg>) -> ModelCfg {
+        ModelCfg {
+            name,
+            msgs,
+            retry: false,
+            ack_mode: false,
+            buffered: false,
+            credit_fallback: false,
+            max_drops: 0,
+            dup_rts: false,
+            dup_cts: false,
+            dup_data: false,
+            dup_fin: false,
+            max_send_timeouts: 0,
+            max_recv_timeouts: 0,
+        }
+    }
+
+    fn faults_armed(&self) -> bool {
+        self.max_drops > 0
+            || self.dup_rts
+            || self.dup_cts
+            || self.dup_data
+            || self.dup_fin
+            || self.max_send_timeouts > 0
+            || self.max_recv_timeouts > 0
+    }
+}
+
+/// Frames in flight. `Data` carries the chunk set it covers as a bitmask
+/// (a timer replay covers the whole payload in one frame, exactly like
+/// the runtime's offset-0 full replay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum FrameKind {
+    Rts,
+    Cts,
+    Data { mask: u8 },
+    Fin,
+    DataAck,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Frame {
+    msg: u8,
+    kind: FrameKind,
+    /// Remaining duplications of this physical frame (copies carry 0).
+    dup_left: u8,
+}
+
+/// Per-message model state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct MsgSt {
+    s: State,
+    r: State,
+    started: bool,
+    posted: bool,
+    /// The transport delivered an RTS with this flow's sequence number
+    /// (so any further RTS is a duplicate).
+    rts_delivered: bool,
+    /// An RTS sits in the unexpected queue awaiting the post.
+    unexpected_rts: bool,
+    s_done: bool,
+    r_done: bool,
+    /// Receiver: chunk bitmask assembled so far.
+    got: u8,
+    /// Throttled sender: fragments sent so far.
+    cursor: u8,
+    /// Pipelined sender: final local NIC completion outstanding.
+    pending_last: bool,
+    s_timeouts: u8,
+    r_timeouts: u8,
+    drops: u8,
+}
+
+impl MsgSt {
+    fn fresh() -> MsgSt {
+        MsgSt {
+            s: State::Gone,
+            r: State::Gone,
+            started: false,
+            posted: false,
+            rts_delivered: false,
+            unexpected_rts: false,
+            s_done: false,
+            r_done: false,
+            got: 0,
+            cursor: 0,
+            pending_last: false,
+            s_timeouts: 0,
+            r_timeouts: 0,
+            drops: 0,
+        }
+    }
+}
+
+/// The full model state: per-message machines plus the frame bag,
+/// canonicalized (sorted net) so the visited memo is order-insensitive.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Model {
+    msgs: Vec<MsgSt>,
+    net: Vec<Frame>,
+}
+
+/// One enabled move from a model state.
+#[derive(Clone, Copy, Debug)]
+enum Move {
+    /// The application starts message `i`'s send.
+    Start(u8),
+    /// The application posts message `i`'s receive.
+    Post(u8),
+    /// Deliver `net[j]`.
+    Deliver(usize),
+    /// Drop `net[j]` (fault; budgeted, recovery reserved).
+    Drop(usize),
+    /// Duplicate `net[j]` (fault; per-frame budget).
+    Dup(usize),
+    /// Message `i`'s final DATA chunk clears the local NIC.
+    LastSent(u8),
+    /// Message `i`'s sender timer fires.
+    SendTimeout(u8),
+    /// Message `i`'s receiver timer fires.
+    RecvTimeout(u8),
+}
+
+/// Exploration results for one configuration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    pub name: &'static str,
+    /// Distinct model states visited.
+    pub states: u64,
+    /// Moves executed — distinct one-step extensions of explored
+    /// interleavings (every edge, including edges into already-visited
+    /// states).
+    pub edges: u64,
+    /// Distinct terminal (move-free) states, all proven complete.
+    pub terminals: u64,
+    /// Table-row firing counts, indexed like [`TABLE`].
+    pub fired_rows: Vec<u64>,
+    /// Ignore firing counts, indexed like [`IGNORES`].
+    pub fired_ignores: Vec<u64>,
+}
+
+impl Stats {
+    fn new(name: &'static str) -> Stats {
+        Stats {
+            name,
+            states: 0,
+            edges: 0,
+            terminals: 0,
+            fired_rows: vec![0; TABLE.len()],
+            fired_ignores: vec![0; IGNORES.len()],
+        }
+    }
+
+    /// Merge another configuration's counts into this one (suite-level
+    /// coverage).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.states += other.states;
+        self.edges += other.edges;
+        self.terminals += other.terminals;
+        for (a, b) in self.fired_rows.iter_mut().zip(&other.fired_rows) {
+            *a += b;
+        }
+        for (a, b) in self.fired_ignores.iter_mut().zip(&other.fired_ignores) {
+            *a += b;
+        }
+    }
+
+    /// Names of table rows this exploration never fired.
+    pub fn unreached_rows(&self) -> Vec<&'static str> {
+        self.fired_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| TABLE[i].name)
+            .collect()
+    }
+
+    /// Names of non-defensive ignores this exploration never fired.
+    pub fn unreached_ignores(&self) -> Vec<&'static str> {
+        self.fired_ignores
+            .iter()
+            .enumerate()
+            .filter(|(i, &n)| n == 0 && !IGNORES[*i].defensive)
+            .map(|(i, _)| IGNORES[i].name)
+            .collect()
+    }
+}
+
+fn full_mask(chunks: u8) -> u8 {
+    (1u16 << chunks) as u8 - 1
+}
+
+fn dup_budget(cfg: &ModelCfg, kind: FrameKind) -> u8 {
+    let on = match kind {
+        FrameKind::Rts => cfg.dup_rts,
+        FrameKind::Cts => cfg.dup_cts,
+        FrameKind::Data { .. } => cfg.dup_data,
+        FrameKind::Fin => cfg.dup_fin,
+        FrameKind::DataAck => false,
+    };
+    on as u8
+}
+
+/// Run the table lookup for message `i`, enforce the explorer-level
+/// invariants, execute the emitted actions. `last`/`credit_fallback`
+/// feed the guard ctx; `mask` is the chunk set a `DataRx` delivered.
+fn fire(
+    m: &mut Model,
+    cfg: &ModelCfg,
+    stats: &mut Stats,
+    i: usize,
+    event: Event,
+    last: bool,
+    mask: u8,
+) -> Result<(), String> {
+    let receiver_side = matches!(event, Event::RtsMatched | Event::DataRx | Event::DupRts | Event::RecvTimeout);
+    let state = if receiver_side { m.msgs[i].r } else { m.msgs[i].s };
+    let ctx = Ctx {
+        retry: cfg.retry,
+        ack_mode: cfg.ack_mode,
+        buffered: cfg.buffered,
+        in_range: true,
+        last,
+        credit_fallback: cfg.credit_fallback,
+    };
+    match step(state, event, ctx) {
+        Verdict::Step { index, actions, next } => {
+            stats.fired_rows[index] += 1;
+            for &a in actions {
+                exec(m, cfg, i, a, mask)?;
+            }
+            if receiver_side {
+                m.msgs[i].r = next;
+            } else {
+                m.msgs[i].s = next;
+            }
+            Ok(())
+        }
+        Verdict::Ignore { index, defensive } => {
+            if defensive {
+                return Err(format!(
+                    "defensive ignore `{}` fired: {state:?} × {event:?} reached in msg {i} of {:?}",
+                    IGNORES[index].name, m
+                ));
+            }
+            stats.fired_ignores[index] += 1;
+            Ok(())
+        }
+        Verdict::Error => Err(format!(
+            "protocol error: no transition for {state:?} × {event:?} × {ctx:?} (msg {i}) in {:?}",
+            m
+        )),
+    }
+}
+
+/// Execute one emitted action against the abstract model. Timer actions
+/// are no-ops here — timers are modelled as budgeted fault moves, not
+/// clocks.
+fn exec(m: &mut Model, cfg: &ModelCfg, i: usize, a: Action, mask: u8) -> Result<(), String> {
+    let chunks = cfg.msgs[i].chunks;
+    let push = |m: &mut Model, kind: FrameKind, dup: u8| {
+        m.net.push(Frame {
+            msg: i as u8,
+            kind,
+            dup_left: dup,
+        });
+    };
+    match a {
+        Action::SendRts => push(m, FrameKind::Rts, dup_budget(cfg, FrameKind::Rts)),
+        Action::SendCts => push(m, FrameKind::Cts, dup_budget(cfg, FrameKind::Cts)),
+        Action::SendFin => push(m, FrameKind::Fin, dup_budget(cfg, FrameKind::Fin)),
+        Action::QueueData => {
+            for c in 0..chunks {
+                push(
+                    m,
+                    FrameKind::Data { mask: 1 << c },
+                    dup_budget(cfg, FrameKind::Data { mask: 0 }),
+                );
+            }
+            m.msgs[i].pending_last = true;
+        }
+        Action::SendAllData => {
+            for c in 0..chunks {
+                push(m, FrameKind::Data { mask: 1 << c }, 0);
+            }
+        }
+        Action::SendNextFragment => {
+            let c = m.msgs[i].cursor;
+            debug_assert!(c < chunks, "fragment past the payload end");
+            push(m, FrameKind::Data { mask: 1 << c }, 0);
+            m.msgs[i].cursor = c + 1;
+        }
+        Action::ReplayRts => push(m, FrameKind::Rts, 0),
+        Action::ReplayCts => push(m, FrameKind::Cts, 0),
+        Action::ReplayFin => push(m, FrameKind::Fin, 0),
+        Action::ReplayData => push(m, FrameKind::Data { mask: full_mask(chunks) }, 0),
+        Action::SendDataAck => push(m, FrameKind::DataAck, 0),
+        Action::CopyChunk => m.msgs[i].got |= mask,
+        Action::CompleteSend => {
+            if m.msgs[i].s_done {
+                return Err(format!("send completion fired twice for msg {i}"));
+            }
+            m.msgs[i].s_done = true;
+        }
+        Action::CompleteRecv => {
+            if m.msgs[i].r_done {
+                return Err(format!("recv completion fired twice for msg {i}"));
+            }
+            if m.msgs[i].got != full_mask(chunks) {
+                return Err(format!(
+                    "recv completion with chunks {:#b}/{:#b} for msg {i}",
+                    m.msgs[i].got,
+                    full_mask(chunks)
+                ));
+            }
+            m.msgs[i].r_done = true;
+        }
+        // Timers are budgeted moves; buffer allocation, tombstoning and
+        // accounting have no model-visible effect beyond the state the
+        // table already moved.
+        Action::ArmRtsTimer
+        | Action::ArmFinTimer
+        | Action::ArmRecvTimer
+        | Action::DisarmTimer
+        | Action::BumpRecvTimer
+        | Action::Backoff
+        | Action::AllocLanding
+        | Action::Tombstone
+        | Action::CountDupData
+        | Action::CountDupEnvelope => {}
+    }
+    Ok(())
+}
+
+/// All moves enabled in `m`. Identical frames are deduplicated (equal
+/// frames lead to equal successors).
+fn enabled_moves(m: &Model, cfg: &ModelCfg) -> Vec<Move> {
+    let mut moves = Vec::new();
+    for (i, st) in m.msgs.iter().enumerate() {
+        let iu = i as u8;
+        if !st.started {
+            moves.push(Move::Start(iu));
+        }
+        if !st.posted {
+            moves.push(Move::Post(iu));
+        }
+        if st.pending_last {
+            moves.push(Move::LastSent(iu));
+        }
+        if cfg.retry
+            && matches!(st.s, State::SWaitCts | State::SWaitFin)
+            && st.s_timeouts < cfg.max_send_timeouts
+        {
+            moves.push(Move::SendTimeout(iu));
+        }
+        if cfg.retry && st.r == State::RWaitData && st.r_timeouts < cfg.max_recv_timeouts {
+            moves.push(Move::RecvTimeout(iu));
+        }
+    }
+    for (j, f) in m.net.iter().enumerate() {
+        if m.net[..j].contains(f) {
+            continue; // identical frame already enumerated
+        }
+        moves.push(Move::Deliver(j));
+        let st = &m.msgs[f.msg as usize];
+        // A drop reserves one future sender-timeout firing to recover,
+        // so budget exhaustion can never strand a message (terminal
+        // states must be complete).
+        if cfg.retry
+            && st.drops < cfg.max_drops
+            && st.drops + st.s_timeouts < cfg.max_send_timeouts
+        {
+            moves.push(Move::Drop(j));
+        }
+        if f.dup_left > 0 {
+            moves.push(Move::Dup(j));
+        }
+    }
+    moves
+}
+
+/// Apply one move; returns the successor state or a violation.
+fn apply(
+    prev: &Model,
+    cfg: &ModelCfg,
+    stats: &mut Stats,
+    mv: Move,
+) -> Result<Model, String> {
+    let mut m = prev.clone();
+    match mv {
+        Move::Start(i) => {
+            let i = i as usize;
+            m.msgs[i].started = true;
+            fire(&mut m, cfg, stats, i, Event::SendRdv, false, 0)?;
+        }
+        Move::Post(i) => {
+            let i = i as usize;
+            m.msgs[i].posted = true;
+            if m.msgs[i].unexpected_rts {
+                m.msgs[i].unexpected_rts = false;
+                fire(&mut m, cfg, stats, i, Event::RtsMatched, false, 0)?;
+            }
+        }
+        Move::LastSent(i) => {
+            let i = i as usize;
+            m.msgs[i].pending_last = false;
+            fire(&mut m, cfg, stats, i, Event::LastChunkSent, false, 0)?;
+        }
+        Move::SendTimeout(i) => {
+            let i = i as usize;
+            m.msgs[i].s_timeouts += 1;
+            fire(&mut m, cfg, stats, i, Event::SendTimeout, false, 0)?;
+        }
+        Move::RecvTimeout(i) => {
+            let i = i as usize;
+            m.msgs[i].r_timeouts += 1;
+            fire(&mut m, cfg, stats, i, Event::RecvTimeout, false, 0)?;
+        }
+        Move::Drop(j) => {
+            let f = m.net.remove(j);
+            m.msgs[f.msg as usize].drops += 1;
+        }
+        Move::Dup(j) => {
+            m.net[j].dup_left -= 1;
+            let mut copy = m.net[j];
+            copy.dup_left = 0;
+            m.net.push(copy);
+        }
+        Move::Deliver(j) => {
+            let f = m.net.remove(j);
+            let i = f.msg as usize;
+            match f.kind {
+                FrameKind::Rts => {
+                    if !m.msgs[i].rts_delivered {
+                        // Fresh transport delivery: match now or park in
+                        // the unexpected queue until the post.
+                        m.msgs[i].rts_delivered = true;
+                        if m.msgs[i].posted {
+                            fire(&mut m, cfg, stats, i, Event::RtsMatched, false, 0)?;
+                        } else {
+                            m.msgs[i].unexpected_rts = true;
+                        }
+                    } else {
+                        fire(&mut m, cfg, stats, i, Event::DupRts, false, 0)?;
+                    }
+                }
+                FrameKind::Cts => {
+                    // Throttled entry: is the fragment about to go out
+                    // the final one?
+                    let last = cfg.ack_mode && m.msgs[i].cursor + 1 == cfg.msgs[i].chunks;
+                    fire(&mut m, cfg, stats, i, Event::CtsRx, last, 0)?;
+                }
+                FrameKind::DataAck => {
+                    let last = m.msgs[i].cursor + 1 == cfg.msgs[i].chunks;
+                    fire(&mut m, cfg, stats, i, Event::DataAckRx, last, 0)?;
+                }
+                FrameKind::Data { mask } => {
+                    let last = (m.msgs[i].got | mask) == full_mask(cfg.msgs[i].chunks);
+                    fire(&mut m, cfg, stats, i, Event::DataRx, last, mask)?;
+                }
+                FrameKind::Fin => {
+                    fire(&mut m, cfg, stats, i, Event::FinRx, false, 0)?;
+                }
+            }
+        }
+    }
+    m.net.sort_unstable();
+    Ok(m)
+}
+
+/// A terminal state (no enabled moves) must be fully resolved: both
+/// sides of every message complete, nothing left in flight.
+fn check_terminal(m: &Model, cfg: &ModelCfg) -> Result<(), String> {
+    if !m.net.is_empty() {
+        return Err(format!("terminal state with frames in flight: {m:?}"));
+    }
+    for (i, st) in m.msgs.iter().enumerate() {
+        if !(st.s_done && st.r_done) {
+            return Err(format!(
+                "terminal state with msg {i} incomplete (cfg `{}`): {st:?}",
+                cfg.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively explore one configuration. Returns the coverage and
+/// size statistics, or the first violation found.
+pub fn explore(cfg: &ModelCfg) -> Result<Stats, String> {
+    assert!(
+        cfg.retry || !cfg.faults_armed(),
+        "model `{}`: faults without retry cannot complete",
+        cfg.name
+    );
+    assert!(
+        cfg.buffered || !cfg.ack_mode,
+        "model `{}`: ack mode implies buffered semantics",
+        cfg.name
+    );
+    assert!(
+        cfg.msgs.iter().all(|mc| (1..=6).contains(&mc.chunks)),
+        "model `{}`: chunks per message must be 1..=6",
+        cfg.name
+    );
+    let mut stats = Stats::new(cfg.name);
+    let root = Model {
+        msgs: cfg.msgs.iter().map(|_| MsgSt::fresh()).collect(),
+        net: Vec::new(),
+    };
+    let mut visited: HashSet<Model> = HashSet::new();
+    visited.insert(root.clone());
+    stats.states = 1;
+    let mut stack = vec![root];
+    while let Some(m) = stack.pop() {
+        let moves = enabled_moves(&m, cfg);
+        if moves.is_empty() {
+            stats.terminals += 1;
+            check_terminal(&m, cfg)?;
+            continue;
+        }
+        for mv in moves {
+            stats.edges += 1;
+            let next = apply(&m, cfg, &mut stats, mv)?;
+            if visited.insert(next.clone()) {
+                stats.states += 1;
+                stack.push(next);
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The standard configuration suite: every protocol variant the repo
+/// implements, sized so the union covers the whole table while staying
+/// well under the CI budget.
+pub fn standard_suite() -> Vec<ModelCfg> {
+    let m = |src, dst, chunks| MsgCfg { src, dst, chunks };
+    vec![
+        // Core pipelined, fault-free, no retry: the plain chunked path.
+        ModelCfg::clean("clean-pipelined", vec![m(0, 1, 2), m(1, 0, 1)]),
+        // Core pipelined entered via credit exhaustion (flow-control
+        // degradation), no retry.
+        ModelCfg {
+            credit_fallback: true,
+            ..ModelCfg::clean("clean-credit-fallback", vec![m(0, 1, 2)])
+        },
+        // CH3 buffered rendezvous (no ack throttle).
+        ModelCfg {
+            buffered: true,
+            ..ModelCfg::clean("ch3-buffered", vec![m(0, 1, 2), m(1, 0, 2)])
+        },
+        // CH3 DataAck depth-1 pipeline; a 1-chunk message covers the
+        // single-fragment completion row.
+        ModelCfg {
+            buffered: true,
+            ack_mode: true,
+            ..ModelCfg::clean("ch3-throttled", vec![m(0, 1, 3), m(1, 0, 1)])
+        },
+        // Retry mode, single flow, the full fault menu: drops of any
+        // frame, duplicates of every class, spurious timers.
+        ModelCfg {
+            retry: true,
+            max_drops: 1,
+            dup_rts: true,
+            dup_cts: true,
+            dup_data: true,
+            dup_fin: true,
+            max_send_timeouts: 2,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("retry-faults-1msg", vec![m(0, 1, 2)])
+        },
+        // Retry mode, two concurrent flows into one receiver (3-rank
+        // shape). This config is about *cross-flow interleaving*, so the
+        // per-flow fault menu stays minimal — fault depth is the 1-msg
+        // config's job, and the full menu here explodes the product space
+        // (~10M states) far past the CI budget.
+        ModelCfg {
+            retry: true,
+            dup_rts: true,
+            dup_fin: true,
+            max_send_timeouts: 1,
+            ..ModelCfg::clean("retry-faults-2msg", vec![m(0, 2, 2), m(1, 2, 1)])
+        },
+    ]
+}
+
+/// Explore every configuration in `cfgs`, merge coverage, and enforce
+/// the suite-level claims: table sound, every row reached, every
+/// non-defensive ignore reached. Returns (per-config, merged) stats.
+pub fn explore_suite(cfgs: &[ModelCfg]) -> Result<(Vec<Stats>, Stats), String> {
+    let problems = super::validate_table();
+    if !problems.is_empty() {
+        return Err(format!("table validation failed: {problems:?}"));
+    }
+    let mut merged = Stats::new("suite");
+    let mut per = Vec::new();
+    for cfg in cfgs {
+        let s = explore(cfg)?;
+        merged.absorb(&s);
+        per.push(s);
+    }
+    let unreached = merged.unreached_rows();
+    if !unreached.is_empty() {
+        return Err(format!("unreachable table rows: {unreached:?}"));
+    }
+    let unignored = merged.unreached_ignores();
+    if !unignored.is_empty() {
+        return Err(format!("unreached declared ignores: {unignored:?}"));
+    }
+    Ok((per, merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_pipelined_model_completes() {
+        let s = explore(&ModelCfg::clean(
+            "t",
+            vec![MsgCfg { src: 0, dst: 1, chunks: 2 }],
+        ))
+        .expect("clean model");
+        assert!(s.terminals > 0);
+        assert!(s.edges > s.states.saturating_sub(1));
+    }
+
+    #[test]
+    fn faulty_model_reaches_replay_rows() {
+        let cfg = ModelCfg {
+            retry: true,
+            max_drops: 1,
+            dup_rts: true,
+            dup_cts: true,
+            dup_data: true,
+            dup_fin: true,
+            max_send_timeouts: 2,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("t", vec![MsgCfg { src: 0, dst: 1, chunks: 2 }])
+        };
+        let s = explore(&cfg).expect("faulty model");
+        let fired: Vec<&str> = TABLE
+            .iter()
+            .zip(&s.fired_rows)
+            .filter(|(_, &n)| n > 0)
+            .map(|(t, _)| t.name)
+            .collect();
+        assert!(fired.contains(&"replay/fin-on-data"), "{fired:?}");
+        assert!(fired.contains(&"replay/cts-on-rts"), "{fired:?}");
+        assert!(fired.contains(&"timer/rts"), "{fired:?}");
+    }
+}

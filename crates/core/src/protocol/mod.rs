@@ -1,0 +1,727 @@
+//! # The CH3 rendezvous protocol as data
+//!
+//! Every rendezvous variant this repo implements — the NewMadeleine core's
+//! pipelined RTS → CTS → chunked DATA → FIN exchange with retransmission
+//! and duplicate-RTS replay, the CH3 engine's buffered rendezvous, and the
+//! CH3 DataAck-throttled depth-1 pipeline — is one state machine whose
+//! transitions live in a single static table: `States × Events → (Guards,
+//! Actions, NextState)`. The handlers in `core.rs` and `ch3.rs` are thin
+//! adapters: they translate wire frames and local happenings into
+//! [`Event`]s, look the transition up with [`step`], and execute the
+//! emitted [`Action`]s against their concrete bookkeeping.
+//!
+//! Three consumers read the same table:
+//!
+//! * the **adapters** (runtime behaviour),
+//! * the **small-model explorer** ([`explore`]) that walks every reachable
+//!   interleaving of a bounded configuration and proves the table free of
+//!   unreachable entries, invariant violations and incomplete terminals,
+//! * the **conformance checker** ([`conformance`]) that replays recorded
+//!   obs span streams through the table, turning every traced seed sweep
+//!   into a conformance test of the artifact the explorer proved.
+//!
+//! ## Classification of (state, event) pairs
+//!
+//! [`step`] resolves a pair to exactly one of:
+//!
+//! * a [`Transition`] from [`TABLE`] — the protocol moves;
+//! * a declared [`Ignore`] — legal no-op (e.g. a duplicated CTS while
+//!   streaming). Ignores marked `defensive` are *believed unreachable*
+//!   and exist only as tolerance; the explorer asserts they never fire.
+//! * [`Verdict::Error`] — a malformed or stale frame. Adapters count
+//!   these in `protocol_errors` and drop the frame; nothing panics.
+//!
+//! Adding a protocol (RDMA rendezvous, pipelined chunk scheduling) means
+//! adding rows, not surgery: see DESIGN.md §10.
+
+pub mod conformance;
+pub mod explore;
+
+/// Rendezvous protocol states. One enum covers both ends: a live
+/// rendezvous id is in exactly one of these at each peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum State {
+    /// No entry for this rendezvous id — never started, or finished and
+    /// forgotten. (The receiver's *tombstoned* finish is [`State::RDone`],
+    /// which still replays FINs; `Gone` replays nothing.)
+    Gone,
+    /// Sender: RTS queued/sent, waiting for the clear-to-send.
+    SWaitCts,
+    /// Sender: payload handed to the transport; chunks (or throttled
+    /// fragments) still moving.
+    SStreaming,
+    /// Sender, retry mode: every chunk left the local NIC; holding the
+    /// payload until the receiver's FIN confirms delivery.
+    SWaitFin,
+    /// Receiver: CTS sent, assembling DATA chunks into the landing buffer.
+    RWaitData,
+    /// Receiver, retry mode: transfer complete, FIN sent, entry
+    /// tombstoned — stragglers and replays get the FIN again.
+    RDone,
+}
+
+/// Everything that can happen to a rendezvous: wire frames arriving,
+/// local decisions, and retransmission timers firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Event {
+    /// Local: a send chose (or was forced onto) the rendezvous path.
+    SendRdv,
+    /// Wire: clear-to-send arrived at the sender.
+    CtsRx,
+    /// Wire: DataAck arrived (CH3 depth-1 throttled pipeline only).
+    DataAckRx,
+    /// Local: the final DATA chunk finished on the sender's NIC.
+    LastChunkSent,
+    /// Wire: the receiver's FIN arrived at the sender.
+    FinRx,
+    /// Timer: the sender's RTS (in `SWaitCts`) or FIN-wait (in
+    /// `SWaitFin`) retransmission deadline passed.
+    SendTimeout,
+    /// Local: an inbound RTS met a posted receive.
+    RtsMatched,
+    /// Wire: a DATA chunk arrived at the receiver.
+    DataRx,
+    /// Wire: a *duplicate* RTS arrived (transport seq already delivered)
+    /// — the handshake reply may have been lost.
+    DupRts,
+    /// Timer: the receiver saw no DATA progress before its deadline.
+    RecvTimeout,
+}
+
+/// Guard atoms. A transition fires when *all* its guards hold in the
+/// adapter-supplied [`Ctx`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Guard {
+    /// The retransmission layer is armed (core retry mode).
+    Retry,
+    NoRetry,
+    /// CH3 `rdv_ack`: depth-1 DataAck-throttled fragment pipeline.
+    AckMode,
+    NoAckMode,
+    /// CH3 buffered semantics: the send completes when the payload is
+    /// handed to the transport, with no FIN or local-completion wait.
+    Buffered,
+    /// Core semantics: the transport chunks the payload and the sender
+    /// tracks NIC completions (and, with [`Guard::Retry`], the FIN).
+    Pipelined,
+    /// The chunk lies inside the announced payload length.
+    InRange,
+    /// The chunk/fragment at hand completes the payload.
+    Last,
+    NotLast,
+    /// The rendezvous path was entered because the eager credit pool ran
+    /// dry (flow-control degradation), not because of message size.
+    CreditFallback,
+    /// The ordinary entry reason: payload above the eager threshold.
+    OverThreshold,
+}
+
+/// The adapter's answers to the guard atoms for one event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ctx {
+    pub retry: bool,
+    pub ack_mode: bool,
+    /// `true` = CH3 buffered semantics, `false` = core pipelined.
+    pub buffered: bool,
+    pub in_range: bool,
+    pub last: bool,
+    pub credit_fallback: bool,
+}
+
+impl Guard {
+    /// Does this atom hold under `ctx`?
+    pub fn holds(self, ctx: Ctx) -> bool {
+        match self {
+            Guard::Retry => ctx.retry,
+            Guard::NoRetry => !ctx.retry,
+            Guard::AckMode => ctx.ack_mode,
+            Guard::NoAckMode => !ctx.ack_mode,
+            Guard::Buffered => ctx.buffered,
+            Guard::Pipelined => !ctx.buffered,
+            Guard::InRange => ctx.in_range,
+            Guard::Last => ctx.last,
+            Guard::NotLast => !ctx.last,
+            Guard::CreditFallback => ctx.credit_fallback,
+            Guard::OverThreshold => !ctx.credit_fallback,
+        }
+    }
+}
+
+/// Effects a transition emits. Adapters execute them against their
+/// concrete state (queues, buffers, timers, stats); the model executes
+/// them against the abstract net. An action an implementation has no
+/// concept of (e.g. [`Action::BumpRecvTimer`] in timer-less CH3) is a
+/// documented no-op there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    // -- sender ------------------------------------------------------
+    /// Put the RTS on the wire (and create the outbound entry).
+    SendRts,
+    /// Arm the RTS→CTS retransmission timer (no-op without retry).
+    ArmRtsTimer,
+    /// Disarm the sender's running timer.
+    DisarmTimer,
+    /// Pipelined: hand the whole payload to the transport as chunkable
+    /// DATA.
+    QueueData,
+    /// Buffered, unthrottled: stream every chunk now.
+    SendAllData,
+    /// Throttled: cut and send the next fragment.
+    SendNextFragment,
+    /// Arm the FIN-wait retransmission timer.
+    ArmFinTimer,
+    /// Surface the send completion.
+    CompleteSend,
+    /// Replay the RTS (timer fired before the CTS).
+    ReplayRts,
+    /// Replay the payload as one DATA covering every byte (timer fired
+    /// before the FIN; receiver-side range tracking dedups).
+    ReplayData,
+    // -- receiver ----------------------------------------------------
+    /// Allocate the landing buffer.
+    AllocLanding,
+    /// Put the CTS on the wire (and create the inbound entry).
+    SendCts,
+    /// Arm the CTS→DATA retransmission timer (no-op without retry).
+    ArmRecvTimer,
+    /// Copy the chunk into the landing buffer (range-tracked dedup under
+    /// retry).
+    CopyChunk,
+    /// DATA progress arrived: push the receiver's timer out.
+    BumpRecvTimer,
+    /// Throttled: ask for the next fragment.
+    SendDataAck,
+    /// Put the FIN on the wire.
+    SendFin,
+    /// Tombstone the finished rendezvous (stragglers replay the FIN).
+    Tombstone,
+    /// Surface the receive completion.
+    CompleteRecv,
+    /// Replay the CTS (duplicate RTS or receiver timeout — the original
+    /// may have been lost).
+    ReplayCts,
+    /// Replay the FIN (the sender clearly never saw it).
+    ReplayFin,
+    // -- accounting --------------------------------------------------
+    /// Count a duplicated DATA chunk.
+    CountDupData,
+    /// Count a duplicated envelope (replayed RTS).
+    CountDupEnvelope,
+    /// Exponential backoff of the firing timer.
+    Backoff,
+}
+
+/// One row of the transition table.
+#[derive(Debug)]
+pub struct Transition {
+    pub state: State,
+    pub event: Event,
+    pub guards: &'static [Guard],
+    pub actions: &'static [Action],
+    pub next: State,
+    /// Human-readable row name (explorer coverage reports, errors).
+    pub name: &'static str,
+}
+
+/// One declared ignore: a (state, event, guards) combination that is a
+/// legal no-op. `defensive` rows are believed unreachable and exist as
+/// tolerance only — the explorer asserts they never fire.
+#[derive(Debug)]
+pub struct Ignore {
+    pub state: State,
+    pub event: Event,
+    pub guards: &'static [Guard],
+    pub defensive: bool,
+    pub name: &'static str,
+}
+
+use Action as A;
+use Event as E;
+use Guard as G;
+use State as S;
+
+/// The rendezvous protocol. Row order is documentation (entry, sender
+/// data path, receiver data path, replay, timers); lookup is by
+/// (state, event, guards), not position.
+pub static TABLE: &[Transition] = &[
+    // -- entry ---------------------------------------------------------
+    Transition {
+        state: S::Gone,
+        event: E::SendRdv,
+        guards: &[G::OverThreshold],
+        actions: &[A::SendRts, A::ArmRtsTimer],
+        next: S::SWaitCts,
+        name: "entry/size",
+    },
+    Transition {
+        state: S::Gone,
+        event: E::SendRdv,
+        guards: &[G::CreditFallback],
+        actions: &[A::SendRts, A::ArmRtsTimer],
+        next: S::SWaitCts,
+        name: "entry/credit-fallback",
+    },
+    Transition {
+        state: S::Gone,
+        event: E::RtsMatched,
+        guards: &[],
+        actions: &[A::AllocLanding, A::SendCts, A::ArmRecvTimer],
+        next: S::RWaitData,
+        name: "entry/rts-matched",
+    },
+    // -- sender: clear-to-send -----------------------------------------
+    Transition {
+        state: S::SWaitCts,
+        event: E::CtsRx,
+        guards: &[G::Pipelined],
+        actions: &[A::DisarmTimer, A::QueueData],
+        next: S::SStreaming,
+        name: "cts/pipelined",
+    },
+    Transition {
+        state: S::SWaitCts,
+        event: E::CtsRx,
+        guards: &[G::Buffered, G::NoAckMode],
+        actions: &[A::SendAllData, A::CompleteSend],
+        next: S::Gone,
+        name: "cts/buffered",
+    },
+    Transition {
+        state: S::SWaitCts,
+        event: E::CtsRx,
+        guards: &[G::Buffered, G::AckMode, G::NotLast],
+        actions: &[A::SendNextFragment],
+        next: S::SStreaming,
+        name: "cts/throttled",
+    },
+    Transition {
+        state: S::SWaitCts,
+        event: E::CtsRx,
+        guards: &[G::Buffered, G::AckMode, G::Last],
+        actions: &[A::SendNextFragment, A::CompleteSend],
+        next: S::Gone,
+        name: "cts/throttled-single-fragment",
+    },
+    // -- sender: throttled fragment pipeline ---------------------------
+    Transition {
+        state: S::SStreaming,
+        event: E::DataAckRx,
+        guards: &[G::AckMode, G::NotLast],
+        actions: &[A::SendNextFragment],
+        next: S::SStreaming,
+        name: "ack/next-fragment",
+    },
+    Transition {
+        state: S::SStreaming,
+        event: E::DataAckRx,
+        guards: &[G::AckMode, G::Last],
+        actions: &[A::SendNextFragment, A::CompleteSend],
+        next: S::Gone,
+        name: "ack/final-fragment",
+    },
+    // -- sender: local NIC completion of the last chunk ----------------
+    Transition {
+        state: S::SStreaming,
+        event: E::LastChunkSent,
+        guards: &[G::Retry],
+        actions: &[A::ArmFinTimer],
+        next: S::SWaitFin,
+        name: "sent/await-fin",
+    },
+    Transition {
+        state: S::SStreaming,
+        event: E::LastChunkSent,
+        guards: &[G::NoRetry],
+        actions: &[A::CompleteSend],
+        next: S::Gone,
+        name: "sent/complete",
+    },
+    // -- sender: FIN ---------------------------------------------------
+    Transition {
+        state: S::SStreaming,
+        event: E::FinRx,
+        guards: &[G::Retry],
+        actions: &[A::CompleteSend],
+        next: S::Gone,
+        name: "fin/early",
+    },
+    Transition {
+        state: S::SWaitFin,
+        event: E::FinRx,
+        guards: &[G::Retry],
+        actions: &[A::CompleteSend],
+        next: S::Gone,
+        name: "fin/confirmed",
+    },
+    // -- receiver: DATA ------------------------------------------------
+    Transition {
+        state: S::RWaitData,
+        event: E::DataRx,
+        guards: &[G::InRange, G::NotLast, G::NoAckMode],
+        actions: &[A::CopyChunk, A::BumpRecvTimer],
+        next: S::RWaitData,
+        name: "data/chunk",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::DataRx,
+        guards: &[G::InRange, G::NotLast, G::AckMode],
+        actions: &[A::CopyChunk, A::SendDataAck],
+        next: S::RWaitData,
+        name: "data/chunk-acked",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::DataRx,
+        guards: &[G::InRange, G::Last, G::Retry],
+        actions: &[A::CopyChunk, A::SendFin, A::Tombstone, A::CompleteRecv],
+        next: S::RDone,
+        name: "data/last-retry",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::DataRx,
+        guards: &[G::InRange, G::Last, G::NoRetry],
+        actions: &[A::CopyChunk, A::CompleteRecv],
+        next: S::Gone,
+        name: "data/last",
+    },
+    // -- receiver: replay on stale frames ------------------------------
+    Transition {
+        state: S::RDone,
+        event: E::DataRx,
+        guards: &[G::Retry],
+        actions: &[A::CountDupData, A::ReplayFin],
+        next: S::RDone,
+        name: "replay/fin-on-data",
+    },
+    Transition {
+        state: S::RDone,
+        event: E::DupRts,
+        guards: &[G::Retry],
+        actions: &[A::CountDupEnvelope, A::ReplayFin],
+        next: S::RDone,
+        name: "replay/fin-on-rts",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::DupRts,
+        guards: &[G::Retry],
+        actions: &[A::CountDupEnvelope, A::ReplayCts],
+        next: S::RWaitData,
+        name: "replay/cts-on-rts",
+    },
+    Transition {
+        state: S::Gone,
+        event: E::DupRts,
+        guards: &[G::Retry],
+        actions: &[A::CountDupEnvelope],
+        next: S::Gone,
+        name: "replay/rts-unmatched",
+    },
+    // -- timers --------------------------------------------------------
+    Transition {
+        state: S::SWaitCts,
+        event: E::SendTimeout,
+        guards: &[G::Retry],
+        actions: &[A::Backoff, A::ReplayRts],
+        next: S::SWaitCts,
+        name: "timer/rts",
+    },
+    Transition {
+        state: S::SWaitFin,
+        event: E::SendTimeout,
+        guards: &[G::Retry],
+        actions: &[A::Backoff, A::ReplayData],
+        next: S::SWaitFin,
+        name: "timer/data",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::RecvTimeout,
+        guards: &[G::Retry],
+        actions: &[A::Backoff, A::ReplayCts],
+        next: S::RWaitData,
+        name: "timer/cts",
+    },
+];
+
+/// Declared ignores — legal no-ops, all justified by retransmission
+/// (without retry no frame is ever duplicated or replayed, so every
+/// stray frame is a protocol error instead).
+pub static IGNORES: &[Ignore] = &[
+    Ignore {
+        state: S::SStreaming,
+        event: E::CtsRx,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/dup-cts-streaming",
+    },
+    Ignore {
+        state: S::SWaitFin,
+        event: E::CtsRx,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/dup-cts-waitfin",
+    },
+    Ignore {
+        state: S::Gone,
+        event: E::CtsRx,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/straggler-cts",
+    },
+    Ignore {
+        state: S::Gone,
+        event: E::FinRx,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/dup-fin",
+    },
+    Ignore {
+        state: S::Gone,
+        event: E::LastChunkSent,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/fin-beat-nic-completion",
+    },
+    // An in-flight DATA chunk can only exist after a CTS, a CTS only
+    // after the inbound entry exists, and the entry only leaves via the
+    // tombstone — so DATA should never find `Gone`. Tolerated as a drop
+    // (the sender's FIN timer replays), but the explorer proves it
+    // unreachable.
+    Ignore {
+        state: S::Gone,
+        event: E::DataRx,
+        guards: &[G::Retry],
+        defensive: true,
+        name: "ignore/data-before-reentry",
+    },
+];
+
+/// The verdict of one [`step`] lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A table row fired: run `actions`, move to `next`. `index` is the
+    /// row's position in [`TABLE`] (coverage tracking).
+    Step {
+        index: usize,
+        actions: &'static [Action],
+        next: State,
+    },
+    /// A declared ignore matched: do nothing. `index` into [`IGNORES`].
+    Ignore { index: usize, defensive: bool },
+    /// No transition and no declared ignore: a malformed or stale frame.
+    /// Adapters count it (`protocol_errors`) and drop the frame.
+    Error,
+}
+
+/// Look up the unique classification of (state, event) under `ctx`.
+///
+/// [`validate_table`] proves at most one table row *or* one ignore can
+/// match any (state, event, ctx); this scan relies on that.
+pub fn step(state: State, event: Event, ctx: Ctx) -> Verdict {
+    for (index, t) in TABLE.iter().enumerate() {
+        if t.state == state && t.event == event && t.guards.iter().all(|g| g.holds(ctx)) {
+            return Verdict::Step {
+                index,
+                actions: t.actions,
+                next: t.next,
+            };
+        }
+    }
+    for (index, ig) in IGNORES.iter().enumerate() {
+        if ig.state == state && ig.event == event && ig.guards.iter().all(|g| g.holds(ctx)) {
+            return Verdict::Ignore {
+                index,
+                defensive: ig.defensive,
+            };
+        }
+    }
+    Verdict::Error
+}
+
+/// Every guard context, by exhaustive enumeration of the atom cube.
+fn all_ctxs() -> impl Iterator<Item = Ctx> {
+    (0u32..64).map(|bits| Ctx {
+        retry: bits & 1 != 0,
+        ack_mode: bits & 2 != 0,
+        buffered: bits & 4 != 0,
+        in_range: bits & 8 != 0,
+        last: bits & 16 != 0,
+        credit_fallback: bits & 32 != 0,
+    })
+}
+
+/// Structural soundness of the table, checked exhaustively over the
+/// guard cube:
+///
+/// * **determinism** — no (state, event, ctx) matches two table rows, or
+///   a table row and an ignore;
+/// * **satisfiability** — every row and ignore fires under at least one
+///   ctx (no contradictory guard sets / dead rows).
+///
+/// Returns the list of violations (empty = sound). Asserted by the
+/// explorer suite and cheap enough to run in debug adapters.
+pub fn validate_table() -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut row_sat = vec![false; TABLE.len()];
+    let mut ig_sat = vec![false; IGNORES.len()];
+    let states = [
+        S::Gone,
+        S::SWaitCts,
+        S::SStreaming,
+        S::SWaitFin,
+        S::RWaitData,
+        S::RDone,
+    ];
+    let events = [
+        E::SendRdv,
+        E::CtsRx,
+        E::DataAckRx,
+        E::LastChunkSent,
+        E::FinRx,
+        E::SendTimeout,
+        E::RtsMatched,
+        E::DataRx,
+        E::DupRts,
+        E::RecvTimeout,
+    ];
+    for &state in &states {
+        for &event in &events {
+            for ctx in all_ctxs() {
+                let rows: Vec<usize> = TABLE
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| {
+                        t.state == state
+                            && t.event == event
+                            && t.guards.iter().all(|g| g.holds(ctx))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let igs: Vec<usize> = IGNORES
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| {
+                        g.state == state
+                            && g.event == event
+                            && g.guards.iter().all(|gg| gg.holds(ctx))
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if rows.len() > 1 {
+                    problems.push(format!(
+                        "ambiguous: {state:?} × {event:?} × {ctx:?} matches rows {:?}",
+                        rows.iter().map(|&i| TABLE[i].name).collect::<Vec<_>>()
+                    ));
+                }
+                if !rows.is_empty() && !igs.is_empty() {
+                    problems.push(format!(
+                        "conflict: {state:?} × {event:?} × {ctx:?} matches row {} and ignore {}",
+                        TABLE[rows[0]].name, IGNORES[igs[0]].name
+                    ));
+                }
+                if igs.len() > 1 {
+                    problems.push(format!(
+                        "ambiguous ignores: {state:?} × {event:?} × {ctx:?}: {:?}",
+                        igs.iter().map(|&i| IGNORES[i].name).collect::<Vec<_>>()
+                    ));
+                }
+                for i in rows {
+                    row_sat[i] = true;
+                }
+                for i in igs {
+                    ig_sat[i] = true;
+                }
+            }
+        }
+    }
+    for (i, sat) in row_sat.iter().enumerate() {
+        if !sat {
+            problems.push(format!("unsatisfiable guards on row {}", TABLE[i].name));
+        }
+    }
+    for (i, sat) in ig_sat.iter().enumerate() {
+        if !sat {
+            problems.push(format!("unsatisfiable guards on ignore {}", IGNORES[i].name));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sound() {
+        let problems = validate_table();
+        assert!(problems.is_empty(), "{problems:#?}");
+    }
+
+    #[test]
+    fn core_happy_path_steps() {
+        let ctx = Ctx {
+            retry: true,
+            in_range: true,
+            ..Ctx::default()
+        };
+        let Verdict::Step { next, .. } = step(S::Gone, E::SendRdv, ctx) else {
+            panic!("entry must step");
+        };
+        assert_eq!(next, S::SWaitCts);
+        let Verdict::Step { next, .. } = step(S::SWaitCts, E::CtsRx, ctx) else {
+            panic!("CTS must step");
+        };
+        assert_eq!(next, S::SStreaming);
+        let Verdict::Step { next, .. } = step(S::SStreaming, E::LastChunkSent, ctx) else {
+            panic!("last chunk must step");
+        };
+        assert_eq!(next, S::SWaitFin);
+        let Verdict::Step { next, actions, .. } = step(S::SWaitFin, E::FinRx, ctx) else {
+            panic!("FIN must step");
+        };
+        assert_eq!(next, S::Gone);
+        assert!(actions.contains(&A::CompleteSend));
+    }
+
+    #[test]
+    fn stray_frames_are_errors_without_retry() {
+        let ctx = Ctx::default();
+        assert_eq!(step(S::Gone, E::CtsRx, ctx), Verdict::Error);
+        assert_eq!(step(S::Gone, E::DataRx, ctx), Verdict::Error);
+        assert_eq!(step(S::Gone, E::FinRx, ctx), Verdict::Error);
+        assert_eq!(step(S::Gone, E::DataAckRx, ctx), Verdict::Error);
+    }
+
+    #[test]
+    fn out_of_range_chunk_is_an_error_even_live() {
+        let ctx = Ctx {
+            retry: true,
+            in_range: false,
+            ..Ctx::default()
+        };
+        assert_eq!(step(S::RWaitData, E::DataRx, ctx), Verdict::Error);
+    }
+
+    #[test]
+    fn replayed_frames_are_tolerated_with_retry() {
+        let ctx = Ctx {
+            retry: true,
+            ..Ctx::default()
+        };
+        assert!(matches!(
+            step(S::Gone, E::CtsRx, ctx),
+            Verdict::Ignore { defensive: false, .. }
+        ));
+        assert!(matches!(
+            step(S::Gone, E::FinRx, ctx),
+            Verdict::Ignore { defensive: false, .. }
+        ));
+        assert!(matches!(
+            step(S::RDone, E::DataRx, ctx),
+            Verdict::Step { .. }
+        ));
+    }
+}

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
+use nmad::protocol::{self, Action, State, Verdict};
 use parking_lot::Mutex;
 use simnet::{BufOrigin, CopyMeter, NmBuf, Scheduler};
 
@@ -193,6 +194,10 @@ struct RdvOut {
     data: NmBuf,
     /// Bytes already handed to the transport (ACK-throttled mode).
     cursor: usize,
+    /// Protocol-table state of the outbound side. The inbound side needs
+    /// no field: a live [`RdvIn`] entry *is* `RWaitData`, its absence is
+    /// `Gone` (CH3 never retries, so there is no tombstone).
+    state: State,
 }
 
 struct RdvIn {
@@ -299,6 +304,31 @@ impl Ch3Engine {
         self.eager_threshold
     }
 
+    /// Guard context for the shared protocol table. The CH3 engine is the
+    /// *buffered* dialect (the send completes once the payload is handed
+    /// to the transport), optionally ACK-throttled, never retried
+    /// (transports are trusted in-process), and has no credit layer.
+    fn pctx(&self, in_range: bool, last: bool) -> protocol::Ctx {
+        protocol::Ctx {
+            retry: false,
+            ack_mode: self.rdv_ack,
+            buffered: true,
+            in_range,
+            last,
+            credit_fallback: false,
+        }
+    }
+
+    /// Would the next fragment cut from `rdv` be the final one? Answers
+    /// the `Last` guard of the throttled pipeline *before* the cursor
+    /// moves.
+    fn next_is_last(&self, rdv: &RdvOut) -> bool {
+        match self.rdv_chunk {
+            Some(chunk) => rdv.cursor + chunk >= rdv.data.len(),
+            None => true,
+        }
+    }
+
     /// Send `data` to `dst` under `key`. Small messages are sent eagerly
     /// (buffered semantics: the send request completes immediately). Large
     /// messages start the CH3 rendezvous; the send completes once the CTS
@@ -327,6 +357,14 @@ impl Ch3Engine {
             send(sched, dst, Ch3Pkt::Eager { key, data });
             true
         } else {
+            // Table entry point: the CH3 engine has no credit layer, so
+            // the size test alone forces the rendezvous path.
+            let Verdict::Step { actions, next, .. } =
+                protocol::step(State::Gone, protocol::Event::SendRdv, self.pctx(false, false))
+            else {
+                unreachable!("entry/size must be a table row");
+            };
+            debug_assert!(actions.contains(&Action::SendRts));
             let mut inner = self.inner.lock();
             let rdv_id = inner.next_rdv;
             inner.next_rdv += 1;
@@ -338,6 +376,7 @@ impl Ch3Engine {
                     dst,
                     data,
                     cursor: 0,
+                    state: next,
                 },
             );
             drop(inner);
@@ -390,6 +429,18 @@ impl Ch3Engine {
     }
 
     fn begin_rdv_in(&self, req: Req, src: usize, key: u64, was_any: bool, rdv_id: u64, len: usize) {
+        // Table entry point for the receive side; the live entry embodies
+        // the `RWaitData` state the table hands back.
+        let Verdict::Step { actions, next, .. } = protocol::step(
+            State::Gone,
+            protocol::Event::RtsMatched,
+            self.pctx(false, false),
+        ) else {
+            unreachable!("entry/rts-matched must be a table row");
+        };
+        debug_assert!(actions.contains(&Action::AllocLanding));
+        debug_assert!(actions.contains(&Action::SendCts));
+        debug_assert_eq!(next, State::RWaitData);
         if let Some(m) = &self.meter {
             // The rendezvous landing buffer — one allocation, no copy yet.
             m.record_alloc();
@@ -455,82 +506,48 @@ impl Ch3Engine {
                 }),
             },
             Ch3Pkt::Cts { rdv_id } => {
-                if self.rdv_ack {
-                    // Depth-1 pipeline: send the first fragment, wait for
-                    // its DataAck before the next.
-                    let mut inner = self.inner.lock();
-                    let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
-                        // Duplicated CTS for a rendezvous that already
-                        // finished: tolerate and drop.
+                // Table rows: `cts/buffered` streams everything and
+                // completes; `cts/throttled` opens the depth-1 fragment
+                // pipeline; `cts/throttled-single-fragment` does both at
+                // once. A CTS for an unknown rendezvous (already finished)
+                // or a duplicated CTS mid-pipeline has no row — counted
+                // and dropped. (The latter used to advance the fragment
+                // cursor a second time and double-complete the send.)
+                let inner = self.inner.lock();
+                let (state, last) = match inner.rdv_out.get(&rdv_id) {
+                    Some(rdv) => (rdv.state, self.next_is_last(rdv)),
+                    None => (State::Gone, false),
+                };
+                match protocol::step(state, protocol::Event::CtsRx, self.pctx(false, last)) {
+                    Verdict::Step { actions, next, .. } => {
+                        self.apply_sender_step(inner, sched, send, rdv_id, actions, next, events);
+                    }
+                    Verdict::Ignore { .. } => {}
+                    Verdict::Error => {
                         drop(inner);
                         self.note_protocol_error();
-                        return;
-                    };
-                    let (dst, pkt, finished, req) = Self::next_fragment(
-                        rdv,
-                        rdv_id,
-                        self.rdv_chunk.expect("ack mode requires chunking"),
-                    );
-                    if finished {
-                        inner.rdv_out.remove(&rdv_id);
-                        drop(inner);
-                        send(sched, dst, pkt);
-                        events.push(Ch3Event::SendDone { req });
-                    } else {
-                        drop(inner);
-                        send(sched, dst, pkt);
                     }
-                } else {
-                    let Some(rdv) = self.inner.lock().rdv_out.remove(&rdv_id) else {
-                        // Duplicated CTS for a rendezvous that already
-                        // finished: tolerate and drop.
-                        self.note_protocol_error();
-                        return;
-                    };
-                    // Hand the payload to the transport (chunked if
-                    // configured) and complete the send — buffered
-                    // semantics.
-                    let chunk = self.rdv_chunk.unwrap_or(rdv.data.len().max(1));
-                    let mut off = 0;
-                    while off < rdv.data.len() {
-                        let end = (off + chunk).min(rdv.data.len());
-                        send(
-                            sched,
-                            rdv.dst,
-                            Ch3Pkt::Data {
-                                rdv_id,
-                                offset: off,
-                                data: rdv.data.slice(off..end),
-                            },
-                        );
-                        off = end;
-                    }
-                    events.push(Ch3Event::SendDone { req: rdv.req });
                 }
             }
             Ch3Pkt::DataAck { rdv_id } => {
-                debug_assert!(self.rdv_ack, "DataAck on a non-throttled engine");
-                let mut inner = self.inner.lock();
-                let Some(rdv) = inner.rdv_out.get_mut(&rdv_id) else {
-                    // Stray/duplicated ack after the final fragment left:
-                    // tolerate and drop.
-                    drop(inner);
-                    self.note_protocol_error();
-                    return;
+                // Table rows: `ack/next-fragment` keeps the depth-1
+                // pipeline moving, `ack/final-fragment` sends the last cut
+                // and completes. A stray/duplicated ack (entry gone, or an
+                // engine that never throttles) has no row.
+                let inner = self.inner.lock();
+                let (state, last) = match inner.rdv_out.get(&rdv_id) {
+                    Some(rdv) => (rdv.state, self.next_is_last(rdv)),
+                    None => (State::Gone, false),
                 };
-                let (dst, pkt, finished, req) = Self::next_fragment(
-                    rdv,
-                    rdv_id,
-                    self.rdv_chunk.expect("ack mode requires chunking"),
-                );
-                if finished {
-                    inner.rdv_out.remove(&rdv_id);
-                    drop(inner);
-                    send(sched, dst, pkt);
-                    events.push(Ch3Event::SendDone { req });
-                } else {
-                    drop(inner);
-                    send(sched, dst, pkt);
+                match protocol::step(state, protocol::Event::DataAckRx, self.pctx(false, last)) {
+                    Verdict::Step { actions, next, .. } => {
+                        self.apply_sender_step(inner, sched, send, rdv_id, actions, next, events);
+                    }
+                    Verdict::Ignore { .. } => {}
+                    Verdict::Error => {
+                        drop(inner);
+                        self.note_protocol_error();
+                    }
                 }
             }
             Ch3Pkt::Data {
@@ -538,68 +555,150 @@ impl Ch3Engine {
                 offset,
                 data,
             } => {
-                // One lock scope for the whole update: the old
-                // copy / unlock / re-lock / `remove().unwrap()` sequence
-                // crashed on a duplicated final chunk (the entry was gone
-                // by the second lock).
-                let (done, ack_dst, finished) = {
-                    let mut inner = self.inner.lock();
-                    let Some(rdv) = inner.rdv_in.get_mut(&(src, rdv_id)) else {
-                        // DATA for a rendezvous this engine doesn't know —
-                        // already finished (duplicated final chunk / FIN
-                        // race) or never started. Reachable with faults
-                        // armed; count it and drop the chunk.
-                        drop(inner);
-                        self.note_protocol_error();
-                        return;
-                    };
-                    let end = offset.checked_add(data.len());
-                    if end.is_none_or(|e| e > rdv.buf.len()) {
-                        // A chunk past the announced length corrupts the
-                        // landing buffer — drop it instead.
-                        drop(inner);
-                        self.note_protocol_error();
-                        return;
+                // Table rows: `data/chunk` (plain reassembly),
+                // `data/chunk-acked` (reassembly + request the next
+                // fragment), `data/last` (complete; the last fragment
+                // needs no ack — the sender finished with it). A chunk
+                // for an unknown rendezvous (already finished: duplicated
+                // final chunk, reachable with faults armed) or one past
+                // the announced length (would corrupt the landing buffer)
+                // has no row — counted and dropped. One lock scope for
+                // the whole update: the old copy / unlock / re-lock /
+                // `remove().unwrap()` sequence crashed on a duplicated
+                // final chunk (the entry was gone by the second lock).
+                let mut inner = self.inner.lock();
+                let (state, in_range, last) = match inner.rdv_in.get(&(src, rdv_id)) {
+                    Some(rdv) => {
+                        let end = offset.checked_add(data.len());
+                        let in_range = end.is_some_and(|e| e <= rdv.buf.len());
+                        let last = in_range && rdv.received + data.len() == rdv.buf.len();
+                        (State::RWaitData, in_range, last)
                     }
-                    // The one receive-side reassembly memcpy of the CH3
-                    // rendezvous (charged to the payload's meter).
-                    data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
-                    rdv.received += data.len();
-                    let done = rdv.received == rdv.buf.len();
-                    let ack_dst = rdv.src;
-                    let finished = done.then(|| {
-                        inner
-                            .rdv_in
-                            .remove(&(src, rdv_id))
-                            .expect("entry held under the same lock")
-                    });
-                    (done, ack_dst, finished)
+                    None => (State::Gone, false, false),
                 };
-                // ACK-throttled mode: request the next fragment (the last
-                // one needs no ack — the sender finished with it).
-                if self.rdv_ack && !done {
-                    send(sched, ack_dst, Ch3Pkt::DataAck { rdv_id });
-                }
-                if let Some(rdv) = finished {
-                    events.push(Ch3Event::RecvDone {
-                        req: rdv.req,
-                        data: Bytes::from(rdv.buf),
-                        src: rdv.src,
-                        key: rdv.key,
-                        was_any: rdv.was_any,
-                    });
+                match protocol::step(state, protocol::Event::DataRx, self.pctx(in_range, last)) {
+                    Verdict::Step { actions, next, .. } => {
+                        let rdv = inner
+                            .rdv_in
+                            .get_mut(&(src, rdv_id))
+                            .expect("the table only steps live entries");
+                        let mut ack_dst = None;
+                        for a in actions {
+                            match a {
+                                Action::CopyChunk => {
+                                    // The one receive-side reassembly
+                                    // memcpy of the CH3 rendezvous (charged
+                                    // to the payload's meter).
+                                    data.copy_out(&mut rdv.buf[offset..offset + data.len()]);
+                                    rdv.received += data.len();
+                                }
+                                Action::SendDataAck => ack_dst = Some(rdv.src),
+                                // The table completes via `next == Gone`
+                                // below; CH3 has no receive-side timer.
+                                Action::CompleteRecv | Action::BumpRecvTimer => {}
+                                other => unreachable!("CH3 receiver step emitted {other:?}"),
+                            }
+                        }
+                        let finished = (next == State::Gone).then(|| {
+                            inner
+                                .rdv_in
+                                .remove(&(src, rdv_id))
+                                .expect("entry held under the same lock")
+                        });
+                        drop(inner);
+                        if let Some(dst) = ack_dst {
+                            send(sched, dst, Ch3Pkt::DataAck { rdv_id });
+                        }
+                        if let Some(rdv) = finished {
+                            events.push(Ch3Event::RecvDone {
+                                req: rdv.req,
+                                data: Bytes::from(rdv.buf),
+                                src: rdv.src,
+                                key: rdv.key,
+                                was_any: rdv.was_any,
+                            });
+                        }
+                    }
+                    Verdict::Ignore { .. } => {}
+                    Verdict::Error => {
+                        drop(inner);
+                        self.note_protocol_error();
+                    }
                 }
             }
         }
     }
 
-    /// Cut the next fragment of an ACK-throttled rendezvous. Returns
-    /// `(dst, packet, was_last, req)`.
-    fn next_fragment(
-        rdv: &mut RdvOut,
+    /// Realize one sender-side table step against the outbound entry:
+    /// actions become packets and completions, and the entry is dropped
+    /// when the table lands back in `Gone`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_sender_step(
+        &self,
+        mut inner: parking_lot::MutexGuard<'_, EngineInner>,
+        sched: &Scheduler,
+        send: &mut SendFn,
         rdv_id: u64,
-        chunk: usize,
-    ) -> (usize, Ch3Pkt, bool, Req) {
+        actions: &'static [Action],
+        next: State,
+        events: &mut Vec<Ch3Event>,
+    ) {
+        let mut pkts = Vec::new();
+        let mut done = None;
+        {
+            let rdv = inner
+                .rdv_out
+                .get_mut(&rdv_id)
+                .expect("the table only steps live entries");
+            rdv.state = next;
+            for a in actions {
+                match a {
+                    Action::SendAllData => {
+                        // Buffered semantics: hand the whole payload to
+                        // the transport now (chunked if configured).
+                        let chunk = self.rdv_chunk.unwrap_or(rdv.data.len().max(1));
+                        let mut off = 0;
+                        while off < rdv.data.len() {
+                            let end = (off + chunk).min(rdv.data.len());
+                            pkts.push((
+                                rdv.dst,
+                                Ch3Pkt::Data {
+                                    rdv_id,
+                                    offset: off,
+                                    data: rdv.data.slice(off..end),
+                                },
+                            ));
+                            off = end;
+                        }
+                    }
+                    Action::SendNextFragment => {
+                        pkts.push(Self::next_fragment(
+                            rdv,
+                            rdv_id,
+                            self.rdv_chunk.expect("ack mode requires chunking"),
+                        ));
+                    }
+                    Action::CompleteSend => done = Some(rdv.req),
+                    other => unreachable!("CH3 sender step emitted {other:?}"),
+                }
+            }
+        }
+        if next == State::Gone {
+            inner.rdv_out.remove(&rdv_id);
+        }
+        drop(inner);
+        for (dst, pkt) in pkts {
+            send(sched, dst, pkt);
+        }
+        if let Some(req) = done {
+            events.push(Ch3Event::SendDone { req });
+        }
+    }
+
+    /// Cut the next fragment of an ACK-throttled rendezvous. Returns
+    /// `(dst, packet)`; whether it was the last cut is the table's call
+    /// (the `Last` guard), not this helper's.
+    fn next_fragment(rdv: &mut RdvOut, rdv_id: u64, chunk: usize) -> (usize, Ch3Pkt) {
         let off = rdv.cursor;
         let end = (off + chunk).min(rdv.data.len());
         debug_assert!(off < end, "fragment past the payload end");
@@ -611,8 +710,6 @@ impl Ch3Engine {
                 offset: off,
                 data: rdv.data.slice(off..end),
             },
-            end == rdv.data.len(),
-            rdv.req,
         )
     }
 

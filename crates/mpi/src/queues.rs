@@ -30,7 +30,8 @@ pub struct PostedEntry {
     pub req: Req,
     /// `None` = MPI_ANY_SOURCE.
     pub src: Option<usize>,
-    pub key: u64,
+    /// `None` = wildcard key (MPI_ANY_TAG over the packed key space).
+    pub key: Option<u64>,
     pub active: ActiveFlag,
 }
 
@@ -114,13 +115,26 @@ impl Ch3Queues {
     /// consumed and returned instead (the caller completes the receive or
     /// starts the rendezvous). Returns the entry's active flag otherwise.
     pub fn post(&self, req: Req, src: Option<usize>, key: u64) -> Result<ActiveFlag, UnexMsg> {
+        self.post_filtered(req, src, Some(key))
+    }
+
+    /// Post a receive whose key is a wildcard (MPI_ANY_TAG over the
+    /// packed key space): any key from a matching source satisfies it.
+    pub fn post_any_key(&self, req: Req, src: Option<usize>) -> Result<ActiveFlag, UnexMsg> {
+        self.post_filtered(req, src, None)
+    }
+
+    fn post_filtered(
+        &self,
+        req: Req,
+        src: Option<usize>,
+        key: Option<u64>,
+    ) -> Result<ActiveFlag, UnexMsg> {
         {
             let mut unexpected = self.unexpected.lock();
-            if let Some(pos) = unexpected
-                .q
-                .iter()
-                .position(|m| m.key() == key && src.is_none_or(|s| s == m.src()))
-            {
+            if let Some(pos) = unexpected.q.iter().position(|m| {
+                key.is_none_or(|k| k == m.key()) && src.is_none_or(|s| s == m.src())
+            }) {
                 return Err(unexpected.take(pos));
             }
         }
@@ -147,7 +161,7 @@ impl Ch3Queues {
                 posted.remove(i);
                 continue;
             }
-            if e.key == key && e.src.is_none_or(|s| s == src) {
+            if e.key.is_none_or(|k| k == key) && e.src.is_none_or(|s| s == src) {
                 return posted.remove(i);
             }
             i += 1;

@@ -312,6 +312,10 @@ pub fn run_mpi(
         cfg.obs.enabled().then(|| obs::Recorder::new(cfg.obs));
     if let Some(rec) = &recorder {
         builder = builder.with_recorder(rec);
+        // Conformance mode: every recorded span event is replayed through
+        // the protocol transition table as it happens (no-op unless
+        // `cfg.obs.conformance` is armed).
+        nmad::protocol::conformance::install(rec, cfg.nm.retry.is_some());
     }
     let mut sim = builder.build();
     let sched = sim.scheduler();
@@ -696,6 +700,18 @@ pub fn run_mpi(
         }
         panic!("MPI job '{}' failed: {e}", cfg.name);
     });
+    // Conformance mode: a trace that stepped outside the protocol table is
+    // a failure of the run, not a statistic to squint at.
+    if let Some(rec) = &recorder {
+        let violations = rec.violations();
+        assert!(
+            violations.is_empty(),
+            "MPI job '{}': {} protocol-conformance violation(s):\n  {}",
+            cfg.name,
+            violations.len(),
+            violations.join("\n  ")
+        );
+    }
     RunOutcome {
         sim: outcome,
         nm_stats: cores_for_stats.iter().map(|c| c.stats()).collect(),

@@ -47,7 +47,8 @@ pub mod span;
 pub use export::{trace_hash, PhaseBreakdown, Report};
 pub use metrics::{Histogram, MetricsRegistry, HIST_BUCKETS};
 pub use span::{
-    EngineEvent, Event, MsgKey, Phase, RankRec, Recorder, RetryKind, Scope, Side, ENGINE_RANK,
+    EngineEvent, Event, MsgKey, Phase, RankRec, Recorder, RetryKind, Scope, Side, Validator,
+    ENGINE_RANK,
 };
 
 /// Observability configuration — off by default, zero-allocation when off.
@@ -57,14 +58,32 @@ pub struct ObsConfig {
     pub spans: bool,
     /// Maintain the metrics registry (counters + histograms).
     pub metrics: bool,
+    /// Conformance mode: feed every recorded span event through an
+    /// installed validator (see [`Recorder::set_validator`]) that checks
+    /// the transition against the protocol state table. Requires `spans`.
+    /// Validation is strictly observational — it never changes protocol
+    /// behaviour — but a violation is collected and surfaced at the end
+    /// of the run, so every traced seed sweep doubles as a conformance
+    /// test of the table the model explorer proves.
+    pub conformance: bool,
 }
 
 impl ObsConfig {
-    /// Everything on.
+    /// Everything on, including table-conformance validation.
     pub fn full() -> ObsConfig {
         ObsConfig {
             spans: true,
             metrics: true,
+            conformance: true,
+        }
+    }
+
+    /// Spans and metrics without conformance validation.
+    pub fn recording_only() -> ObsConfig {
+        ObsConfig {
+            spans: true,
+            metrics: true,
+            conformance: false,
         }
     }
 

@@ -180,7 +180,22 @@ pub struct Recorder {
     cfg: ObsConfig,
     events: Mutex<Vec<Event>>,
     metrics: Mutex<MetricsRegistry>,
+    /// Conformance mode: every recorded event is fed through this hook,
+    /// which checks the transition against the protocol state table. The
+    /// recorder cannot depend on the protocol crate, so the validator is
+    /// injected (see `core::protocol::conformance::install`).
+    validator: Mutex<Option<Validator>>,
+    /// Violations the validator reported, in record order (capped).
+    violations: Mutex<Vec<String>>,
 }
+
+/// A conformance hook: inspects one recorded event against a protocol
+/// model and reports a violation as `Err`.
+pub type Validator = Box<dyn FnMut(&Event) -> Result<(), String> + Send>;
+
+/// Cap on collected conformance violations — enough to diagnose, bounded
+/// so a systematically broken run cannot balloon memory.
+const MAX_VIOLATIONS: usize = 64;
 
 impl Recorder {
     pub fn new(cfg: ObsConfig) -> Arc<Recorder> {
@@ -188,7 +203,22 @@ impl Recorder {
             cfg,
             events: Mutex::new(Vec::new()),
             metrics: Mutex::new(MetricsRegistry::new()),
+            validator: Mutex::new(None),
+            violations: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Install the conformance validator (replaces any previous one).
+    /// Only meaningful when `cfg.conformance` is set; calls are accepted
+    /// regardless so installers need not branch.
+    pub fn set_validator(&self, v: Validator) {
+        *self.validator.lock() = Some(v);
+    }
+
+    /// Conformance violations collected so far (empty when no validator
+    /// is installed or every transition matched the table).
+    pub fn violations(&self) -> Vec<String> {
+        self.violations.lock().clone()
     }
 
     pub fn cfg(&self) -> ObsConfig {
@@ -201,13 +231,26 @@ impl Recorder {
         self.cfg.spans
     }
 
-    /// Append one event (no-op unless spans are on).
+    /// Append one event (no-op unless spans are on). In conformance mode
+    /// the event is also run through the installed validator; violations
+    /// are collected, never raised here — recording must stay strictly
+    /// observational.
     #[inline]
     pub fn record(&self, ev: Event) {
         if !self.cfg.spans {
             return;
         }
         self.events.lock().push(ev);
+        if self.cfg.conformance {
+            if let Some(v) = self.validator.lock().as_mut() {
+                if let Err(e) = v(&ev) {
+                    let mut viol = self.violations.lock();
+                    if viol.len() < MAX_VIOLATIONS {
+                        viol.push(e);
+                    }
+                }
+            }
+        }
     }
 
     /// Bump a named counter (no-op unless metrics are on).

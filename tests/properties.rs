@@ -228,7 +228,7 @@ proptest! {
                         (Some(e), Some(i)) => {
                             let (ps, pk, _) = posted.remove(i);
                             prop_assert_eq!(e.src, ps, "matched out of posted order");
-                            prop_assert_eq!(e.key, pk);
+                            prop_assert_eq!(e.key, Some(pk));
                         }
                         (None, None) => {
                             q.store_unexpected(UnexMsg::Eager {
@@ -392,5 +392,155 @@ proptest! {
         prop_assert_eq!(h.max(), None);
         prop_assert_eq!(h.mean(), None);
         prop_assert_eq!(h.quantile_bounds(q), None);
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// CH3 matching engine under *wildcard keys*: ANY_SOURCE × ANY_TAG ×
+// arbitrary post/arrival interleavings. Extends the disjointness test
+// above (concrete keys only) with `post_any_key` entries and pins the
+// FIFO laws via per-arrival ids.
+// ---------------------------------------------------------------------
+
+/// One step of a random wildcard-matching schedule.
+#[derive(Clone, Debug)]
+enum WOp {
+    /// Post a receive: src `None` = MPI_ANY_SOURCE, key `None` = wildcard.
+    Post { src: Option<usize>, key: Option<u64> },
+    /// An envelope arrives from `src` under `key`.
+    Arrive { src: usize, key: u64 },
+    /// Deactivate the `pick`-th live posted entry (any-source stall).
+    Deactivate { pick: usize },
+}
+
+fn wop_strategy() -> impl Strategy<Value = WOp> {
+    prop_oneof![
+        // src 0 = MPI_ANY_SOURCE, key 3 = wildcard (the stub proptest
+        // has no `option::of` combinator).
+        3 => (0usize..=3, 0u64..=3).prop_map(|(src, key)| WOp::Post {
+            src: (src > 0).then_some(src),
+            key: (key < 3).then_some(key),
+        }),
+        4 => (1usize..=3, 0u64..3).prop_map(|(src, key)| WOp::Arrive { src, key }),
+        1 => (0usize..8).prop_map(|pick| WOp::Deactivate { pick }),
+    ]
+}
+
+/// Mirror of one posted receive.
+#[derive(Clone, Debug)]
+struct WPost {
+    req: mpich2_nmad_repro::mpi_ch3::Req,
+    src: Option<usize>,
+    key: Option<u64>,
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    active: bool,
+}
+
+fn wpost_matches(p: &WPost, src: usize, key: u64) -> bool {
+    p.active && p.src.is_none_or(|s| s == src) && p.key.is_none_or(|k| k == key)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128, // pure queue ops, no simulation: cheap to run wide
+        .. ProptestConfig::default()
+    })]
+
+    /// Under any interleaving of posts (including ANY_SOURCE and
+    /// wildcard-key), arrivals, and deactivations:
+    ///
+    /// * posted ∩ unexpected = ∅ — no queued unexpected message is
+    ///   satisfiable by a live posted entry;
+    /// * every match consumes exactly the entry MPI's ordering rules
+    ///   name: the oldest satisfiable posted entry (post order, verified
+    ///   by request identity) or the oldest satisfiable unexpected
+    ///   message (arrival order, verified by an id stamped into the
+    ///   payload) — which implies FIFO per (src, key).
+    #[test]
+    fn wildcard_matching_is_fifo_and_disjoint(
+        ops in proptest::collection::vec(wop_strategy(), 1..60),
+    ) {
+        let table = RequestTable::new();
+        let q = Ch3Queues::new();
+        let mut posts: Vec<WPost> = Vec::new();           // mirror, post order
+        let mut unexq: Vec<(usize, usize, u64)> = Vec::new(); // (id, src, key), arrival order
+        let mut next_id = 0usize;
+        for op in &ops {
+            match *op {
+                WOp::Post { src, key } => {
+                    let req = table.create(ReqKind::Recv, ReqPath::Shm);
+                    let outcome = match key {
+                        Some(k) => q.post(req, src, k),
+                        None => q.post_any_key(req, src),
+                    };
+                    // The oldest satisfiable unexpected message, per the model.
+                    let expect = unexq.iter().position(|&(_, s, k)| {
+                        src.is_none_or(|w| w == s) && key.is_none_or(|w| w == k)
+                    });
+                    match (outcome, expect) {
+                        (Err(m), Some(pos)) => {
+                            let UnexMsg::Eager { data, .. } = m else {
+                                prop_assert!(false, "model only feeds eagers");
+                                unreachable!();
+                            };
+                            let got = usize::from_le_bytes(data[..8].try_into().unwrap());
+                            prop_assert_eq!(got, unexq[pos].0,
+                                "post consumed a different message than the oldest satisfiable (FIFO break)");
+                            unexq.remove(pos);
+                        }
+                        (Ok(flag), None) => posts.push(WPost { req, src, key, flag, active: true }),
+                        (Err(_), None) => prop_assert!(false, "queue invented an unexpected hit"),
+                        (Ok(_), Some(_)) => prop_assert!(false, "queue missed a waiting unexpected"),
+                    }
+                }
+                WOp::Arrive { src, key } => {
+                    let id = next_id;
+                    next_id += 1;
+                    let hit = q.match_arrival(src, key);
+                    let expect = posts.iter().position(|p| wpost_matches(p, src, key));
+                    match (hit, expect) {
+                        (Some(entry), Some(pos)) => {
+                            prop_assert_eq!(entry.req, posts[pos].req,
+                                "matched a different receive than the oldest satisfiable post");
+                            posts.remove(pos);
+                        }
+                        (None, None) => {
+                            q.store_unexpected(UnexMsg::Eager {
+                                src,
+                                key,
+                                data: NmBuf::from(Bytes::from(id.to_le_bytes().to_vec())),
+                            });
+                            unexq.push((id, src, key));
+                        }
+                        (Some(_), None) => prop_assert!(false, "matched a receive the model never posted"),
+                        (None, Some(_)) => prop_assert!(false, "queue missed a posted receive"),
+                    }
+                }
+                WOp::Deactivate { pick } => {
+                    let live: Vec<usize> = posts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.active)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !live.is_empty() {
+                        let i = live[pick % live.len()];
+                        posts[i].active = false;
+                        posts[i].flag.store(false, Ordering::Release);
+                    }
+                }
+            }
+            // THE invariant: posted ∩ unexpected = ∅.
+            for &(_, s, k) in &unexq {
+                prop_assert!(
+                    !posts.iter().any(|p| wpost_matches(p, s, k)),
+                    "(src {s}, key {k}) sits unexpected while a matching receive is posted"
+                );
+            }
+        }
+        // Mirrors and real queue agree on the survivors.
+        prop_assert_eq!(q.unexpected_len(), unexq.len());
+        prop_assert_eq!(q.posted_len(), posts.iter().filter(|p| p.active).count());
     }
 }

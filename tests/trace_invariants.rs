@@ -27,7 +27,10 @@ use std::collections::BTreeMap;
 use mpich2_nmad_repro::mpi_ch3::stack::{run_mpi_collect, StackConfig};
 use mpich2_nmad_repro::mpi_ch3::{MpiHandle, Src};
 use mpich2_nmad_repro::nmad::{FlowConfig, NmConfig};
-use mpich2_nmad_repro::obs::{EngineEvent, MsgKey, ObsConfig, Phase, Report, Scope, Side};
+use mpich2_nmad_repro::nmad::protocol::conformance;
+use mpich2_nmad_repro::obs::{
+    EngineEvent, MsgKey, ObsConfig, Phase, Report, RetryKind, Scope, Side,
+};
 use mpich2_nmad_repro::sim_harness::{byte, Scenario, Workload};
 use mpich2_nmad_repro::simnet::{Cluster, FaultSpec, OverloadPlan, Placement, SimDuration};
 
@@ -242,6 +245,73 @@ fn fault_sweep_exercises_retry_spans() {
         });
     }
     assert!(retries > 0, "mixed faults never retried across 3 seeds");
+}
+
+/// Duplicate-RTS replay regression under a dup+reorder-heavy schedule:
+/// replayed handshake wire events stay 1:1 with their announcing Retry
+/// span events. Per rendezvous message, every `RtsTx` beyond the first
+/// was announced by exactly one `Retry{Rts}`, and every `CtsTx` beyond
+/// the first by exactly one `Retry{Cts}` (progress timer or
+/// duplicate-RTS replay — the table's `timer/cts` and
+/// `replay/cts-on-rts` rows). The whole stream must also pass the
+/// post-hoc protocol-table conformance check (the run itself already
+/// validates incrementally through the installed recorder hook).
+#[test]
+fn duplicate_rts_replays_stay_one_to_one_with_retry_spans() {
+    let spec = FaultSpec {
+        dup_pct: 0.3,
+        delay_pct: 0.35,
+        max_extra_delay: SimDuration::micros(250),
+        drop_pct: 0.05,
+        ..FaultSpec::NONE
+    };
+    let mut dup_envelopes = 0u64;
+    let mut replayed = 0usize;
+    for i in 0..4u64 {
+        let seed = seed_base() + 230 + i;
+        let workload = if i % 2 == 0 {
+            Workload::SendRecv
+        } else {
+            Workload::Multirail
+        };
+        let (fp, report) = Scenario::new(seed, spec, workload, false).run_traced();
+        dup_envelopes += fp
+            .nm_stats
+            .iter()
+            .map(|s| s.dup_envelopes)
+            .sum::<u64>();
+        let violations = conformance::check_events(&report.events, true);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        for (key, evs) in spans(&report) {
+            let count = |f: &dyn Fn(&Phase) -> bool| evs.iter().filter(|(_, p)| f(p)).count();
+            let rts_tx = count(&|p| matches!(p, Phase::RtsTx { .. }));
+            if rts_tx == 0 {
+                continue; // eager path
+            }
+            let cts_tx = count(&|p| matches!(p, Phase::CtsTx { .. }));
+            let retry_rts = count(&|p| matches!(p, Phase::Retry { kind: RetryKind::Rts }));
+            let retry_cts = count(&|p| matches!(p, Phase::Retry { kind: RetryKind::Cts }));
+            assert_eq!(
+                rts_tx,
+                1 + retry_rts,
+                "{key:?} (seed {seed}): replayed RTS not 1:1 with Retry(Rts) spans"
+            );
+            assert_eq!(
+                cts_tx,
+                1 + retry_cts,
+                "{key:?} (seed {seed}): replayed CTS not 1:1 with Retry(Cts) spans"
+            );
+            replayed += retry_rts + retry_cts;
+        }
+    }
+    assert!(
+        dup_envelopes > 0,
+        "dup+reorder schedule never provoked a duplicate envelope"
+    );
+    assert!(
+        replayed > 0,
+        "dup+reorder schedule never replayed a handshake frame"
+    );
 }
 
 // --- Overload-armed flood ------------------------------------------------
