@@ -21,7 +21,7 @@ use nmad::pack::{PacketWrapper, PwBody, PwId};
 use nmad::sampling::{split_sizes, LinkProfile};
 use nmad::sr::RecvReqId;
 use nmad::{NmConfig, RailHealth, SendReqId, StrategyKind};
-use simnet::event::{EventKind, EventQueue};
+use simnet::event::{EventKind, EventQueue, HeapEventQueue};
 use simnet::{BufOrigin, CopyMeter, NmBuf, SimDuration, SimTime};
 
 fn nem_queue(c: &mut Criterion) {
@@ -231,7 +231,7 @@ fn event_queue(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("push-pop", |b| {
         let mut q = EventQueue::new();
-        // Keep a standing population so the heap has realistic depth.
+        // Keep a standing population so the queue has realistic depth.
         for i in 0..1000u64 {
             q.push(SimTime(i * 10), EventKind::Call(Box::new(|_| {})));
         }
@@ -242,6 +242,49 @@ fn event_queue(c: &mut Criterion) {
             q.pop()
         });
     });
+    // The pre-calendar-queue baseline, same access pattern — the delta is
+    // the scheduler headline in BENCH_7.json.
+    g.bench_function("push-pop-heap-baseline", |b| {
+        let mut q = HeapEventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime(i * 10), EventKind::Call(Box::new(|_| {})));
+        }
+        let mut t = 10_000u64;
+        b.iter(|| {
+            q.push(SimTime(t), EventKind::Call(Box::new(|_| {})));
+            t += 7;
+            q.pop()
+        });
+    });
+    // Deep standing population (4096 events, the 4096-rank shape): where
+    // the bucketed layout pays off over the single binary heap.
+    for (name, deep) in [("push-pop-deep-4096", false), ("push-pop-deep-4096-heap", true)] {
+        g.bench_function(name, |b| {
+            if deep {
+                let mut q = HeapEventQueue::new();
+                for i in 0..4096u64 {
+                    q.push(SimTime(i * 10), EventKind::Call(Box::new(|_| {})));
+                }
+                let mut t = 41_000u64;
+                b.iter(|| {
+                    q.push(SimTime(t), EventKind::Call(Box::new(|_| {})));
+                    t += 11;
+                    q.pop()
+                });
+            } else {
+                let mut q = EventQueue::new();
+                for i in 0..4096u64 {
+                    q.push(SimTime(i * 10), EventKind::Call(Box::new(|_| {})));
+                }
+                let mut t = 41_000u64;
+                b.iter(|| {
+                    q.push(SimTime(t), EventKind::Call(Box::new(|_| {})));
+                    t += 11;
+                    q.pop()
+                });
+            }
+        });
+    }
     g.finish();
 }
 

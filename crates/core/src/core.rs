@@ -136,6 +136,12 @@ pub struct NmStats {
     /// Tracked whether or not flow control is armed, so a flow-off run can
     /// report how far past the cap it went.
     pub fc_peak_unex_bytes: u64,
+    /// Live per-peer state entries across every lazily-populated map in
+    /// this core (gates, seq/dedup windows, credit pools, rail affinity,
+    /// retry bookkeeping) at snapshot time. The O(active-flows) claim made
+    /// measurable: an idle core reports 0 no matter how many ranks the job
+    /// has, and a core that only ever talked to k peers reports O(k).
+    pub peer_entries: u64,
     /// Copy accounting for the whole stack this core belongs to (memcpys,
     /// allocations, zero-copy shares) — the measured side of the Fig. 2
     /// bypass argument.
@@ -867,6 +873,17 @@ impl NmCore {
         let inner = self.inner.lock();
         let mut s = inner.stats;
         s.copy = inner.meter.snapshot();
+        s.peer_entries = (inner.gates.len()
+            + inner.send_seq.len()
+            + inner.recv_expected.len()
+            + inner.parked.len()
+            + inner.env_unacked.len()
+            + inner.rdv_done.len()
+            + inner.last_in_rail.len()
+            + inner.send_credits.len()
+            + inner.credit_owed.len()
+            + inner.credit_withheld.len()
+            + inner.recv_posted.len()) as u64;
         if let Some(h) = inner.health.as_ref() {
             s.rail_transitions = h.transitions();
             s.degraded_nanos = h.degraded_nanos();

@@ -188,14 +188,17 @@ impl MpiHandle {
 
     // Collectives (implemented over point-to-point in `collectives.rs`).
 
-    /// Synchronize all ranks (dissemination barrier).
+    /// Synchronize all ranks. Large multi-node jobs use the hierarchical
+    /// (node-leader) barrier, small or single-node jobs flat dissemination.
     pub fn barrier(&self) {
-        crate::collectives::barrier(self);
+        crate::collectives::barrier_auto(self);
     }
 
-    /// Broadcast from `root` (binomial tree). Every rank returns the data.
+    /// Broadcast from `root`. Every rank returns the data. Large
+    /// multi-node jobs use the hierarchical (node-leader) algorithm, small
+    /// ones the flat binomial tree (see `collectives::bcast_auto`).
     pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
-        crate::collectives::bcast(self, root, data)
+        crate::collectives::bcast_auto(self, root, data)
     }
 
     /// Sum-reduce f64 vectors to `root`.
@@ -203,15 +206,17 @@ impl MpiHandle {
         crate::collectives::reduce_sum(self, root, contrib)
     }
 
-    /// Allreduce (sum) of f64 vectors.
+    /// Allreduce (sum) of f64 vectors. Large multi-node jobs use the
+    /// hierarchical reduce + recursive-doubling algorithm.
     pub fn allreduce_sum(&self, contrib: &[f64]) -> Vec<f64> {
-        crate::collectives::allreduce_sum(self, contrib)
+        crate::collectives::allreduce_sum_auto(self, contrib)
     }
 
     /// Personalized all-to-all: `blocks[i]` goes to rank i; returns the
-    /// blocks received (one per rank).
+    /// blocks received (one per rank). Large jobs use Bruck's log-round
+    /// algorithm, small ones the flat pairwise exchange.
     pub fn alltoall(&self, blocks: Vec<Bytes>) -> Vec<Bytes> {
-        crate::collectives::alltoall(self, blocks)
+        crate::collectives::alltoall_auto(self, blocks)
     }
 
     /// All-gather: every rank contributes `mine`; returns all blocks,
@@ -221,9 +226,9 @@ impl MpiHandle {
     }
 
     /// Personalized all-to-all with per-destination sizes
-    /// (MPI_Alltoallv).
+    /// (MPI_Alltoallv). Selects Bruck vs pairwise like [`MpiHandle::alltoall`].
     pub fn alltoallv(&self, blocks: Vec<Bytes>) -> Vec<Bytes> {
-        crate::collectives::alltoallv(self, blocks)
+        crate::collectives::alltoallv_auto(self, blocks)
     }
 
     // Datatype-aware operations (the paper's future-work extension; see

@@ -10,11 +10,34 @@
 //! legal because MPI requires all ranks to invoke collectives in the same
 //! order — and tags its traffic in a reserved context, so collective
 //! traffic can never match user point-to-point receives.
+//!
+//! ## Scale: hierarchical and log-round algorithms
+//!
+//! The flat algorithms are O(P) messages per rank for alltoall and treat
+//! the topology as flat. At thousands of ranks that drowns the simulator
+//! (and a real fabric) in per-message overhead, so this module also
+//! provides:
+//!
+//! * [`bcast_hier`] / [`allreduce_sum_hier`] — intra-node leader pattern:
+//!   reduce/forward inside each node over shared memory, then a binomial
+//!   tree (bcast) or recursive doubling with the MPICH non-power-of-two
+//!   fold (allreduce) across node leaders only.
+//! * [`alltoall_bruck`] / [`alltoallv_bruck`] — Bruck's algorithm:
+//!   ⌈log₂ P⌉ rounds of packed exchanges (P log P messages job-wide
+//!   instead of P²). Blocks are length-prefixed, so one implementation
+//!   serves both the fixed and variable-size variants.
+//! * [`alltoallv_windowed`] — pairwise exchange with a bounded number of
+//!   in-flight request pairs, for when payload bytes (not message count)
+//!   dominate.
+//!
+//! The `*_auto` selectors pick by job size and topology; below the
+//! thresholds they return the flat algorithms byte-for-byte, so existing
+//! small-run figures stay bit-identical.
 
 use std::sync::atomic::Ordering;
 
 use bytes::Bytes;
-use simnet::NmBuf;
+use simnet::{NmBuf, TopoMap};
 
 use crate::api::{MpiHandle, Src};
 use crate::progress::COLL_CTX;
@@ -274,6 +297,561 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
         mpi.state.wait(&mpi.ctx, s);
     }
     result.into_iter().map(|b| b.expect("missing block")).collect()
+}
+
+// --- Hierarchical and log-round variants ---------------------------------
+
+/// Jobs at or above this size route bcast/allreduce through the
+/// hierarchical (node-leader) algorithms when they span multiple nodes.
+pub const HIER_MIN_RANKS: usize = 16;
+/// Jobs at or above this size route alltoall(v) through Bruck's algorithm.
+pub const BRUCK_MIN_RANKS: usize = 64;
+
+fn topo_of(mpi: &MpiHandle) -> std::sync::Arc<TopoMap> {
+    std::sync::Arc::clone(mpi.state.vcs.topo())
+}
+
+fn hier_applicable(size: usize, topo: &TopoMap) -> bool {
+    size >= HIER_MIN_RANKS && topo.multi_node()
+}
+
+/// Binomial-tree broadcast within an arbitrary rank group. `group` lists
+/// the members (identical on every caller), `root_pos`/`my_pos` index into
+/// it. On return every member's `payload` holds the root's bytes.
+fn bcast_group(
+    mpi: &MpiHandle,
+    key: u64,
+    group: &[usize],
+    root_pos: usize,
+    my_pos: usize,
+    payload: &mut NmBuf,
+) {
+    let gsize = group.len();
+    debug_assert_eq!(group[my_pos], mpi.rank());
+    if gsize <= 1 {
+        return;
+    }
+    let vrank = (my_pos + gsize - root_pos) % gsize;
+    let mut mask = 1usize;
+    while mask < gsize {
+        if vrank & mask != 0 {
+            let parent = group[((vrank - mask) + root_pos) % gsize];
+            let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(parent), key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            *payload = NmBuf::from(d.expect("group bcast data"));
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    let mut sends = Vec::new();
+    while mask > 0 {
+        if vrank & mask == 0 && vrank + mask < gsize {
+            let child = group[((vrank + mask) + root_pos) % gsize];
+            sends.push(mpi.state.isend_key(&mpi.ctx, child, key, payload.share()));
+        }
+        mask >>= 1;
+    }
+    for s in sends {
+        mpi.state.wait(&mpi.ctx, s);
+    }
+}
+
+/// Binomial-tree sum-reduction within a group to `root_pos`. Returns true
+/// on the member that holds the result (the root), false elsewhere.
+fn reduce_group(
+    mpi: &MpiHandle,
+    key: u64,
+    group: &[usize],
+    root_pos: usize,
+    my_pos: usize,
+    acc: &mut [f64],
+) -> bool {
+    let gsize = group.len();
+    debug_assert_eq!(group[my_pos], mpi.rank());
+    if gsize <= 1 {
+        return true;
+    }
+    let vrank = (my_pos + gsize - root_pos) % gsize;
+    let mut mask = 1usize;
+    while mask < gsize {
+        if vrank & mask == 0 {
+            let src_v = vrank | mask;
+            if src_v < gsize {
+                let src = group[(src_v + root_pos) % gsize];
+                let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(src), key);
+                let (d, _) = mpi.state.wait(&mpi.ctx, r);
+                let theirs = bytes_to_f64s(&d.expect("group reduce data"));
+                assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a += b;
+                }
+            }
+        } else {
+            let parent = group[((vrank & !mask) + root_pos) % gsize];
+            let s = mpi.state.isend_key(&mpi.ctx, parent, key, f64s_to_bytes(acc));
+            mpi.state.wait(&mpi.ctx, s);
+            return false;
+        }
+        mask <<= 1;
+    }
+    true
+}
+
+/// Recursive-doubling sum-allreduce within a group, with MPICH's
+/// non-power-of-two pre/post fold. Distinct rounds start at `round_base`
+/// (uses rounds `round_base..round_base+1+log₂` plus `round_base + 30`).
+fn allreduce_group_recdbl(
+    mpi: &MpiHandle,
+    op: u64,
+    seq: u32,
+    round_base: u64,
+    group: &[usize],
+    my_pos: usize,
+    acc: &mut Vec<f64>,
+) {
+    let p = group.len();
+    debug_assert_eq!(group[my_pos], mpi.rank());
+    if p <= 1 {
+        return;
+    }
+    let mut pof2 = 1usize;
+    while pof2 * 2 <= p {
+        pof2 *= 2;
+    }
+    let rem = p - pof2;
+    // Pre-fold: the first 2·rem members pair up so a power of two remains.
+    // Even positions hand their contribution to their odd neighbour and sit
+    // out; odd positions absorb it and join with a compacted position.
+    let fold_key = coll_key(op, round_base, seq);
+    let newpos: Option<usize> = if my_pos < 2 * rem {
+        if my_pos.is_multiple_of(2) {
+            let s = mpi
+                .state
+                .isend_key(&mpi.ctx, group[my_pos + 1], fold_key, f64s_to_bytes(acc));
+            mpi.state.wait(&mpi.ctx, s);
+            None
+        } else {
+            let r = mpi
+                .state
+                .irecv_key(&mpi.ctx, Src::Rank(group[my_pos - 1]), fold_key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            let theirs = bytes_to_f64s(&d.expect("fold data"));
+            assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+            for (a, b) in acc.iter_mut().zip(theirs) {
+                *a += b;
+            }
+            Some(my_pos / 2)
+        }
+    } else {
+        Some(my_pos - rem)
+    };
+    if let Some(np) = newpos {
+        let mut mask = 1usize;
+        let mut round = round_base + 1;
+        while mask < pof2 {
+            let partner_np = np ^ mask;
+            let partner_pos = if partner_np < rem {
+                partner_np * 2 + 1
+            } else {
+                partner_np + rem
+            };
+            let partner = group[partner_pos];
+            let key = coll_key(op, round, seq);
+            // Serialize before receiving: both sides exchange their
+            // pre-round value.
+            let s = mpi
+                .state
+                .isend_key(&mpi.ctx, partner, key, f64s_to_bytes(acc));
+            let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(partner), key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            mpi.state.wait(&mpi.ctx, s);
+            let theirs = bytes_to_f64s(&d.expect("recdbl data"));
+            assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+            for (a, b) in acc.iter_mut().zip(theirs) {
+                *a += b;
+            }
+            mask <<= 1;
+            round += 1;
+        }
+    }
+    // Post-fold: folded-out members get the finished result back.
+    let unfold_key = coll_key(op, round_base + 30, seq);
+    if my_pos < 2 * rem {
+        if my_pos.is_multiple_of(2) {
+            let r = mpi
+                .state
+                .irecv_key(&mpi.ctx, Src::Rank(group[my_pos + 1]), unfold_key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            *acc = bytes_to_f64s(&d.expect("unfold data"));
+        } else {
+            let s = mpi
+                .state
+                .isend_key(&mpi.ctx, group[my_pos - 1], unfold_key, f64s_to_bytes(acc));
+            mpi.state.wait(&mpi.ctx, s);
+        }
+    }
+}
+
+/// Hierarchical broadcast: root → its node leader (round 1), binomial over
+/// node leaders (round 2), binomial inside each node (round 3, over shared
+/// memory). Byte-identical result to [`bcast`].
+pub fn bcast_hier(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert!(root < size);
+    if size == 1 {
+        return data.expect("bcast root must supply data");
+    }
+    let topo = topo_of(mpi);
+    let seq = next_seq(mpi);
+    let mut payload = if rank == root {
+        NmBuf::from(data.expect("bcast root must supply data"))
+    } else {
+        NmBuf::default()
+    };
+    let root_node = topo.node_of(root);
+    let lroot = topo.leader_of(root);
+    // Round 1: seed the inter-node tree's root. Skipped when the job root
+    // already leads its node.
+    if root != lroot {
+        let key = coll_key(OP_BCAST, 1, seq);
+        if rank == root {
+            let s = mpi.state.isend_key(&mpi.ctx, lroot, key, payload.share());
+            mpi.state.wait(&mpi.ctx, s);
+        } else if rank == lroot {
+            let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(root), key);
+            let (d, _) = mpi.state.wait(&mpi.ctx, r);
+            payload = NmBuf::from(d.expect("bcast data"));
+        }
+    }
+    // Round 2: binomial over the leaders only — inter-node traffic.
+    if let Some(my_lpos) = topo.leader_index(rank) {
+        let root_lpos = topo.leader_index(lroot).expect("leader not indexed");
+        bcast_group(
+            mpi,
+            coll_key(OP_BCAST, 2, seq),
+            topo.leaders(),
+            root_lpos,
+            my_lpos,
+            &mut payload,
+        );
+    }
+    // Round 3: fan out inside each node. On the root's own node the tree is
+    // rooted at the job root (it has held the payload since the start).
+    let node_group = topo.node_ranks(rank);
+    if node_group.len() > 1 {
+        let holder = if topo.node_of(rank) == root_node {
+            root
+        } else {
+            topo.leader_of(rank)
+        };
+        bcast_group(
+            mpi,
+            coll_key(OP_BCAST, 3, seq),
+            node_group,
+            topo.local_index(holder),
+            topo.local_index(rank),
+            &mut payload,
+        );
+    }
+    payload.into_bytes()
+}
+
+/// Hierarchical sum-allreduce: binomial reduce to each node leader over
+/// shared memory (round 1), recursive doubling across leaders (rounds
+/// 2–32), binomial intra-node broadcast of the result (round 63).
+/// Summation order differs from [`allreduce_sum`], so floating-point
+/// results agree byte-exactly only when the additions are exact (e.g.
+/// integer-valued contributions).
+pub fn allreduce_sum_hier(mpi: &MpiHandle, contrib: &[f64]) -> Vec<f64> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    if size == 1 {
+        return contrib.to_vec();
+    }
+    let topo = topo_of(mpi);
+    let seq = next_seq(mpi);
+    let mut acc = contrib.to_vec();
+    let node_group = topo.node_ranks(rank);
+    let my_li = topo.local_index(rank);
+    let is_leader =
+        reduce_group(mpi, coll_key(OP_REDUCE, 1, seq), node_group, 0, my_li, &mut acc);
+    if is_leader {
+        let lpos = topo.leader_index(rank).expect("leader not indexed");
+        allreduce_group_recdbl(mpi, OP_REDUCE, seq, 2, topo.leaders(), lpos, &mut acc);
+    }
+    if node_group.len() > 1 {
+        let mut buf = if is_leader {
+            NmBuf::from(f64s_to_bytes(&acc))
+        } else {
+            NmBuf::default()
+        };
+        bcast_group(
+            mpi,
+            coll_key(OP_REDUCE, 63, seq),
+            node_group,
+            0,
+            my_li,
+            &mut buf,
+        );
+        acc = bytes_to_f64s(&buf.into_bytes());
+    }
+    acc
+}
+
+/// Bruck all-to-all over length-prefixed blocks: ⌈log₂ P⌉ rounds; in round
+/// j every rank packs the blocks whose (rotated) index has bit j set and
+/// ships them 2ʲ ranks to the right. P·⌈log₂ P⌉ messages job-wide instead
+/// of the pairwise exchange's P², at the cost of each byte travelling up to
+/// ⌈log₂ P⌉ hops. Handles variable block sizes, so it backs both
+/// [`alltoall_auto`] and [`alltoallv_auto`].
+pub fn alltoallv_bruck(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert_eq!(blocks.len(), size, "need one block per rank");
+    if size == 1 {
+        return blocks;
+    }
+    let seq = next_seq(mpi);
+    // Local rotation: temp[i] holds the block destined to rank+i. Done in
+    // place on the input vector — a handle array is 32 B × P per rank,
+    // O(P²) job-wide, so this routine never materialises a second one.
+    let mut temp = blocks;
+    temp.rotate_left(rank);
+    let mut pof = 1usize;
+    let mut round = 1u64;
+    while pof < size {
+        let key = coll_key(OP_ALLTOALLV, round, seq);
+        let to = (rank + pof) % size;
+        let from = (rank + size - pof) % size;
+        let idxs: Vec<usize> = (0..size).filter(|i| i & pof != 0).collect();
+        // u32 length prefixes: at thousands of ranks with small blocks the
+        // prefix dominates wire size (a u64 one is 2/3 of the bytes for
+        // 4-byte blocks) and can push the round message past the eager
+        // threshold into rendezvous.
+        let mut packed = Vec::new();
+        for &i in &idxs {
+            let blk = &temp[i];
+            assert!(blk.len() <= u32::MAX as usize, "bruck block too large");
+            packed.extend_from_slice(&(blk.len() as u32).to_le_bytes());
+            packed.extend_from_slice(blk);
+        }
+        let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
+        let s = mpi
+            .state
+            .isend_key(&mpi.ctx, to, key, NmBuf::from(Bytes::from(packed)));
+        let (d, _) = mpi.state.wait(&mpi.ctx, r);
+        mpi.state.wait(&mpi.ctx, s);
+        let d = d.expect("bruck data");
+        let mut off = 0usize;
+        // Zero-copy slices of the raw arrival buffer would pin the whole
+        // buffer until the LAST of its blocks is overwritten — and every
+        // round delivers some block that lives to the final round, so all
+        // ⌈log₂P⌉ arrival buffers (mostly dead bytes) would stay resident
+        // per rank at the peak: gigabytes job-wide at 4096 ranks. Instead,
+        // group arriving blocks by the round that overwrites them — the
+        // next set bit of the rotated index above this round's bit. All
+        // blocks of a group die together, so a compact buffer per group
+        // never holds dead data; the no-higher-bit group is final output.
+        struct ArrivalGroup {
+            /// Round whose arrival overwrites every block in this group
+            /// (`u32::MAX`: never — the blocks are final output).
+            death: u32,
+            buf: Vec<u8>,
+            /// (temp index, start, end) of each block within `buf`.
+            bounds: Vec<(usize, usize, usize)>,
+        }
+        let shift = pof.trailing_zeros() + 1;
+        let mut groups: Vec<ArrivalGroup> = Vec::new();
+        for &i in &idxs {
+            let len =
+                u32::from_le_bytes(d[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            let death = match i >> shift {
+                0 => u32::MAX,
+                hi => hi.trailing_zeros(),
+            };
+            let g = match groups.iter().position(|g| g.death == death) {
+                Some(g) => g,
+                None => {
+                    groups.push(ArrivalGroup {
+                        death,
+                        buf: Vec::new(),
+                        bounds: Vec::new(),
+                    });
+                    groups.len() - 1
+                }
+            };
+            let g = &mut groups[g];
+            let start = g.buf.len();
+            g.buf.extend_from_slice(&d[off..off + len]);
+            g.bounds.push((i, start, g.buf.len()));
+            off += len;
+        }
+        assert_eq!(off, d.len(), "bruck payload size mismatch");
+        for g in groups {
+            let shared = Bytes::from(g.buf);
+            for (i, s, e) in g.bounds {
+                temp[i] = shared.slice(s..e);
+            }
+        }
+        pof <<= 1;
+        round += 1;
+    }
+    // Inverse rotation: after the exchange rounds, temp[i] holds the block
+    // that originated at rank−i, i.e. result[s] = temp[(rank−s) mod P] —
+    // a reversal followed by a rotation, again in place.
+    temp.reverse();
+    temp.rotate_left(size - 1 - rank);
+    temp
+}
+
+/// Bruck all-to-all with equal-size blocks (see [`alltoallv_bruck`]).
+pub fn alltoall_bruck(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    alltoallv_bruck(mpi, blocks)
+}
+
+/// Pairwise-exchange alltoallv with at most `window` request pairs in
+/// flight: the classic flat exchange's traffic pattern, bounded so P−1
+/// outstanding requests (and their unexpected-queue footprint) never pile
+/// up at once.
+pub fn alltoallv_windowed(mpi: &MpiHandle, blocks: Vec<Bytes>, window: usize) -> Vec<Bytes> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    assert_eq!(blocks.len(), size, "need one block per rank");
+    assert!(window > 0, "window must be positive");
+    let seq = next_seq(mpi);
+    let key = coll_key(OP_ALLTOALLV, 0, seq);
+    let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
+    let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
+    result[rank] = Some(blocks[rank].share().into_bytes());
+    let mut i = 1usize;
+    while i < size {
+        let end = (i + window).min(size);
+        let mut recvs = Vec::with_capacity(end - i);
+        for d in i..end {
+            let from = (rank + size - d) % size;
+            recvs.push((from, mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key)));
+        }
+        let mut sends = Vec::with_capacity(end - i);
+        for d in i..end {
+            let to = (rank + d) % size;
+            sends.push(mpi.state.isend_key(&mpi.ctx, to, key, blocks[to].share()));
+        }
+        for (from, r) in recvs {
+            let (data, _) = mpi.state.wait(&mpi.ctx, r);
+            result[from] = Some(data.expect("alltoallv data"));
+        }
+        for s in sends {
+            mpi.state.wait(&mpi.ctx, s);
+        }
+        i = end;
+    }
+    result.into_iter().map(|b| b.expect("missing block")).collect()
+}
+
+// --- Size/topology-based selection ----------------------------------------
+
+/// Broadcast, selecting hierarchical vs flat by job size and topology.
+/// Hierarchical barrier: an intra-node binomial gather raises each node
+/// leader once all of its locals have arrived (round 1), a dissemination
+/// exchange over the leaders synchronizes the nodes (rounds 8..), and an
+/// intra-node binomial release lets everyone leave (round 63). Message
+/// count is O(ranks + nodes·log nodes) against flat dissemination's
+/// O(ranks·log ranks) — at 4096 ranks on 16-wide nodes that is ~10k
+/// messages instead of ~49k.
+pub fn barrier_hier(mpi: &MpiHandle) {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    if size == 1 {
+        return;
+    }
+    let topo = topo_of(mpi);
+    let seq = next_seq(mpi);
+    let node_group = topo.node_ranks(rank);
+    let my_pos = topo.local_index(rank);
+    // Phase 1: gather to the node leader (position 0) with empty payloads.
+    reduce_group(
+        mpi,
+        coll_key(OP_BARRIER, 1, seq),
+        node_group,
+        0,
+        my_pos,
+        &mut [],
+    );
+    // Phase 2: dissemination over the node leaders only.
+    if let Some(lpos) = topo.leader_index(rank) {
+        let leaders = topo.leaders();
+        let nl = leaders.len();
+        let mut dist = 1usize;
+        let mut round = 8u64;
+        while dist < nl {
+            let key = coll_key(OP_BARRIER, round, seq);
+            let to = leaders[(lpos + dist) % nl];
+            let from = leaders[(lpos + nl - dist) % nl];
+            let s = mpi.state.isend_key(&mpi.ctx, to, key, NmBuf::default());
+            let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
+            mpi.state.wait(&mpi.ctx, s);
+            mpi.state.wait(&mpi.ctx, r);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+    // Phase 3: intra-node release from the leader.
+    let mut empty = NmBuf::default();
+    bcast_group(
+        mpi,
+        coll_key(OP_BARRIER, 63, seq),
+        node_group,
+        0,
+        my_pos,
+        &mut empty,
+    );
+}
+
+/// Barrier, selecting hierarchical vs flat dissemination by job size and
+/// topology.
+pub fn barrier_auto(mpi: &MpiHandle) {
+    let topo = topo_of(mpi);
+    if hier_applicable(mpi.size(), &topo) {
+        barrier_hier(mpi)
+    } else {
+        barrier(mpi)
+    }
+}
+
+pub fn bcast_auto(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
+    let topo = topo_of(mpi);
+    if hier_applicable(mpi.size(), &topo) {
+        bcast_hier(mpi, root, data)
+    } else {
+        bcast(mpi, root, data)
+    }
+}
+
+/// Allreduce (sum), selecting hierarchical vs flat by job size and
+/// topology.
+pub fn allreduce_sum_auto(mpi: &MpiHandle, contrib: &[f64]) -> Vec<f64> {
+    let topo = topo_of(mpi);
+    if hier_applicable(mpi.size(), &topo) {
+        allreduce_sum_hier(mpi, contrib)
+    } else {
+        allreduce_sum(mpi, contrib)
+    }
+}
+
+/// All-to-all, selecting Bruck vs flat pairwise by job size.
+pub fn alltoall_auto(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    if mpi.size() >= BRUCK_MIN_RANKS {
+        alltoall_bruck(mpi, blocks)
+    } else {
+        alltoall(mpi, blocks)
+    }
+}
+
+/// Alltoallv, selecting Bruck vs flat pairwise by job size.
+pub fn alltoallv_auto(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
+    if mpi.size() >= BRUCK_MIN_RANKS {
+        alltoallv_bruck(mpi, blocks)
+    } else {
+        alltoallv(mpi, blocks)
+    }
 }
 
 #[cfg(test)]

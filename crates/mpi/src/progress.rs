@@ -609,7 +609,7 @@ impl ProcState {
     ///
     /// App-polling mode spins at `poll_gran` for the first stretch (so
     /// small-message latencies resolve at full precision) and then backs
-    /// off exponentially to [`MAX_POLL_BACKOFF`] — long waits (bulk
+    /// off exponentially to `MAX_POLL_BACKOFF` — long waits (bulk
     /// transfers, NAS iterations) would otherwise drown the simulator in
     /// poll events. The backoff only starts well past any calibrated
     /// latency, so it never perturbs the Netpipe figures.

@@ -3,7 +3,7 @@
 //! "In the MPICH2 implementation, each communication is managed with a
 //! request object … we added a new field to the Nemesis-specific portion of
 //! the MPICH2 request which points to the corresponding NewMadeleine
-//! request" (§3.1.1). [`Slot::nmad_req`] is that field; conversely the
+//! request" (§3.1.1). `Slot::nmad_req` is that field; conversely the
 //! NewMadeleine request carries the MPI request index as its cookie, so the
 //! two can always find each other.
 

@@ -7,12 +7,13 @@
 //! the way §3 describes, spawns one rank thread per process, and runs the
 //! program to completion.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::{
     Cluster, CopyMeter, CopySnapshot, Fabric, FabricOpts, FaultCounters, FaultPlan,
-    NodeId, Placement, RailId, SimBuilder, SimOutcome,
+    NodeId, Placement, RailId, SimBuilder, SimOutcome, TopoMap,
 };
 
 use nemesis::{ShmDomain, ShmModel};
@@ -322,30 +323,29 @@ pub fn run_mpi(
     // One job-wide copy meter: MPI ingress, Nemesis cells, NewMadeleine and
     // the CH3 engines all charge the same tally (surfaced in `RunOutcome`).
     let meter = CopyMeter::new();
+    // Job-wide topology indices, built once and shared by every rank's VC
+    // table and the hierarchical collectives. All per-rank locality queries
+    // below are O(1) against this map (the per-rank `ranks_on` scans they
+    // replace were O(ranks²) job-wide).
+    let topo: Arc<TopoMap> = Arc::new(TopoMap::new(placement));
     let rank_to_node: Arc<Vec<NodeId>> =
         Arc::new((0..nranks).map(|r| placement.node_of(r)).collect());
 
     // --- Shared-memory domains, one per populated node -----------------
     let mut domains: Vec<Option<Arc<ShmDomain>>> = vec![None; cluster.nodes];
-    let mut local_index: Vec<usize> = vec![usize::MAX; nranks];
     for (node, domain) in domains.iter_mut().enumerate() {
-        let ranks = placement.ranks_on(NodeId(node));
+        let ranks = topo.ranks_on(NodeId(node));
         if ranks.is_empty() {
             continue;
         }
-        for (local, &g) in ranks.iter().enumerate() {
-            local_index[g] = local;
-        }
         *domain = Some(ShmDomain::with_instruments(
-            &ranks,
+            ranks,
             cfg.cells_per_rank,
             cfg.shm_model,
             Arc::clone(&meter),
             recorder.as_ref(),
         ));
     }
-    let local_index = Arc::new(local_index);
-
     // --- Inter-node fabric + per-rank path ------------------------------
     enum NetSetup {
         Direct(Vec<Arc<NmCore>>),
@@ -353,9 +353,7 @@ pub fn run_mpi(
         Tailored(Vec<Arc<Inbox>>, Arc<Fabric<Ch3Wire>>, TailoredProfile),
         None,
     }
-    let any_remote = (0..nranks).any(|r| {
-        (0..nranks).any(|d| d != r && !placement.same_node(r, d))
-    });
+    let any_remote = topo.multi_node();
     let mut nm_fabric: Option<Arc<Fabric<NmWire>>> = None;
     // The fabric takes ownership of its NIC models, so the cluster's rail
     // descriptions must be cloned out of the borrowed `Cluster`.
@@ -408,12 +406,13 @@ pub fn run_mpi(
                         )
                     })
                     .collect();
-                // Node sinks demultiplex on the destination rank.
+                // Node sinks demultiplex on the destination rank (hashed —
+                // a linear probe here is O(node ranks) per delivery).
                 for node in 0..cluster.nodes {
-                    let node_cores: Vec<(usize, Arc<NmCore>)> = placement
+                    let node_cores: HashMap<usize, Arc<NmCore>> = topo
                         .ranks_on(NodeId(node))
-                        .into_iter()
-                        .map(|r| (r, Arc::clone(&cores[r])))
+                        .iter()
+                        .map(|&r| (r, Arc::clone(&cores[r])))
                         .collect();
                     if node_cores.is_empty() {
                         continue;
@@ -423,9 +422,7 @@ pub fn run_mpi(
                         Box::new(move |s, d| {
                             let dst = d.msg.dst_rank;
                             let core = node_cores
-                                .iter()
-                                .find(|(r, _)| *r == dst)
-                                .map(|(_, c)| c)
+                                .get(&dst)
                                 .unwrap_or_else(|| panic!("no core for rank {dst}"));
                             // Cores index rails identically to the fabric
                             // (NmNet.rails is the full 0..n id list), so the
@@ -448,10 +445,10 @@ pub fn run_mpi(
                 let fabric: Arc<Fabric<Ch3Wire>> = Fabric::new(cluster.nodes, models);
                 let inboxes: Vec<Arc<Inbox>> = (0..nranks).map(|_| Inbox::new()).collect();
                 for node in 0..cluster.nodes {
-                    let node_boxes: Vec<(usize, Arc<Inbox>)> = placement
+                    let node_boxes: HashMap<usize, Arc<Inbox>> = topo
                         .ranks_on(NodeId(node))
-                        .into_iter()
-                        .map(|r| (r, Arc::clone(&inboxes[r])))
+                        .iter()
+                        .map(|&r| (r, Arc::clone(&inboxes[r])))
                         .collect();
                     if node_boxes.is_empty() {
                         continue;
@@ -461,9 +458,7 @@ pub fn run_mpi(
                         Box::new(move |s, d| {
                             let dst = d.msg.dst;
                             let inbox = node_boxes
-                                .iter()
-                                .find(|(r, _)| *r == dst)
-                                .map(|(_, b)| b)
+                                .get(&dst)
                                 .unwrap_or_else(|| panic!("no inbox for rank {dst}"));
                             inbox.push(s, d.msg.src, d.msg.pkt);
                         }),
@@ -475,13 +470,12 @@ pub fn run_mpi(
             }
         }
     };
-
     // --- Per-rank process state -----------------------------------------
     let mut states: Vec<Arc<ProcState>> = Vec::with_capacity(nranks);
     let mut piom_servers: Vec<Option<Arc<PiomServer>>> = Vec::with_capacity(nranks);
     let mut cores_for_stats: Vec<Arc<NmCore>> = Vec::new();
     for r in 0..nranks {
-        let vcs = VcTable::new(r, placement, cfg.bypass());
+        let vcs = VcTable::new(r, Arc::clone(&topo), cfg.bypass());
         let has_remote = vcs.has_remote();
         let (net, engine, costs, net_eager) = match &net_setup {
             NetSetup::Direct(cores) => {
@@ -564,14 +558,14 @@ pub fn run_mpi(
             ),
         };
         // Shared-memory transport (only when the node hosts >1 rank).
-        let node = placement.node_of(r);
-        let colocated = placement.ranks_on(node).len() > 1;
+        let node = topo.node_of(r);
+        let colocated = topo.node_ranks(r).len() > 1;
         let (shm, shm_model) = if colocated {
             let domain = Arc::clone(domains[node.0].as_ref().unwrap());
-            let li = Arc::clone(&local_index);
+            let ti = Arc::clone(&topo);
             let local_of: Arc<dyn Fn(usize) -> usize + Send + Sync> =
-                Arc::new(move |g| li[g]);
-            let t = ShmTransport::new(domain, local_index[r], local_of);
+                Arc::new(move |g| ti.local_index(g));
+            let t = ShmTransport::new(domain, topo.local_index(r), local_of);
             (
                 Some(Arc::new(t) as Arc<dyn Ch3Transport>),
                 Some(cfg.shm_model),
@@ -623,11 +617,10 @@ pub fn run_mpi(
     // another rank's "the rail is idle now, commit your window" signal.
     if cfg.pioman.is_some() {
         for (r, state) in states.iter().enumerate() {
-            let node = placement.node_of(r);
-            let node_servers: Vec<Arc<PiomServer>> = placement
-                .ranks_on(node)
-                .into_iter()
-                .filter_map(|peer| piom_servers[peer].as_ref().map(Arc::clone))
+            let node_servers: Vec<Arc<PiomServer>> = topo
+                .node_ranks(r)
+                .iter()
+                .filter_map(|&peer| piom_servers[peer].as_ref().map(Arc::clone))
                 .collect();
             let hook: Arc<dyn Fn(&simnet::Scheduler) + Send + Sync> =
                 Arc::new(move |s| {
@@ -655,7 +648,6 @@ pub fn run_mpi(
             }
         }
     }
-
     // --- Rank threads ----------------------------------------------------
     for (r, state) in states.iter().enumerate() {
         let program = Arc::clone(&program);

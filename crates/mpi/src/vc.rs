@@ -10,8 +10,18 @@
 //! API layer dispatches on per destination. A stack chooses at `MPI_Init`
 //! time whether remote destinations point at the NewMadeleine bypass or at
 //! a CH3 transport.
+//!
+//! ## Scale
+//!
+//! The table is *interned*: instead of a dense `Vec<VcPath>` per rank
+//! (O(ranks) per rank, O(ranks²) job-wide — 128 MB of path entries alone at
+//! 4096 ranks), each rank holds an `Arc` to the job-wide [`TopoMap`] and
+//! computes `path(dst)` from node locality on demand. Per-rank footprint is
+//! a pointer and two words regardless of job size.
 
-use simnet::Placement;
+use std::sync::Arc;
+
+use simnet::{Placement, TopoMap};
 
 /// Where traffic for one destination flows.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,57 +38,70 @@ pub enum VcPath {
     Ch3Net,
 }
 
-/// The per-process VC table.
+/// The per-process VC table: a view over the shared topology map rather
+/// than a materialised per-destination vector.
 pub struct VcTable {
-    paths: Vec<VcPath>,
+    topo: Arc<TopoMap>,
     my_rank: usize,
+    bypass: bool,
 }
 
 impl VcTable {
-    /// Build the table for `my_rank` given the placement and whether the
-    /// stack bypasses CH3 for inter-node traffic.
-    pub fn new(my_rank: usize, placement: &Placement, bypass: bool) -> VcTable {
-        let paths = (0..placement.nranks())
-            .map(|dst| {
-                if dst == my_rank {
-                    VcPath::SelfLoop
-                } else if placement.same_node(my_rank, dst) {
-                    VcPath::Shm
-                } else if bypass {
-                    VcPath::NmadDirect
-                } else {
-                    VcPath::Ch3Net
-                }
-            })
-            .collect();
-        VcTable { paths, my_rank }
+    /// Build the table for `my_rank` over the job-wide topology map.
+    /// `bypass` selects whether inter-node traffic goes straight to
+    /// NewMadeleine or through CH3.
+    pub fn new(my_rank: usize, topo: Arc<TopoMap>, bypass: bool) -> VcTable {
+        VcTable {
+            topo,
+            my_rank,
+            bypass,
+        }
+    }
+
+    /// Convenience constructor for tests and one-off tables: builds a
+    /// private [`TopoMap`] from the placement.
+    pub fn from_placement(my_rank: usize, placement: &Placement, bypass: bool) -> VcTable {
+        VcTable::new(my_rank, Arc::new(TopoMap::new(placement)), bypass)
     }
 
     /// The send path for `dst` — the "function pointer" consulted by
-    /// `MPID_Send`.
+    /// `MPID_Send`. O(1), computed from node locality.
     #[inline]
     pub fn path(&self, dst: usize) -> VcPath {
-        self.paths[dst]
+        if dst == self.my_rank {
+            VcPath::SelfLoop
+        } else if self.topo.same_node(self.my_rank, dst) {
+            VcPath::Shm
+        } else if self.bypass {
+            VcPath::NmadDirect
+        } else {
+            VcPath::Ch3Net
+        }
     }
 
     pub fn my_rank(&self) -> usize {
         self.my_rank
     }
 
+    /// The shared topology map this table is a view over.
+    pub fn topo(&self) -> &Arc<TopoMap> {
+        &self.topo
+    }
+
     /// Remote peers (everything not self and not same-node) — the gates a
-    /// netmod pre-posts receives for.
+    /// netmod pre-posts receives for. O(ranks) to materialise; only the
+    /// legacy netmod path calls this, the bypass stack never does.
     pub fn remote_peers(&self) -> Vec<usize> {
-        self.paths
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, VcPath::NmadDirect | VcPath::Ch3Net))
-            .map(|(i, _)| i)
+        let my_node = self.topo.node_of(self.my_rank);
+        (0..self.topo.nranks())
+            .filter(|&dst| dst != self.my_rank && self.topo.node_of(dst) != my_node)
             .collect()
     }
 
-    /// Any inter-node destinations at all?
+    /// Any inter-node destinations at all? O(1): some rank lives on another
+    /// node exactly when more than one node is populated.
     pub fn has_remote(&self) -> bool {
-        !self.remote_peers().is_empty()
+        self.topo.multi_node()
     }
 
     /// How many peers can hold eager credits against this rank — the
@@ -87,7 +110,7 @@ impl VcTable {
     /// Intra-node peers never consume credits (the Nemesis cell pool is
     /// the shared-memory backpressure), so only remote VCs count.
     pub fn credit_peer_count(&self) -> usize {
-        self.remote_peers().len()
+        self.topo.nranks() - self.topo.node_ranks(self.my_rank).len()
     }
 }
 
@@ -100,7 +123,7 @@ mod tests {
     fn bypass_table_routes_by_locality() {
         let cluster = Cluster::new(2, 2, vec![]);
         let p = Placement::block(4, &cluster); // 0,1 on node0; 2,3 on node1
-        let vc = VcTable::new(1, &p, true);
+        let vc = VcTable::from_placement(1, &p, true);
         assert_eq!(vc.path(1), VcPath::SelfLoop);
         assert_eq!(vc.path(0), VcPath::Shm);
         assert_eq!(vc.path(2), VcPath::NmadDirect);
@@ -114,7 +137,7 @@ mod tests {
     fn non_bypass_table_uses_ch3_net() {
         let cluster = Cluster::new(2, 1, vec![]);
         let p = Placement::block(2, &cluster);
-        let vc = VcTable::new(0, &p, false);
+        let vc = VcTable::from_placement(0, &p, false);
         assert_eq!(vc.path(1), VcPath::Ch3Net);
     }
 
@@ -122,9 +145,35 @@ mod tests {
     fn single_node_has_no_remotes() {
         let cluster = Cluster::new(1, 4, vec![]);
         let p = Placement::block(4, &cluster);
-        let vc = VcTable::new(2, &p, true);
+        let vc = VcTable::from_placement(2, &p, true);
         assert!(!vc.has_remote());
         assert_eq!(vc.path(0), VcPath::Shm);
         assert_eq!(vc.my_rank(), 2);
+    }
+
+    #[test]
+    fn tables_share_one_topo_map() {
+        // The point of interning: N tables over one placement must not
+        // materialise N path vectors. All views alias one TopoMap.
+        let cluster = Cluster::new(4, 2, vec![]);
+        let p = Placement::block(8, &cluster);
+        let topo = Arc::new(TopoMap::new(&p));
+        let tables: Vec<VcTable> = (0..8)
+            .map(|r| VcTable::new(r, Arc::clone(&topo), true))
+            .collect();
+        assert_eq!(Arc::strong_count(&topo), 9);
+        for (r, vc) in tables.iter().enumerate() {
+            assert_eq!(vc.path(r), VcPath::SelfLoop);
+            for dst in 0..8 {
+                if dst != r {
+                    let want = if p.same_node(r, dst) {
+                        VcPath::Shm
+                    } else {
+                        VcPath::NmadDirect
+                    };
+                    assert_eq!(vc.path(dst), want);
+                }
+            }
+        }
     }
 }

@@ -58,6 +58,14 @@ pub struct MsgHeader {
 }
 
 /// Contents of one cell.
+///
+/// The payload buffer is *lazily* sized: an untouched cell owns no heap
+/// memory, and a used cell's buffer grows to the largest fragment it has
+/// carried (bounded by [`CELL_PAYLOAD`]). The real Nemesis maps the full
+/// 64 KB per cell up front, but at thousands of ranks that eager
+/// `ranks × cells × 64 KB` footprint dominates job memory (~3 GB at 1024
+/// ranks) while typical fragments touch a fraction of it — an idle job
+/// must not pay for cells it never cycles.
 pub struct CellData {
     /// Which rank's free queue this cell must be returned to.
     pub origin: usize,
@@ -65,7 +73,7 @@ pub struct CellData {
     pub header: MsgHeader,
     /// Number of valid bytes in `payload`.
     pub len: usize,
-    payload: Box<[u8]>,
+    payload: Vec<u8>,
 }
 
 impl CellData {
@@ -75,7 +83,7 @@ impl CellData {
             kind: MsgKind::Only,
             header: MsgHeader::default(),
             len: 0,
-            payload: vec![0u8; CELL_PAYLOAD].into_boxed_slice(),
+            payload: Vec::new(),
         }
     }
 
@@ -90,7 +98,8 @@ impl CellData {
     /// Panics if `src` exceeds the cell capacity.
     pub fn fill(&mut self, src: &[u8]) {
         assert!(src.len() <= CELL_PAYLOAD, "fragment exceeds cell capacity");
-        self.payload[..src.len()].copy_from_slice(src);
+        self.payload.clear();
+        self.payload.extend_from_slice(src);
         self.len = src.len();
     }
 }

@@ -69,6 +69,14 @@ pub struct PiomServer {
     ltasks: Mutex<Vec<LTask>>,
     stopped: AtomicBool,
     timer_running: AtomicBool,
+    /// An ltask pass is scheduled but has not run yet (idle-core mode).
+    /// Kicks arriving while set are coalesced into that pass: it fires
+    /// after their simulated instant (the pending pass was scheduled no
+    /// more than one sync cost ago), so it observes their work — one poll
+    /// pass servicing a burst of events, exactly what a real polling core
+    /// does. Without this, every NIC event fans out into one scheduled
+    /// pass per co-located rank and event counts grow with node width.
+    pass_pending: AtomicBool,
     kicks: AtomicU64,
     /// Completed `run_ltasks` passes (the watchdog's progress signal).
     runs: AtomicU64,
@@ -89,6 +97,7 @@ impl PiomServer {
             ltasks: Mutex::new(Vec::new()),
             stopped: AtomicBool::new(false),
             timer_running: AtomicBool::new(false),
+            pass_pending: AtomicBool::new(false),
             kicks: AtomicU64::new(0),
             runs: AtomicU64::new(0),
             watchdog_running: AtomicBool::new(false),
@@ -180,8 +189,20 @@ impl PiomServer {
         self.kicks.fetch_add(1, Ordering::Relaxed);
         match self.cfg.method {
             DetectionMethod::IdleCorePolling => {
+                // Coalesce: if a pass is already on the calendar it will
+                // fire after this kick's instant and see its work; a lone
+                // kick still reacts after exactly the sync cost.
+                if self.pass_pending.swap(true, Ordering::AcqRel) {
+                    return;
+                }
                 let server = Arc::clone(self);
-                sched.schedule_in(sync, move |s| server.run_ltasks(s));
+                sched.schedule_in(sync, move |s| {
+                    // Clear before running: kicks raised *by* this pass
+                    // (completions cascading into new submissions) must
+                    // schedule a fresh pass rather than be swallowed.
+                    server.pass_pending.store(false, Ordering::Release);
+                    server.run_ltasks(s);
+                });
             }
             DetectionMethod::TimerDriven(_) => {
                 // The periodic tick will pick the event up.

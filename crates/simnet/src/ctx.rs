@@ -1,9 +1,8 @@
 //! The handle a rank program uses to interact with the simulation.
 
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use crate::engine::{RankId, Report, Scheduler, SimCore, TornDown};
+use crate::engine::{RankId, Report, ReportCell, Scheduler, SimCore, TornDown, WakeCell};
 use crate::time::{SimDuration, SimTime};
 
 /// Per-rank simulation context, passed by value to the rank's program
@@ -12,22 +11,22 @@ use crate::time::{SimDuration, SimTime};
 pub struct RankCtx {
     core: Arc<SimCore>,
     rank: RankId,
-    go_rx: Receiver<()>,
-    report_tx: Sender<Report>,
+    cell: Arc<WakeCell>,
+    report: Arc<ReportCell>,
 }
 
 impl RankCtx {
     pub(crate) fn new(
         core: Arc<SimCore>,
         rank: RankId,
-        go_rx: Receiver<()>,
-        report_tx: Sender<Report>,
+        cell: Arc<WakeCell>,
+        report: Arc<ReportCell>,
     ) -> Self {
         RankCtx {
             core,
             rank,
-            go_rx,
-            report_tx,
+            cell,
+            report,
         }
     }
 
@@ -73,10 +72,8 @@ impl RankCtx {
     /// ([`crate::sem::SimSemaphore`]); the waker must have arranged for
     /// exactly one wake event targeting this rank.
     pub(crate) fn park(&self) {
-        self.report_tx
-            .send(Report::Parked(self.rank))
-            .expect("engine dropped while rank running");
-        if self.go_rx.recv().is_err() {
+        self.report.send(Report::Parked(self.rank));
+        if self.cell.wait_go().is_err() {
             // The engine tore the simulation down (deadlock/panic path):
             // unwind this thread silently.
             std::panic::panic_any(TornDown);
@@ -86,6 +83,6 @@ impl RankCtx {
     /// Wait for the initial token grant. Only called once, by the rank
     /// thread bootstrap.
     pub(crate) fn wait_go(&self) -> Result<(), ()> {
-        self.go_rx.recv().map_err(|_| ())
+        self.cell.wait_go()
     }
 }

@@ -68,4 +68,4 @@ pub use fault::{
 pub use nic::{JitterModel, NicModel, NicPort};
 pub use sem::SimSemaphore;
 pub use time::{SimDuration, SimTime};
-pub use topology::{Cluster, NodeId, Placement};
+pub use topology::{Cluster, NodeId, Placement, TopoMap};

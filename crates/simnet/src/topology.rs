@@ -134,10 +134,160 @@ impl Placement {
     }
 
     /// Ranks co-located on `node`, in rank order.
+    ///
+    /// O(nranks) scan — fine for one-off queries; per-rank loops at scale
+    /// should go through a shared [`TopoMap`] instead.
     pub fn ranks_on(&self, node: NodeId) -> Vec<usize> {
         (0..self.node_of.len())
             .filter(|&r| self.node_of[r] == node)
             .collect()
+    }
+}
+
+/// Precomputed topology indices over a [`Placement`], built once per job and
+/// shared (`Arc<TopoMap>`) by every rank.
+///
+/// All the per-rank queries the stack and the hierarchical collectives need
+/// — node membership lists, local indices, node leaders — are O(1) lookups
+/// here. Without this, each of P ranks doing its own `ranks_on` scan costs
+/// O(P²) job-wide, which dominates setup at thousands of ranks.
+#[derive(Debug)]
+pub struct TopoMap {
+    node_of: Vec<NodeId>,
+    /// Co-located ranks per node id, rank order (empty for unpopulated ids).
+    ranks_by_node: Vec<Vec<usize>>,
+    /// Position of each rank within its node's membership list.
+    local_index: Vec<usize>,
+    /// Lowest rank on each node (`usize::MAX` for unpopulated ids).
+    leader_of_node: Vec<usize>,
+    /// Node leaders (lowest rank per populated node), ascending.
+    leaders: Vec<usize>,
+    /// For each rank: its position in `leaders` if it is one.
+    leader_pos: Vec<Option<usize>>,
+    populated_nodes: usize,
+}
+
+impl TopoMap {
+    /// Build the indices with one pass over the placement.
+    pub fn new(placement: &Placement) -> TopoMap {
+        let nranks = placement.nranks();
+        let max_node = (0..nranks)
+            .map(|r| placement.node_of(r).0)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut ranks_by_node: Vec<Vec<usize>> = vec![Vec::new(); max_node];
+        let mut node_of = Vec::with_capacity(nranks);
+        let mut local_index = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let n = placement.node_of(r);
+            node_of.push(n);
+            local_index.push(ranks_by_node[n.0].len());
+            ranks_by_node[n.0].push(r);
+        }
+        let leader_of_node: Vec<usize> = ranks_by_node
+            .iter()
+            .map(|rs| rs.first().copied().unwrap_or(usize::MAX))
+            .collect();
+        let mut leaders: Vec<usize> = leader_of_node
+            .iter()
+            .copied()
+            .filter(|&l| l != usize::MAX)
+            .collect();
+        leaders.sort_unstable();
+        let mut leader_pos = vec![None; nranks];
+        for (i, &l) in leaders.iter().enumerate() {
+            leader_pos[l] = Some(i);
+        }
+        let populated_nodes = leaders.len();
+        TopoMap {
+            node_of,
+            ranks_by_node,
+            local_index,
+            leader_of_node,
+            leaders,
+            leader_pos,
+            populated_nodes,
+        }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.node_of[rank]
+    }
+
+    /// Do two ranks share a node?
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// Ranks co-located with `rank` (including itself), rank order.
+    #[inline]
+    pub fn node_ranks(&self, rank: usize) -> &[usize] {
+        &self.ranks_by_node[self.node_of[rank].0]
+    }
+
+    /// Ranks on `node`, rank order (empty if unpopulated).
+    #[inline]
+    pub fn ranks_on(&self, node: NodeId) -> &[usize] {
+        self.ranks_by_node
+            .get(node.0)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Position of `rank` within [`TopoMap::node_ranks`].
+    #[inline]
+    pub fn local_index(&self, rank: usize) -> usize {
+        self.local_index[rank]
+    }
+
+    /// The leader (lowest rank) of `rank`'s node.
+    #[inline]
+    pub fn leader_of(&self, rank: usize) -> usize {
+        self.leader_of_node[self.node_of[rank].0]
+    }
+
+    /// Is `rank` its node's leader?
+    #[inline]
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.leader_pos[rank].is_some()
+    }
+
+    /// All node leaders, ascending rank order.
+    #[inline]
+    pub fn leaders(&self) -> &[usize] {
+        &self.leaders
+    }
+
+    /// `rank`'s position among the leaders, if it is one.
+    #[inline]
+    pub fn leader_index(&self, rank: usize) -> Option<usize> {
+        self.leader_pos[rank]
+    }
+
+    /// Number of nodes hosting at least one rank.
+    #[inline]
+    pub fn populated_nodes(&self) -> usize {
+        self.populated_nodes
+    }
+
+    /// Does any pair of ranks span two nodes? (Equivalently: does any rank
+    /// have a remote peer?) O(1), replacing the all-pairs scan.
+    #[inline]
+    pub fn multi_node(&self) -> bool {
+        self.populated_nodes > 1
+    }
+
+    /// Largest per-node rank count (sizing hint for collective selection).
+    pub fn max_node_ranks(&self) -> usize {
+        self.ranks_by_node.iter().map(Vec::len).max().unwrap_or(0)
     }
 }
 
@@ -187,6 +337,39 @@ mod tests {
     fn overfull_placement_rejected() {
         let c = Cluster::new(1, 2, vec![]);
         let _ = Placement::block(3, &c);
+    }
+
+    #[test]
+    fn topo_map_indices_match_placement() {
+        let c = Cluster::new(3, 4, vec![]);
+        let p = Placement::block(9, &c); // 0-3 node0, 4-7 node1, 8 node2
+        let t = TopoMap::new(&p);
+        assert_eq!(t.nranks(), 9);
+        assert_eq!(t.populated_nodes(), 3);
+        assert!(t.multi_node());
+        assert_eq!(t.node_ranks(5), &[4, 5, 6, 7]);
+        assert_eq!(t.ranks_on(NodeId(2)), &[8]);
+        assert_eq!(t.local_index(6), 2);
+        assert_eq!(t.leader_of(7), 4);
+        assert_eq!(t.leaders(), &[0, 4, 8]);
+        assert!(t.is_leader(4) && !t.is_leader(5));
+        assert_eq!(t.leader_index(8), Some(2));
+        assert_eq!(t.leader_index(3), None);
+        assert_eq!(t.max_node_ranks(), 4);
+        for r in 0..9 {
+            assert_eq!(t.node_of(r), p.node_of(r));
+            assert_eq!(t.node_ranks(r)[t.local_index(r)], r);
+        }
+    }
+
+    #[test]
+    fn topo_map_single_node_is_not_multi() {
+        let c = Cluster::new(1, 8, vec![]);
+        let p = Placement::block(5, &c);
+        let t = TopoMap::new(&p);
+        assert!(!t.multi_node());
+        assert_eq!(t.populated_nodes(), 1);
+        assert_eq!(t.leaders(), &[0]);
     }
 
     #[test]
