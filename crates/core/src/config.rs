@@ -131,6 +131,51 @@ impl FlowConfig {
     }
 }
 
+/// Elastic membership: per-*peer* liveness promotion on top of the
+/// per-rail health machinery. When armed, repeated retransmission
+/// timeouts toward one peer (on any rail) walk that peer
+/// `Up → Suspect → Dead`; a `Dead` verdict triggers the drain protocol —
+/// in-flight rendezvous with the peer are aborted through the protocol
+/// table (`Event::PeerDead` rows), its eager credits released, and every
+/// lazily-populated per-peer map entry reclaimed. Liveness is credited
+/// only by intact inbound arrivals, and a `Dead` verdict additionally
+/// requires `min_silence` of inbound silence, so a merely slow or briefly
+/// hung node is never declared dead. `None` (the default) keeps the
+/// PR-3 behaviour: exhausting `max_attempts` panics the rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Consecutive per-peer retransmission timeouts before `Up → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive per-peer timeouts before `Suspect → Dead` (subject to
+    /// `min_silence`). `Dead` is sticky: a departed rank never rejoins
+    /// under the same rank id.
+    pub dead_after: u32,
+    /// A peer is only declared `Dead` if nothing intact has arrived from
+    /// it for at least this long — the inbound-credited hysteresis that
+    /// protects slow-but-alive nodes.
+    pub min_silence: SimDuration,
+    /// While we hold posted receives or in-flight rendezvous *from* a
+    /// silent peer (i.e. we expect inbound but have no outbound retries to
+    /// attribute failures from), probe it at this cadence; each unanswered
+    /// probe interval counts as one failure.
+    pub probe_interval: SimDuration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        // Stacked on the default RetryConfig (80µs initial timeout, ×2
+        // backoff, 1ms cap): 12 consecutive timeouts ≈ 5ms of proven
+        // outbound silence before a Dead verdict, far above any transient
+        // stall the rail-health layer tolerates.
+        MembershipConfig {
+            suspect_after: 4,
+            dead_after: 12,
+            min_silence: SimDuration::millis(2),
+            probe_interval: SimDuration::micros(400),
+        }
+    }
+}
+
 /// Tunables of one NewMadeleine instance.
 #[derive(Clone, Copy, Debug)]
 pub struct NmConfig {
@@ -155,6 +200,10 @@ pub struct NmConfig {
     /// Credit-based eager flow control (overload protection). `None`
     /// keeps the exact happy-path wire behaviour.
     pub flow: Option<FlowConfig>,
+    /// Elastic membership (node-death detection + drain). Requires
+    /// `retry` to be armed (verdicts are fed by retransmission timeouts);
+    /// `None` keeps the PR-3 link-presumed-dead panic.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl Default for NmConfig {
@@ -168,6 +217,7 @@ impl Default for NmConfig {
             retry: None,
             min_split_chunk: 4 * 1024,
             flow: None,
+            membership: None,
         }
     }
 }
@@ -204,6 +254,15 @@ mod tests {
     #[test]
     fn flow_control_is_off_by_default() {
         assert!(NmConfig::default().flow.is_none());
+    }
+
+    #[test]
+    fn membership_is_off_by_default_and_orders_its_thresholds() {
+        assert!(NmConfig::default().membership.is_none());
+        let m = MembershipConfig::default();
+        assert!(m.suspect_after < m.dead_after);
+        assert!(m.min_silence > SimDuration::ZERO);
+        assert!(m.probe_interval > SimDuration::ZERO);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use simnet::{
 
 use crate::config::{NmConfig, RetryConfig};
 use crate::matching::{GateId, MatchEngine, Unexpected};
+use crate::membership::{MembershipTable, PeerLiveness};
 use crate::pack::{PacketWrapper, PwBody, PwId};
 use crate::protocol::{self, Action, Verdict};
 use crate::railhealth::{RailHealth, RailHealthTable};
@@ -136,6 +137,28 @@ pub struct NmStats {
     /// Tracked whether or not flow control is armed, so a flow-off run can
     /// report how far past the cap it went.
     pub fc_peak_unex_bytes: u64,
+    /// Membership: liveness state-machine transitions (any edge of
+    /// `Up/Suspect/Dead`, across all tracked peers).
+    pub membership_transitions: u64,
+    /// Membership: peers this rank has declared `Dead` (sticky).
+    pub membership_dead_peers: u64,
+    /// Membership: send requests completed *with an error* by the drain
+    /// protocol (in-flight rendezvous aborted, queued eager sends failed,
+    /// fail-fast sends toward a known-dead peer).
+    pub membership_aborted_sends: u64,
+    /// Membership: receive requests completed *with an error* (posted
+    /// against a peer that died, or fail-fast toward a known-dead peer).
+    pub membership_aborted_recvs: u64,
+    /// Membership: per-peer state entries reclaimed by drains (map
+    /// entries, rendezvous records, queued wrappers, parked envelopes).
+    pub membership_drained_entries: u64,
+    /// Membership: frames from an already-drained peer dropped at
+    /// acceptance instead of reviving per-peer state.
+    pub membership_stray_frames: u64,
+    /// Membership: eager credits released back to full pools by drains
+    /// (in-flight credits toward the dead peer plus owed/withheld returns
+    /// it will never collect).
+    pub membership_credits_released: u64,
     /// Live per-peer state entries across every lazily-populated map in
     /// this core (gates, seq/dedup windows, credit pools, rail affinity,
     /// retry bookkeeping) at snapshot time. The O(active-flows) claim made
@@ -308,7 +331,31 @@ struct Inner {
     /// newly posted receive will match under in-order delivery, used to
     /// key its `recv_posted` span event.
     recv_posted: HashMap<(usize, u64), u64>,
+    /// Per-peer liveness supervisor (`None` without
+    /// [`crate::config::MembershipConfig`] — node death then keeps the
+    /// PR-3 link-presumed-dead panic).
+    membership: Option<MembershipTable>,
+    /// Fresh `Dead` verdicts not yet consumed by the upper layer (the MPI
+    /// progress engine retargets ANY_SOURCE and retires the VC on these).
+    dead_events: VecDeque<usize>,
+    /// Monotonic sequence for membership silence probes (kept disjoint
+    /// from rail-health probe sequences via [`MEMBER_PROBE_BIT`]).
+    member_probe_seq: u64,
+    /// This rank crashed (or finalized under churn): drop all traffic,
+    /// report quiescent, never panic on behalf of a dead process.
+    halted: bool,
 }
+
+/// Membership silence probes share [`WirePayload::Probe`] with the
+/// rail-health prober; this bit keeps their sequence spaces disjoint so a
+/// membership probe's ack can never be mistaken for a rail-recovery ack.
+const MEMBER_PROBE_BIT: u64 = 1 << 63;
+
+/// Span-key sequence space for fail-fast requests toward a dead peer:
+/// they never claim a wire sequence number (nothing will carry them) and
+/// must not create per-peer map entries, so their lifecycle spans draw a
+/// unique key from the request id in this disjoint high-bit space.
+const DEAD_LETTER_SEQ: u64 = 1 << 62;
 
 /// Span key for a message `src → dst` under `tag` with envelope `seq`.
 fn mkey(src: usize, dst: usize, tag: u64, seq: u64) -> obs::MsgKey {
@@ -447,6 +494,11 @@ impl NmCore {
         let health = cfg
             .retry
             .map(|rc| RailHealthTable::new(rc, net.rails.len()));
+        assert!(
+            cfg.membership.is_none() || cfg.retry.is_some(),
+            "membership verdicts are fed by retransmission timeouts; arm `retry` first"
+        );
+        let membership = cfg.membership.map(MembershipTable::new);
         let probe_peer = net
             .rank_to_node
             .iter()
@@ -489,6 +541,10 @@ impl NmCore {
                 meter,
                 rec: obs::RankRec::new(recorder, rank as u32),
                 recv_posted: HashMap::new(),
+                membership,
+                dead_events: VecDeque::new(),
+                member_probe_seq: 0,
+                halted: false,
             }),
             hook: Mutex::new(None),
         })
@@ -547,6 +603,35 @@ impl NmCore {
             data = data.with_meter(&inner.meter);
         }
         let req = SendReqId(inner.send_reqs.len() as u32);
+        let now = sched.now();
+        // Fail fast toward a known-dead peer: the request still completes
+        // (no-cancel rule) — with an error, immediately, instead of
+        // burning a full retransmission ladder against a corpse. It
+        // claims no wire sequence number and no per-peer map entry (a
+        // drained peer keeps exactly zero).
+        if inner.membership.as_ref().is_some_and(|m| m.is_dead(dst)) {
+            let seq = DEAD_LETTER_SEQ | req.0 as u64;
+            inner.send_reqs.push(SendReq {
+                cookie,
+                done: false,
+                dst,
+                tag,
+                seq,
+            });
+            inner.rec.phase(
+                now.0,
+                mkey(self.rank, dst, tag, seq),
+                obs::Phase::SendPosted {
+                    len: data.len() as u64,
+                },
+            );
+            inner.rec.inc("nmad.isend", 1);
+            inner.rec.observe("nmad.send.bytes", data.len() as u64);
+            Self::complete_send_failed(&mut inner, now.0, req, dst);
+            drop(inner);
+            self.fire_hook(sched);
+            return req;
+        }
         let seq = {
             let c = inner.send_seq.entry((dst, tag)).or_insert(0);
             let v = *c;
@@ -562,7 +647,6 @@ impl NmCore {
         });
         let pw_id = PwId(inner.next_pw);
         inner.next_pw += 1;
-        let now = sched.now();
         inner.rec.phase(
             now.0,
             mkey(self.rank, dst, tag, seq),
@@ -693,6 +777,28 @@ impl NmCore {
         let mut inner = self.inner.lock();
         let now = sched.now();
         let req = RecvReqId(inner.recv_reqs.len() as u32);
+        let my_rank = self.rank;
+        // Fail fast: a receive posted against a drained peer can never
+        // match (its unexpected queue was purged, its frames are strays).
+        // Like the send side, it claims no per-peer map entry.
+        if inner.membership.as_ref().is_some_and(|m| m.is_dead(src)) {
+            let seq = DEAD_LETTER_SEQ | req.0 as u64;
+            inner.recv_reqs.push(RecvReq {
+                cookie,
+                done: false,
+                src,
+                tag,
+                seq,
+            });
+            inner
+                .rec
+                .phase(now.0, mkey(src, my_rank, tag, seq), obs::Phase::RecvPosted);
+            inner.rec.inc("nmad.irecv", 1);
+            Self::complete_recv_failed(&mut inner, now.0, req, src);
+            drop(inner);
+            self.fire_hook(sched);
+            return req;
+        }
         let posted_seq = {
             let c = inner.recv_posted.entry((src, tag)).or_insert(0);
             let v = *c;
@@ -706,7 +812,6 @@ impl NmCore {
             tag,
             seq: posted_seq,
         });
-        let my_rank = self.rank;
         inner.rec.phase(
             now.0,
             mkey(src, my_rank, tag, posted_seq),
@@ -771,10 +876,32 @@ impl NmCore {
         }
         let retry = {
             let mut inner = self.inner.lock();
+            if inner.halted {
+                return;
+            }
             if !wire.crc_ok() {
                 inner.stats.crc_drops += 1;
                 return;
             }
+            // A frame from a peer this rank already drained must not
+            // revive any per-peer state (`Dead` is sticky): count it and
+            // drop it before it can touch a map.
+            if inner
+                .membership
+                .as_ref()
+                .is_some_and(|m| m.is_dead(wire.src_rank))
+            {
+                inner.stats.membership_stray_frames += 1;
+                inner.rec.inc("nmad.membership.stray_frames", 1);
+                return;
+            }
+            // An intact inbound frame is the only way a peer earns
+            // liveness credit (outbound attempts can be fooled; arrivals
+            // cannot).
+            if let Some(m) = inner.membership.as_mut() {
+                m.record_inbound(wire.src_rank, sched.now());
+            }
+            Self::emit_member_events(&mut inner, sched.now());
             inner.last_in_rail.insert(wire.src_rank, rail);
             // An intact arrival is live proof of this rail: inbound credit
             // is the only success signal that cannot be fooled by a
@@ -801,10 +928,38 @@ impl NmCore {
     /// (retry mode), then commit the submission windows. The MPI progress
     /// engine (or PIOMan) calls this.
     pub fn schedule(self: &Arc<Self>, sched: &Scheduler) {
+        if self.inner.lock().halted {
+            return;
+        }
         self.process_inbound(sched);
         self.sweep_retries(sched);
         self.sweep_probes(sched);
+        self.sweep_membership(sched);
         self.try_commit(sched);
+    }
+
+    /// Crash/teardown: empty every queue and go permanently quiescent.
+    /// Models the process dying — nothing is flushed, nothing is acked,
+    /// and the simulated fabric (node-fault windows) makes the silence
+    /// real on the wire. Peers detect the death via their own membership
+    /// supervision; this rank simply stops participating.
+    pub fn halt(&self) {
+        let mut inner = self.inner.lock();
+        inner.halted = true;
+        inner.gates.clear();
+        inner.inbound.clear();
+        inner.completions.clear();
+        inner.rdv_out.clear();
+        inner.rdv_dst.clear();
+        inner.rdv_in.clear();
+        inner.env_unacked.clear();
+        inner.ctrl_out.clear();
+        inner.rec.inc("nmad.halt", 1);
+    }
+
+    /// Did [`NmCore::halt`] run?
+    pub fn halted(&self) -> bool {
+        self.inner.lock().halted
     }
 
     /// Is transport-level retransmission configured?
@@ -891,6 +1046,9 @@ impl NmCore {
             s.probes_sent = sent;
             s.probe_acks = acked;
         }
+        if let Some(m) = inner.membership.as_ref() {
+            s.membership_transitions = m.transitions();
+        }
         s
     }
 
@@ -910,6 +1068,103 @@ impl NmCore {
     /// `None` when health tracking is off.
     pub fn health_summary(&self) -> Option<String> {
         self.inner.lock().health.as_ref().map(|h| h.summary())
+    }
+
+    /// Is the membership supervisor armed?
+    pub fn membership_enabled(&self) -> bool {
+        self.inner.lock().membership.is_some()
+    }
+
+    /// Liveness verdict for one peer (`Up` when membership is off — the
+    /// happy path treats every peer as alive).
+    pub fn peer_state(&self, peer: usize) -> PeerLiveness {
+        self.inner
+            .lock()
+            .membership
+            .as_ref()
+            .map(|m| m.state(peer))
+            .unwrap_or(PeerLiveness::Up)
+    }
+
+    /// Declare `peer` dead out-of-band (an upper layer learned of the
+    /// death through a side channel — a resource manager, a test harness)
+    /// and run the drain immediately. Returns `false` when membership is
+    /// off or the peer was already dead.
+    pub fn declare_peer_dead(&self, sched: &Scheduler, peer: usize) -> bool {
+        let (fresh, fire) = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let now = sched.now();
+            let fresh = inner
+                .membership
+                .as_mut()
+                .is_some_and(|m| m.declare_dead(peer, now));
+            if fresh {
+                Self::emit_member_events(inner, now);
+                Self::drain_peer(inner, now, peer);
+            }
+            (fresh, fresh && !inner.completions.is_empty())
+        };
+        if fire {
+            self.fire_hook(sched);
+        }
+        fresh
+    }
+
+    /// True when membership is armed and `peer` has been declared dead.
+    pub fn is_peer_dead(&self, peer: usize) -> bool {
+        self.inner
+            .lock()
+            .membership
+            .as_ref()
+            .is_some_and(|m| m.is_dead(peer))
+    }
+
+    /// Drain the queue of freshly-dead peers (each peer appears exactly
+    /// once, in verdict order). The MPI layer polls this to retire VCs,
+    /// flush ANY_SOURCE windows and shrink collective groups.
+    pub fn take_dead_peers(&self) -> Vec<usize> {
+        self.inner.lock().dead_events.drain(..).collect()
+    }
+
+    /// Death log: `(peer, verdict time, fail streak at verdict)` — the
+    /// raw material for detection-latency histograms.
+    pub fn death_log(&self) -> Vec<(usize, SimTime, u64)> {
+        self.inner
+            .lock()
+            .membership
+            .as_ref()
+            .map(|m| m.deaths().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Per-peer state entries still held for `peer` across every
+    /// lazily-populated map. The drain's acceptance gate: 0 for a dead
+    /// peer once `drain_peer` has run.
+    pub fn peer_entry_count(&self, peer: usize) -> usize {
+        let inner = self.inner.lock();
+        let mut n = 0usize;
+        n += usize::from(inner.gates.contains_key(&peer));
+        n += inner.send_seq.keys().filter(|k| k.0 == peer).count();
+        n += inner.recv_expected.keys().filter(|k| k.0 == peer).count();
+        n += inner.parked.keys().filter(|k| k.0 == peer).count();
+        n += inner.env_unacked.keys().filter(|k| k.0 == peer).count();
+        n += inner.rdv_done.iter().filter(|k| k.0 == peer).count();
+        n += usize::from(inner.last_in_rail.contains_key(&peer));
+        n += usize::from(inner.send_credits.contains_key(&peer));
+        n += usize::from(inner.credit_owed.contains_key(&peer));
+        n += usize::from(inner.credit_withheld.contains_key(&peer));
+        n += inner.recv_posted.keys().filter(|k| k.0 == peer).count();
+        n += inner.rdv_dst.values().filter(|&&d| d == peer).count();
+        n += inner.rdv_in.keys().filter(|k| k.0 == peer).count();
+        n
+    }
+
+    /// One-line membership summary for transport `debug_state` strings,
+    /// e.g. `member[up=6 suspect=1 dead=1 transitions=4]`. `None` when
+    /// membership is off.
+    pub fn membership_summary(&self) -> Option<String> {
+        self.inner.lock().membership.as_ref().map(|m| m.summary())
     }
 
     /// Is credit-based eager flow control armed?
@@ -1090,8 +1345,14 @@ impl NmCore {
                         .push_back((src, WirePayload::ProbeAck { rail, seq }, Some(rail)));
                 }
                 WirePayload::ProbeAck { rail, seq } => {
-                    if let Some(h) = inner.health.as_mut() {
-                        h.record_probe_ack(rail, seq, now);
+                    // Membership probes share the wire format but live in
+                    // a disjoint (high-bit) sequence space: their ack is
+                    // just the inbound credit already recorded above, not
+                    // a rail-health sample.
+                    if seq & MEMBER_PROBE_BIT == 0 {
+                        if let Some(h) = inner.health.as_mut() {
+                            h.record_probe_ack(rail, seq, now);
+                        }
                     }
                 }
             }
@@ -1200,6 +1461,235 @@ impl NmCore {
         for (rail, seq) in probes {
             self.send_direct(sched, peer, WirePayload::Probe { rail, seq }, Some(rail));
         }
+    }
+
+    /// Membership silence prober. Peers this rank currently *expects
+    /// inbound from* (posted receives, in-flight inbound rendezvous)
+    /// generate no retransmission timeouts to attribute failures from, so
+    /// the supervisor probes them while they are silent — each unanswered
+    /// probe interval counts as one failure toward the `Dead` verdict,
+    /// and any intact arrival (including the probe ack) resets the streak
+    /// via `accept_delivery`.
+    fn sweep_membership(self: &Arc<Self>, sched: &Scheduler) {
+        let now = sched.now();
+        let mut probes_out: Vec<(usize, WirePayload, Option<usize>)> = Vec::new();
+        {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            if inner.membership.is_none() {
+                return;
+            }
+            let mut expected: Vec<usize> = inner
+                .matching
+                .posted_gates()
+                .into_iter()
+                .map(|g| g.0)
+                .collect();
+            expected.extend(inner.rdv_in.keys().map(|&(src, _)| src));
+            expected.sort_unstable();
+            expected.dedup();
+            let (probes, dead) = inner
+                .membership
+                .as_mut()
+                .expect("checked above")
+                .tick(now, expected);
+            Self::emit_member_events(inner, now);
+            let rail = Self::preferred_rail(inner.health.as_ref(), &self.profiles);
+            for peer in probes {
+                let seq = MEMBER_PROBE_BIT | inner.member_probe_seq;
+                inner.member_probe_seq += 1;
+                inner.rec.inc("nmad.membership.probes", 1);
+                probes_out.push((peer, WirePayload::Probe { rail, seq }, Some(rail)));
+            }
+            for peer in dead {
+                Self::drain_peer(inner, now, peer);
+            }
+            let had_completion = !inner.completions.is_empty();
+            drop(guard);
+            if had_completion {
+                self.fire_hook(sched);
+            }
+        }
+        for (dst, payload, via) in probes_out {
+            self.send_direct(sched, dst, payload, via);
+        }
+    }
+
+    /// The drain protocol: `peer` was declared `Dead` — cancel every
+    /// in-flight rendezvous with it through the protocol table's
+    /// `Event::PeerDead` rows (table entries, not ad-hoc surgery), fail
+    /// its posted receives, release its eager credits, and reclaim every
+    /// lazily-populated per-peer map entry, so `peer_entry_count(peer)`
+    /// ends at exactly 0 and not one surviving-pair byte is disturbed.
+    fn drain_peer(inner: &mut Inner, now: SimTime, peer: usize) {
+        let t_ns = now.0;
+        let mut entries: u64 = 0;
+        inner.stats.membership_dead_peers += 1;
+        inner.dead_events.push_back(peer);
+        let ctx = pctx(true, false, false, false);
+        // Outbound rendezvous toward the peer: `dead/swaitcts`,
+        // `dead/sstreaming`, `dead/swaitfin` — DisarmTimer + AbortSend.
+        let mut out_ids: Vec<u64> = inner
+            .rdv_dst
+            .iter()
+            .filter(|&(_, &dst)| dst == peer)
+            .map(|(&id, _)| id)
+            .collect();
+        out_ids.sort_unstable();
+        for rdv_id in out_ids {
+            let state = inner.rdv_out[&rdv_id].state;
+            match protocol::step(state, protocol::Event::PeerDead, ctx) {
+                Verdict::Step { actions, .. } => {
+                    let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
+                    inner.rdv_dst.remove(&rdv_id);
+                    entries += 2;
+                    // `DisarmTimer` is realized by dropping the entry
+                    // (its deadline dies with it).
+                    if actions.contains(&Action::AbortSend) {
+                        Self::complete_send_failed(inner, t_ns, rdv.send_req, peer);
+                    }
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => Self::protocol_error(inner, "nmad.protocol_errors.dead"),
+            }
+        }
+        // Inbound rendezvous from the peer: `dead/rwaitdata` — AbortRecv.
+        let mut in_ids: Vec<(usize, u64)> = inner
+            .rdv_in
+            .keys()
+            .filter(|&&(src, _)| src == peer)
+            .copied()
+            .collect();
+        in_ids.sort_unstable();
+        for key in in_ids {
+            match protocol::step(protocol::State::RWaitData, protocol::Event::PeerDead, ctx) {
+                Verdict::Step { actions, .. } => {
+                    let rdv = inner.rdv_in.remove(&key).unwrap();
+                    entries += 1;
+                    if actions.contains(&Action::AbortRecv) {
+                        Self::complete_recv_failed(inner, t_ns, rdv.recv_req, peer);
+                    }
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => Self::protocol_error(inner, "nmad.protocol_errors.dead"),
+            }
+        }
+        // Finished-rendezvous tombstones: `dead/rdone` drops them with no
+        // further action (nobody is left to replay the FIN for).
+        let mut tombs: Vec<(usize, u64)> = inner
+            .rdv_done
+            .iter()
+            .filter(|&&(src, _)| src == peer)
+            .copied()
+            .collect();
+        tombs.sort_unstable();
+        for key in tombs {
+            match protocol::step(protocol::State::RDone, protocol::Event::PeerDead, ctx) {
+                Verdict::Step { actions, .. } => {
+                    debug_assert!(actions.is_empty(), "tombstone drain emits no action");
+                    inner.rdv_done.remove(&key);
+                    entries += 1;
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => Self::protocol_error(inner, "nmad.protocol_errors.dead"),
+            }
+        }
+        // Queued-but-uncommitted wrappers toward the peer. Eager bodies
+        // still own live send requests (rendezvous ones were aborted
+        // above); fail them — their payload will never leave this node.
+        if let Some(queue) = inner.gates.remove(&peer) {
+            entries += 1 + queue.len() as u64;
+            for pw in queue {
+                if let PwBody::Eager { send_req, .. } = pw.body {
+                    if !inner.send_reqs[send_req.0 as usize].done {
+                        Self::complete_send_failed(inner, t_ns, send_req, peer);
+                    }
+                }
+            }
+        }
+        // Unacked eager envelopes toward the peer: their sends completed
+        // locally long ago — stop retransmitting into the void.
+        let env_keys: Vec<(usize, u64)> = inner
+            .env_unacked
+            .keys()
+            .filter(|&&(dst, _)| dst == peer)
+            .copied()
+            .collect();
+        for key in env_keys {
+            let flow = inner.env_unacked.remove(&key).unwrap();
+            entries += 1 + flow.len() as u64;
+        }
+        // Posted receives against the peer fail cleanly; its buffered
+        // unexpected messages are dropped (no credit is owed to a corpse).
+        let (orphans, dropped_bytes) = inner.matching.purge_gate(GateId(peer));
+        entries += orphans.len() as u64;
+        debug_assert!(inner.unex_eager_bytes >= dropped_bytes);
+        inner.unex_eager_bytes -= dropped_bytes;
+        for (req, _tag) in orphans {
+            if !inner.recv_reqs[req.0 as usize].done {
+                Self::complete_recv_failed(inner, t_ns, req, peer);
+            }
+        }
+        // Release the peer's eager credits: in-flight ones it will never
+        // ack, owed/withheld ones it will never collect.
+        let mut released: u64 = 0;
+        if let Some(fc) = inner.cfg.flow {
+            if let Some(pool) = inner.send_credits.remove(&peer) {
+                entries += 1;
+                released += (fc.eager_credits - pool) as u64;
+            }
+        }
+        if let Some(owed) = inner.credit_owed.remove(&peer) {
+            entries += 1;
+            released += owed as u64;
+        }
+        if let Some(withheld) = inner.credit_withheld.remove(&peer) {
+            entries += 1;
+            released += withheld as u64;
+        }
+        inner.stats.membership_credits_released += released;
+        // Remaining per-(peer, tag) bookkeeping maps.
+        let mut retain_count = |removed: usize| entries += removed as u64;
+        let before = inner.send_seq.len();
+        inner.send_seq.retain(|&(dst, _), _| dst != peer);
+        retain_count(before - inner.send_seq.len());
+        let before = inner.recv_expected.len();
+        inner.recv_expected.retain(|&(src, _), _| src != peer);
+        retain_count(before - inner.recv_expected.len());
+        let before = inner.recv_posted.len();
+        inner.recv_posted.retain(|&(src, _), _| src != peer);
+        retain_count(before - inner.recv_posted.len());
+        let parked_keys: Vec<(usize, u64)> = inner
+            .parked
+            .keys()
+            .filter(|&&(src, _)| src == peer)
+            .copied()
+            .collect();
+        for key in parked_keys {
+            let map = inner.parked.remove(&key).unwrap();
+            entries += 1 + map.len() as u64;
+        }
+        if inner.last_in_rail.remove(&peer).is_some() {
+            entries += 1;
+        }
+        // Control frames queued toward the peer, and inbound frames from
+        // it that arrived before the verdict: both are dead letters.
+        let before = inner.ctrl_out.len();
+        inner.ctrl_out.retain(|&(dst, _, _)| dst != peer);
+        entries += (before - inner.ctrl_out.len()) as u64;
+        let before = inner.inbound.len();
+        inner.inbound.retain(|w| w.src_rank != peer);
+        let strays = (before - inner.inbound.len()) as u64;
+        inner.stats.membership_stray_frames += strays;
+        inner.stats.membership_drained_entries += entries;
+        inner.rec.engine(
+            t_ns,
+            obs::EngineEvent::MemberDrain {
+                peer: peer as u32,
+                entries: entries as u32,
+            },
+        );
+        inner.rec.inc("nmad.membership.drained_entries", entries);
     }
 
     /// Transport-level reordering: envelopes are fed to matching strictly
@@ -1495,6 +1985,81 @@ impl NmCore {
         });
     }
 
+    /// Complete a send request *with an error* (its peer is dead). The
+    /// no-cancel rule (§2.2.1) is honoured: the request does complete —
+    /// the abort is the completion.
+    fn complete_send_failed(inner: &mut Inner, t_ns: u64, req: SendReqId, peer: usize) {
+        let r = &mut inner.send_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of send request");
+        r.done = true;
+        inner.stats.membership_aborted_sends += 1;
+        let cookie = r.cookie;
+        let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Aborted {
+                side: obs::Side::Send,
+            },
+        );
+        inner.rec.inc("nmad.membership.aborted_sends", 1);
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::SendFailed { peer },
+        });
+    }
+
+    /// Complete a receive request *with an error* (its gate is dead).
+    fn complete_recv_failed(inner: &mut Inner, t_ns: u64, req: RecvReqId, peer: usize) {
+        let r = &mut inner.recv_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of recv request");
+        r.done = true;
+        inner.stats.membership_aborted_recvs += 1;
+        let cookie = r.cookie;
+        let tag = r.tag;
+        let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Aborted {
+                side: obs::Side::Recv,
+            },
+        );
+        inner.rec.inc("nmad.membership.aborted_recvs", 1);
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::RecvFailed {
+                gate: GateId(peer),
+                tag,
+            },
+        });
+    }
+
+    /// Turn membership transition edges into obs spans and mirror the
+    /// transition counter into the stats snapshot.
+    fn emit_member_events(inner: &mut Inner, now: SimTime) {
+        let Some(m) = inner.membership.as_mut() else {
+            return;
+        };
+        let events = m.take_transition_events();
+        inner.stats.membership_transitions = m.transitions();
+        for (peer, state) in events {
+            let code = match state {
+                PeerLiveness::Up => 0,
+                PeerLiveness::Suspect => 1,
+                PeerLiveness::Dead => 2,
+            };
+            inner.rec.engine(
+                now.0,
+                obs::EngineEvent::MemberState {
+                    peer: peer as u32,
+                    state: code,
+                },
+            );
+            inner.rec.inc("nmad.membership.transitions", 1);
+        }
+    }
+
     /// The receiver matched an RTS: allocate the landing buffer and queue a
     /// CTS control packet back to the sender.
     #[allow(clippy::too_many_arguments)]
@@ -1780,10 +2345,15 @@ impl NmCore {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
             let Some(rc) = inner.cfg.retry else { return };
-            let bump = |timeout: &mut SimDuration, attempts: &mut u32, what: &str| {
+            // With membership armed, exhausting `max_attempts` is no
+            // longer a panic: every timeout is attributed to its peer and
+            // the supervisor decides between Suspect, Dead and patience.
+            let armed = inner.membership.is_some();
+            let mut failed_peers: Vec<usize> = Vec::new();
+            let bump = move |timeout: &mut SimDuration, attempts: &mut u32, what: &str| {
                 *attempts += 1;
                 assert!(
-                    *attempts <= rc.max_attempts,
+                    armed || *attempts <= rc.max_attempts,
                     "{what}: {} retransmissions without progress — link presumed dead",
                     rc.max_attempts
                 );
@@ -1799,6 +2369,9 @@ impl NmCore {
                         continue;
                     }
                     bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
+                    if armed {
+                        failed_peers.push(dst);
+                    }
                     rx.deadline = now + rx.timeout;
                     inner.stats.eager_retries += 1;
                     let key = mkey(self.rank, dst, tag, seq);
@@ -1874,6 +2447,9 @@ impl NmCore {
                     rdv.deadline = Some(now + rdv.timeout);
                     rdv.last_rails
                 };
+                if armed {
+                    failed_peers.push(dst);
+                }
                 // Every rail the outstanding packets used shares the blame
                 // (a multi-rail split can't name the guilty one — that's
                 // why demotion needs `suspect_after` repeats).
@@ -2000,6 +2576,9 @@ impl NmCore {
                 debug_assert!(actions.contains(&Action::ReplayCts));
                 let rdv = inner.rdv_in.get_mut(&key).unwrap();
                 bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
+                if armed {
+                    failed_peers.push(key.0);
+                }
                 rdv.deadline = Some(now + rdv.timeout);
                 inner.stats.cts_retries += 1;
                 let mk = mkey(key.0, self.rank, rdv.tag, rdv.seq);
@@ -2023,6 +2602,26 @@ impl NmCore {
                     },
                 );
                 resend.push((key.0, WirePayload::Cts { rdv_id: key.1 }, via));
+            }
+            // Promote this sweep's timeouts into per-peer liveness
+            // verdicts; a fresh `Dead` runs the drain before the lock
+            // drops, and replays toward a drained peer are dead letters.
+            if !failed_peers.is_empty() {
+                let mut newly_dead: Vec<usize> = Vec::new();
+                if let Some(m) = inner.membership.as_mut() {
+                    for peer in failed_peers {
+                        if m.record_failure(peer, now) {
+                            newly_dead.push(peer);
+                        }
+                    }
+                }
+                Self::emit_member_events(inner, now);
+                for peer in newly_dead {
+                    Self::drain_peer(inner, now, peer);
+                }
+                if let Some(m) = inner.membership.as_ref() {
+                    resend.retain(|&(dst, _, _)| !m.is_dead(dst));
+                }
             }
         }
         for (dst, payload, via) in resend {

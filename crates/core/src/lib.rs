@@ -51,6 +51,7 @@
 pub mod config;
 pub mod core;
 pub mod matching;
+pub mod membership;
 pub mod pack;
 pub mod protocol;
 pub mod railhealth;
@@ -60,8 +61,9 @@ pub mod strategy;
 pub mod wire;
 
 pub use crate::core::{NmCore, NmNet, NmStats};
-pub use config::{FlowConfig, NmConfig, RetryConfig, StrategyKind};
+pub use config::{FlowConfig, MembershipConfig, NmConfig, RetryConfig, StrategyKind};
 pub use matching::GateId;
+pub use membership::{MembershipTable, PeerLiveness};
 pub use railhealth::{RailHealth, RailHealthTable};
 pub use sampling::LinkProfile;
 pub use sr::{NmCompletion, RecvReqId, SendReqId};

@@ -166,6 +166,59 @@ impl MatchEngine {
         self.posted.values().map(|q| q.len()).sum()
     }
 
+    /// Gates with at least one posted receive waiting (sorted, deduped) —
+    /// the peers this rank currently *expects inbound from*, which is the
+    /// set the membership silence prober watches.
+    pub fn posted_gates(&self) -> Vec<GateId> {
+        let mut gates: Vec<GateId> = self
+            .posted
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(g, _), _)| g)
+            .collect();
+        gates.sort_unstable();
+        gates.dedup();
+        gates
+    }
+
+    /// Membership drain: remove every posted receive and unexpected
+    /// message belonging to `gate`. Returns the orphaned receive requests
+    /// (with their tags, so the caller can fail them) and the eager
+    /// payload bytes dropped from the unexpected queue.
+    pub fn purge_gate(&mut self, gate: GateId) -> (Vec<(RecvReqId, u64)>, usize) {
+        let mut orphans: Vec<(RecvReqId, u64)> = Vec::new();
+        let keys: Vec<(GateId, u64)> = self
+            .posted
+            .keys()
+            .filter(|&&(g, _)| g == gate)
+            .copied()
+            .collect();
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        for key in sorted {
+            if let Some(queue) = self.posted.remove(&key) {
+                for req in queue {
+                    orphans.push((req, key.1));
+                }
+            }
+        }
+        let mut dropped_bytes = 0usize;
+        for entry in self.unexpected.iter_mut() {
+            if entry.as_ref().is_some_and(|e| e.gate == gate) {
+                let e = entry.take().expect("entry vanished");
+                self.unexpected_live -= 1;
+                if let Unexpected::Eager { data, .. } = &e.msg {
+                    dropped_bytes += data.len();
+                }
+            }
+        }
+        // The by_key / by_tag indices skip dead slots lazily; drop the
+        // gate's by_key deques outright so the map itself shrinks.
+        self.by_key.retain(|&(g, _), _| g != gate);
+        self.last_matched_seq.retain(|&(g, _), _| g != gate);
+        (orphans, dropped_bytes)
+    }
+
     fn peek_key(&self, gate: GateId, tag: u64) -> Option<usize> {
         let deque = self.by_key.get(&(gate, tag))?;
         deque

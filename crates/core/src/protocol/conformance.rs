@@ -131,10 +131,12 @@ impl TraceChecker {
     ) -> Result<(), String> {
         match step(state, event, ctx) {
             Verdict::Step { index, actions, next } => {
-                if actions.contains(&Action::CompleteSend) {
+                if actions.contains(&Action::CompleteSend) || actions.contains(&Action::AbortSend)
+                {
                     flow.s_done = true;
                 }
-                if actions.contains(&Action::CompleteRecv) {
+                if actions.contains(&Action::CompleteRecv) || actions.contains(&Action::AbortRecv)
+                {
                     flow.r_done = true;
                 }
                 if sender_side {
@@ -336,6 +338,29 @@ impl TraceChecker {
                 }
                 flow.s_completed = true;
                 Ok(())
+            }
+            Phase::Aborted { side } => {
+                // The drain protocol completed this request with an error
+                // (its peer was declared dead). An eager-path abort has no
+                // rendezvous machine to check; a rendezvous abort must be
+                // a legal `PeerDead` transition of the surviving side.
+                if !flow.is_rdv() {
+                    return Ok(());
+                }
+                let sender_side = side == Side::Send;
+                let state = if sender_side {
+                    flow.sender()
+                } else {
+                    flow.receiver()
+                };
+                if state == State::Gone {
+                    // The machine already wound down (e.g. the posted
+                    // receive's RTS never arrived); the abort is pure
+                    // request bookkeeping.
+                    return Ok(());
+                }
+                let ctx = Self::ctx(retry, flow, false, false);
+                Self::apply(flow, key, state, Event::PeerDead, ctx, sender_side)
             }
             Phase::Completed { side: Side::Recv } => {
                 if !flow.is_rdv() {

@@ -66,6 +66,11 @@ pub struct ModelCfg {
     /// Per-message timer-firing budgets.
     pub max_send_timeouts: u8,
     pub max_recv_timeouts: u8,
+    /// Membership: either rank of a message may die (once per message) at
+    /// any point after the send starts; the survivor side is driven
+    /// through the `PeerDead` drain rows. Requires `retry` (membership
+    /// rides the retransmission machinery) and core `!buffered` semantics.
+    pub peer_death: bool,
 }
 
 impl ModelCfg {
@@ -85,6 +90,7 @@ impl ModelCfg {
             dup_fin: false,
             max_send_timeouts: 0,
             max_recv_timeouts: 0,
+            peer_death: false,
         }
     }
 
@@ -96,6 +102,7 @@ impl ModelCfg {
             || self.dup_fin
             || self.max_send_timeouts > 0
             || self.max_recv_timeouts > 0
+            || self.peer_death
     }
 }
 
@@ -142,6 +149,11 @@ struct MsgSt {
     s_timeouts: u8,
     r_timeouts: u8,
     drops: u8,
+    /// Membership: the sender / receiver rank of this flow is dead. A
+    /// dead side runs no moves and is exempt from terminal completion;
+    /// its `done` may be a drain-abort rather than a success.
+    s_dead: bool,
+    r_dead: bool,
 }
 
 impl MsgSt {
@@ -161,6 +173,8 @@ impl MsgSt {
             s_timeouts: 0,
             r_timeouts: 0,
             drops: 0,
+            s_dead: false,
+            r_dead: false,
         }
     }
 }
@@ -192,6 +206,10 @@ enum Move {
     SendTimeout(u8),
     /// Message `i`'s receiver timer fires.
     RecvTimeout(u8),
+    /// Membership: message `i`'s sender (`true`) or receiver (`false`)
+    /// rank dies. The wire eats the flow's in-flight frames and the
+    /// survivor side steps `PeerDead` through the drain rows.
+    Kill(u8, bool),
 }
 
 /// Exploration results for one configuration.
@@ -287,6 +305,26 @@ fn fire(
     mask: u8,
 ) -> Result<(), String> {
     let receiver_side = matches!(event, Event::RtsMatched | Event::DataRx | Event::DupRts | Event::RecvTimeout);
+    debug_assert!(
+        event != Event::PeerDead,
+        "PeerDead has no intrinsic side; use fire_on"
+    );
+    fire_on(m, cfg, stats, i, event, receiver_side, last, mask)
+}
+
+/// [`fire`] with the acting side named explicitly — needed for
+/// [`Event::PeerDead`], which is fired on whichever side survived.
+#[allow(clippy::too_many_arguments)]
+fn fire_on(
+    m: &mut Model,
+    cfg: &ModelCfg,
+    stats: &mut Stats,
+    i: usize,
+    event: Event,
+    receiver_side: bool,
+    last: bool,
+    mask: u8,
+) -> Result<(), String> {
     let state = if receiver_side { m.msgs[i].r } else { m.msgs[i].s };
     let ctx = Ctx {
         retry: cfg.retry,
@@ -332,6 +370,13 @@ fn fire(
 fn exec(m: &mut Model, cfg: &ModelCfg, i: usize, a: Action, mask: u8) -> Result<(), String> {
     let chunks = cfg.msgs[i].chunks;
     let push = |m: &mut Model, kind: FrameKind, dup: u8| {
+        // Frames toward a dead rank are eaten by the wire (the fabric's
+        // delivery-time node suppression); nothing enters the bag.
+        let to_receiver = matches!(kind, FrameKind::Rts | FrameKind::Data { .. } | FrameKind::Fin);
+        let dst_dead = if to_receiver { m.msgs[i].r_dead } else { m.msgs[i].s_dead };
+        if dst_dead {
+            return;
+        }
         m.net.push(Frame {
             msg: i as u8,
             kind,
@@ -388,6 +433,20 @@ fn exec(m: &mut Model, cfg: &ModelCfg, i: usize, a: Action, mask: u8) -> Result<
             }
             m.msgs[i].r_done = true;
         }
+        Action::AbortSend => {
+            if m.msgs[i].s_done {
+                return Err(format!("send abort after completion for msg {i}"));
+            }
+            // A drain-abort *is* the completion (no-cancel rule): the
+            // request surfaces exactly once, as failed.
+            m.msgs[i].s_done = true;
+        }
+        Action::AbortRecv => {
+            if m.msgs[i].r_done {
+                return Err(format!("recv abort after completion for msg {i}"));
+            }
+            m.msgs[i].r_done = true;
+        }
         // Timers are budgeted moves; buffer allocation, tombstoning and
         // accounting have no model-visible effect beyond the state the
         // table already moved.
@@ -411,23 +470,34 @@ fn enabled_moves(m: &Model, cfg: &ModelCfg) -> Vec<Move> {
     let mut moves = Vec::new();
     for (i, st) in m.msgs.iter().enumerate() {
         let iu = i as u8;
-        if !st.started {
+        if !st.started && !st.s_dead {
             moves.push(Move::Start(iu));
         }
-        if !st.posted {
+        if !st.posted && !st.r_dead {
             moves.push(Move::Post(iu));
         }
-        if st.pending_last {
+        if st.pending_last && !st.s_dead {
             moves.push(Move::LastSent(iu));
         }
         if cfg.retry
+            && !st.s_dead
             && matches!(st.s, State::SWaitCts | State::SWaitFin)
             && st.s_timeouts < cfg.max_send_timeouts
         {
             moves.push(Move::SendTimeout(iu));
         }
-        if cfg.retry && st.r == State::RWaitData && st.r_timeouts < cfg.max_recv_timeouts {
+        if cfg.retry
+            && !st.r_dead
+            && st.r == State::RWaitData
+            && st.r_timeouts < cfg.max_recv_timeouts
+        {
             moves.push(Move::RecvTimeout(iu));
+        }
+        // One death per flow, any point after the send exists; either
+        // rank may be the victim.
+        if cfg.peer_death && st.started && !st.s_dead && !st.r_dead {
+            moves.push(Move::Kill(iu, true));
+            moves.push(Move::Kill(iu, false));
         }
     }
     for (j, f) in m.net.iter().enumerate() {
@@ -469,7 +539,14 @@ fn apply(
         Move::Post(i) => {
             let i = i as usize;
             m.msgs[i].posted = true;
-            if m.msgs[i].unexpected_rts {
+            if m.msgs[i].s_dead {
+                // Posting a receive from a peer already declared dead
+                // fails fast above the table (no entry ever exists).
+                if m.msgs[i].r_done {
+                    return Err(format!("fail-fast recv after completion for msg {i}"));
+                }
+                m.msgs[i].r_done = true;
+            } else if m.msgs[i].unexpected_rts {
                 m.msgs[i].unexpected_rts = false;
                 fire(&mut m, cfg, stats, i, Event::RtsMatched, false, 0)?;
             }
@@ -488,6 +565,32 @@ fn apply(
             let i = i as usize;
             m.msgs[i].r_timeouts += 1;
             fire(&mut m, cfg, stats, i, Event::RecvTimeout, false, 0)?;
+        }
+        Move::Kill(i, kill_sender) => {
+            let i = i as usize;
+            // The wire eats every in-flight frame of the flow: frames
+            // from the dead rank are suppressed at delivery, frames
+            // toward it no longer matter.
+            m.net.retain(|f| f.msg != i as u8);
+            if kill_sender {
+                m.msgs[i].s_dead = true;
+                // The dead rank's own machine is gone with the process.
+                m.msgs[i].s = State::Gone;
+                m.msgs[i].pending_last = false;
+                // Drain purges the dead peer's parked unexpected RTS.
+                m.msgs[i].unexpected_rts = false;
+                // A posted receive whose RTS never arrived has no machine
+                // to step; drain fails it directly (the runtime purges
+                // posted recvs gated on the dead peer).
+                if m.msgs[i].posted && m.msgs[i].r == State::Gone && !m.msgs[i].r_done {
+                    m.msgs[i].r_done = true;
+                }
+            } else {
+                m.msgs[i].r_dead = true;
+                m.msgs[i].r = State::Gone;
+            }
+            // The survivor side steps the drain rows.
+            fire_on(&mut m, cfg, stats, i, Event::PeerDead, kill_sender, false, 0)?;
         }
         Move::Drop(j) => {
             let f = m.net.remove(j);
@@ -548,7 +651,12 @@ fn check_terminal(m: &Model, cfg: &ModelCfg) -> Result<(), String> {
         return Err(format!("terminal state with frames in flight: {m:?}"));
     }
     for (i, st) in m.msgs.iter().enumerate() {
-        if !(st.s_done && st.r_done) {
+        // A dead rank's own requests die with the process; every
+        // *surviving* side must have completed — successfully or as a
+        // counted drain-abort — with nothing leaked.
+        let s_ok = st.s_done || st.s_dead;
+        let r_ok = st.r_done || st.r_dead;
+        if !(s_ok && r_ok) {
             return Err(format!(
                 "terminal state with msg {i} incomplete (cfg `{}`): {st:?}",
                 cfg.name
@@ -569,6 +677,11 @@ pub fn explore(cfg: &ModelCfg) -> Result<Stats, String> {
     assert!(
         cfg.buffered || !cfg.ack_mode,
         "model `{}`: ack mode implies buffered semantics",
+        cfg.name
+    );
+    assert!(
+        !cfg.peer_death || (cfg.retry && !cfg.buffered),
+        "model `{}`: membership drain requires core retry semantics",
         cfg.name
     );
     assert!(
@@ -655,6 +768,19 @@ pub fn standard_suite() -> Vec<ModelCfg> {
             max_send_timeouts: 1,
             ..ModelCfg::clean("retry-faults-2msg", vec![m(0, 2, 2), m(1, 2, 1)])
         },
+        // Membership drain: either rank of the flow may die at any
+        // reachable protocol state; the survivor must abort cleanly via
+        // the `dead/*` rows, with a light fault menu so deaths interleave
+        // with retransmission and replay.
+        ModelCfg {
+            retry: true,
+            peer_death: true,
+            dup_rts: true,
+            max_drops: 1,
+            max_send_timeouts: 1,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("retry-peer-death", vec![m(0, 1, 2)])
+        },
     ]
 }
 
@@ -697,6 +823,42 @@ mod tests {
         .expect("clean model");
         assert!(s.terminals > 0);
         assert!(s.edges > s.states.saturating_sub(1));
+    }
+
+    #[test]
+    fn peer_death_model_reaches_every_drain_row() {
+        let cfg = ModelCfg {
+            retry: true,
+            peer_death: true,
+            dup_rts: true,
+            max_drops: 1,
+            max_send_timeouts: 1,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("t", vec![MsgCfg { src: 0, dst: 1, chunks: 2 }])
+        };
+        let s = explore(&cfg).expect("peer-death model");
+        let fired: Vec<&str> = TABLE
+            .iter()
+            .zip(&s.fired_rows)
+            .filter(|(_, &n)| n > 0)
+            .map(|(t, _)| t.name)
+            .collect();
+        for row in [
+            "dead/swaitcts",
+            "dead/sstreaming",
+            "dead/swaitfin",
+            "dead/rwaitdata",
+            "dead/rdone",
+        ] {
+            assert!(fired.contains(&row), "missing {row} in {fired:?}");
+        }
+        let ignored: Vec<&str> = IGNORES
+            .iter()
+            .zip(&s.fired_ignores)
+            .filter(|(_, &n)| n > 0)
+            .map(|(g, _)| g.name)
+            .collect();
+        assert!(ignored.contains(&"ignore/dead-gone"), "{ignored:?}");
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub enum Event {
     DupRts,
     /// Timer: the receiver saw no DATA progress before its deadline.
     RecvTimeout,
+    /// Local: the membership supervisor declared the remote peer of this
+    /// rendezvous dead. Fired once per in-flight entry by the drain
+    /// protocol (never by a wire frame — a dead peer sends nothing).
+    PeerDead,
 }
 
 /// Guard atoms. A transition fires when *all* its guards hold in the
@@ -202,6 +206,14 @@ pub enum Action {
     ReplayCts,
     /// Replay the FIN (the sender clearly never saw it).
     ReplayFin,
+    // -- membership drain --------------------------------------------
+    /// Surface the send as *failed* (peer died before the rendezvous
+    /// completed); release the payload and per-flow bookkeeping. The
+    /// no-cancel rule (§2.2.1) still holds: the request completes — with
+    /// an error, not silently.
+    AbortSend,
+    /// Surface the receive as failed and release the landing buffer.
+    AbortRecv,
     // -- accounting --------------------------------------------------
     /// Count a duplicated DATA chunk.
     CountDupData,
@@ -419,6 +431,50 @@ pub static TABLE: &[Transition] = &[
         next: S::Gone,
         name: "replay/rts-unmatched",
     },
+    // -- membership drain: the remote peer died ------------------------
+    Transition {
+        state: S::SWaitCts,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "dead/swaitcts",
+    },
+    Transition {
+        state: S::SStreaming,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "dead/sstreaming",
+    },
+    Transition {
+        state: S::SWaitFin,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "dead/swaitfin",
+    },
+    Transition {
+        state: S::RWaitData,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortRecv],
+        next: S::Gone,
+        name: "dead/rwaitdata",
+    },
+    // A tombstone only exists to replay FINs at a sender that might
+    // retransmit; a dead sender never will. Drop it without surfacing
+    // anything — the receive completed long ago.
+    Transition {
+        state: S::RDone,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        actions: &[],
+        next: S::Gone,
+        name: "dead/rdone",
+    },
     // -- timers --------------------------------------------------------
     Transition {
         state: S::SWaitCts,
@@ -484,6 +540,16 @@ pub static IGNORES: &[Ignore] = &[
         guards: &[G::Retry],
         defensive: false,
         name: "ignore/fin-beat-nic-completion",
+    },
+    // A death verdict can reach a flow whose local entry already
+    // completed and left (e.g. the sender finished; the peer died while
+    // only the remote side still had state). Nothing to drain.
+    Ignore {
+        state: S::Gone,
+        event: E::PeerDead,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/dead-gone",
     },
     // An in-flight DATA chunk can only exist after a CTS, a CTS only
     // after the inbound entry exists, and the entry only leaves via the
@@ -586,6 +652,7 @@ pub fn validate_table() -> Vec<String> {
         E::DataRx,
         E::DupRts,
         E::RecvTimeout,
+        E::PeerDead,
     ];
     for &state in &states {
         for &event in &events {
@@ -703,6 +770,39 @@ mod tests {
             ..Ctx::default()
         };
         assert_eq!(step(S::RWaitData, E::DataRx, ctx), Verdict::Error);
+    }
+
+    #[test]
+    fn peer_death_drains_every_live_state() {
+        let ctx = Ctx {
+            retry: true,
+            ..Ctx::default()
+        };
+        for (state, want) in [
+            (S::SWaitCts, A::AbortSend),
+            (S::SStreaming, A::AbortSend),
+            (S::SWaitFin, A::AbortSend),
+            (S::RWaitData, A::AbortRecv),
+        ] {
+            let Verdict::Step { actions, next, .. } = step(state, E::PeerDead, ctx) else {
+                panic!("{state:?} × PeerDead must step");
+            };
+            assert_eq!(next, S::Gone, "{state:?} drains to Gone");
+            assert!(actions.contains(&want), "{state:?} must {want:?}");
+        }
+        // Tombstones are dropped silently; Gone is a declared ignore.
+        let Verdict::Step { actions, next, .. } = step(S::RDone, E::PeerDead, ctx) else {
+            panic!("RDone × PeerDead must step");
+        };
+        assert_eq!(next, S::Gone);
+        assert!(actions.is_empty(), "a tombstone drains without surfacing");
+        assert!(matches!(
+            step(S::Gone, E::PeerDead, ctx),
+            Verdict::Ignore { defensive: false, .. }
+        ));
+        // Without retry there is no membership layer: stepping PeerDead
+        // is a caller bug, classified as an error.
+        assert_eq!(step(S::SWaitCts, E::PeerDead, Ctx::default()), Verdict::Error);
     }
 
     #[test]

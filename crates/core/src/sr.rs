@@ -36,6 +36,13 @@ pub enum CompletionKind {
         gate: GateId,
         tag: u64,
     },
+    /// The send completed *with an error*: `peer` was declared dead
+    /// before delivery could be confirmed. Cancellation stays unsupported
+    /// (§2.2.1) — the request still completes, the error is the result.
+    SendFailed { peer: usize },
+    /// The receive completed *with an error*: the gate it was posted
+    /// against was declared dead, so nothing can ever match it.
+    RecvFailed { gate: GateId, tag: u64 },
 }
 
 /// A completion event surfaced to the upper layer.
@@ -50,9 +57,20 @@ pub struct NmCompletion {
 }
 
 impl NmCompletion {
-    /// True for send completions.
+    /// True for send completions (successful or failed).
     pub fn is_send(&self) -> bool {
-        matches!(self.kind, CompletionKind::Send)
+        matches!(
+            self.kind,
+            CompletionKind::Send | CompletionKind::SendFailed { .. }
+        )
+    }
+
+    /// True for completions that report a dead-peer error.
+    pub fn is_failed(&self) -> bool {
+        matches!(
+            self.kind,
+            CompletionKind::SendFailed { .. } | CompletionKind::RecvFailed { .. }
+        )
     }
 }
 

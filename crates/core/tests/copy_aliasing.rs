@@ -54,6 +54,7 @@ fn wait_one(ctx: &RankCtx, core: &Arc<NmCore>, cookie: u64) -> Option<Bytes> {
             return match c.kind {
                 nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
                 nmad::sr::CompletionKind::Send => None,
+                other => panic!("unexpected failed completion: {other:?}"),
             };
         }
         ctx.advance(SimDuration::nanos(100));

@@ -55,6 +55,7 @@ fn wait_cookie(ctx: &RankCtx, core: &Arc<NmCore>, cookie: u64) -> Option<Bytes> 
             return match c.kind {
                 nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
                 nmad::sr::CompletionKind::Send => None,
+                other => panic!("unexpected failed completion: {other:?}"),
             };
         }
         ctx.advance(SimDuration::nanos(100));
@@ -75,6 +76,7 @@ fn wait_n(ctx: &RankCtx, core: &Arc<NmCore>, want: usize) -> Vec<(u64, Option<By
             let payload = match c.kind {
                 nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
                 nmad::sr::CompletionKind::Send => None,
+                other => panic!("unexpected failed completion: {other:?}"),
             };
             got.push((c.cookie, payload));
         }

@@ -60,6 +60,7 @@ fn wait_cookie(ctx: &RankCtx, core: &Arc<NmCore>, cookie: u64) -> Option<Bytes> 
             return match c.kind {
                 nmad::sr::CompletionKind::Recv { data, .. } => Some(data),
                 nmad::sr::CompletionKind::Send => None,
+                other => panic!("unexpected failed completion: {other:?}"),
             };
         }
         ctx.advance(SimDuration::nanos(100));

@@ -192,6 +192,35 @@ impl AnySourceLists {
         released
     }
 
+    /// Membership departure flush: `src` was declared dead, so every
+    /// *parked specific* receive targeting it can never be served — release
+    /// them for failure completion (the caller fails each request with a
+    /// dead-peer error instead of posting it). ANY_SOURCE entries stay:
+    /// they remain matchable by every surviving sender, and the heads keep
+    /// their probe/park ordering role for the ranks that are still alive.
+    pub fn purge_src(&self, src: usize) -> Vec<Release> {
+        let mut lists = self.lists.lock();
+        let mut by_req = self.by_req.lock();
+        let mut purged = Vec::new();
+        lists.retain(|&key, list| {
+            let mut kept = VecDeque::with_capacity(list.entries.len());
+            for e in list.entries.drain(..) {
+                match e {
+                    Entry::Specific { req, src: s } if s == src => {
+                        by_req.remove(&req);
+                        purged.push(Release { req, src: s, key });
+                    }
+                    other => kept.push_back(other),
+                }
+            }
+            list.entries = kept;
+            !list.entries.is_empty()
+        });
+        // Deterministic failure order regardless of hash-map iteration.
+        purged.sort_unstable_by_key(|r| (r.key, r.req.0));
+        purged
+    }
+
     /// Is this request currently parked as a specific entry? (A parked
     /// request must not be posted to NewMadeleine by anyone else.)
     pub fn is_tracked(&self, req: Req) -> bool {
@@ -299,6 +328,35 @@ mod tests {
         // Head completes: specifics flow.
         let released = l.on_complete(ra1);
         assert_eq!(released, vec![Release { req: s1, src: 4, key: 7 }]);
+    }
+
+    #[test]
+    fn purge_src_releases_only_the_dead_peers_parked_specifics() {
+        let t = RequestTable::new();
+        let l = AnySourceLists::new();
+        let ra = any_req(&t);
+        let dead1 = spec_req(&t);
+        let live = spec_req(&t);
+        let dead2 = spec_req(&t);
+        l.register_any(7, ra, flag());
+        assert!(l.try_park_specific(7, dead1, 9));
+        assert!(l.try_park_specific(7, live, 4));
+        assert!(l.try_park_specific(7, dead2, 9));
+        let purged = l.purge_src(9);
+        assert_eq!(
+            purged,
+            vec![
+                Release { req: dead1, src: 9, key: 7 },
+                Release { req: dead2, src: 9, key: 7 }
+            ]
+        );
+        assert!(!l.is_tracked(dead1) && !l.is_tracked(dead2));
+        // The ANY head and the live specific keep their ordering roles.
+        assert!(l.is_tracked(live));
+        assert_eq!(l.heads_to_probe(), vec![(7, ra)]);
+        let released = l.on_complete(ra);
+        assert_eq!(released, vec![Release { req: live, src: 4, key: 7 }]);
+        assert_eq!(l.tags_in_use(), 0);
     }
 
     #[test]

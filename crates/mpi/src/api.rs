@@ -9,9 +9,25 @@
 use bytes::Bytes;
 use simnet::{BufOrigin, NmBuf, RankCtx, SimDuration, SimTime};
 
-use crate::progress::ProcState;
+use crate::progress::{NetPath, ProcState};
 use crate::request::Req;
 use std::sync::Arc;
+
+/// An operation failed because its peer was declared dead by the
+/// membership supervisor (§2.2.1 no-cancel rule: the request completed,
+/// with this error, rather than being silently dropped).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PeerDead {
+    pub peer: usize,
+}
+
+impl std::fmt::Display for PeerDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer rank {} was declared dead", self.peer)
+    }
+}
+
+impl std::error::Error for PeerDead {}
 
 /// Receive-source selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -143,6 +159,81 @@ impl MpiHandle {
         self.state.wait(&self.ctx, req)
     }
 
+    /// Membership-aware wait: like [`MpiHandle::wait_data`], but a request
+    /// that completed *with an error* (its peer was declared dead while the
+    /// operation was in flight) surfaces as `Err(PeerDead)` instead of a
+    /// payload-less success.
+    pub fn wait_result(&self, req: Req) -> Result<(Option<Bytes>, Option<Status>), PeerDead> {
+        let (data, status) = self.state.wait(&self.ctx, req);
+        match self.state.reqs.failed_peer(req) {
+            Some(peer) => Err(PeerDead { peer }),
+            None => Ok((data, status)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic membership: crash injection and liveness queries
+    // ------------------------------------------------------------------
+
+    /// Simulate this rank dying right now: halt its NewMadeleine core
+    /// (all queued protocol work is dropped on the floor, as a real crash
+    /// would) and mark the process so the implicit finalize does not try
+    /// to drain. The rank program should return immediately after calling
+    /// this. Survivors detect the silence via their membership supervisors.
+    pub fn crash(&self) {
+        self.state
+            .crashed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let NetPath::Direct(core) = &self.state.net {
+            core.halt();
+        }
+    }
+
+    /// Liveness verdict for `rank` as seen by this rank's membership
+    /// supervisor. `true` while Up or merely Suspect; `false` only after
+    /// the sticky Dead verdict. Always `true` when membership is off.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        match &self.state.net {
+            NetPath::Direct(core) => !core.is_peer_dead(rank),
+            _ => true,
+        }
+    }
+
+    /// Is the membership supervisor armed on this rank's core?
+    pub fn membership_enabled(&self) -> bool {
+        matches!(&self.state.net, NetPath::Direct(core) if core.membership_enabled())
+    }
+
+    /// Death log as seen by this rank: `(peer, verdict time in ns, fail
+    /// streak at the verdict)` — the raw material for detection-latency
+    /// measurements.
+    pub fn death_log(&self) -> Vec<(usize, u64, u64)> {
+        match &self.state.net {
+            NetPath::Direct(core) => core
+                .death_log()
+                .into_iter()
+                .map(|(peer, t, streak)| (peer, t.as_nanos(), streak))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// How many per-peer protocol entries this rank's core still holds for
+    /// `rank` — must be 0 after the drain for a dead peer.
+    pub fn peer_entries(&self, rank: usize) -> usize {
+        match &self.state.net {
+            NetPath::Direct(core) => core.peer_entry_count(rank),
+            _ => 0,
+        }
+    }
+
+    /// Collectives this rank aborted because a member died mid-protocol.
+    pub fn coll_aborts(&self) -> u64 {
+        self.state
+            .coll_aborts
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Wait for all requests, in order.
     pub fn waitall(&self, reqs: &[Req]) {
         for &r in reqs {
@@ -192,6 +283,29 @@ impl MpiHandle {
     /// (node-leader) barrier, small or single-node jobs flat dissemination.
     pub fn barrier(&self) {
         crate::collectives::barrier_auto(self);
+    }
+
+    /// Fault-tolerant barrier over an explicit member list (which must
+    /// include this rank and be identical on every member). Completes
+    /// `Ok(())` when every member reached it, or fails fast with
+    /// `Err(PeerDead)` when a member died mid-protocol — it never
+    /// deadlocks, and every member always finishes the full dissemination
+    /// schedule (see `collectives::try_barrier_group`).
+    pub fn try_barrier(&self, group: &[usize]) -> Result<(), PeerDead> {
+        crate::collectives::try_barrier_group(self, group)
+    }
+
+    /// Barrier over the survivor group only: an explicit member list,
+    /// identical on every member, all of whom must be alive.
+    pub fn barrier_group(&self, group: &[usize]) {
+        crate::collectives::barrier_group_of(self, group);
+    }
+
+    /// Allreduce (sum) over the survivor group only (recursive doubling
+    /// over the member list; all members must be alive and call this with
+    /// the same list).
+    pub fn allreduce_sum_group(&self, group: &[usize], contrib: &[f64]) -> Vec<f64> {
+        crate::collectives::allreduce_sum_group(self, group, contrib)
     }
 
     /// Broadcast from `root`. Every rank returns the data. Large

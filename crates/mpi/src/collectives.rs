@@ -39,7 +39,7 @@ use std::sync::atomic::Ordering;
 use bytes::Bytes;
 use simnet::{NmBuf, TopoMap};
 
-use crate::api::{MpiHandle, Src};
+use crate::api::{MpiHandle, PeerDead, Src};
 use crate::progress::COLL_CTX;
 
 const OP_BARRIER: u64 = 1;
@@ -48,6 +48,7 @@ const OP_REDUCE: u64 = 3;
 const OP_ALLTOALL: u64 = 4;
 const OP_ALLGATHER: u64 = 5;
 const OP_ALLTOALLV: u64 = 6;
+const OP_TRYBAR: u64 = 7;
 
 fn coll_key(op: u64, round: u64, seq: u32) -> u64 {
     ((COLL_CTX as u64) << 48) | (op << 40) | (round << 32) | seq as u64
@@ -297,6 +298,127 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
         mpi.state.wait(&mpi.ctx, s);
     }
     result.into_iter().map(|b| b.expect("missing block")).collect()
+}
+
+// --- Elastic membership: fault-tolerant and survivor-group collectives ----
+
+/// Fault-tolerant dissemination barrier over an explicit member list
+/// (ULFM-flavoured). Requires the membership supervisor to be armed —
+/// receives from a dead member terminate only because the drain protocol
+/// fails them.
+///
+/// The deadlock-freedom argument hinges on one rule: **every member
+/// completes every dissemination round**, whether or not it has already
+/// observed a failure. A member that bailed out early would leave its
+/// round-k partners blocked on a live-but-absent peer — a hang the
+/// membership layer rightly never resolves (the peer isn't dead). Instead,
+/// failure is carried *in-band*: each round's payload is a little
+/// ok/poison word (0 = clean, `dead+1` = "rank `dead` is gone"). A member
+/// that sees a failure — its own send/recv failing fast against the corpse,
+/// or a poisoned word from a neighbour — keeps exchanging, but poisons
+/// everything it sends from then on.
+///
+/// By induction over rounds every live member finishes the full schedule,
+/// so the barrier never deadlocks and leaves no unmatched traffic toward
+/// live peers. The price is ULFM's documented semantics: outcomes may be
+/// *inconsistent* — members that heard the poison return `Err(PeerDead)`,
+/// members whose exchanges all predated the verdict may return `Ok`.
+/// Callers that need agreement must run a second (agreement) round.
+pub fn try_barrier_group(mpi: &MpiHandle, group: &[usize]) -> Result<(), PeerDead> {
+    let gsize = group.len();
+    let my_pos = group
+        .iter()
+        .position(|&r| r == mpi.rank())
+        .expect("caller must be a member of the group");
+    if gsize <= 1 {
+        return Ok(());
+    }
+    let seq = next_seq(mpi);
+    // First corpse observed, directly (failed completion) or transitively
+    // (poisoned payload).
+    let mut dead: Option<usize> = None;
+    let mut round = 0u64;
+    let mut dist = 1usize;
+    while dist < gsize {
+        let to = group[(my_pos + dist) % gsize];
+        let from = group[(my_pos + gsize - dist) % gsize];
+        let key = coll_key(OP_TRYBAR, round, seq);
+        let word: u32 = match dead {
+            Some(p) => p as u32 + 1,
+            None => 0,
+        };
+        let payload = Bytes::copy_from_slice(&word.to_le_bytes());
+        let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
+        let s = mpi.state.isend_key(&mpi.ctx, to, key, NmBuf::from(payload));
+        mpi.state.wait(&mpi.ctx, s);
+        if let Some(p) = mpi.state.reqs.failed_peer(s) {
+            dead.get_or_insert(p);
+        }
+        let (d, _) = mpi.state.wait(&mpi.ctx, r);
+        match mpi.state.reqs.failed_peer(r) {
+            Some(p) => {
+                dead.get_or_insert(p);
+            }
+            None => {
+                let d = d.expect("try_barrier payload");
+                let w = u32::from_le_bytes(d[..4].try_into().unwrap());
+                if w != 0 {
+                    dead.get_or_insert(w as usize - 1);
+                }
+            }
+        }
+        dist <<= 1;
+        round += 1;
+    }
+    match dead {
+        Some(peer) => {
+            mpi.state.coll_aborts.fetch_add(1, Ordering::Relaxed);
+            Err(PeerDead { peer })
+        }
+        None => Ok(()),
+    }
+}
+
+/// Dissemination barrier over an explicit member list (all members alive,
+/// all calling with the identical list). This is how survivors synchronize
+/// after the dead have been drained: the group simply omits the corpses.
+pub fn barrier_group_of(mpi: &MpiHandle, group: &[usize]) {
+    let gsize = group.len();
+    let my_pos = group
+        .iter()
+        .position(|&r| r == mpi.rank())
+        .expect("caller must be a member of the group");
+    if gsize <= 1 {
+        return;
+    }
+    let seq = next_seq(mpi);
+    let mut round = 0u64;
+    let mut dist = 1usize;
+    while dist < gsize {
+        let to = group[(my_pos + dist) % gsize];
+        let from = group[(my_pos + gsize - dist) % gsize];
+        let key = coll_key(OP_BARRIER, round, seq);
+        let s = mpi.state.isend_key(&mpi.ctx, to, key, NmBuf::default());
+        let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
+        mpi.state.wait(&mpi.ctx, s);
+        mpi.state.wait(&mpi.ctx, r);
+        dist <<= 1;
+        round += 1;
+    }
+}
+
+/// Sum-allreduce over an explicit member list (recursive doubling with the
+/// MPICH non-power-of-two fold). The survivor-group counterpart of
+/// [`allreduce_sum`]: members must all be alive and pass the same list.
+pub fn allreduce_sum_group(mpi: &MpiHandle, group: &[usize], contrib: &[f64]) -> Vec<f64> {
+    let my_pos = group
+        .iter()
+        .position(|&r| r == mpi.rank())
+        .expect("caller must be a member of the group");
+    let seq = next_seq(mpi);
+    let mut acc = contrib.to_vec();
+    allreduce_group_recdbl(mpi, OP_REDUCE, seq, 2, group, my_pos, &mut acc);
+    acc
 }
 
 // --- Hierarchical and log-round variants ---------------------------------

@@ -49,7 +49,7 @@ pub mod stack;
 pub mod transport;
 pub mod vc;
 
-pub use api::{MpiHandle, Src, Status};
+pub use api::{MpiHandle, PeerDead, Src, Status};
 pub use costs::SoftwareCosts;
 pub use request::Req;
-pub use stack::{InterNode, RunOutcome, StackConfig, TailoredProfile};
+pub use stack::{InterNode, MembershipTotals, RunOutcome, StackConfig, TailoredProfile};

@@ -117,6 +117,12 @@ pub struct ProcState {
     /// Collective-operation sequence number (all ranks call collectives in
     /// the same order, so the counters agree across the job).
     pub(crate) coll_seq: std::sync::atomic::AtomicU32,
+    /// This rank simulated a crash: its NewMadeleine core is halted and
+    /// finalize must not drain (a corpse owes the network nothing).
+    pub(crate) crashed: std::sync::atomic::AtomicBool,
+    /// Collectives aborted because a member died mid-protocol (the
+    /// fail-fast outcome of `try_barrier_group` and friends).
+    pub(crate) coll_aborts: std::sync::atomic::AtomicU64,
 }
 
 impl ProcState {
@@ -153,6 +159,8 @@ impl ProcState {
             wake: SimSemaphore::new(format!("mpi-wake-{rank}")),
             selfq: Mutex::new(VecDeque::new()),
             coll_seq: std::sync::atomic::AtomicU32::new(0),
+            crashed: std::sync::atomic::AtomicBool::new(false),
+            coll_aborts: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -365,6 +373,18 @@ impl ProcState {
                 let core = Arc::clone(core);
                 core.schedule(sched);
                 self.drain_nm(sched, &core);
+                // Promote fresh death verdicts from the membership
+                // supervisor into MPI-layer state: tear down the VC and
+                // fail any ANY_SOURCE-parked specifics aimed at the corpse
+                // (they would otherwise wait forever behind a head that can
+                // never match them from that source).
+                for peer in core.take_dead_peers() {
+                    self.vcs.retire(peer);
+                    self.rec.inc("mpi.peer_deaths", 1);
+                    for rel in self.anysource.purge_src(peer) {
+                        self.finish_recv_failed(sched, rel.req, peer);
+                    }
+                }
             }
             NetPath::Ch3(t) => {
                 let t = Arc::clone(t);
@@ -432,6 +452,23 @@ impl ProcState {
                         self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
                     }
                     self.finish_recv(sched, req, data, status);
+                }
+                // Membership drain verdicts (§2.2.1 no-cancel rule): the
+                // operation is over, but with an error instead of data.
+                CompletionKind::SendFailed { peer } => {
+                    self.rec.inc("mpi.send_failures", 1);
+                    self.finish_send_failed(sched, req, peer);
+                }
+                CompletionKind::RecvFailed { gate, tag: _ } => {
+                    self.rec.inc("mpi.recv_failures", 1);
+                    // A failed ANY_SOURCE head still releases its parked
+                    // specifics — those target other (possibly live) peers.
+                    let releases = self.anysource.on_complete(req);
+                    for r in releases {
+                        let nm = core.irecv(sched, r.src, r.key, r.req.0 as u64);
+                        self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
+                    }
+                    self.finish_recv_failed(sched, req, gate.0);
                 }
             }
         }
@@ -567,6 +604,24 @@ impl ProcState {
                 self.wake.signal(sched);
             }
             None => self.reqs.complete_send(req),
+        }
+    }
+
+    /// Terminal failure of a send: destination declared dead. No completion
+    /// delay — there is no payload work, only the verdict.
+    fn finish_send_failed(self: &Arc<Self>, sched: &Scheduler, req: Req, peer: usize) {
+        self.reqs.complete_send_failed(req, peer);
+        if self.piom.is_some() {
+            self.wake.signal(sched);
+        }
+    }
+
+    /// Terminal failure of a receive: its source was declared dead and the
+    /// membership drain aborted the posted operation.
+    fn finish_recv_failed(self: &Arc<Self>, sched: &Scheduler, req: Req, peer: usize) {
+        self.reqs.complete_recv_failed(req, peer);
+        if self.piom.is_some() {
+            self.wake.signal(sched);
         }
     }
 
@@ -812,6 +867,11 @@ impl ProcState {
     /// event-driven and keeps running as long as the simulation has
     /// events.
     pub fn finalize(self: &Arc<Self>, ctx: &RankCtx) {
+        if self.crashed.load(std::sync::atomic::Ordering::Relaxed) {
+            // A crashed rank's program ends abruptly; it neither drains nor
+            // owes protocol work (its core is halted).
+            return;
+        }
         if self.piom.is_some() {
             return;
         }

@@ -56,6 +56,10 @@ pub(crate) struct Slot {
     pub path: ReqPath,
     /// The §3.1.1 pointer to the NewMadeleine request.
     pub nmad_req: NmadBinding,
+    /// `Some(peer)` when the request completed *with an error* because
+    /// `peer` was declared dead (the §2.2.1 no-cancel rule: requests are
+    /// never silently dropped, they finish — possibly unsuccessfully).
+    pub failed_peer: Option<usize>,
 }
 
 /// The per-process request table.
@@ -80,6 +84,7 @@ impl RequestTable {
             status: None,
             path,
             nmad_req: NmadBinding::None,
+            failed_peer: None,
         });
         id
     }
@@ -114,6 +119,36 @@ impl RequestTable {
         s.done = true;
         s.data = Some(data);
         s.status = Some(status);
+    }
+
+    /// Complete a send *with an error*: its destination was declared dead
+    /// before the transfer could finish. The request is done (waiters
+    /// unblock) but carries no status; `failed_peer` names the corpse.
+    pub fn complete_send_failed(&self, req: Req, peer: usize) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert_eq!(s.kind, ReqKind::Send);
+        debug_assert!(!s.done, "double send completion");
+        s.done = true;
+        s.failed_peer = Some(peer);
+    }
+
+    /// Complete a receive *with an error*: its (specific) source was
+    /// declared dead and the membership drain aborted the operation. No
+    /// data, no status — just a terminal, queryable failure.
+    pub fn complete_recv_failed(&self, req: Req, peer: usize) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert!(matches!(s.kind, ReqKind::Recv | ReqKind::RecvAnySource));
+        debug_assert!(!s.done, "double recv completion");
+        s.done = true;
+        s.failed_peer = Some(peer);
+    }
+
+    /// Did the request complete with a dead-peer error? `Some(peer)` after
+    /// a failed completion; `None` while pending or after success.
+    pub fn failed_peer(&self, req: Req) -> Option<usize> {
+        self.slots.lock()[req.0 as usize].failed_peer
     }
 
     pub fn is_done(&self, req: Req) -> bool {
@@ -190,6 +225,23 @@ mod tests {
         assert_eq!(st.unwrap().source, 3);
         // Status stays queryable after the claim.
         assert_eq!(t.status(r).unwrap().tag, 7);
+    }
+
+    #[test]
+    fn failed_completions_unblock_without_data_and_keep_the_peer() {
+        let t = RequestTable::new();
+        let s = t.create(ReqKind::Send, ReqPath::Net);
+        let r = t.create(ReqKind::Recv, ReqPath::Net);
+        assert_eq!(t.failed_peer(s), None);
+        t.complete_send_failed(s, 7);
+        t.complete_recv_failed(r, 7);
+        assert!(t.is_done(s) && t.is_done(r));
+        let (data, st) = t.claim(s).expect("failed send still claimable");
+        assert!(data.is_none() && st.is_none());
+        let (data, st) = t.claim(r).expect("failed recv still claimable");
+        assert!(data.is_none() && st.is_none());
+        assert_eq!(t.failed_peer(s), Some(7), "error survives the claim");
+        assert_eq!(t.failed_peer(r), Some(7));
     }
 
     #[test]

@@ -17,7 +17,9 @@ use simnet::{
 };
 
 use nemesis::{ShmDomain, ShmModel};
-use nmad::{FlowConfig, NmConfig, NmCore, NmNet, NmWire, RetryConfig, StrategyKind};
+use nmad::{
+    FlowConfig, MembershipConfig, NmConfig, NmCore, NmNet, NmWire, RetryConfig, StrategyKind,
+};
 use piom::{PiomConfig, PiomServer};
 
 use crate::api::MpiHandle;
@@ -170,14 +172,30 @@ impl StackConfig {
     }
 
     /// Install a fault plan. Seeds the fabric with the plan's seed and —
-    /// if the plan can lose or duplicate packets — turns on the transport
-    /// retry layer, without which drops are unsurvivable.
+    /// if the plan can lose or duplicate packets, or kill whole nodes —
+    /// turns on the transport retry layer, without which drops are
+    /// unsurvivable. A plan with node-level faults (crash/hang/join
+    /// windows) additionally arms the membership supervisor: node death is
+    /// only survivable if somebody promotes the silence into a verdict.
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> StackConfig {
         self.fabric_seed = plan.seed();
-        if plan.lossy() && self.nm.retry.is_none() {
+        if (plan.lossy() || plan.has_node_faults()) && self.nm.retry.is_none() {
             self.nm.retry = Some(RetryConfig::default());
         }
+        if plan.has_node_faults() && self.nm.membership.is_none() {
+            self.nm.membership = Some(MembershipConfig::default());
+        }
         self.faults = Some(plan);
+        self
+    }
+
+    /// Arm (or tune) the elastic-membership supervisor explicitly. Implies
+    /// the retry layer — verdicts are fed by retransmission timeouts.
+    pub fn with_membership(mut self, m: MembershipConfig) -> StackConfig {
+        if self.nm.retry.is_none() {
+            self.nm.retry = Some(RetryConfig::default());
+        }
+        self.nm.membership = Some(m);
         self
     }
 
@@ -246,7 +264,45 @@ pub struct FlowTotals {
     pub peak_unex_bytes: u64,
 }
 
+/// Job-wide elastic-membership totals, summed across every rank's
+/// NewMadeleine core (see [`RunOutcome::membership_totals`]). All zero when
+/// `NmConfig.membership` is `None`. Part of the replay fingerprint: two
+/// runs under one seed must agree on every field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MembershipTotals {
+    /// Liveness state-machine transitions (Up→Suspect, Suspect→Up, →Dead).
+    pub transitions: u64,
+    /// Dead verdicts issued (each peer counted once per observer).
+    pub dead_peers: u64,
+    /// In-flight sends aborted by the drain protocol.
+    pub aborted_sends: u64,
+    /// Posted receives failed by the drain protocol.
+    pub aborted_recvs: u64,
+    /// Per-peer protocol map entries reclaimed by drains.
+    pub drained_entries: u64,
+    /// Frames from already-dead peers dropped without reviving state.
+    pub stray_frames: u64,
+    /// Eager credits released back when their holder died.
+    pub credits_released: u64,
+}
+
 impl RunOutcome {
+    /// Elastic-membership totals across all ranks (see
+    /// [`MembershipTotals`]).
+    pub fn membership_totals(&self) -> MembershipTotals {
+        self.nm_stats
+            .iter()
+            .fold(MembershipTotals::default(), |acc, s| MembershipTotals {
+                transitions: acc.transitions + s.membership_transitions,
+                dead_peers: acc.dead_peers + s.membership_dead_peers,
+                aborted_sends: acc.aborted_sends + s.membership_aborted_sends,
+                aborted_recvs: acc.aborted_recvs + s.membership_aborted_recvs,
+                drained_entries: acc.drained_entries + s.membership_drained_entries,
+                stray_frames: acc.stray_frames + s.membership_stray_frames,
+                credits_released: acc.credits_released + s.membership_credits_released,
+            })
+    }
+
     /// Flow-control totals across all ranks (see [`FlowTotals`]).
     pub fn flow_totals(&self) -> FlowTotals {
         self.nm_stats.iter().fold(FlowTotals::default(), |acc, s| {
@@ -372,8 +428,12 @@ pub fn run_mpi(
                 let models = rail_models(rails);
                 if let Some(plan) = &cfg.faults {
                     assert!(
-                        !plan.lossy() || cfg.nm.retry.is_some(),
-                        "a lossy fault plan needs NmConfig.retry (see StackConfig::with_faults)"
+                        !(plan.lossy() || plan.has_node_faults()) || cfg.nm.retry.is_some(),
+                        "a lossy or node-fault plan needs NmConfig.retry (see StackConfig::with_faults)"
+                    );
+                    assert!(
+                        !plan.has_node_faults() || cfg.nm.membership.is_some(),
+                        "a node-fault plan needs NmConfig.membership (see StackConfig::with_faults)"
                     );
                 }
                 let fabric: Arc<Fabric<NmWire>> = Fabric::with_opts(

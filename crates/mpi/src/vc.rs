@@ -19,8 +19,10 @@
 //! computes `path(dst)` from node locality on demand. Per-rank footprint is
 //! a pointer and two words regardless of job size.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use simnet::{Placement, TopoMap};
 
 /// Where traffic for one destination flows.
@@ -44,6 +46,12 @@ pub struct VcTable {
     topo: Arc<TopoMap>,
     my_rank: usize,
     bypass: bool,
+    /// Dynamically torn-down connections: peers this rank's membership
+    /// supervisor has declared dead. VC *establishment* is implicit and
+    /// lazy (the interned table materialises nothing per destination until
+    /// traffic flows — a late joiner needs no setup call); *teardown* is
+    /// explicit and sticky, mirroring the one-way Up→Dead verdict.
+    retired: Mutex<HashSet<usize>>,
 }
 
 impl VcTable {
@@ -55,6 +63,7 @@ impl VcTable {
             topo,
             my_rank,
             bypass,
+            retired: Mutex::new(HashSet::new()),
         }
     }
 
@@ -81,6 +90,27 @@ impl VcTable {
 
     pub fn my_rank(&self) -> usize {
         self.my_rank
+    }
+
+    /// Tear down the virtual connection to `dst` after a death verdict.
+    /// Returns `true` on the first retirement, `false` if already retired.
+    /// The path computation itself is untouched (the topology is immutable
+    /// job-wide state); callers consult [`VcTable::is_retired`] before
+    /// initiating new traffic.
+    pub fn retire(&self, dst: usize) -> bool {
+        self.retired.lock().insert(dst)
+    }
+
+    /// Has the connection to `dst` been torn down? Sticky, like the Dead
+    /// verdict that drives it.
+    pub fn is_retired(&self, dst: usize) -> bool {
+        self.retired.lock().contains(&dst)
+    }
+
+    /// How many connections have been retired (dead peers seen by this
+    /// rank's table).
+    pub fn retired_count(&self) -> usize {
+        self.retired.lock().len()
     }
 
     /// The shared topology map this table is a view over.
@@ -149,6 +179,22 @@ mod tests {
         assert!(!vc.has_remote());
         assert_eq!(vc.path(0), VcPath::Shm);
         assert_eq!(vc.my_rank(), 2);
+    }
+
+    #[test]
+    fn retirement_is_sticky_and_per_destination() {
+        let cluster = Cluster::new(2, 2, vec![]);
+        let p = Placement::block(4, &cluster);
+        let vc = VcTable::from_placement(0, &p, true);
+        assert!(!vc.is_retired(2));
+        assert!(vc.retire(2), "first retirement is fresh");
+        assert!(!vc.retire(2), "second retirement is a no-op");
+        assert!(vc.is_retired(2));
+        assert!(!vc.is_retired(3), "other peers unaffected");
+        assert_eq!(vc.retired_count(), 1);
+        // Path computation is unchanged — teardown is a policy bit, not a
+        // topology mutation.
+        assert_eq!(vc.path(2), VcPath::NmadDirect);
     }
 
     #[test]

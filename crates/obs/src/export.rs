@@ -99,6 +99,7 @@ fn event_json(out: &mut String, e: &Event) {
                 | Phase::FinTx
                 | Phase::FinRx
                 | Phase::Completed { .. }
+                | Phase::Aborted { .. }
                 | Phase::CreditStall => {}
             }
         }
@@ -132,6 +133,12 @@ fn event_json(out: &mut String, e: &Event) {
                 }
                 EngineEvent::CreditRefill { peer, credits } => {
                     let _ = write!(out, r#","peer":{peer},"credits":{credits}"#);
+                }
+                EngineEvent::MemberState { peer, state } => {
+                    let _ = write!(out, r#","peer":{peer},"state":{state}"#);
+                }
+                EngineEvent::MemberDrain { peer, entries } => {
+                    let _ = write!(out, r#","peer":{peer},"entries":{entries}"#);
                 }
                 EngineEvent::DispatchCall
                 | EngineEvent::DispatchWake

@@ -76,6 +76,11 @@ pub enum Phase {
     /// Eager admission stalled on an empty credit pool (the send either
     /// waits or degrades to rendezvous).
     CreditStall,
+    /// The request completed *with an error*: its peer was declared dead
+    /// and the drain protocol aborted it (the no-cancel rule means an
+    /// abort IS a completion — exactly one of `Completed`/`Aborted`
+    /// closes each side).
+    Aborted { side: Side },
 }
 
 impl Phase {
@@ -100,6 +105,8 @@ impl Phase {
             Phase::Retry { .. } => "retry",
             Phase::Reroute { .. } => "reroute",
             Phase::CreditStall => "credit_stall",
+            Phase::Aborted { side: Side::Send } => "aborted_send",
+            Phase::Aborted { side: Side::Recv } => "aborted_recv",
         }
     }
 }
@@ -133,6 +140,12 @@ pub enum EngineEvent {
     CreditDebit { peer: u32 },
     /// `credits` eager credits returned by `peer`.
     CreditRefill { peer: u32, credits: u32 },
+    /// The membership supervisor moved `peer` to a new liveness state
+    /// (0 = Up, 1 = Suspect, 2 = Dead).
+    MemberState { peer: u32, state: u8 },
+    /// The drain protocol reclaimed `entries` per-peer state entries of a
+    /// dead peer.
+    MemberDrain { peer: u32, entries: u32 },
 }
 
 impl EngineEvent {
@@ -148,6 +161,8 @@ impl EngineEvent {
             EngineEvent::PiomRekick => "piom_rekick",
             EngineEvent::CreditDebit { .. } => "credit_debit",
             EngineEvent::CreditRefill { .. } => "credit_refill",
+            EngineEvent::MemberState { .. } => "member_state",
+            EngineEvent::MemberDrain { .. } => "member_drain",
         }
     }
 }

@@ -97,7 +97,17 @@ impl<M: Send + 'static> Fabric<M> {
             let mut ports = Vec::with_capacity(nodes);
             for n in 0..nodes {
                 let sinks = Arc::clone(&sinks);
+                let node_plan = opts.fault.clone();
                 let deliver: DeliverFn<M> = Arc::new(move |sched, src, dst, msg, corrupted| {
+                    // Scheduled node faults eat the frame at delivery time:
+                    // a dead node neither sends nor receives, a hung node
+                    // doesn't send. Sender-side DMA completion already
+                    // fired, exactly like a wire drop.
+                    if let Some(plan) = &node_plan {
+                        if plan.node_suppressed(src.0, dst.0, sched.now()) {
+                            return;
+                        }
+                    }
                     let mut sinks = sinks.lock();
                     let slot = sinks
                         .get_mut(dst.0)

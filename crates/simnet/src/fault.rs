@@ -219,6 +219,65 @@ impl LinkWindow {
     }
 }
 
+/// What a scheduled node fault does to a node while its window is open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node is dead: frames from it and to it are eaten by the wire.
+    /// The crashed process no longer exists, so nothing on that host can
+    /// send, receive or acknowledge.
+    Dead,
+    /// The node is wedged (asymmetric partition / send-path freeze): its
+    /// outbound frames are eaten, but inbound traffic still reaches it.
+    /// Peers observe silence — exactly the signature of a dead node —
+    /// until the window closes and traffic resumes. Membership layers
+    /// must NOT declare a hung-then-recovered node dead.
+    Hung,
+}
+
+/// One scheduled node-fault window `[from, until)` on one node. Composes
+/// with [`LinkWindow`]s and the probabilistic [`FaultSpec`] under the same
+/// master seed; querying node windows consumes no RNG state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    pub fault: NodeFault,
+}
+
+impl NodeWindow {
+    /// A crash at `at` that never recovers: the process is gone.
+    pub fn crash(at: SimTime) -> NodeWindow {
+        NodeWindow {
+            from: at,
+            until: SimTime(u64::MAX),
+            fault: NodeFault::Dead,
+        }
+    }
+
+    /// A hang (silent freeze) over `[from, until)`: outbound frames are
+    /// eaten, then the node resumes. Models a merely-slow node that a
+    /// membership layer must not promote to Dead.
+    pub fn hang(from: SimTime, until: SimTime) -> NodeWindow {
+        assert!(from < until, "empty hang window");
+        NodeWindow {
+            from,
+            until,
+            fault: NodeFault::Hung,
+        }
+    }
+
+    /// A late join at `at`: the node does not exist before `at` (all its
+    /// traffic is eaten), then comes up and stays up.
+    pub fn join(at: SimTime) -> NodeWindow {
+        assert!(at > SimTime::ZERO, "join at t=0 is a no-op");
+        NodeWindow {
+            from: SimTime::ZERO,
+            until: at,
+            fault: NodeFault::Dead,
+        }
+    }
+}
+
 /// Counters of injected faults (diagnostics + determinism assertions).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultCounters {
@@ -234,6 +293,8 @@ pub struct FaultCounters {
     pub brownouts: u64,
     /// Transfers delivered with corrupted payload (CRC must catch them).
     pub corrupted: u64,
+    /// Deliveries eaten by a scheduled [`NodeWindow`] (dead or hung node).
+    pub node_drops: u64,
 }
 
 /// The fault verdict for one transfer.
@@ -269,6 +330,9 @@ pub struct FaultPlan {
     /// Scheduled per-rail link-fault windows (rails beyond the list have
     /// none). Fixed at build time: querying them consumes no RNG state.
     links: Vec<Vec<LinkWindow>>,
+    /// Scheduled per-node fault windows (nodes beyond the list have none).
+    /// Fixed at build time: querying them consumes no RNG state.
+    nodes: Vec<Vec<NodeWindow>>,
     state: Mutex<PlanState>,
 }
 
@@ -286,16 +350,33 @@ impl FaultPlan {
         specs: Vec<FaultSpec>,
         links: Vec<Vec<LinkWindow>>,
     ) -> Arc<FaultPlan> {
+        Self::with_nodes(seed, specs, links, Vec::new())
+    }
+
+    /// Build a plan with scheduled link *and* node faults: `nodes[n]` is
+    /// node `n`'s window list (shorter lists leave remaining nodes alive).
+    pub fn with_nodes(
+        seed: u64,
+        specs: Vec<FaultSpec>,
+        links: Vec<Vec<LinkWindow>>,
+        nodes: Vec<Vec<NodeWindow>>,
+    ) -> Arc<FaultPlan> {
         assert!(!specs.is_empty(), "fault plan needs at least one rail spec");
         for wins in &links {
             for w in wins {
                 assert!(w.from < w.until, "empty link window {w:?}");
             }
         }
+        for wins in &nodes {
+            for w in wins {
+                assert!(w.from < w.until, "empty node window {w:?}");
+            }
+        }
         Arc::new(FaultPlan {
             seed,
             specs,
             links,
+            nodes,
             // Same seeding idiom as the per-port jitter RNG (nic.rs), with
             // a fixed salt so jitter and faults never share a stream.
             state: Mutex::new(PlanState {
@@ -345,10 +426,51 @@ impl FaultPlan {
         hit
     }
 
+    /// The scheduled node fault covering `(node, now)`, if any. A pure
+    /// lookup — no RNG state is consumed, so membership supervisors and
+    /// test assertions never perturb the per-transfer fault stream. `Dead`
+    /// wins over a simultaneous hang.
+    pub fn node_fault(&self, node: usize, now: SimTime) -> Option<NodeFault> {
+        let wins = self.nodes.get(node)?;
+        let mut hit = None;
+        for w in wins {
+            if w.from <= now && now < w.until {
+                match w.fault {
+                    NodeFault::Dead => return Some(NodeFault::Dead),
+                    NodeFault::Hung => hit = Some(w.fault),
+                }
+            }
+        }
+        hit
+    }
+
+    /// Should a delivery `src → dst` at `now` be eaten by a node fault?
+    /// Dead nodes neither send nor receive; hung nodes don't send but
+    /// still receive (asymmetric silence). Counts `node_drops` when true.
+    /// RNG-free, so churn runs share the probabilistic fault stream with
+    /// their churn-free twins.
+    pub fn node_suppressed(&self, src: usize, dst: usize, now: SimTime) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let eat = self.node_fault(src, now).is_some()
+            || matches!(self.node_fault(dst, now), Some(NodeFault::Dead));
+        if eat {
+            self.state.lock().counters.node_drops += 1;
+        }
+        eat
+    }
+
+    /// Does any node of this plan have a scheduled fault window?
+    pub fn has_node_faults(&self) -> bool {
+        self.nodes.iter().any(|w| !w.is_empty())
+    }
+
     /// Does any rail of this plan inject anything at all?
     pub fn active(&self) -> bool {
         self.specs.iter().any(|s| s.injects_anything())
             || self.links.iter().any(|w| !w.is_empty())
+            || self.has_node_faults()
     }
 
     /// Can this plan lose or duplicate packets? If so, the wire protocol
@@ -365,6 +487,7 @@ impl FaultPlan {
                 .iter()
                 .flatten()
                 .any(|w| w.fault == LinkFault::Down)
+            || self.has_node_faults()
     }
 
     /// Decide the fate of one transfer submitted on `rail` at `now`.
@@ -540,6 +663,7 @@ impl std::fmt::Debug for FaultPlan {
             .field("seed", &self.seed)
             .field("specs", &self.specs)
             .field("links", &self.links)
+            .field("nodes", &self.nodes)
             .field("counters", &self.counters())
             .finish()
     }
@@ -754,6 +878,67 @@ mod tests {
         );
         let c = OverloadPlan::new(43, 8, 50, (512, 2048), SimDuration::micros(2));
         assert_ne!(a, c, "different seed must flood differently");
+    }
+
+    #[test]
+    fn node_crash_window_is_permanent_and_directional() {
+        let p = FaultPlan::with_nodes(
+            4,
+            vec![FaultSpec::NONE],
+            Vec::new(),
+            vec![Vec::new(), vec![NodeWindow::crash(SimTime::from_nanos(1_000))]],
+        );
+        assert!(p.active());
+        assert!(p.lossy(), "a crashed node loses frames");
+        // Before the crash: traffic flows both ways.
+        assert!(!p.node_suppressed(0, 1, SimTime::from_nanos(999)));
+        assert!(!p.node_suppressed(1, 0, SimTime::from_nanos(999)));
+        // After: eaten in both directions, forever.
+        assert!(p.node_suppressed(0, 1, SimTime::from_nanos(1_000)));
+        assert!(p.node_suppressed(1, 0, SimTime::from_nanos(1_000)));
+        assert!(p.node_suppressed(0, 1, SimTime::from_nanos(u64::MAX / 2)));
+        // Unrelated pairs are untouched.
+        assert!(!p.node_suppressed(0, 2, SimTime::from_nanos(5_000)));
+        assert_eq!(p.counters().node_drops, 3);
+    }
+
+    #[test]
+    fn node_hang_eats_outbound_only_then_recovers() {
+        let win = NodeWindow::hang(SimTime::from_nanos(100), SimTime::from_nanos(200));
+        let p = FaultPlan::with_nodes(4, vec![FaultSpec::NONE], Vec::new(), vec![vec![win]]);
+        // Hung node 0: its sends die, its receives survive.
+        assert!(p.node_suppressed(0, 1, SimTime::from_nanos(150)));
+        assert!(!p.node_suppressed(1, 0, SimTime::from_nanos(150)));
+        // Window over: back to normal.
+        assert!(!p.node_suppressed(0, 1, SimTime::from_nanos(200)));
+    }
+
+    #[test]
+    fn node_join_is_dead_until_join_time() {
+        let win = NodeWindow::join(SimTime::from_nanos(5_000));
+        let p = FaultPlan::with_nodes(4, vec![FaultSpec::NONE], Vec::new(), vec![vec![win]]);
+        assert_eq!(p.node_fault(0, SimTime::ZERO), Some(NodeFault::Dead));
+        assert!(p.node_suppressed(1, 0, SimTime::from_nanos(4_999)));
+        assert_eq!(p.node_fault(0, SimTime::from_nanos(5_000)), None);
+        assert!(!p.node_suppressed(1, 0, SimTime::from_nanos(5_000)));
+    }
+
+    #[test]
+    fn node_faults_leave_rng_stream_untouched() {
+        // Same seed and spec; one plan also crashes a node. The per-transfer
+        // probabilistic stream must be identical — node faults are RNG-free.
+        let spec = FaultSpec::mixed();
+        let clean = FaultPlan::uniform(77, spec);
+        let churn = FaultPlan::with_nodes(
+            77,
+            vec![spec],
+            Vec::new(),
+            vec![vec![NodeWindow::crash(SimTime::from_nanos(u64::MAX / 2))]],
+        );
+        for _ in 0..50 {
+            assert!(!churn.node_suppressed(0, 1, SimTime::ZERO));
+        }
+        assert_eq!(schedule(&clean, 400), schedule(&churn, 400));
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub use ctx::RankCtx;
 pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
 pub use fabric::{Delivery, Fabric, FabricOpts, RailId, WireMessage};
 pub use fault::{
-    FaultCounters, FaultPlan, FaultSpec, LinkFault, LinkWindow, OverloadPlan, TransferFault,
+    FaultCounters, FaultPlan, FaultSpec, LinkFault, LinkWindow, NodeFault, NodeWindow,
+    OverloadPlan, TransferFault,
 };
 pub use nic::{JitterModel, NicModel, NicPort};
 pub use sem::SimSemaphore;

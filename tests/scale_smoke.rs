@@ -3,9 +3,10 @@
 //! checker replaying every recorded event through the rendezvous table
 //! (violations assert inside `run_mpi`).
 //!
-//! The CI `scale-smoke` job runs this in release at 1024 ranks under a
-//! wall-clock budget; debug builds default to 256 ranks so the tier-1
-//! suite stays fast. `SCALE_SMOKE_RANKS` overrides either way.
+//! The CI `scale-smoke` job runs this in release at 4096 ranks under a
+//! wall-clock budget; the local release default stays 1024 and debug
+//! builds default to 256 ranks so the tier-1 suite stays fast.
+//! `SCALE_SMOKE_RANKS` overrides either way.
 
 use mpich2_nmad_repro::mpi_ch3::stack::{run_mpi_collect, StackConfig};
 use mpich2_nmad_repro::obs::ObsConfig;
