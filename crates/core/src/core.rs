@@ -45,6 +45,7 @@ use simnet::{
 };
 
 use crate::config::{NmConfig, RetryConfig};
+use crate::keys;
 use crate::matching::{GateId, MatchEngine, Unexpected};
 use crate::membership::{MembershipTable, PeerLiveness};
 use crate::pack::{PacketWrapper, PwBody, PwId};
@@ -159,6 +160,18 @@ pub struct NmStats {
     /// (in-flight credits toward the dead peer plus owed/withheld returns
     /// it will never collect).
     pub membership_credits_released: u64,
+    /// Epoch hygiene: collective frames from a revoked or superseded
+    /// epoch — or a retired agreement instance — counted and dropped at
+    /// delivery without touching matching or per-peer protocol state
+    /// (their transport sequence still advances, so the sender's ack
+    /// arrives and a live peer is never indicted over a dead epoch).
+    pub membership_stale_epoch: u64,
+    /// Communicator epochs revoked on this rank (locally initiated or
+    /// learned from a peer's poison frame; sticky, so counted once each).
+    pub revoked_epochs: u64,
+    /// Requests completed *with a revoked-epoch error* by a quiesce
+    /// (sends and receives of the poisoned epoch).
+    pub revoked_ops: u64,
     /// Live per-peer state entries across every lazily-populated map in
     /// this core (gates, seq/dedup windows, credit pools, rail affinity,
     /// retry bookkeeping) at snapshot time. The O(active-flows) claim made
@@ -344,6 +357,21 @@ struct Inner {
     /// This rank crashed (or finalized under churn): drop all traffic,
     /// report quiescent, never panic on behalf of a dead process.
     halted: bool,
+    /// Highest committed communicator epoch. Collective frames whose
+    /// epoch field is below this (agreement/join excepted) are stale.
+    committed_epoch: u8,
+    /// Sticky set of revoked epochs: a replayed poison frame is a counted
+    /// no-op, exactly like a replayed death verdict.
+    revoked_epochs: BTreeSet<u32>,
+    /// Fresh revoke verdicts not yet consumed by the upper layer (the MPI
+    /// progress engine re-broadcasts the poison peer-to-peer and fails
+    /// its collective state on these).
+    revoked_events: VecDeque<u32>,
+    /// Retired agreement instances (collective keys with the round bits
+    /// masked): frames for these are counted stale and dropped. Never
+    /// GC'd — agreement keys are epoch-exempt so the epoch filter can't
+    /// cover them, and the set grows by one tiny entry per agreement.
+    retired: BTreeSet<u64>,
 }
 
 /// Membership silence probes share [`WirePayload::Probe`] with the
@@ -545,6 +573,10 @@ impl NmCore {
                 dead_events: VecDeque::new(),
                 member_probe_seq: 0,
                 halted: false,
+                committed_epoch: 0,
+                revoked_epochs: BTreeSet::new(),
+                revoked_events: VecDeque::new(),
+                retired: BTreeSet::new(),
             }),
             hook: Mutex::new(None),
         })
@@ -628,6 +660,32 @@ impl NmCore {
             inner.rec.inc("nmad.isend", 1);
             inner.rec.observe("nmad.send.bytes", data.len() as u64);
             Self::complete_send_failed(&mut inner, now.0, req, dst);
+            drop(inner);
+            self.fire_hook(sched);
+            return req;
+        }
+        // Fail fast on a revoked/superseded epoch: the receiver would
+        // ack-and-drop every frame of this key, so a rendezvous here
+        // would retransmit its RTS forever against a receiver that will
+        // never answer — and eventually indict a perfectly live peer.
+        if Self::tag_is_stale(&inner, tag) {
+            let seq = DEAD_LETTER_SEQ | req.0 as u64;
+            inner.send_reqs.push(SendReq {
+                cookie,
+                done: false,
+                dst,
+                tag,
+                seq,
+            });
+            inner.rec.phase(
+                now.0,
+                mkey(self.rank, dst, tag, seq),
+                obs::Phase::SendPosted {
+                    len: data.len() as u64,
+                },
+            );
+            inner.rec.inc("nmad.isend", 1);
+            Self::complete_send_revoked(&mut inner, now.0, req, dst, keys::epoch_of(tag));
             drop(inner);
             self.fire_hook(sched);
             return req;
@@ -795,6 +853,26 @@ impl NmCore {
                 .phase(now.0, mkey(src, my_rank, tag, seq), obs::Phase::RecvPosted);
             inner.rec.inc("nmad.irecv", 1);
             Self::complete_recv_failed(&mut inner, now.0, req, src);
+            drop(inner);
+            self.fire_hook(sched);
+            return req;
+        }
+        // Fail fast on a revoked/superseded epoch: every frame of this
+        // key is dropped at delivery, so the receive could never match.
+        if Self::tag_is_stale(&inner, tag) {
+            let seq = DEAD_LETTER_SEQ | req.0 as u64;
+            inner.recv_reqs.push(RecvReq {
+                cookie,
+                done: false,
+                src,
+                tag,
+                seq,
+            });
+            inner
+                .rec
+                .phase(now.0, mkey(src, my_rank, tag, seq), obs::Phase::RecvPosted);
+            inner.rec.inc("nmad.irecv", 1);
+            Self::complete_recv_revoked(&mut inner, now.0, req, src, keys::epoch_of(tag));
             drop(inner);
             self.fire_hook(sched);
             return req;
@@ -1127,6 +1205,106 @@ impl NmCore {
         self.inner.lock().dead_events.drain(..).collect()
     }
 
+    /// Revoke a communicator epoch locally (the MPI layer calls this both
+    /// for a user-initiated `comm_revoke` and when a liveness verdict
+    /// forces one). Sticky and idempotent like a death verdict: the first
+    /// call quiesces every pending operation of the epoch — posted
+    /// receives, in-flight rendezvous, queued and unacked eager sends —
+    /// each completing with a counted revoked-epoch error; a repeat call
+    /// returns `false` and changes nothing. The fresh verdict is also
+    /// queued for [`NmCore::take_revoked_epochs`] so the upper layer
+    /// re-broadcasts the poison peer-to-peer.
+    pub fn revoke_epoch(&self, sched: &Scheduler, epoch: u32) -> bool {
+        let (fresh, fire) = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let fresh = Self::learn_revoke(inner, sched.now(), epoch);
+            (fresh, fresh && !inner.completions.is_empty())
+        };
+        if fire {
+            self.fire_hook(sched);
+        }
+        fresh
+    }
+
+    /// Has `epoch` been revoked on this rank?
+    pub fn is_epoch_revoked(&self, epoch: u32) -> bool {
+        self.inner.lock().revoked_epochs.contains(&epoch)
+    }
+
+    /// Drain the queue of freshly-revoked epochs (each appears exactly
+    /// once, in verdict order). The MPI progress engine polls this to
+    /// fail collective state and forward the poison frame to every
+    /// communicator member it hasn't provably reached.
+    pub fn take_revoked_epochs(&self) -> Vec<u32> {
+        self.inner.lock().revoked_events.drain(..).collect()
+    }
+
+    /// Put one revoke poison frame for `epoch` on the wire toward `dst`
+    /// (express lane — the poison must not queue behind the very bulk
+    /// traffic it is cancelling).
+    pub fn send_revoke(self: &Arc<Self>, sched: &Scheduler, dst: usize, epoch: u32) {
+        self.send_direct(sched, dst, WirePayload::Revoke { epoch }, None);
+    }
+
+    /// Commit a new communicator epoch after a shrink/rebuild or a
+    /// join-merge. Frames of every earlier epoch (agreement and join keys
+    /// excepted) are stale from here on; any still-pending operation of a
+    /// superseded epoch is quiesced now with a revoked-epoch error.
+    /// Epochs only move forward — a stale commit is a no-op.
+    pub fn advance_epoch(&self, sched: &Scheduler, new_epoch: u8) {
+        let fire = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            if new_epoch <= inner.committed_epoch {
+                return;
+            }
+            inner.committed_epoch = new_epoch;
+            let now = sched.now();
+            inner
+                .rec
+                .engine(now.0, obs::EngineEvent::EpochCommit { epoch: new_epoch as u32 });
+            inner.rec.inc("nmad.epoch_commit", 1);
+            Self::quiesce_keys(inner, now, |tag| {
+                keys::is_coll(tag)
+                    && !keys::epoch_exempt(tag)
+                    && keys::epoch_of(tag) < new_epoch
+            });
+            !inner.completions.is_empty()
+        };
+        if fire {
+            self.fire_hook(sched);
+        }
+    }
+
+    /// The highest committed communicator epoch on this rank.
+    pub fn committed_epoch(&self) -> u8 {
+        self.inner.lock().committed_epoch
+    }
+
+    /// Retire one agreement instance (a collective key with its round
+    /// bits masked, see [`keys::instance_of`]): every still-buffered or
+    /// late frame of that instance — pass rounds and the DECIDED
+    /// broadcast alike — is counted stale and dropped, and its abandoned
+    /// posted receives complete with a revoked-epoch error. The MPI layer
+    /// calls this as each agreement returns, so epoch-exempt keys cannot
+    /// leak state the epoch filter will never cover.
+    pub fn retire_instance(&self, sched: &Scheduler, instance: u64) {
+        let fire = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            if !inner.retired.insert(instance) {
+                return;
+            }
+            let now = sched.now();
+            Self::quiesce_keys(inner, now, |tag| keys::instance_of(tag) == instance);
+            !inner.completions.is_empty()
+        };
+        if fire {
+            self.fire_hook(sched);
+        }
+    }
+
     /// Death log: `(peer, verdict time, fail streak at verdict)` — the
     /// raw material for detection-latency histograms.
     pub fn death_log(&self) -> Vec<(usize, SimTime, u64)> {
@@ -1321,7 +1499,6 @@ impl NmCore {
                         pctx(retry, false, false, false),
                     ) {
                         Verdict::Step { actions, .. } => {
-                            debug_assert!(actions.contains(&Action::CompleteSend));
                             let rdv = inner.rdv_out.remove(&rdv_id).unwrap();
                             let dst = inner.rdv_dst.remove(&rdv_id).unwrap_or(src);
                             inner.rec.phase(
@@ -1329,7 +1506,22 @@ impl NmCore {
                                 mkey(inner.rec.rank() as usize, dst, rdv.tag, rdv.seq),
                                 obs::Phase::FinRx,
                             );
-                            Self::complete_send(inner, now.0, rdv.send_req);
+                            if actions.contains(&Action::CompleteSend) {
+                                Self::complete_send(inner, now.0, rdv.send_req);
+                            } else {
+                                // `fin/tombstone`: the FIN came from a
+                                // revoke-tombstoned receiver before our own
+                                // copy of the revoke arrived — no data ever
+                                // moved, so the send fails, not completes.
+                                debug_assert!(actions.contains(&Action::AbortSend));
+                                Self::complete_send_revoked(
+                                    inner,
+                                    now.0,
+                                    rdv.send_req,
+                                    dst,
+                                    keys::epoch_of(rdv.tag),
+                                );
+                            }
                         }
                         Verdict::Ignore { .. } => {}
                         Verdict::Error => {
@@ -1354,6 +1546,13 @@ impl NmCore {
                             h.record_probe_ack(rail, seq, now);
                         }
                     }
+                }
+                WirePayload::Revoke { epoch } => {
+                    // Epoch poison: sticky and idempotent — the first
+                    // sighting quiesces the epoch and queues the verdict
+                    // for the MPI layer to re-broadcast; replays are
+                    // counted no-ops.
+                    Self::learn_revoke(inner, now, epoch);
                 }
             }
         }
@@ -1692,6 +1891,198 @@ impl NmCore {
         inner.rec.inc("nmad.membership.drained_entries", entries);
     }
 
+    /// A stale collective frame (revoked/superseded epoch or retired
+    /// agreement instance) was dropped: bump the hygiene counter.
+    fn count_stale_epoch(inner: &mut Inner, n: u64) {
+        inner.stats.membership_stale_epoch += n;
+        inner.rec.inc("nmad.membership.stale_epoch", n);
+    }
+
+    /// Is `tag` a collective key whose frames must be dropped — revoked or
+    /// superseded epoch, or a retired agreement instance? Agreement and
+    /// join keys are epoch-exempt (they run inside poisoned epochs by
+    /// design) but still honour instance retirement.
+    fn tag_is_stale(inner: &Inner, tag: u64) -> bool {
+        if !keys::is_coll(tag) {
+            return false;
+        }
+        if inner.retired.contains(&keys::instance_of(tag)) {
+            return true;
+        }
+        if keys::epoch_exempt(tag) {
+            return false;
+        }
+        let epoch = keys::epoch_of(tag);
+        epoch < inner.committed_epoch || inner.revoked_epochs.contains(&(epoch as u32))
+    }
+
+    /// A revoke verdict for `epoch` reached this rank — locally initiated
+    /// or learned from a peer's poison frame. Sticky: only the first
+    /// sighting quiesces the epoch and is queued for the upper layer;
+    /// a replayed poison frame is a counted no-op.
+    fn learn_revoke(inner: &mut Inner, now: SimTime, epoch: u32) -> bool {
+        if !inner.revoked_epochs.insert(epoch) {
+            Self::count_stale_epoch(inner, 1);
+            return false;
+        }
+        inner.stats.revoked_epochs += 1;
+        inner.revoked_events.push_back(epoch);
+        inner.rec.engine(now.0, obs::EngineEvent::Revoke { epoch });
+        inner.rec.inc("nmad.revoke", 1);
+        Self::quiesce_keys(inner, now, |tag| {
+            keys::is_coll(tag)
+                && !keys::epoch_exempt(tag)
+                && keys::epoch_of(tag) as u32 == epoch
+        });
+        true
+    }
+
+    /// The epoch quiesce: fail every pending operation whose tag satisfies
+    /// `pred` — in-flight rendezvous through the protocol table's
+    /// `Event::Revoked` rows, posted receives and buffered unexpected
+    /// frames through the matching purge, queued and unacked eager sends
+    /// directly. The peers stay alive; only the keys die, so unlike
+    /// [`NmCore::drain_peer`] no per-peer map (sequence windows, credits,
+    /// rail affinity) is touched — their stale frames are counted and
+    /// acked at delivery instead.
+    fn quiesce_keys<F: Fn(u64) -> bool>(inner: &mut Inner, now: SimTime, pred: F) {
+        let t_ns = now.0;
+        let ctx = pctx(inner.cfg.retry.is_some(), false, false, false);
+        // Outbound rendezvous on poisoned keys: `revoked/swaitcts`,
+        // `revoked/sstreaming`, `revoked/swaitfin` — DisarmTimer +
+        // AbortSend (the deadline dies with the entry).
+        let mut out_ids: Vec<u64> = inner
+            .rdv_out
+            .iter()
+            .filter(|(_, r)| pred(r.tag))
+            .map(|(&id, _)| id)
+            .collect();
+        out_ids.sort_unstable();
+        for rdv_id in &out_ids {
+            let state = inner.rdv_out[rdv_id].state;
+            match protocol::step(state, protocol::Event::Revoked, ctx) {
+                Verdict::Step { actions, .. } => {
+                    let rdv = inner.rdv_out.remove(rdv_id).unwrap();
+                    let dst = inner
+                        .rdv_dst
+                        .remove(rdv_id)
+                        .expect("rendezvous destination missing");
+                    if actions.contains(&Action::AbortSend) {
+                        Self::complete_send_revoked(
+                            inner,
+                            t_ns,
+                            rdv.send_req,
+                            dst,
+                            keys::epoch_of(rdv.tag),
+                        );
+                    }
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => Self::protocol_error(inner, "nmad.protocol_errors.revoked"),
+            }
+        }
+        let removed_out: HashSet<u64> = out_ids.into_iter().collect();
+        // Inbound rendezvous on poisoned keys: `revoked/rwaitdata` —
+        // DisarmTimer + AbortRecv + Tombstone → RDone. The tombstone (not
+        // plain removal) keeps a straggling DATA chunk on the FIN-replay
+        // path instead of tripping the defensive data-before-reentry
+        // ignore; peer death reclaims it like any finished rendezvous.
+        let mut in_ids: Vec<(usize, u64)> = inner
+            .rdv_in
+            .iter()
+            .filter(|(_, r)| pred(r.tag))
+            .map(|(&k, _)| k)
+            .collect();
+        in_ids.sort_unstable();
+        for key in &in_ids {
+            match protocol::step(protocol::State::RWaitData, protocol::Event::Revoked, ctx) {
+                Verdict::Step { actions, next, .. } => {
+                    let rdv = inner.rdv_in.remove(key).unwrap();
+                    debug_assert_eq!(next, protocol::State::RDone);
+                    if actions.contains(&Action::Tombstone) {
+                        inner.rdv_done.insert(*key);
+                    }
+                    if actions.contains(&Action::AbortRecv) {
+                        Self::complete_recv_revoked(
+                            inner,
+                            t_ns,
+                            rdv.recv_req,
+                            key.0,
+                            keys::epoch_of(rdv.tag),
+                        );
+                    }
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => Self::protocol_error(inner, "nmad.protocol_errors.revoked"),
+            }
+        }
+        let removed_in: HashSet<(usize, u64)> = in_ids.into_iter().collect();
+        // Unacked eager envelopes on poisoned keys: their sends completed
+        // locally long ago — stop retransmitting into a dead epoch (the
+        // receivers ack-and-drop stale frames, but why keep sending).
+        let env_keys: Vec<(usize, u64)> = inner
+            .env_unacked
+            .keys()
+            .filter(|&&(_, tag)| pred(tag))
+            .copied()
+            .collect();
+        for key in env_keys {
+            inner.env_unacked.remove(&key);
+        }
+        // Queued-but-uncommitted wrappers on poisoned keys, plus DATA/CTS
+        // wrappers of the rendezvous cancelled above — committing one of
+        // those would index a removed entry.
+        let mut failed_eager: Vec<(SendReqId, usize, u8)> = Vec::new();
+        let gate_keys: Vec<usize> = inner.gates.keys().copied().collect();
+        for dst in gate_keys {
+            let queue = inner.gates.get_mut(&dst).unwrap();
+            let mut kept: VecDeque<PacketWrapper> = VecDeque::with_capacity(queue.len());
+            for pw in queue.drain(..) {
+                match &pw.body {
+                    PwBody::Eager { tag, send_req, .. } if pred(*tag) => {
+                        failed_eager.push((*send_req, dst, keys::epoch_of(*tag)));
+                    }
+                    // The RTS's send request already failed with its
+                    // rendezvous entry above.
+                    PwBody::Rts { tag, .. } if pred(*tag) => {}
+                    PwBody::Cts { rdv_id } if removed_in.contains(&(dst, *rdv_id)) => {}
+                    PwBody::Data { rdv_id, .. } if removed_out.contains(rdv_id) => {}
+                    _ => kept.push_back(pw),
+                }
+            }
+            *queue = kept;
+        }
+        for (req, dst, epoch) in failed_eager {
+            if !inner.send_reqs[req.0 as usize].done {
+                Self::complete_send_revoked(inner, t_ns, req, dst, epoch);
+            }
+        }
+        // Posted receives fail; buffered unexpected frames of the epoch
+        // are counted stale and dropped (no matching state survives).
+        let (orphans, dropped_unex, dropped_bytes) = inner.matching.purge_keys(&pred);
+        debug_assert!(inner.unex_eager_bytes >= dropped_bytes);
+        inner.unex_eager_bytes -= dropped_bytes;
+        Self::count_stale_epoch(inner, dropped_unex as u64);
+        for (req, gate, tag) in orphans {
+            if !inner.recv_reqs[req.0 as usize].done {
+                Self::complete_recv_revoked(inner, t_ns, req, gate.0, keys::epoch_of(tag));
+            }
+        }
+        // Parked early arrivals on poisoned keys: the predecessor that
+        // would let them deliver may never be retransmitted (the sender
+        // quiesced too) — drop and count them now rather than leak.
+        let parked_keys: Vec<(usize, u64)> = inner
+            .parked
+            .keys()
+            .filter(|&&(_, tag)| pred(tag))
+            .copied()
+            .collect();
+        for key in parked_keys {
+            let map = inner.parked.remove(&key).unwrap();
+            Self::count_stale_epoch(inner, map.len() as u64);
+        }
+    }
+
     /// Transport-level reordering: envelopes are fed to matching strictly
     /// in per-(src, tag) sequence order; early arrivals park.
     fn deliver_envelope(
@@ -1812,6 +2203,29 @@ impl NmCore {
         env: Envelope,
     ) {
         inner.recv_expected.insert((src, tag), seq + 1);
+        // Epoch hygiene: a collective frame of a revoked or superseded
+        // epoch (or a retired agreement instance) is dropped here — after
+        // the sequence advance, so the cumulative ack still covers it and
+        // the sender stops retransmitting (a live peer must never be
+        // indicted over a dead epoch), but before any receiver-machine
+        // span or matching state records it.
+        if Self::tag_is_stale(inner, tag) {
+            match protocol::step(
+                protocol::State::Gone,
+                protocol::Event::StaleEpoch,
+                pctx(inner.cfg.retry.is_some(), false, false, false),
+            ) {
+                Verdict::Step { actions, .. } => {
+                    debug_assert!(actions.contains(&Action::CountStaleEpoch));
+                    Self::count_stale_epoch(inner, 1);
+                }
+                Verdict::Ignore { .. } => {}
+                Verdict::Error => {
+                    Self::protocol_error(inner, "nmad.protocol_errors.stale_epoch")
+                }
+            }
+            return;
+        }
         let now = sched.now();
         let key = mkey(src, inner.rec.rank() as usize, tag, seq);
         match &env {
@@ -2031,6 +2445,57 @@ impl NmCore {
             kind: CompletionKind::RecvFailed {
                 gate: GateId(peer),
                 tag,
+            },
+        });
+    }
+
+    /// Complete a send request *with an error*: its communicator epoch
+    /// was revoked while it was pending. The peer may be perfectly alive.
+    fn complete_send_revoked(inner: &mut Inner, t_ns: u64, req: SendReqId, peer: usize, epoch: u8) {
+        let r = &mut inner.send_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of send request");
+        r.done = true;
+        inner.stats.revoked_ops += 1;
+        let cookie = r.cookie;
+        let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Revoked {
+                side: obs::Side::Send,
+            },
+        );
+        inner.rec.inc("nmad.revoked_sends", 1);
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::SendRevoked { peer, epoch },
+        });
+    }
+
+    /// Complete a receive request *with an error*: its communicator epoch
+    /// was revoked, so no frame of that epoch will ever match it.
+    fn complete_recv_revoked(inner: &mut Inner, t_ns: u64, req: RecvReqId, peer: usize, epoch: u8) {
+        let r = &mut inner.recv_reqs[req.0 as usize];
+        debug_assert!(!r.done, "double completion of recv request");
+        r.done = true;
+        inner.stats.revoked_ops += 1;
+        let cookie = r.cookie;
+        let tag = r.tag;
+        let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
+        inner.rec.phase(
+            t_ns,
+            key,
+            obs::Phase::Revoked {
+                side: obs::Side::Recv,
+            },
+        );
+        inner.rec.inc("nmad.revoked_recvs", 1);
+        inner.completions.push_back(NmCompletion {
+            cookie,
+            kind: CompletionKind::RecvRevoked {
+                gate: GateId(peer),
+                tag,
+                epoch,
             },
         });
     }
@@ -2349,7 +2814,13 @@ impl NmCore {
             // longer a panic: every timeout is attributed to its peer and
             // the supervisor decides between Suspect, Dead and patience.
             let armed = inner.membership.is_some();
-            let mut failed_peers: Vec<usize> = Vec::new();
+            // `(peer, armed_at)` per fired timeout: the supervisor only
+            // charges the peer if it stayed inbound-silent for the whole
+            // armed window (see `MembershipTable::record_timeout`).
+            let mut failed_peers: Vec<(usize, SimTime)> = Vec::new();
+            let arm_time = |deadline: SimTime, timeout: SimDuration| {
+                SimTime::from_nanos(deadline.as_nanos().saturating_sub(timeout.as_nanos()))
+            };
             let bump = move |timeout: &mut SimDuration, attempts: &mut u32, what: &str| {
                 *attempts += 1;
                 assert!(
@@ -2368,9 +2839,10 @@ impl NmCore {
                     if now < rx.deadline {
                         continue;
                     }
+                    let armed_at = arm_time(rx.deadline, rx.timeout);
                     bump(&mut rx.timeout, &mut rx.attempts, "eager envelope");
                     if armed {
-                        failed_peers.push(dst);
+                        failed_peers.push((dst, armed_at));
                     }
                     rx.deadline = now + rx.timeout;
                     inner.stats.eager_retries += 1;
@@ -2441,14 +2913,15 @@ impl NmCore {
                 // `Backoff`: bump the attempt count and re-arm with the
                 // backed-off timeout.
                 debug_assert!(actions.contains(&Action::Backoff));
-                let mask = {
+                let (mask, armed_at) = {
                     let rdv = inner.rdv_out.get_mut(&rdv_id).unwrap();
+                    let armed_at = arm_time(rdv.deadline.expect("fired timer"), rdv.timeout);
                     bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (sender)");
                     rdv.deadline = Some(now + rdv.timeout);
-                    rdv.last_rails
+                    (rdv.last_rails, armed_at)
                 };
                 if armed {
-                    failed_peers.push(dst);
+                    failed_peers.push((dst, armed_at));
                 }
                 // Every rail the outstanding packets used shares the blame
                 // (a multi-rail split can't name the guilty one — that's
@@ -2575,9 +3048,10 @@ impl NmCore {
                 debug_assert!(actions.contains(&Action::Backoff));
                 debug_assert!(actions.contains(&Action::ReplayCts));
                 let rdv = inner.rdv_in.get_mut(&key).unwrap();
+                let armed_at = arm_time(rdv.deadline.expect("fired timer"), rdv.timeout);
                 bump(&mut rdv.timeout, &mut rdv.attempts, "rendezvous (receiver)");
                 if armed {
-                    failed_peers.push(key.0);
+                    failed_peers.push((key.0, armed_at));
                 }
                 rdv.deadline = Some(now + rdv.timeout);
                 inner.stats.cts_retries += 1;
@@ -2609,8 +3083,8 @@ impl NmCore {
             if !failed_peers.is_empty() {
                 let mut newly_dead: Vec<usize> = Vec::new();
                 if let Some(m) = inner.membership.as_mut() {
-                    for peer in failed_peers {
-                        if m.record_failure(peer, now) {
+                    for (peer, armed_at) in failed_peers {
+                        if m.record_timeout(peer, armed_at, now) {
                             newly_dead.push(peer);
                         }
                     }

@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod core;
+pub mod keys;
 pub mod matching;
 pub mod membership;
 pub mod pack;

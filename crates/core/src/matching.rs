@@ -219,6 +219,50 @@ impl MatchEngine {
         (orphans, dropped_bytes)
     }
 
+    /// Epoch quiesce: remove every posted receive and unexpected message
+    /// whose *tag* satisfies `pred`, across all gates. Returns the orphaned
+    /// receive requests (with gate and tag, so the caller can fail them),
+    /// the number of unexpected entries dropped, and the eager payload
+    /// bytes those entries held. The tag-predicate twin of
+    /// [`MatchEngine::purge_gate`].
+    pub fn purge_keys<F: Fn(u64) -> bool>(
+        &mut self,
+        pred: F,
+    ) -> (Vec<(RecvReqId, GateId, u64)>, usize, usize) {
+        let mut orphans: Vec<(RecvReqId, GateId, u64)> = Vec::new();
+        let mut keys: Vec<(GateId, u64)> = self
+            .posted
+            .keys()
+            .filter(|&&(_, tag)| pred(tag))
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            if let Some(queue) = self.posted.remove(&key) {
+                for req in queue {
+                    orphans.push((req, key.0, key.1));
+                }
+            }
+        }
+        let mut dropped = 0usize;
+        let mut dropped_bytes = 0usize;
+        for entry in self.unexpected.iter_mut() {
+            if entry.as_ref().is_some_and(|e| pred(e.tag)) {
+                let e = entry.take().expect("entry vanished");
+                self.unexpected_live -= 1;
+                dropped += 1;
+                if let Unexpected::Eager { data, .. } = &e.msg {
+                    dropped_bytes += data.len();
+                }
+            }
+        }
+        // The by_tag index skips dead slots lazily; drop the matching
+        // by_key deques and order checks so the maps themselves shrink.
+        self.by_key.retain(|&(_, tag), _| !pred(tag));
+        self.last_matched_seq.retain(|&(_, tag), _| !pred(tag));
+        (orphans, dropped, dropped_bytes)
+    }
+
     fn peek_key(&self, gate: GateId, tag: u64) -> Option<usize> {
         let deque = self.by_key.get(&(gate, tag))?;
         deque
@@ -382,6 +426,32 @@ mod tests {
             Some(Unexpected::Rts { rdv_id: 11, len, .. }) => assert_eq!(len, 1 << 20),
             other => panic!("expected RTS, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn purge_keys_hits_only_matching_tags_across_gates() {
+        let mut m = MatchEngine::new();
+        m.post_recv(GateId(1), 100, RecvReqId(0));
+        m.post_recv(GateId(2), 100, RecvReqId(1));
+        m.post_recv(GateId(1), 7, RecvReqId(2));
+        m.arrived(GateId(3), 100, eager(0));
+        m.arrived(GateId(3), 7, eager(0));
+        let (orphans, dropped, bytes) = m.purge_keys(|tag| tag == 100);
+        assert_eq!(
+            orphans,
+            vec![
+                (RecvReqId(0), GateId(1), 100),
+                (RecvReqId(1), GateId(2), 100)
+            ]
+        );
+        assert_eq!(dropped, 1);
+        assert_eq!(bytes, 1);
+        // The untouched tag keeps both its posted receive and its
+        // unexpected message.
+        assert_eq!(m.posted_len(), 1);
+        assert_eq!(m.unexpected_len(), 1);
+        assert!(m.probe(GateId(3), 7));
+        assert!(!m.probe(GateId(3), 100));
     }
 
     #[test]

@@ -165,6 +165,24 @@ impl MembershipTable {
         }
     }
 
+    /// A retransmission timeout that was *armed* at `armed_at` fired at
+    /// `now`. The attribution contract: a timeout only indicts the peer
+    /// if the peer stayed inbound-silent for the whole armed window. If
+    /// an intact frame arrived at or after `armed_at`, the peer proved
+    /// itself alive *during* the window — the lost frame indicts the
+    /// link (rail health handles that), not the node, and charging the
+    /// node would let one unlucky flow indict a demonstrably live peer.
+    /// Returns `true` on a fresh `Dead` verdict, like [`record_failure`].
+    ///
+    /// [`record_failure`]: MembershipTable::record_failure
+    pub fn record_timeout(&mut self, peer: usize, armed_at: SimTime, now: SimTime) -> bool {
+        let cell = self.cell(peer, now);
+        if cell.state != PeerLiveness::Dead && cell.last_inbound >= armed_at {
+            return false;
+        }
+        self.record_failure(peer, now)
+    }
+
     /// A retransmission timeout was attributed to `peer` (any rail).
     /// Returns `true` when this failure produced a fresh `Dead` verdict —
     /// the caller must then run the drain protocol exactly once.
@@ -361,6 +379,45 @@ mod tests {
             assert!(dead.is_empty());
         }
         assert_eq!(m.state(4), PeerLiveness::Up);
+    }
+
+    #[test]
+    fn timeout_armed_before_inbound_is_not_charged() {
+        let mut m = table();
+        m.record_inbound(6, t(0));
+        // Timer armed at t=10, peer delivered a frame at t=15, timer
+        // fired at t=30: the window overlapped proven liveness — no
+        // charge, no matter how many such timeouts fire.
+        m.record_inbound(6, t(15));
+        for _ in 0..50 {
+            assert!(!m.record_timeout(6, t(10), t(30)));
+        }
+        assert_eq!(m.state(6), PeerLiveness::Up, "live peer must not be indicted");
+        // Windows armed *after* the last arrival charge normally.
+        let cfg = MembershipConfig::default();
+        for i in 0..cfg.suspect_after as u64 {
+            assert!(!m.record_timeout(6, t(16 + 20 * i), t(36 + 20 * i)));
+        }
+        assert_eq!(m.state(6), PeerLiveness::Suspect);
+    }
+
+    #[test]
+    fn timeout_attribution_matches_record_failure_when_silent() {
+        let cfg = MembershipConfig::default();
+        let mut m = table();
+        m.record_inbound(8, t(0));
+        let mut now = SimTime::ZERO + cfg.min_silence;
+        let step = SimDuration::micros(5);
+        let mut died = false;
+        for _ in 0..(cfg.dead_after + 2) {
+            let armed = now;
+            now += step;
+            if m.record_timeout(8, armed, now) {
+                died = true;
+            }
+        }
+        assert!(died, "a silent peer still walks to Dead via record_timeout");
+        assert!(m.is_dead(8));
     }
 
     #[test]

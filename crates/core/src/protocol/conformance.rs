@@ -362,6 +362,28 @@ impl TraceChecker {
                 let ctx = Self::ctx(retry, flow, false, false);
                 Self::apply(flow, key, state, Event::PeerDead, ctx, sender_side)
             }
+            Phase::Revoked { side } => {
+                // An epoch quiesce completed this request with an error.
+                // Unlike a peer-death abort the receiver tombstones
+                // (`revoked/rwaitdata` → RDone), so a straggling DATA
+                // chunk still validates against the FIN-replay row.
+                if !flow.is_rdv() {
+                    return Ok(());
+                }
+                let sender_side = side == Side::Send;
+                let state = if sender_side {
+                    flow.sender()
+                } else {
+                    flow.receiver()
+                };
+                if state == State::Gone {
+                    // Pure request bookkeeping (fail-fast post, or the
+                    // machine already wound down).
+                    return Ok(());
+                }
+                let ctx = Self::ctx(retry, flow, false, false);
+                Self::apply(flow, key, state, Event::Revoked, ctx, sender_side)
+            }
             Phase::Completed { side: Side::Recv } => {
                 if !flow.is_rdv() {
                     return Ok(());
@@ -499,6 +521,29 @@ mod tests {
         let events = [msg(1, Phase::CtsRx)];
         let v = check_events(&events, false);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn revoked_quiesce_tombstone_trace_conforms() {
+        let events = [
+            msg(1, Phase::RtsTx { rail: 0, len: 16 }),
+            msg(2, Phase::RtsRx),
+            msg(3, Phase::CtsTx { rail: 0 }),
+            msg(4, Phase::CtsRx),
+            msg(5, Phase::DataChunkTx { rail: 0, offset: 0, len: 16 }),
+            // The epoch is revoked with the payload in flight: both sides
+            // quiesce — the receiver tombstones (RDone), the sender winds
+            // down (Gone).
+            msg(6, Phase::Revoked { side: Side::Recv }),
+            msg(7, Phase::Revoked { side: Side::Send }),
+            // The in-flight chunk straggles in at the tombstone and earns
+            // a FIN replay; the FIN finds the quiesced sender in Gone —
+            // a declared ignore, not a violation.
+            msg(8, Phase::DataChunkRx { offset: 0, len: 16 }),
+            msg(9, Phase::FinTx),
+            msg(10, Phase::FinRx),
+        ];
+        assert_eq!(check_events(&events, true), Vec::<String>::new());
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub struct ModelCfg {
     /// through the `PeerDead` drain rows. Requires `retry` (membership
     /// rides the retransmission machinery) and core `!buffered` semantics.
     pub peer_death: bool,
+    /// Communicator recovery: either side of a message may independently
+    /// learn an epoch revoke (once per side) at any point, quiescing its
+    /// machine through the `revoked/*` rows; envelopes reaching a revoked
+    /// side are stale cross-epoch frames driven through `stale/epoch`.
+    /// Requires `retry && !buffered` like `peer_death`.
+    pub revoke: bool,
 }
 
 impl ModelCfg {
@@ -91,6 +97,7 @@ impl ModelCfg {
             max_send_timeouts: 0,
             max_recv_timeouts: 0,
             peer_death: false,
+            revoke: false,
         }
     }
 
@@ -103,6 +110,7 @@ impl ModelCfg {
             || self.max_send_timeouts > 0
             || self.max_recv_timeouts > 0
             || self.peer_death
+            || self.revoke
     }
 }
 
@@ -154,6 +162,11 @@ struct MsgSt {
     /// its `done` may be a drain-abort rather than a success.
     s_dead: bool,
     r_dead: bool,
+    /// Recovery: the sender / receiver rank learned the epoch revoke and
+    /// quiesced this flow. The rank stays alive (frames still arrive and
+    /// are classified stale); new posts/starts fail fast.
+    s_revoked: bool,
+    r_revoked: bool,
 }
 
 impl MsgSt {
@@ -175,6 +188,8 @@ impl MsgSt {
             drops: 0,
             s_dead: false,
             r_dead: false,
+            s_revoked: false,
+            r_revoked: false,
         }
     }
 }
@@ -210,6 +225,11 @@ enum Move {
     /// rank dies. The wire eats the flow's in-flight frames and the
     /// survivor side steps `PeerDead` through the drain rows.
     Kill(u8, bool),
+    /// Recovery: one side of message `i` (`true` = receiver) learns the
+    /// epoch revoke and quiesces through the `revoked/*` rows. Each side
+    /// learns independently, at most once, in any interleaving — the
+    /// poison propagates peer-to-peer with no ordering guarantee.
+    RevokeSide(u8, bool),
 }
 
 /// Exploration results for one configuration.
@@ -306,8 +326,8 @@ fn fire(
 ) -> Result<(), String> {
     let receiver_side = matches!(event, Event::RtsMatched | Event::DataRx | Event::DupRts | Event::RecvTimeout);
     debug_assert!(
-        event != Event::PeerDead,
-        "PeerDead has no intrinsic side; use fire_on"
+        !matches!(event, Event::PeerDead | Event::Revoked | Event::StaleEpoch),
+        "{event:?} has no intrinsic side; use fire_on"
     );
     fire_on(m, cfg, stats, i, event, receiver_side, last, mask)
 }
@@ -459,7 +479,8 @@ fn exec(m: &mut Model, cfg: &ModelCfg, i: usize, a: Action, mask: u8) -> Result<
         | Action::AllocLanding
         | Action::Tombstone
         | Action::CountDupData
-        | Action::CountDupEnvelope => {}
+        | Action::CountDupEnvelope
+        | Action::CountStaleEpoch => {}
     }
     Ok(())
 }
@@ -499,6 +520,17 @@ fn enabled_moves(m: &Model, cfg: &ModelCfg) -> Vec<Move> {
             moves.push(Move::Kill(iu, true));
             moves.push(Move::Kill(iu, false));
         }
+        // Revoke: each live side learns the poison at most once, at any
+        // point — before the start, mid-handshake, or after completion.
+        // The move stays enabled until it fires, so a flow stranded by
+        // the other side's quiesce always has the unsticking move left
+        // (terminal states must be complete).
+        if cfg.revoke && !st.s_dead && !st.s_revoked {
+            moves.push(Move::RevokeSide(iu, false));
+        }
+        if cfg.revoke && !st.r_dead && !st.r_revoked {
+            moves.push(Move::RevokeSide(iu, true));
+        }
     }
     for (j, f) in m.net.iter().enumerate() {
         if m.net[..j].contains(f) {
@@ -534,12 +566,28 @@ fn apply(
         Move::Start(i) => {
             let i = i as usize;
             m.msgs[i].started = true;
-            fire(&mut m, cfg, stats, i, Event::SendRdv, false, 0)?;
+            if m.msgs[i].s_revoked {
+                // A send posted on a revoked epoch fails fast above the
+                // table with `Err(Revoked)` — no entry, no RTS.
+                if m.msgs[i].s_done {
+                    return Err(format!("fail-fast send after completion for msg {i}"));
+                }
+                m.msgs[i].s_done = true;
+            } else {
+                fire(&mut m, cfg, stats, i, Event::SendRdv, false, 0)?;
+            }
         }
         Move::Post(i) => {
             let i = i as usize;
             m.msgs[i].posted = true;
-            if m.msgs[i].s_dead {
+            if m.msgs[i].r_revoked {
+                // A receive posted on a revoked epoch fails fast with
+                // `Err(Revoked)`, exactly like the dead-peer fail-fast.
+                if m.msgs[i].r_done {
+                    return Err(format!("fail-fast recv after completion for msg {i}"));
+                }
+                m.msgs[i].r_done = true;
+            } else if m.msgs[i].s_dead {
                 // Posting a receive from a peer already declared dead
                 // fails fast above the table (no entry ever exists).
                 if m.msgs[i].r_done {
@@ -592,6 +640,28 @@ fn apply(
             // The survivor side steps the drain rows.
             fire_on(&mut m, cfg, stats, i, Event::PeerDead, kill_sender, false, 0)?;
         }
+        Move::RevokeSide(i, receiver_side) => {
+            let i = i as usize;
+            if receiver_side {
+                m.msgs[i].r_revoked = true;
+                // The quiesce purges the epoch's unexpected queue (the
+                // runtime counts each purged frame as stale); the frame
+                // was already transport-delivered, so no table step.
+                m.msgs[i].unexpected_rts = false;
+                fire_on(&mut m, cfg, stats, i, Event::Revoked, true, false, 0)?;
+                // A posted-but-unmatched receive has no machine to step;
+                // the quiesce fails it directly with `Err(Revoked)`.
+                if m.msgs[i].posted && m.msgs[i].r == State::Gone && !m.msgs[i].r_done {
+                    m.msgs[i].r_done = true;
+                }
+            } else {
+                m.msgs[i].s_revoked = true;
+                // The aborted entry's NIC-completion callback finds
+                // nothing (same as the drain).
+                m.msgs[i].pending_last = false;
+                fire_on(&mut m, cfg, stats, i, Event::Revoked, false, false, 0)?;
+            }
+        }
         Move::Drop(j) => {
             let f = m.net.remove(j);
             m.msgs[f.msg as usize].drops += 1;
@@ -607,7 +677,14 @@ fn apply(
             let i = f.msg as usize;
             match f.kind {
                 FrameKind::Rts => {
-                    if !m.msgs[i].rts_delivered {
+                    if m.msgs[i].r_revoked && !m.msgs[i].rts_delivered {
+                        // Fresh transport delivery at a revoked rank: the
+                        // epoch-hygiene filter counts it stale and drops
+                        // it before matching. It *is* delivered transport-
+                        // wise (acks flow; replays classify as dups).
+                        m.msgs[i].rts_delivered = true;
+                        fire_on(&mut m, cfg, stats, i, Event::StaleEpoch, true, false, 0)?;
+                    } else if !m.msgs[i].rts_delivered {
                         // Fresh transport delivery: match now or park in
                         // the unexpected queue until the post.
                         m.msgs[i].rts_delivered = true;
@@ -682,6 +759,11 @@ pub fn explore(cfg: &ModelCfg) -> Result<Stats, String> {
     assert!(
         !cfg.peer_death || (cfg.retry && !cfg.buffered),
         "model `{}`: membership drain requires core retry semantics",
+        cfg.name
+    );
+    assert!(
+        !cfg.revoke || (cfg.retry && !cfg.buffered),
+        "model `{}`: revoke recovery requires core retry semantics",
         cfg.name
     );
     assert!(
@@ -781,6 +863,20 @@ pub fn standard_suite() -> Vec<ModelCfg> {
             max_recv_timeouts: 1,
             ..ModelCfg::clean("retry-peer-death", vec![m(0, 1, 2)])
         },
+        // Communicator revoke: either side of the flow may learn the
+        // epoch poison at any reachable state. Quiesce runs the
+        // `revoked/*` rows, a fresh envelope reaching a revoked rank
+        // runs `stale/epoch`, a replayed one the Dup machinery — with a
+        // light fault menu so revokes interleave with retransmission.
+        ModelCfg {
+            retry: true,
+            revoke: true,
+            dup_rts: true,
+            max_drops: 1,
+            max_send_timeouts: 1,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("retry-revoke-epoch", vec![m(0, 1, 2)])
+        },
     ]
 }
 
@@ -859,6 +955,43 @@ mod tests {
             .map(|(g, _)| g.name)
             .collect();
         assert!(ignored.contains(&"ignore/dead-gone"), "{ignored:?}");
+    }
+
+    #[test]
+    fn revoke_model_reaches_every_quiesce_row() {
+        let cfg = ModelCfg {
+            retry: true,
+            revoke: true,
+            dup_rts: true,
+            max_drops: 1,
+            max_send_timeouts: 1,
+            max_recv_timeouts: 1,
+            ..ModelCfg::clean("t", vec![MsgCfg { src: 0, dst: 1, chunks: 2 }])
+        };
+        let s = explore(&cfg).expect("revoke model");
+        let fired: Vec<&str> = TABLE
+            .iter()
+            .zip(&s.fired_rows)
+            .filter(|(_, &n)| n > 0)
+            .map(|(t, _)| t.name)
+            .collect();
+        for row in [
+            "revoked/swaitcts",
+            "revoked/sstreaming",
+            "revoked/swaitfin",
+            "revoked/rwaitdata",
+            "revoked/rdone",
+            "stale/epoch",
+        ] {
+            assert!(fired.contains(&row), "missing {row} in {fired:?}");
+        }
+        let ignored: Vec<&str> = IGNORES
+            .iter()
+            .zip(&s.fired_ignores)
+            .filter(|(_, &n)| n > 0)
+            .map(|(g, _)| g.name)
+            .collect();
+        assert!(ignored.contains(&"ignore/revoked-gone"), "{ignored:?}");
     }
 
     #[test]

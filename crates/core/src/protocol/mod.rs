@@ -90,6 +90,15 @@ pub enum Event {
     /// rendezvous dead. Fired once per in-flight entry by the drain
     /// protocol (never by a wire frame — a dead peer sends nothing).
     PeerDead,
+    /// Local: the communicator epoch this rendezvous belongs to was
+    /// revoked (DESIGN.md §13). Fired once per in-flight entry by the
+    /// revoke quiesce — like [`Event::PeerDead`], never by a wire frame.
+    Revoked,
+    /// Wire: a collective frame arrived whose epoch predates the
+    /// committed epoch (or whose agreement instance was retired). Always
+    /// finds `Gone` — stale frames never reach live entries — and must
+    /// be counted and dropped without reviving state.
+    StaleEpoch,
 }
 
 /// Guard atoms. A transition fires when *all* its guards hold in the
@@ -215,6 +224,9 @@ pub enum Action {
     /// Surface the receive as failed and release the landing buffer.
     AbortRecv,
     // -- accounting --------------------------------------------------
+    /// Count a stale cross-epoch collective frame
+    /// (`membership_stale_epoch`) and drop it.
+    CountStaleEpoch,
     /// Count a duplicated DATA chunk.
     CountDupData,
     /// Count a duplicated envelope (replayed RTS).
@@ -365,6 +377,19 @@ pub static TABLE: &[Transition] = &[
         next: S::Gone,
         name: "fin/confirmed",
     },
+    // A FIN reaching a sender that never saw a CTS can only come from a
+    // revoke-tombstoned receiver (an honest receiver reaches `RDone` only
+    // after all the data, which requires the CTS to have arrived first).
+    // The receiver has declared the message over without taking a byte,
+    // so the send aborts rather than completing.
+    Transition {
+        state: S::SWaitCts,
+        event: E::FinRx,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "fin/tombstone",
+    },
     // -- receiver: DATA ------------------------------------------------
     Transition {
         state: S::RWaitData,
@@ -475,6 +500,71 @@ pub static TABLE: &[Transition] = &[
         next: S::Gone,
         name: "dead/rdone",
     },
+    // -- communicator revoke: the epoch was poisoned ---------------------
+    // Mirrors the PeerDead drain row-for-row: every in-flight entry of a
+    // revoked epoch is cancelled through the table, completions surface
+    // as counted errors, and the conformance checker replays the same
+    // `Aborted` phases. Only retry mode has a membership/recovery layer.
+    Transition {
+        state: S::SWaitCts,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "revoked/swaitcts",
+    },
+    Transition {
+        state: S::SStreaming,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "revoked/sstreaming",
+    },
+    Transition {
+        state: S::SWaitFin,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortSend],
+        next: S::Gone,
+        name: "revoked/swaitfin",
+    },
+    // The aborted inbound rendezvous leaves a tombstone: the sender may
+    // not have learned the revoke yet and its in-flight DATA must keep
+    // finding `RDone` (→ FIN replay telling it to stop), exactly like a
+    // completed transfer — `Gone` is reserved for states DATA can never
+    // legally reach.
+    Transition {
+        state: S::RWaitData,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        actions: &[A::DisarmTimer, A::AbortRecv, A::Tombstone],
+        next: S::RDone,
+        name: "revoked/rwaitdata",
+    },
+    // A tombstone of a revoked epoch replays FINs to nobody: the sender's
+    // flow was cancelled by its own revoke quiesce. Drop it silently.
+    Transition {
+        state: S::RDone,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        actions: &[],
+        next: S::RDone,
+        name: "revoked/rdone",
+    },
+    // -- epoch hygiene: stale cross-epoch frames ------------------------
+    // A collective frame from a superseded epoch (or a retired agreement
+    // instance) never matches live state — the quiesce/advance purge ran
+    // first — so it always finds `Gone`. The row counts it and stays
+    // `Gone`: dropped, never a panic, never revived state.
+    Transition {
+        state: S::Gone,
+        event: E::StaleEpoch,
+        guards: &[G::Retry],
+        actions: &[A::CountStaleEpoch],
+        next: S::Gone,
+        name: "stale/epoch",
+    },
     // -- timers --------------------------------------------------------
     Transition {
         state: S::SWaitCts,
@@ -550,6 +640,15 @@ pub static IGNORES: &[Ignore] = &[
         guards: &[G::Retry],
         defensive: false,
         name: "ignore/dead-gone",
+    },
+    // Same shape for a revoke: one side of a flow can learn of the
+    // revoke after its local entry already completed and left.
+    Ignore {
+        state: S::Gone,
+        event: E::Revoked,
+        guards: &[G::Retry],
+        defensive: false,
+        name: "ignore/revoked-gone",
     },
     // An in-flight DATA chunk can only exist after a CTS, a CTS only
     // after the inbound entry exists, and the entry only leaves via the
@@ -653,6 +752,8 @@ pub fn validate_table() -> Vec<String> {
         E::DupRts,
         E::RecvTimeout,
         E::PeerDead,
+        E::Revoked,
+        E::StaleEpoch,
     ];
     for &state in &states {
         for &event in &events {
@@ -803,6 +904,56 @@ mod tests {
         // Without retry there is no membership layer: stepping PeerDead
         // is a caller bug, classified as an error.
         assert_eq!(step(S::SWaitCts, E::PeerDead, Ctx::default()), Verdict::Error);
+    }
+
+    #[test]
+    fn revoke_drains_every_live_state() {
+        let ctx = Ctx {
+            retry: true,
+            ..Ctx::default()
+        };
+        for (state, want, end) in [
+            (S::SWaitCts, A::AbortSend, S::Gone),
+            (S::SStreaming, A::AbortSend, S::Gone),
+            (S::SWaitFin, A::AbortSend, S::Gone),
+            // The receiver tombstones so straggling DATA keeps finding
+            // RDone (FIN replay), never Gone.
+            (S::RWaitData, A::AbortRecv, S::RDone),
+        ] {
+            let Verdict::Step { actions, next, .. } = step(state, E::Revoked, ctx) else {
+                panic!("{state:?} × Revoked must step");
+            };
+            assert_eq!(next, end, "{state:?} quiesces to {end:?}");
+            assert!(actions.contains(&want), "{state:?} must {want:?}");
+        }
+        // A revoked tombstone stays a tombstone (it is keyed per peer and
+        // reclaimed by the peer's own death); Gone is a declared ignore.
+        let Verdict::Step { actions, next, .. } = step(S::RDone, E::Revoked, ctx) else {
+            panic!("RDone × Revoked must step");
+        };
+        assert_eq!(next, S::RDone);
+        assert!(actions.is_empty());
+        assert!(matches!(
+            step(S::Gone, E::Revoked, ctx),
+            Verdict::Ignore { defensive: false, .. }
+        ));
+        // Without retry there is no recovery layer.
+        assert_eq!(step(S::SWaitCts, E::Revoked, Ctx::default()), Verdict::Error);
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_counted_drops() {
+        let ctx = Ctx {
+            retry: true,
+            ..Ctx::default()
+        };
+        let Verdict::Step { actions, next, .. } = step(S::Gone, E::StaleEpoch, ctx) else {
+            panic!("Gone × StaleEpoch must step");
+        };
+        assert_eq!(next, S::Gone, "a stale frame revives nothing");
+        assert_eq!(actions, [A::CountStaleEpoch]);
+        // Stale classification only exists with the recovery layer armed.
+        assert_eq!(step(S::Gone, E::StaleEpoch, Ctx::default()), Verdict::Error);
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub enum CompletionKind {
     /// The receive completed *with an error*: the gate it was posted
     /// against was declared dead, so nothing can ever match it.
     RecvFailed { gate: GateId, tag: u64 },
+    /// The send completed *with an error*: its communicator epoch was
+    /// revoked while it was in flight. The peer may be perfectly alive —
+    /// the epoch, not the link, is dead.
+    SendRevoked { peer: usize, epoch: u8 },
+    /// The receive completed *with an error*: its communicator epoch was
+    /// revoked, so no frame of that epoch will ever be matched to it.
+    RecvRevoked { gate: GateId, tag: u64, epoch: u8 },
 }
 
 /// A completion event surfaced to the upper layer.
@@ -61,15 +68,20 @@ impl NmCompletion {
     pub fn is_send(&self) -> bool {
         matches!(
             self.kind,
-            CompletionKind::Send | CompletionKind::SendFailed { .. }
+            CompletionKind::Send
+                | CompletionKind::SendFailed { .. }
+                | CompletionKind::SendRevoked { .. }
         )
     }
 
-    /// True for completions that report a dead-peer error.
+    /// True for completions that report a dead-peer or revoked-epoch error.
     pub fn is_failed(&self) -> bool {
         matches!(
             self.kind,
-            CompletionKind::SendFailed { .. } | CompletionKind::RecvFailed { .. }
+            CompletionKind::SendFailed { .. }
+                | CompletionKind::RecvFailed { .. }
+                | CompletionKind::SendRevoked { .. }
+                | CompletionKind::RecvRevoked { .. }
         )
     }
 }

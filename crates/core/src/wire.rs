@@ -65,6 +65,12 @@ pub enum WirePayload {
     Probe { rail: usize, seq: u64 },
     /// Answer to a [`WirePayload::Probe`], echoed on the probed rail.
     ProbeAck { rail: usize, seq: u64 },
+    /// Communicator-recovery poison (DESIGN.md §13): the sender has
+    /// revoked communicator epoch `epoch`. Sticky and idempotent like a
+    /// death verdict — the first receipt quiesces the epoch's pending
+    /// operations with counted errors and re-broadcasts; replays are
+    /// counted no-ops.
+    Revoke { epoch: u32 },
 }
 
 impl WirePayload {
@@ -118,6 +124,7 @@ impl WirePayload {
                 rail: *rail,
                 seq: *seq,
             },
+            WirePayload::Revoke { epoch } => WirePayload::Revoke { epoch: *epoch },
         }
     }
 }
@@ -173,6 +180,7 @@ impl NmWire {
                 WirePayload::RdvFin { .. } => 8,
                 WirePayload::Probe { .. } => 16,
                 WirePayload::ProbeAck { .. } => 16,
+                WirePayload::Revoke { .. } => 8,
             }
     }
 }
@@ -269,6 +277,10 @@ fn compute_crc(src_rank: usize, dst_rank: usize, payload: &WirePayload) -> u64 {
             h.word(*rail as u64);
             h.word(*seq);
         }
+        WirePayload::Revoke { epoch } => {
+            h.word(11);
+            h.word(*epoch as u64);
+        }
     }
     h.0
 }
@@ -361,6 +373,11 @@ mod tests {
         let c = NmWire::new(0, 1, WirePayload::Probe { rail: 0, seq: 1 });
         let d = NmWire::new(0, 1, WirePayload::ProbeAck { rail: 0, seq: 1 });
         assert_ne!(c.crc, d.crc);
+        // The revoke poison is sealed and variant-distinct too.
+        let r1 = NmWire::new(0, 1, WirePayload::Revoke { epoch: 1 });
+        let r2 = NmWire::new(0, 1, WirePayload::Revoke { epoch: 2 });
+        assert_ne!(r1.crc, r2.crc, "epoch field is covered");
+        assert!(r1.wire_bytes() <= 64, "revoke rides the express lane");
         // The piggybacked credit count is sealed too.
         let e = NmWire::new(0, 1, WirePayload::Ack { tag: 1, next: 2, credits: 0 });
         let f = NmWire::new(0, 1, WirePayload::Ack { tag: 1, next: 2, credits: 3 });

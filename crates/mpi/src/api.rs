@@ -29,6 +29,27 @@ impl std::fmt::Display for PeerDead {
 
 impl std::error::Error for PeerDead {}
 
+/// Why a fault-tolerance-aware operation failed (see
+/// [`MpiHandle::wait_ft`]): the peer died, or the whole communication
+/// epoch was revoked. Callers react differently — exclusion (shrink) vs.
+/// teardown-and-rebuild.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FtError {
+    PeerDead { peer: usize },
+    Revoked { epoch: u8 },
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::PeerDead { peer } => write!(f, "peer rank {peer} was declared dead"),
+            FtError::Revoked { epoch } => write!(f, "communication epoch {epoch} was revoked"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
 /// Receive-source selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Src {
@@ -167,6 +188,21 @@ impl MpiHandle {
         let (data, status) = self.state.wait(&self.ctx, req);
         match self.state.reqs.failed_peer(req) {
             Some(peer) => Err(PeerDead { peer }),
+            None => Ok((data, status)),
+        }
+    }
+
+    /// Fault-tolerance-aware wait: distinguishes *why* a request failed.
+    /// `Err(FtError::Revoked)` when its epoch was revoked (comm teardown —
+    /// rebuild and retry), `Err(FtError::PeerDead)` when its peer died
+    /// (exclude the corpse), `Ok` otherwise.
+    pub fn wait_ft(&self, req: Req) -> Result<(Option<Bytes>, Option<Status>), FtError> {
+        let (data, status) = self.state.wait(&self.ctx, req);
+        if let Some(epoch) = self.state.reqs.revoked_epoch(req) {
+            return Err(FtError::Revoked { epoch });
+        }
+        match self.state.reqs.failed_peer(req) {
+            Some(peer) => Err(FtError::PeerDead { peer }),
             None => Ok((data, status)),
         }
     }
@@ -343,6 +379,72 @@ impl MpiHandle {
     /// (MPI_Alltoallv). Selects Bruck vs pairwise like [`MpiHandle::alltoall`].
     pub fn alltoallv(&self, blocks: Vec<Bytes>) -> Vec<Bytes> {
         crate::collectives::alltoallv_auto(self, blocks)
+    }
+
+    // Communicator recovery (revoke / agree / shrink / join — see
+    // `crate::comm` and DESIGN.md §13).
+
+    /// The world communicator: the committed epoch over all ranks.
+    pub fn comm_world(&self) -> crate::comm::Comm {
+        crate::comm::Comm::world(self)
+    }
+
+    /// Revoke the communicator's epoch: quiesce every in-flight operation
+    /// keyed to it with counted errors and gossip the poison to all live
+    /// peers. Sticky and idempotent; returns whether this call was the
+    /// first local revocation.
+    pub fn comm_revoke(&self, comm: &crate::comm::Comm) -> bool {
+        crate::comm::comm_revoke(self, comm)
+    }
+
+    /// Fault-tolerant agreement over the communicator's members: every
+    /// surviving member returns the *same* agreed-dead set (world ranks,
+    /// ascending), even when members die mid-protocol.
+    pub fn comm_agree(&self, comm: &crate::comm::Comm) -> Vec<usize> {
+        crate::comm::comm_agree(self, comm)
+    }
+
+    /// Shrink: agree on survivors, advance to a fresh epoch, re-rank
+    /// densely, seal with a barrier. Identical result on every survivor.
+    pub fn comm_shrink(&self, comm: &crate::comm::Comm) -> crate::comm::Comm {
+        crate::comm::comm_shrink(self, comm)
+    }
+
+    /// Admit `joiner` into the next epoch (run by every current member;
+    /// the joiner runs [`MpiHandle::comm_join`] with the same `join_seq`).
+    pub fn comm_accept(
+        &self,
+        comm: &crate::comm::Comm,
+        joiner: usize,
+        join_seq: u32,
+    ) -> crate::comm::Comm {
+        crate::comm::comm_accept(self, comm, joiner, join_seq)
+    }
+
+    /// Join an existing communicator as a late arrival via its leader.
+    pub fn comm_join(&self, leader: usize, join_seq: u32) -> crate::comm::Comm {
+        crate::comm::comm_join(self, leader, join_seq)
+    }
+
+    /// Barrier over the communicator (keys carry its epoch).
+    pub fn comm_barrier(&self, comm: &crate::comm::Comm) {
+        crate::comm::comm_barrier(self, comm)
+    }
+
+    /// Allreduce (sum) over the communicator.
+    pub fn comm_allreduce_sum(&self, comm: &crate::comm::Comm, contrib: &[f64]) -> Vec<f64> {
+        crate::comm::comm_allreduce_sum(self, comm, contrib)
+    }
+
+    /// Binomial broadcast over the communicator from dense position
+    /// `root_pos`.
+    pub fn comm_bcast(
+        &self,
+        comm: &crate::comm::Comm,
+        root_pos: usize,
+        data: Option<Bytes>,
+    ) -> Bytes {
+        crate::comm::comm_bcast(self, comm, root_pos, data)
     }
 
     // Datatype-aware operations (the paper's future-work extension; see

@@ -39,23 +39,26 @@ use std::sync::atomic::Ordering;
 use bytes::Bytes;
 use simnet::{NmBuf, TopoMap};
 
+use nmad::keys::{
+    coll_key, OP_ALLGATHER, OP_ALLTOALL, OP_ALLTOALLV, OP_BARRIER, OP_BCAST, OP_REDUCE,
+    OP_TRYBAR,
+};
+
 use crate::api::{MpiHandle, PeerDead, Src};
-use crate::progress::COLL_CTX;
+use crate::progress::NetPath;
 
-const OP_BARRIER: u64 = 1;
-const OP_BCAST: u64 = 2;
-const OP_REDUCE: u64 = 3;
-const OP_ALLTOALL: u64 = 4;
-const OP_ALLGATHER: u64 = 5;
-const OP_ALLTOALLV: u64 = 6;
-const OP_TRYBAR: u64 = 7;
-
-fn coll_key(op: u64, round: u64, seq: u32) -> u64 {
-    ((COLL_CTX as u64) << 48) | (op << 40) | (round << 32) | seq as u64
+pub(crate) fn next_seq(mpi: &MpiHandle) -> u32 {
+    mpi.state.coll_seq.fetch_add(1, Ordering::Relaxed)
 }
 
-fn next_seq(mpi: &MpiHandle) -> u32 {
-    mpi.state.coll_seq.fetch_add(1, Ordering::Relaxed)
+/// The committed world epoch: collective keys carry it so the core's epoch
+/// hygiene can recognize (and count) stale cross-epoch frames after a
+/// shrink. 0 before any revocation, and on stacks without the bypass core.
+pub(crate) fn world_epoch(mpi: &MpiHandle) -> u8 {
+    match &mpi.state.net {
+        NetPath::Direct(core) => core.committed_epoch(),
+        _ => 0,
+    }
 }
 
 /// Serialize f64s little-endian.
@@ -83,12 +86,13 @@ pub fn barrier(mpi: &MpiHandle) {
         return;
     }
     let seq = next_seq(mpi);
-    let mut round = 0u64;
+    let ep = world_epoch(mpi);
+    let mut round = 0u16;
     let mut dist = 1usize;
     while dist < size {
         let to = (rank + dist) % size;
         let from = (rank + size - dist) % size;
-        let key = coll_key(OP_BARRIER, round, seq);
+        let key = coll_key(ep, OP_BARRIER, round, seq);
         let r = mpi
             .state
             .isend_key(&mpi.ctx, to, key, NmBuf::default());
@@ -106,7 +110,7 @@ pub fn bcast(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
     let (rank, size) = (mpi.rank(), mpi.size());
     assert!(root < size);
     let seq = next_seq(mpi);
-    let key = coll_key(OP_BCAST, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_BCAST, 0, seq);
     let vrank = (rank + size - root) % size;
     // Internally the payload is an NmBuf handle: forwarding to several
     // children shares one allocation instead of cloning per child.
@@ -151,7 +155,7 @@ pub fn reduce_sum(mpi: &MpiHandle, root: usize, contrib: &[f64]) -> Option<Vec<f
     let (rank, size) = (mpi.rank(), mpi.size());
     assert!(root < size);
     let seq = next_seq(mpi);
-    let key = coll_key(OP_REDUCE, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_REDUCE, 0, seq);
     let vrank = (rank + size - root) % size;
     // The accumulator is mutated in place each round; it cannot alias the
     // caller's borrowed contribution.
@@ -205,7 +209,7 @@ pub fn alltoall(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
     let (rank, size) = (mpi.rank(), mpi.size());
     assert_eq!(blocks.len(), size, "need one block per rank");
     let seq = next_seq(mpi);
-    let key = coll_key(OP_ALLTOALL, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_ALLTOALL, 0, seq);
     // Share handles instead of cloning block storage per destination.
     let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
@@ -238,7 +242,7 @@ pub fn alltoall(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
 pub fn allgather(mpi: &MpiHandle, mine: Bytes) -> Vec<Bytes> {
     let (rank, size) = (mpi.rank(), mpi.size());
     let seq = next_seq(mpi);
-    let key = coll_key(OP_ALLGATHER, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_ALLGATHER, 0, seq);
     let mine = NmBuf::from(mine);
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
     result[rank] = Some(mine.share().into_bytes());
@@ -273,7 +277,7 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
     let (rank, size) = (mpi.rank(), mpi.size());
     assert_eq!(blocks.len(), size, "need one block per rank");
     let seq = next_seq(mpi);
-    let key = coll_key(OP_ALLTOALLV, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_ALLTOALLV, 0, seq);
     let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
     result[rank] = Some(blocks[rank].share().into_bytes());
@@ -320,10 +324,14 @@ pub fn alltoallv(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
 ///
 /// By induction over rounds every live member finishes the full schedule,
 /// so the barrier never deadlocks and leaves no unmatched traffic toward
-/// live peers. The price is ULFM's documented semantics: outcomes may be
-/// *inconsistent* — members that heard the poison return `Err(PeerDead)`,
-/// members whose exchanges all predated the verdict may return `Ok`.
-/// Callers that need agreement must run a second (agreement) round.
+/// live peers. The dissemination sweep alone has ULFM's documented
+/// *inconsistent* outcomes — members that heard the poison see the corpse,
+/// members whose exchanges all predated the verdict do not. The verdict is
+/// therefore decided by a fault-tolerant agreement round
+/// ([`crate::comm::agree_group`]) seeded with each member's local
+/// observation: **all surviving members return the same result** — `Ok` if
+/// the agreed-dead set is empty, `Err(PeerDead)` naming the lowest agreed
+/// corpse otherwise.
 pub fn try_barrier_group(mpi: &MpiHandle, group: &[usize]) -> Result<(), PeerDead> {
     let gsize = group.len();
     let my_pos = group
@@ -334,15 +342,16 @@ pub fn try_barrier_group(mpi: &MpiHandle, group: &[usize]) -> Result<(), PeerDea
         return Ok(());
     }
     let seq = next_seq(mpi);
+    let ep = world_epoch(mpi);
     // First corpse observed, directly (failed completion) or transitively
     // (poisoned payload).
     let mut dead: Option<usize> = None;
-    let mut round = 0u64;
+    let mut round = 0u16;
     let mut dist = 1usize;
     while dist < gsize {
         let to = group[(my_pos + dist) % gsize];
         let from = group[(my_pos + gsize - dist) % gsize];
-        let key = coll_key(OP_TRYBAR, round, seq);
+        let key = coll_key(ep, OP_TRYBAR, round, seq);
         let word: u32 = match dead {
             Some(p) => p as u32 + 1,
             None => 0,
@@ -370,8 +379,14 @@ pub fn try_barrier_group(mpi: &MpiHandle, group: &[usize]) -> Result<(), PeerDea
         dist <<= 1;
         round += 1;
     }
-    match dead {
-        Some(peer) => {
+    // Agreement round: the dissemination sweep's verdict can be split
+    // (some members saw the poison, some didn't). Agree on the union of
+    // everyone's observations so all survivors return the same answer.
+    let agree_seq = next_seq(mpi);
+    let seed: Vec<usize> = dead.into_iter().collect();
+    let agreed = crate::comm::agree_group(mpi, ep, agree_seq, group, my_pos, &seed);
+    match agreed.first() {
+        Some(&peer) => {
             mpi.state.coll_aborts.fetch_add(1, Ordering::Relaxed);
             Err(PeerDead { peer })
         }
@@ -383,21 +398,36 @@ pub fn try_barrier_group(mpi: &MpiHandle, group: &[usize]) -> Result<(), PeerDea
 /// all calling with the identical list). This is how survivors synchronize
 /// after the dead have been drained: the group simply omits the corpses.
 pub fn barrier_group_of(mpi: &MpiHandle, group: &[usize]) {
-    let gsize = group.len();
     let my_pos = group
         .iter()
         .position(|&r| r == mpi.rank())
         .expect("caller must be a member of the group");
+    let seq = next_seq(mpi);
+    barrier_group_ep(mpi, world_epoch(mpi), seq, group, my_pos);
+}
+
+/// Dissemination barrier over a group with an explicit epoch and sequence
+/// number — the primitive behind both [`barrier_group_of`] and the
+/// communicator-scoped barrier (whose keys carry the *communicator's*
+/// epoch, not the world's).
+pub(crate) fn barrier_group_ep(
+    mpi: &MpiHandle,
+    ep: u8,
+    seq: u32,
+    group: &[usize],
+    my_pos: usize,
+) {
+    let gsize = group.len();
+    debug_assert_eq!(group[my_pos], mpi.rank());
     if gsize <= 1 {
         return;
     }
-    let seq = next_seq(mpi);
-    let mut round = 0u64;
+    let mut round = 0u16;
     let mut dist = 1usize;
     while dist < gsize {
         let to = group[(my_pos + dist) % gsize];
         let from = group[(my_pos + gsize - dist) % gsize];
-        let key = coll_key(OP_BARRIER, round, seq);
+        let key = coll_key(ep, OP_BARRIER, round, seq);
         let s = mpi.state.isend_key(&mpi.ctx, to, key, NmBuf::default());
         let r = mpi.state.irecv_key(&mpi.ctx, Src::Rank(from), key);
         mpi.state.wait(&mpi.ctx, s);
@@ -417,7 +447,7 @@ pub fn allreduce_sum_group(mpi: &MpiHandle, group: &[usize], contrib: &[f64]) ->
         .expect("caller must be a member of the group");
     let seq = next_seq(mpi);
     let mut acc = contrib.to_vec();
-    allreduce_group_recdbl(mpi, OP_REDUCE, seq, 2, group, my_pos, &mut acc);
+    allreduce_group_recdbl(mpi, world_epoch(mpi), OP_REDUCE, seq, 2, group, my_pos, &mut acc);
     acc
 }
 
@@ -440,7 +470,7 @@ fn hier_applicable(size: usize, topo: &TopoMap) -> bool {
 /// Binomial-tree broadcast within an arbitrary rank group. `group` lists
 /// the members (identical on every caller), `root_pos`/`my_pos` index into
 /// it. On return every member's `payload` holds the root's bytes.
-fn bcast_group(
+pub(crate) fn bcast_group(
     mpi: &MpiHandle,
     key: u64,
     group: &[usize],
@@ -523,11 +553,13 @@ fn reduce_group(
 /// Recursive-doubling sum-allreduce within a group, with MPICH's
 /// non-power-of-two pre/post fold. Distinct rounds start at `round_base`
 /// (uses rounds `round_base..round_base+1+log₂` plus `round_base + 30`).
-fn allreduce_group_recdbl(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn allreduce_group_recdbl(
     mpi: &MpiHandle,
-    op: u64,
+    ep: u8,
+    op: u8,
     seq: u32,
-    round_base: u64,
+    round_base: u16,
     group: &[usize],
     my_pos: usize,
     acc: &mut Vec<f64>,
@@ -545,7 +577,7 @@ fn allreduce_group_recdbl(
     // Pre-fold: the first 2·rem members pair up so a power of two remains.
     // Even positions hand their contribution to their odd neighbour and sit
     // out; odd positions absorb it and join with a compacted position.
-    let fold_key = coll_key(op, round_base, seq);
+    let fold_key = coll_key(ep, op, round_base, seq);
     let newpos: Option<usize> = if my_pos < 2 * rem {
         if my_pos.is_multiple_of(2) {
             let s = mpi
@@ -579,7 +611,7 @@ fn allreduce_group_recdbl(
                 partner_np + rem
             };
             let partner = group[partner_pos];
-            let key = coll_key(op, round, seq);
+            let key = coll_key(ep, op, round, seq);
             // Serialize before receiving: both sides exchange their
             // pre-round value.
             let s = mpi
@@ -598,7 +630,7 @@ fn allreduce_group_recdbl(
         }
     }
     // Post-fold: folded-out members get the finished result back.
-    let unfold_key = coll_key(op, round_base + 30, seq);
+    let unfold_key = coll_key(ep, op, round_base + 30, seq);
     if my_pos < 2 * rem {
         if my_pos.is_multiple_of(2) {
             let r = mpi
@@ -626,6 +658,7 @@ pub fn bcast_hier(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
     }
     let topo = topo_of(mpi);
     let seq = next_seq(mpi);
+    let ep = world_epoch(mpi);
     let mut payload = if rank == root {
         NmBuf::from(data.expect("bcast root must supply data"))
     } else {
@@ -636,7 +669,7 @@ pub fn bcast_hier(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
     // Round 1: seed the inter-node tree's root. Skipped when the job root
     // already leads its node.
     if root != lroot {
-        let key = coll_key(OP_BCAST, 1, seq);
+        let key = coll_key(ep, OP_BCAST, 1, seq);
         if rank == root {
             let s = mpi.state.isend_key(&mpi.ctx, lroot, key, payload.share());
             mpi.state.wait(&mpi.ctx, s);
@@ -651,7 +684,7 @@ pub fn bcast_hier(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
         let root_lpos = topo.leader_index(lroot).expect("leader not indexed");
         bcast_group(
             mpi,
-            coll_key(OP_BCAST, 2, seq),
+            coll_key(ep, OP_BCAST, 2, seq),
             topo.leaders(),
             root_lpos,
             my_lpos,
@@ -669,7 +702,7 @@ pub fn bcast_hier(mpi: &MpiHandle, root: usize, data: Option<Bytes>) -> Bytes {
         };
         bcast_group(
             mpi,
-            coll_key(OP_BCAST, 3, seq),
+            coll_key(ep, OP_BCAST, 3, seq),
             node_group,
             topo.local_index(holder),
             topo.local_index(rank),
@@ -692,14 +725,15 @@ pub fn allreduce_sum_hier(mpi: &MpiHandle, contrib: &[f64]) -> Vec<f64> {
     }
     let topo = topo_of(mpi);
     let seq = next_seq(mpi);
+    let ep = world_epoch(mpi);
     let mut acc = contrib.to_vec();
     let node_group = topo.node_ranks(rank);
     let my_li = topo.local_index(rank);
     let is_leader =
-        reduce_group(mpi, coll_key(OP_REDUCE, 1, seq), node_group, 0, my_li, &mut acc);
+        reduce_group(mpi, coll_key(ep, OP_REDUCE, 1, seq), node_group, 0, my_li, &mut acc);
     if is_leader {
         let lpos = topo.leader_index(rank).expect("leader not indexed");
-        allreduce_group_recdbl(mpi, OP_REDUCE, seq, 2, topo.leaders(), lpos, &mut acc);
+        allreduce_group_recdbl(mpi, ep, OP_REDUCE, seq, 2, topo.leaders(), lpos, &mut acc);
     }
     if node_group.len() > 1 {
         let mut buf = if is_leader {
@@ -709,7 +743,7 @@ pub fn allreduce_sum_hier(mpi: &MpiHandle, contrib: &[f64]) -> Vec<f64> {
         };
         bcast_group(
             mpi,
-            coll_key(OP_REDUCE, 63, seq),
+            coll_key(ep, OP_REDUCE, 63, seq),
             node_group,
             0,
             my_li,
@@ -733,15 +767,16 @@ pub fn alltoallv_bruck(mpi: &MpiHandle, blocks: Vec<Bytes>) -> Vec<Bytes> {
         return blocks;
     }
     let seq = next_seq(mpi);
+    let ep = world_epoch(mpi);
     // Local rotation: temp[i] holds the block destined to rank+i. Done in
     // place on the input vector — a handle array is 32 B × P per rank,
     // O(P²) job-wide, so this routine never materialises a second one.
     let mut temp = blocks;
     temp.rotate_left(rank);
     let mut pof = 1usize;
-    let mut round = 1u64;
+    let mut round = 1u16;
     while pof < size {
-        let key = coll_key(OP_ALLTOALLV, round, seq);
+        let key = coll_key(ep, OP_ALLTOALLV, round, seq);
         let to = (rank + pof) % size;
         let from = (rank + size - pof) % size;
         let idxs: Vec<usize> = (0..size).filter(|i| i & pof != 0).collect();
@@ -840,7 +875,7 @@ pub fn alltoallv_windowed(mpi: &MpiHandle, blocks: Vec<Bytes>, window: usize) ->
     assert_eq!(blocks.len(), size, "need one block per rank");
     assert!(window > 0, "window must be positive");
     let seq = next_seq(mpi);
-    let key = coll_key(OP_ALLTOALLV, 0, seq);
+    let key = coll_key(world_epoch(mpi), OP_ALLTOALLV, 0, seq);
     let blocks: Vec<NmBuf> = blocks.into_iter().map(NmBuf::from).collect();
     let mut result: Vec<Option<Bytes>> = (0..size).map(|_| None).collect();
     result[rank] = Some(blocks[rank].share().into_bytes());
@@ -886,12 +921,13 @@ pub fn barrier_hier(mpi: &MpiHandle) {
     }
     let topo = topo_of(mpi);
     let seq = next_seq(mpi);
+    let ep = world_epoch(mpi);
     let node_group = topo.node_ranks(rank);
     let my_pos = topo.local_index(rank);
     // Phase 1: gather to the node leader (position 0) with empty payloads.
     reduce_group(
         mpi,
-        coll_key(OP_BARRIER, 1, seq),
+        coll_key(ep, OP_BARRIER, 1, seq),
         node_group,
         0,
         my_pos,
@@ -902,9 +938,9 @@ pub fn barrier_hier(mpi: &MpiHandle) {
         let leaders = topo.leaders();
         let nl = leaders.len();
         let mut dist = 1usize;
-        let mut round = 8u64;
+        let mut round = 8u16;
         while dist < nl {
-            let key = coll_key(OP_BARRIER, round, seq);
+            let key = coll_key(ep, OP_BARRIER, round, seq);
             let to = leaders[(lpos + dist) % nl];
             let from = leaders[(lpos + nl - dist) % nl];
             let s = mpi.state.isend_key(&mpi.ctx, to, key, NmBuf::default());
@@ -919,7 +955,7 @@ pub fn barrier_hier(mpi: &MpiHandle) {
     let mut empty = NmBuf::default();
     bcast_group(
         mpi,
-        coll_key(OP_BARRIER, 63, seq),
+        coll_key(ep, OP_BARRIER, 63, seq),
         node_group,
         0,
         my_pos,
@@ -995,7 +1031,11 @@ mod tests {
     #[test]
     fn coll_keys_are_disjoint_from_user_keys() {
         let user = crate::progress::key_of(crate::progress::USER_CTX, u32::MAX);
-        let coll = coll_key(OP_BARRIER, 0, 0);
+        let coll = coll_key(0, OP_BARRIER, 0, 0);
         assert_ne!(user >> 48, coll >> 48);
+        // Epoch-tagged keys stay in the collective context and never
+        // collide across epochs.
+        assert_ne!(coll_key(1, OP_BARRIER, 0, 0), coll);
+        assert_eq!(coll_key(1, OP_BARRIER, 0, 0) >> 48, coll >> 48);
     }
 }

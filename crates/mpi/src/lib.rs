@@ -39,6 +39,7 @@ pub mod anysource;
 pub mod api;
 pub mod ch3;
 pub mod collectives;
+pub mod comm;
 pub mod costs;
 pub mod datatype;
 pub mod progress;
@@ -49,7 +50,8 @@ pub mod stack;
 pub mod transport;
 pub mod vc;
 
-pub use api::{MpiHandle, PeerDead, Src, Status};
+pub use api::{FtError, MpiHandle, PeerDead, Src, Status};
+pub use comm::Comm;
 pub use costs::SoftwareCosts;
 pub use request::Req;
 pub use stack::{InterNode, MembershipTotals, RunOutcome, StackConfig, TailoredProfile};

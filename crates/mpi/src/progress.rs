@@ -63,9 +63,12 @@ const BULK_POLL_BACKOFF: SimDuration = SimDuration::micros(10);
 const RETRY_WAKE: SimDuration = SimDuration::micros(100);
 
 /// User-level communicator context (COMM_WORLD point-to-point).
-pub const USER_CTX: u16 = 0;
+/// Re-exported from the canonical key layout in `nmad::keys` — the core's
+/// epoch hygiene (stale-frame filtering, revoke quiesce) decodes the same
+/// bit layout the MPI layer encodes.
+pub const USER_CTX: u16 = nmad::keys::USER_CTX;
 /// Context reserved for the collectives in `collectives.rs`.
-pub const COLL_CTX: u16 = 1;
+pub const COLL_CTX: u16 = nmad::keys::COLL_CTX;
 
 /// Combine a context id and tag into the 64-bit matching key.
 #[inline]
@@ -385,6 +388,19 @@ impl ProcState {
                         self.finish_recv_failed(sched, rel.req, peer);
                     }
                 }
+                // Revoke gossip (DESIGN.md §13): every epoch this rank just
+                // learned is revoked — locally or from a peer's poison
+                // frame — is forwarded once to every live remote peer.
+                // `learn_revoke` is sticky, so the flood terminates after
+                // each rank relays each epoch at most once.
+                for epoch in core.take_revoked_epochs() {
+                    self.rec.inc("mpi.revokes", 1);
+                    for dst in self.vcs.remote_peers() {
+                        if !self.vcs.is_retired(dst) && !core.is_peer_dead(dst) {
+                            core.send_revoke(sched, dst, epoch);
+                        }
+                    }
+                }
             }
             NetPath::Ch3(t) => {
                 let t = Arc::clone(t);
@@ -469,6 +485,31 @@ impl ProcState {
                         self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
                     }
                     self.finish_recv_failed(sched, req, gate.0);
+                }
+                // Revoke quiesce verdicts: the operation's epoch was torn
+                // down. Like the membership drain, the request finishes —
+                // with an error naming the revoked epoch instead of a
+                // corpse.
+                CompletionKind::SendRevoked { peer, epoch } => {
+                    self.rec.inc("mpi.send_revocations", 1);
+                    self.reqs.complete_send_revoked(req, peer, epoch);
+                    if self.piom.is_some() {
+                        self.wake.signal(sched);
+                    }
+                }
+                CompletionKind::RecvRevoked { gate, tag: _, epoch } => {
+                    self.rec.inc("mpi.recv_revocations", 1);
+                    // Same release discipline as RecvFailed: a revoked
+                    // ANY_SOURCE head must not strand its parked specifics.
+                    let releases = self.anysource.on_complete(req);
+                    for r in releases {
+                        let nm = core.irecv(sched, r.src, r.key, r.req.0 as u64);
+                        self.reqs.bind_nmad(r.req, NmadBinding::Recv(nm));
+                    }
+                    self.reqs.complete_recv_revoked(req, gate.0, epoch);
+                    if self.piom.is_some() {
+                        self.wake.signal(sched);
+                    }
                 }
             }
         }
@@ -809,6 +850,18 @@ impl ProcState {
                 }
                 None
             }
+        }
+    }
+
+    /// Probe for an unexpected inter-node message on a *full* 64-bit key
+    /// (any source). Used by the fault-tolerant agreement to poll for a
+    /// DECIDED broadcast while blocked in a pass round — the user-facing
+    /// `iprobe` only speaks plain tags. Does not drive progress; callers
+    /// poll inside their own progress loops.
+    pub(crate) fn iprobe_key(&self, key: u64) -> Option<usize> {
+        match &self.net {
+            NetPath::Direct(core) => core.probe_tag(key).map(|g| g.0),
+            _ => None,
         }
     }
 

@@ -60,6 +60,11 @@ pub(crate) struct Slot {
     /// `peer` was declared dead (the §2.2.1 no-cancel rule: requests are
     /// never silently dropped, they finish — possibly unsuccessfully).
     pub failed_peer: Option<usize>,
+    /// `Some(epoch)` when the request completed *with an error* because
+    /// its communication epoch was revoked. Distinguishes "the comm was
+    /// torn down" from "the peer died" so callers can react differently
+    /// (rebuild vs. exclude). May coexist with `failed_peer`.
+    pub revoked_epoch: Option<u8>,
 }
 
 /// The per-process request table.
@@ -85,6 +90,7 @@ impl RequestTable {
             path,
             nmad_req: NmadBinding::None,
             failed_peer: None,
+            revoked_epoch: None,
         });
         id
     }
@@ -145,10 +151,42 @@ impl RequestTable {
         s.failed_peer = Some(peer);
     }
 
+    /// Complete a send *with an error* because epoch `epoch` was revoked
+    /// (ULFM-style comm teardown). `peer` names the destination so the
+    /// generic dead-peer plumbing still unblocks waiters; `revoked_epoch`
+    /// records the real cause.
+    pub fn complete_send_revoked(&self, req: Req, peer: usize, epoch: u8) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert_eq!(s.kind, ReqKind::Send);
+        debug_assert!(!s.done, "double send completion");
+        s.done = true;
+        s.failed_peer = Some(peer);
+        s.revoked_epoch = Some(epoch);
+    }
+
+    /// Complete a receive *with an error* because its epoch was revoked.
+    pub fn complete_recv_revoked(&self, req: Req, peer: usize, epoch: u8) {
+        let mut slots = self.slots.lock();
+        let s = &mut slots[req.0 as usize];
+        debug_assert!(matches!(s.kind, ReqKind::Recv | ReqKind::RecvAnySource));
+        debug_assert!(!s.done, "double recv completion");
+        s.done = true;
+        s.failed_peer = Some(peer);
+        s.revoked_epoch = Some(epoch);
+    }
+
     /// Did the request complete with a dead-peer error? `Some(peer)` after
     /// a failed completion; `None` while pending or after success.
     pub fn failed_peer(&self, req: Req) -> Option<usize> {
         self.slots.lock()[req.0 as usize].failed_peer
+    }
+
+    /// Did the request fail because its epoch was revoked? `Some(epoch)`
+    /// after a revoked completion; `None` while pending, after success, or
+    /// after a plain dead-peer failure.
+    pub fn revoked_epoch(&self, req: Req) -> Option<u8> {
+        self.slots.lock()[req.0 as usize].revoked_epoch
     }
 
     pub fn is_done(&self, req: Req) -> bool {
@@ -242,6 +280,28 @@ mod tests {
         assert!(data.is_none() && st.is_none());
         assert_eq!(t.failed_peer(s), Some(7), "error survives the claim");
         assert_eq!(t.failed_peer(r), Some(7));
+    }
+
+    #[test]
+    fn revoked_completions_carry_epoch_and_peer() {
+        let t = RequestTable::new();
+        let s = t.create(ReqKind::Send, ReqPath::Net);
+        let r = t.create(ReqKind::Recv, ReqPath::Net);
+        assert_eq!(t.revoked_epoch(s), None);
+        t.complete_send_revoked(s, 4, 2);
+        t.complete_recv_revoked(r, 4, 2);
+        assert!(t.is_done(s) && t.is_done(r));
+        // The generic dead-peer plumbing still sees a failure...
+        assert_eq!(t.failed_peer(s), Some(4));
+        assert_eq!(t.failed_peer(r), Some(4));
+        // ...but the real cause is queryable, and survives the claim.
+        let _ = t.claim(s).unwrap();
+        assert_eq!(t.revoked_epoch(s), Some(2));
+        assert_eq!(t.revoked_epoch(r), Some(2));
+        // A plain dead-peer failure does NOT look revoked.
+        let p = t.create(ReqKind::Send, ReqPath::Net);
+        t.complete_send_failed(p, 9);
+        assert_eq!(t.revoked_epoch(p), None);
     }
 
     #[test]

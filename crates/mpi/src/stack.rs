@@ -284,6 +284,15 @@ pub struct MembershipTotals {
     pub stray_frames: u64,
     /// Eager credits released back when their holder died.
     pub credits_released: u64,
+    /// Collective frames dropped because their epoch predated the
+    /// committed one, their epoch was revoked, or their instance was
+    /// retired (stale cross-epoch traffic, counted not resurrected).
+    pub stale_epoch: u64,
+    /// Epoch revocations committed (first-time `revoke_epoch` calls,
+    /// local or learned from a peer's poison frame).
+    pub revoked_epochs: u64,
+    /// In-flight operations quiesced with counted `Revoked` completions.
+    pub revoked_ops: u64,
 }
 
 impl RunOutcome {
@@ -300,6 +309,9 @@ impl RunOutcome {
                 drained_entries: acc.drained_entries + s.membership_drained_entries,
                 stray_frames: acc.stray_frames + s.membership_stray_frames,
                 credits_released: acc.credits_released + s.membership_credits_released,
+                stale_epoch: acc.stale_epoch + s.membership_stale_epoch,
+                revoked_epochs: acc.revoked_epochs + s.revoked_epochs,
+                revoked_ops: acc.revoked_ops + s.revoked_ops,
             })
     }
 

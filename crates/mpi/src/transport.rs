@@ -463,6 +463,11 @@ impl Ch3Transport for NmadNetmodTransport {
                     // story for a half-tunnelled packet.
                     panic!("membership drain verdict on the netmod path (unsupported)")
                 }
+                CompletionKind::SendRevoked { .. } | CompletionKind::RecvRevoked { .. } => {
+                    // Likewise: epoch revocation is a bypass-path concept;
+                    // the netmod tunnel never uses collective keys.
+                    panic!("epoch revocation on the netmod path (unsupported)")
+                }
             }
         }
         out

@@ -100,6 +100,7 @@ fn event_json(out: &mut String, e: &Event) {
                 | Phase::FinRx
                 | Phase::Completed { .. }
                 | Phase::Aborted { .. }
+                | Phase::Revoked { .. }
                 | Phase::CreditStall => {}
             }
         }
@@ -139,6 +140,9 @@ fn event_json(out: &mut String, e: &Event) {
                 }
                 EngineEvent::MemberDrain { peer, entries } => {
                     let _ = write!(out, r#","peer":{peer},"entries":{entries}"#);
+                }
+                EngineEvent::Revoke { epoch } | EngineEvent::EpochCommit { epoch } => {
+                    let _ = write!(out, r#","epoch":{epoch}"#);
                 }
                 EngineEvent::DispatchCall
                 | EngineEvent::DispatchWake

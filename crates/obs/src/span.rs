@@ -81,6 +81,11 @@ pub enum Phase {
     /// abort IS a completion — exactly one of `Completed`/`Aborted`
     /// closes each side).
     Aborted { side: Side },
+    /// The request completed *with an error*: its communicator epoch was
+    /// revoked and the quiesce failed it. Distinct from `Aborted` because
+    /// the revoke tombstones an in-flight inbound rendezvous (a straggling
+    /// DATA chunk still earns a FIN replay) where a peer death drops it.
+    Revoked { side: Side },
 }
 
 impl Phase {
@@ -107,6 +112,8 @@ impl Phase {
             Phase::CreditStall => "credit_stall",
             Phase::Aborted { side: Side::Send } => "aborted_send",
             Phase::Aborted { side: Side::Recv } => "aborted_recv",
+            Phase::Revoked { side: Side::Send } => "revoked_send",
+            Phase::Revoked { side: Side::Recv } => "revoked_recv",
         }
     }
 }
@@ -146,6 +153,12 @@ pub enum EngineEvent {
     /// The drain protocol reclaimed `entries` per-peer state entries of a
     /// dead peer.
     MemberDrain { peer: u32, entries: u32 },
+    /// A communicator epoch was revoked on this rank (locally initiated or
+    /// learned from a peer's poison frame — recorded once either way).
+    Revoke { epoch: u32 },
+    /// This rank committed a new communicator epoch (shrink/rebuild or
+    /// join-merge); older-epoch collective frames are stale from here on.
+    EpochCommit { epoch: u32 },
 }
 
 impl EngineEvent {
@@ -163,6 +176,8 @@ impl EngineEvent {
             EngineEvent::CreditRefill { .. } => "credit_refill",
             EngineEvent::MemberState { .. } => "member_state",
             EngineEvent::MemberDrain { .. } => "member_drain",
+            EngineEvent::Revoke { .. } => "revoke",
+            EngineEvent::EpochCommit { .. } => "epoch_commit",
         }
     }
 }
