@@ -7,5 +7,6 @@
 
 pub mod experiments;
 pub mod render;
+pub mod threaded_injection;
 
 pub use experiments::*;

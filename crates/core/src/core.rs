@@ -45,14 +45,17 @@ use simnet::{
 };
 
 use crate::config::{NmConfig, RetryConfig};
+use crate::credit::CreditBank;
 use crate::keys;
-use crate::matching::{GateId, MatchEngine, Unexpected};
+use crate::matching::{GateId, Unexpected};
+use crate::sharded::ShardedMatchEngine;
 use crate::membership::{MembershipTable, PeerLiveness};
 use crate::pack::{PacketWrapper, PwBody, PwId};
 use crate::protocol::{self, Action, Verdict};
 use crate::railhealth::{RailHealth, RailHealthTable};
 use crate::sampling::LinkProfile;
 use crate::sr::{CompletionKind, NmCompletion, RecvReqId, SendReqId};
+use crate::stats::{stat, StatsCells};
 use crate::strategy::{self, RailState, Strategy, Submission};
 use crate::wire::{EagerFrag, NmWire, WirePayload};
 
@@ -280,7 +283,11 @@ struct Inner {
     /// Submission windows, keyed by destination rank. BTreeMap for
     /// deterministic iteration.
     gates: BTreeMap<usize, VecDeque<PacketWrapper>>,
-    matching: MatchEngine,
+    /// Tag matching, sharded per source gate so injector threads and the
+    /// progress engine match traffic from different peers concurrently
+    /// (the single-queue `MatchEngine` remains as the differential
+    /// oracle — see `tests/matcher_differential.rs`).
+    matching: ShardedMatchEngine,
     send_reqs: Vec<SendReq>,
     recv_reqs: Vec<RecvReq>,
     rdv_out: HashMap<u64, RdvOut>,
@@ -316,8 +323,10 @@ struct Inner {
     /// peer into a rail that just died.
     last_in_rail: HashMap<usize, usize>,
     /// Flow control, sender side: remaining eager credits per destination
-    /// gate (lazily seeded from `FlowConfig::eager_credits`).
-    send_credits: HashMap<usize, u32>,
+    /// gate (lazily seeded from `FlowConfig::eager_credits`). Lock-free
+    /// pools shared by `Arc` so real-thread injectors can admit eager
+    /// sends without taking the core mutex (see [`crate::credit`]).
+    send_credits: Arc<CreditBank>,
     /// Bytes of unexpected eager payload currently buffered (receiver
     /// side; always tracked — it feeds `fc_peak_unex_bytes`).
     unex_eager_bytes: usize,
@@ -332,7 +341,7 @@ struct Inner {
     fc_throttled: bool,
     next_pw: u64,
     next_rdv: u64,
-    stats: NmStats,
+    stats: StatsCells,
     /// The stack-wide copy meter; attached to every payload entering this
     /// core so downstream shares/copies keep charging the same counters.
     meter: Arc<CopyMeter>,
@@ -533,6 +542,11 @@ impl NmCore {
             .enumerate()
             .find(|&(r, &n)| r != rank && n != net.node)
             .map(|(r, _)| r);
+        // Pools are only consulted when flow control is armed; a 0-capacity
+        // bank is inert (and never reached) otherwise.
+        let send_credits = Arc::new(CreditBank::new(
+            cfg.flow.map(|fc| fc.eager_credits).unwrap_or(0),
+        ));
         Arc::new(NmCore {
             rank,
             net,
@@ -542,7 +556,7 @@ impl NmCore {
                 strategy: strategy::make(cfg.strategy),
                 cfg,
                 gates: BTreeMap::new(),
-                matching: MatchEngine::new(),
+                matching: ShardedMatchEngine::new(),
                 send_reqs: Vec::new(),
                 recv_reqs: Vec::new(),
                 rdv_out: HashMap::new(),
@@ -558,14 +572,14 @@ impl NmCore {
                 ctrl_out: VecDeque::new(),
                 health,
                 last_in_rail: HashMap::new(),
-                send_credits: HashMap::new(),
+                send_credits,
                 unex_eager_bytes: 0,
                 credit_owed: BTreeMap::new(),
                 credit_withheld: BTreeMap::new(),
                 fc_throttled: false,
                 next_pw: 0,
                 next_rdv: 0,
-                stats: NmStats::default(),
+                stats: StatsCells::new(),
                 meter,
                 rec: obs::RankRec::new(recorder, rank as u32),
                 recv_posted: HashMap::new(),
@@ -585,6 +599,12 @@ impl NmCore {
     /// This core's global rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The lock-free eager credit bank, shared with real-thread injectors
+    /// so admission control never takes the core mutex.
+    pub fn credit_bank(&self) -> Arc<CreditBank> {
+        Arc::clone(&self.inner.lock().send_credits)
     }
 
     /// Sampled rail profiles (for diagnostics and the harnesses).
@@ -722,19 +742,16 @@ impl NmCore {
         // credits protect receiver payload memory, which they cannot use.
         let eager = data.len() <= inner.cfg.eager_threshold
             && match inner.cfg.flow {
-                Some(fc) if !data.as_slice().is_empty() => {
-                    let credits =
-                        inner.send_credits.entry(dst).or_insert(fc.eager_credits);
-                    if *credits > 0 {
-                        *credits -= 1;
-                        inner.stats.fc_eager_admitted += 1;
+                Some(_fc) if !data.as_slice().is_empty() => {
+                    if inner.send_credits.try_acquire(dst) {
+                        inner.stats.add(stat::fc_eager_admitted, 1);
                         inner
                             .rec
                             .engine(now.0, obs::EngineEvent::CreditDebit { peer: dst as u32 });
                         true
                     } else {
-                        inner.stats.fc_credit_stalls += 1;
-                        inner.stats.fc_fallback_sends += 1;
+                        inner.stats.add(stat::fc_credit_stalls, 1);
+                        inner.stats.add(stat::fc_fallback_sends, 1);
                         inner
                             .rec
                             .phase(now.0, mkey(self.rank, dst, tag, seq), obs::Phase::CreditStall);
@@ -744,7 +761,7 @@ impl NmCore {
                 _ => true,
             };
         if eager {
-            inner.stats.eager_sends += 1;
+            inner.stats.add(stat::eager_sends, 1);
             let pw = PacketWrapper {
                 id: pw_id,
                 dst,
@@ -774,7 +791,7 @@ impl NmCore {
                 unreachable!("rendezvous entry must be a table row");
             };
             debug_assert!(actions.contains(&Action::SendRts));
-            inner.stats.rdv_sends += 1;
+            inner.stats.add(stat::rdv_sends, 1);
             let rdv_id = inner.next_rdv;
             inner.next_rdv += 1;
             let len = data.len();
@@ -958,7 +975,7 @@ impl NmCore {
                 return;
             }
             if !wire.crc_ok() {
-                inner.stats.crc_drops += 1;
+                inner.stats.add(stat::crc_drops, 1);
                 return;
             }
             // A frame from a peer this rank already drained must not
@@ -969,7 +986,7 @@ impl NmCore {
                 .as_ref()
                 .is_some_and(|m| m.is_dead(wire.src_rank))
             {
-                inner.stats.membership_stray_frames += 1;
+                inner.stats.add(stat::membership_stray_frames, 1);
                 inner.rec.inc("nmad.membership.stray_frames", 1);
                 return;
             }
@@ -1104,7 +1121,7 @@ impl NmCore {
     /// rail-health table's failover counters).
     pub fn stats(&self) -> NmStats {
         let inner = self.inner.lock();
-        let mut s = inner.stats;
+        let mut s = inner.stats.snapshot();
         s.copy = inner.meter.snapshot();
         s.peer_entries = (inner.gates.len()
             + inner.send_seq.len()
@@ -1329,7 +1346,7 @@ impl NmCore {
         n += inner.env_unacked.keys().filter(|k| k.0 == peer).count();
         n += inner.rdv_done.iter().filter(|k| k.0 == peer).count();
         n += usize::from(inner.last_in_rail.contains_key(&peer));
-        n += usize::from(inner.send_credits.contains_key(&peer));
+        n += usize::from(inner.send_credits.contains(peer));
         n += usize::from(inner.credit_owed.contains_key(&peer));
         n += usize::from(inner.credit_withheld.contains_key(&peer));
         n += inner.recv_posted.keys().filter(|k| k.0 == peer).count();
@@ -1366,11 +1383,11 @@ impl NmCore {
             format!(
                 "flow[unex={}B/peak={}B stalls={} fallback={} ret={} held={}{}]",
                 inner.unex_eager_bytes,
-                s.fc_peak_unex_bytes,
-                s.fc_credit_stalls,
-                s.fc_fallback_sends,
-                s.fc_credits_returned,
-                s.fc_credits_withheld,
+                s.max_of(stat::fc_peak_unex_bytes),
+                s.get(stat::fc_credit_stalls),
+                s.get(stat::fc_fallback_sends),
+                s.get(stat::fc_credits_returned),
+                s.get(stat::fc_credits_withheld),
                 if inner.fc_throttled { " throttled" } else { "" },
             )
         })
@@ -1383,7 +1400,9 @@ impl NmCore {
         if credits == 0 {
             return;
         }
-        let Some(fc) = inner.cfg.flow else { return };
+        if inner.cfg.flow.is_none() {
+            return;
+        }
         inner.rec.engine(
             t_ns,
             obs::EngineEvent::CreditRefill {
@@ -1391,12 +1410,8 @@ impl NmCore {
                 credits,
             },
         );
-        let pool = inner.send_credits.entry(src).or_insert(fc.eager_credits);
-        debug_assert!(
-            *pool + credits <= fc.eager_credits,
-            "credit return overflows the pool"
-        );
-        *pool = pool.saturating_add(credits).min(fc.eager_credits);
+        // Overflow debug-asserted and clamped inside the pool.
+        inner.send_credits.release(src, credits);
     }
 
     // ------------------------------------------------------------------
@@ -1558,7 +1573,7 @@ impl NmCore {
         }
         for (src, tag) in touched {
             let next = *inner.recv_expected.get(&(src, tag)).unwrap_or(&0);
-            inner.stats.acks_sent += 1;
+            inner.stats.add(stat::acks_sent, 1);
             // Route the ack back the way the peer's traffic came in — never
             // into a rail the peer may have already abandoned.
             let via = inner.last_in_rail.get(&src).copied();
@@ -1723,7 +1738,7 @@ impl NmCore {
     fn drain_peer(inner: &mut Inner, now: SimTime, peer: usize) {
         let t_ns = now.0;
         let mut entries: u64 = 0;
-        inner.stats.membership_dead_peers += 1;
+        inner.stats.add(stat::membership_dead_peers, 1);
         inner.dead_events.push_back(peer);
         let ctx = pctx(true, false, false, false);
         // Outbound rendezvous toward the peer: `dead/swaitcts`,
@@ -1833,7 +1848,7 @@ impl NmCore {
         // ack, owed/withheld ones it will never collect.
         let mut released: u64 = 0;
         if let Some(fc) = inner.cfg.flow {
-            if let Some(pool) = inner.send_credits.remove(&peer) {
+            if let Some(pool) = inner.send_credits.remove(peer) {
                 entries += 1;
                 released += (fc.eager_credits - pool) as u64;
             }
@@ -1846,7 +1861,7 @@ impl NmCore {
             entries += 1;
             released += withheld as u64;
         }
-        inner.stats.membership_credits_released += released;
+        inner.stats.add(stat::membership_credits_released, released);
         // Remaining per-(peer, tag) bookkeeping maps.
         let mut retain_count = |removed: usize| entries += removed as u64;
         let before = inner.send_seq.len();
@@ -1879,8 +1894,8 @@ impl NmCore {
         let before = inner.inbound.len();
         inner.inbound.retain(|w| w.src_rank != peer);
         let strays = (before - inner.inbound.len()) as u64;
-        inner.stats.membership_stray_frames += strays;
-        inner.stats.membership_drained_entries += entries;
+        inner.stats.add(stat::membership_stray_frames, strays);
+        inner.stats.add(stat::membership_drained_entries, entries);
         inner.rec.engine(
             t_ns,
             obs::EngineEvent::MemberDrain {
@@ -1894,7 +1909,7 @@ impl NmCore {
     /// A stale collective frame (revoked/superseded epoch or retired
     /// agreement instance) was dropped: bump the hygiene counter.
     fn count_stale_epoch(inner: &mut Inner, n: u64) {
-        inner.stats.membership_stale_epoch += n;
+        inner.stats.add(stat::membership_stale_epoch, n);
         inner.rec.inc("nmad.membership.stale_epoch", n);
     }
 
@@ -1925,7 +1940,7 @@ impl NmCore {
             Self::count_stale_epoch(inner, 1);
             return false;
         }
-        inner.stats.revoked_epochs += 1;
+        inner.stats.add(stat::revoked_epochs, 1);
         inner.revoked_events.push_back(epoch);
         inner.rec.engine(now.0, obs::EngineEvent::Revoke { epoch });
         inner.rec.inc("nmad.revoke", 1);
@@ -2106,7 +2121,7 @@ impl NmCore {
             let retry = inner.cfg.retry.is_some();
             let Envelope::Rts { rdv_id, .. } = env else {
                 if retry {
-                    inner.stats.dup_envelopes += 1;
+                    inner.stats.add(stat::dup_envelopes, 1);
                 } else {
                     Self::protocol_error(inner, "nmad.protocol_errors.dup_envelope");
                 }
@@ -2136,16 +2151,16 @@ impl NmCore {
             let mk = mkey(src, inner.rec.rank() as usize, tag, seq);
             for &action in actions {
                 match action {
-                    Action::CountDupEnvelope => inner.stats.dup_envelopes += 1,
+                    Action::CountDupEnvelope => inner.stats.add(stat::dup_envelopes, 1),
                     Action::ReplayFin => {
-                        inner.stats.fins_sent += 1;
+                        inner.stats.add(stat::fins_sent, 1);
                         inner.rec.phase(sched.now().0, mk, obs::Phase::FinTx);
                         inner
                             .ctrl_out
                             .push_back((src, WirePayload::RdvFin { rdv_id }, via));
                     }
                     Action::ReplayCts => {
-                        inner.stats.cts_retries += 1;
+                        inner.stats.add(stat::cts_retries, 1);
                         inner.rec.phase(
                             sched.now().0,
                             mk,
@@ -2172,7 +2187,7 @@ impl NmCore {
         if seq != expected {
             let map = inner.parked.entry((src, tag)).or_default();
             if map.insert(seq, env).is_some() {
-                inner.stats.dup_envelopes += 1;
+                inner.stats.add(stat::dup_envelopes, 1);
             }
             return;
         }
@@ -2255,10 +2270,9 @@ impl NmCore {
                 let msg = match env {
                     Envelope::Eager(data) => {
                         inner.unex_eager_bytes += data.len();
-                        inner.stats.fc_peak_unex_bytes = inner
+                        inner
                             .stats
-                            .fc_peak_unex_bytes
-                            .max(inner.unex_eager_bytes as u64);
+                            .raise(stat::fc_peak_unex_bytes, inner.unex_eager_bytes as u64);
                         Unexpected::Eager { seq, data }
                     }
                     Envelope::Rts { rdv_id, len } => Unexpected::Rts { seq, rdv_id, len },
@@ -2306,7 +2320,7 @@ impl NmCore {
             // Defer every owed credit; each is counted once, as it moves
             // into the withheld pool.
             while let Some((src, n)) = inner.credit_owed.pop_first() {
-                inner.stats.fc_credits_withheld += n as u64;
+                inner.stats.add(stat::fc_credits_withheld, n as u64);
                 *inner.credit_withheld.entry(src).or_insert(0) += n;
             }
             return;
@@ -2316,7 +2330,7 @@ impl NmCore {
             inner.credit_owed.insert(src, n);
         }
         while let Some((src, n)) = inner.credit_owed.pop_first() {
-            inner.stats.fc_credits_returned += n as u64;
+            inner.stats.add(stat::fc_credits_returned, n as u64);
             let piggyback = inner.ctrl_out.iter_mut().find_map(|(dst, p, _)| {
                 match p {
                     WirePayload::Ack { credits, .. } if *dst == src => Some(credits),
@@ -2346,7 +2360,7 @@ impl NmCore {
         let r = &mut inner.recv_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of recv request");
         r.done = true;
-        inner.stats.recv_completions += 1;
+        inner.stats.add(stat::recv_completions, 1);
         let cookie = r.cookie;
         let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
         inner.rec.phase(
@@ -2373,7 +2387,7 @@ impl NmCore {
     /// ([`Verdict::Error`]): count it — overall and per frame class — and
     /// drop it. The one thing this must never do is panic.
     fn protocol_error(inner: &mut Inner, counter: &'static str) {
-        inner.stats.protocol_errors += 1;
+        inner.stats.add(stat::protocol_errors, 1);
         inner.rec.inc("nmad.protocol_errors", 1);
         inner.rec.inc(counter, 1);
     }
@@ -2382,7 +2396,7 @@ impl NmCore {
         let r = &mut inner.send_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of send request");
         r.done = true;
-        inner.stats.send_completions += 1;
+        inner.stats.add(stat::send_completions, 1);
         let cookie = r.cookie;
         let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
         inner.rec.phase(
@@ -2406,7 +2420,7 @@ impl NmCore {
         let r = &mut inner.send_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of send request");
         r.done = true;
-        inner.stats.membership_aborted_sends += 1;
+        inner.stats.add(stat::membership_aborted_sends, 1);
         let cookie = r.cookie;
         let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
         inner.rec.phase(
@@ -2428,7 +2442,7 @@ impl NmCore {
         let r = &mut inner.recv_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of recv request");
         r.done = true;
-        inner.stats.membership_aborted_recvs += 1;
+        inner.stats.add(stat::membership_aborted_recvs, 1);
         let cookie = r.cookie;
         let tag = r.tag;
         let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
@@ -2455,7 +2469,7 @@ impl NmCore {
         let r = &mut inner.send_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of send request");
         r.done = true;
-        inner.stats.revoked_ops += 1;
+        inner.stats.add(stat::revoked_ops, 1);
         let cookie = r.cookie;
         let key = mkey(inner.rec.rank() as usize, r.dst, r.tag, r.seq);
         inner.rec.phase(
@@ -2478,7 +2492,7 @@ impl NmCore {
         let r = &mut inner.recv_reqs[req.0 as usize];
         debug_assert!(!r.done, "double completion of recv request");
         r.done = true;
-        inner.stats.revoked_ops += 1;
+        inner.stats.add(stat::revoked_ops, 1);
         let cookie = r.cookie;
         let tag = r.tag;
         let key = mkey(r.src, inner.rec.rank() as usize, r.tag, r.seq);
@@ -2507,7 +2521,8 @@ impl NmCore {
             return;
         };
         let events = m.take_transition_events();
-        inner.stats.membership_transitions = m.transitions();
+        // The transition total is a gauge recomputed in `stats()` from the
+        // membership table itself; no mirror copy to keep in sync here.
         for (peer, state) in events {
             let code = match state {
                 PeerLiveness::Up => 0,
@@ -2737,7 +2752,7 @@ impl NmCore {
                     };
                     debug_assert!(rdv.received <= rdv.buf.len());
                     if dup_bytes > 0 {
-                        inner.stats.dup_data += 1;
+                        inner.stats.add(stat::dup_data, 1);
                     }
                 }
                 Action::BumpRecvTimer => {
@@ -2754,7 +2769,7 @@ impl NmCore {
                 }
                 Action::SendFin => {
                     let rdv = &inner.rdv_in[&key];
-                    inner.stats.fins_sent += 1;
+                    inner.stats.add(stat::fins_sent, 1);
                     inner.rec.phase(
                         now.0,
                         mkey(src, my_rank, rdv.tag, rdv.seq),
@@ -2771,10 +2786,10 @@ impl NmCore {
                 Action::CountDupData => {
                     // Replayed payload at a tombstone: the sender's FIN
                     // was lost.
-                    inner.stats.dup_data += 1;
+                    inner.stats.add(stat::dup_data, 1);
                 }
                 Action::ReplayFin => {
-                    inner.stats.fins_sent += 1;
+                    inner.stats.add(stat::fins_sent, 1);
                     let via = inner.last_in_rail.get(&src).copied();
                     inner
                         .ctrl_out
@@ -2845,7 +2860,7 @@ impl NmCore {
                         failed_peers.push((dst, armed_at));
                     }
                     rx.deadline = now + rx.timeout;
-                    inner.stats.eager_retries += 1;
+                    inner.stats.add(stat::eager_retries, 1);
                     let key = mkey(self.rank, dst, tag, seq);
                     inner.rec.phase(
                         now.0,
@@ -2862,7 +2877,7 @@ impl NmCore {
                     let new_rail = Self::preferred_rail(inner.health.as_ref(), &self.profiles);
                     if new_rail != rx.rail {
                         let moved = payload_data_len(&rx.payload) as u64;
-                        inner.stats.rerouted_bytes += moved;
+                        inner.stats.add(stat::rerouted_bytes, moved);
                         inner.rec.phase(
                             now.0,
                             key,
@@ -2943,7 +2958,7 @@ impl NmCore {
                 rdv.last_rails = 1 << new_rail;
                 let key = mkey(self.rank, dst, rdv.tag, rdv.seq);
                 if actions.contains(&Action::ReplayRts) {
-                    inner.stats.rts_retries += 1;
+                    inner.stats.add(stat::rts_retries, 1);
                     inner.rec.phase(
                         now.0,
                         key,
@@ -2986,7 +3001,7 @@ impl NmCore {
                     // dedups whatever did arrive, and a tombstoned
                     // receiver replays the FIN.
                     debug_assert!(actions.contains(&Action::ReplayData));
-                    inner.stats.data_retries += 1;
+                    inner.stats.add(stat::data_retries, 1);
                     inner.rec.phase(
                         now.0,
                         key,
@@ -2995,7 +3010,7 @@ impl NmCore {
                         },
                     );
                     if rerouted {
-                        inner.stats.rerouted_bytes += rdv.data.len() as u64;
+                        inner.stats.add(stat::rerouted_bytes, rdv.data.len() as u64);
                         inner.rec.phase(
                             now.0,
                             key,
@@ -3054,7 +3069,7 @@ impl NmCore {
                     failed_peers.push((key.0, armed_at));
                 }
                 rdv.deadline = Some(now + rdv.timeout);
-                inner.stats.cts_retries += 1;
+                inner.stats.add(stat::cts_retries, 1);
                 let mk = mkey(key.0, self.rank, rdv.tag, rdv.seq);
                 inner.rec.phase(
                     now.0,
@@ -3147,7 +3162,7 @@ impl NmCore {
                     outgoing.push(Self::build_outgoing(
                         self.rank,
                         &self.net,
-                        &mut inner.stats,
+                        &inner.stats,
                         &mut inner.rdv_out,
                         &inner.rdv_in,
                         &mut inner.env_unacked,
@@ -3213,7 +3228,7 @@ impl NmCore {
     fn build_outgoing(
         my_rank: usize,
         net: &NmNet,
-        stats: &mut NmStats,
+        stats: &StatsCells,
         rdv_out: &mut HashMap<u64, RdvOut>,
         rdv_in: &HashMap<(usize, u64), RdvIn>,
         env_unacked: &mut BTreeMap<(usize, u64), BTreeMap<u64, EnvRetx>>,
@@ -3226,7 +3241,7 @@ impl NmCore {
         let rail_idx = sub.rail;
         let rail = net.rails[rail_idx];
         let dst_node = net.rank_to_node[dst];
-        stats.packets_sent += 1;
+        stats.add(stat::packets_sent, 1);
         let mut eager_reqs = Vec::new();
         let mut data_chunk_rdv = None;
         // Retry mode: an eager envelope going on the wire starts its ack
@@ -3255,8 +3270,8 @@ impl NmCore {
             }
         };
         let payload = if sub.pws.len() > 1 {
-            stats.aggregates_sent += 1;
-            stats.frags_aggregated += sub.pws.len() as u64;
+            stats.add(stat::aggregates_sent, 1);
+            stats.add(stat::frags_aggregated, sub.pws.len() as u64);
             let frags = sub
                 .pws
                 .into_iter()
@@ -3355,7 +3370,7 @@ impl NmCore {
                     WirePayload::Cts { rdv_id }
                 }
                 PwBody::Data { rdv_id, offset } => {
-                    stats.data_chunks_sent += 1;
+                    stats.add(stat::data_chunks_sent, 1);
                     let rdv = rdv_out
                         .get_mut(&rdv_id)
                         .expect("DATA chunk for unknown rendezvous");

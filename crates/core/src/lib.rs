@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod core;
+pub mod credit;
 pub mod keys;
 pub mod matching;
 pub mod membership;
@@ -57,7 +58,9 @@ pub mod pack;
 pub mod protocol;
 pub mod railhealth;
 pub mod sampling;
+pub mod sharded;
 pub mod sr;
+pub mod stats;
 pub mod strategy;
 pub mod wire;
 

@@ -10,8 +10,9 @@
 //! single-owner discipline of the original C code a compile-time property.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+
+use crate::sync_shim::AtomicUsize;
 
 /// Payload bytes per cell. The original Nemesis uses 64 KB cells; we keep
 /// that default (header is modelled separately, see [`MsgHeader`]).

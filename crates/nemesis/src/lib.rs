@@ -33,6 +33,7 @@ pub mod channel;
 pub mod mailbox;
 pub mod netmod;
 pub mod queue;
+pub(crate) mod sync_shim;
 
 pub use cell::{CellData, CellHandle, CellPool, MsgHeader, MsgKind, CELL_PAYLOAD};
 pub use channel::{ShmDomain, ShmModel};

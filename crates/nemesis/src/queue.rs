@@ -20,10 +20,10 @@
 //! the bottom and in `tests/` — even though the simulator drives it from one
 //! thread at a time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::cell::{CellHandle, CellPool, NIL};
+use crate::sync_shim::{spin_wait, AtomicUsize, Ordering, LINK_SPIN_CAP};
 
 /// A lock-free multi-producer single-consumer queue of cells.
 ///
@@ -117,10 +117,10 @@ impl NemQueue {
                         break;
                     }
                     spins += 1;
-                    if spins > 1_000_000 {
+                    if spins > LINK_SPIN_CAP {
                         panic!("NemQueue::dequeue: enqueuer link never appeared");
                     }
-                    std::hint::spin_loop();
+                    spin_wait();
                 }
             }
         }

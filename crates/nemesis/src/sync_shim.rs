@@ -1,0 +1,31 @@
+//! Atomic-type facade: `std::sync::atomic` normally, `loom::sync::atomic`
+//! when the crate is compiled with `--cfg loom` for model checking.
+//!
+//! The loom CI job builds with `RUSTFLAGS="--cfg loom"` and runs only the
+//! loom test target; under that cfg every atomic the queue and cell pool
+//! touch becomes a scheduling point of the offline model checker (see
+//! `vendor/loom`), so `tests/loom_queue.rs` explores the interleavings of
+//! the real enqueue/dequeue protocol rather than a mock of it.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One iteration of a bounded wait loop. Under loom this must be a
+/// *voluntary* yield so the scheduler runs the thread we are waiting on;
+/// natively it is a plain spin hint.
+pub(crate) fn spin_wait() {
+    #[cfg(loom)]
+    loom::thread::yield_now();
+    #[cfg(not(loom))]
+    std::hint::spin_loop();
+}
+
+/// Bound on the "enqueuer mid-append" wait in `NemQueue::dequeue`. The
+/// model checker counts scheduler steps, not cycles, so its bound is small;
+/// natively the historical 1M-spin budget stands.
+#[cfg(loom)]
+pub(crate) const LINK_SPIN_CAP: u32 = 1_000;
+#[cfg(not(loom))]
+pub(crate) const LINK_SPIN_CAP: u32 = 1_000_000;

@@ -43,9 +43,11 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod striped;
 
 pub use export::{trace_hash, PhaseBreakdown, Report};
 pub use metrics::{Histogram, MetricsRegistry, HIST_BUCKETS};
+pub use striped::{stripe_id, AtomicHistogram, StripedCells, STRIPES};
 pub use span::{
     EngineEvent, Event, MsgKey, Phase, RankRec, Recorder, RetryKind, Scope, Side, Validator,
     ENGINE_RANK,

@@ -29,8 +29,16 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+// Model-checking facade: under `--cfg loom` the handoff primitives become
+// loom scheduling points, so `tests/loom_queue.rs` can prove the WakeCell
+// grant/wait protocol has no lost wakeups. The APIs are call-compatible.
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex as StdMutex};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
@@ -78,21 +86,27 @@ enum GoSignal {
 /// Granting never allocates (an mpsc send allocates a queue node per
 /// message, which at thousands of ranks × millions of handoffs was pure
 /// churn).
-pub(crate) struct WakeCell {
+///
+/// Public so the loom model-check suite (`tests/loom_queue.rs`, built with
+/// `--cfg loom`) can drive the real grant/wait handoff; everything outside
+/// the engine and that suite should treat it as internal.
+pub struct WakeCell {
     state: StdMutex<GoSignal>,
     cv: Condvar,
 }
 
 impl WakeCell {
-    fn new() -> Arc<WakeCell> {
+    pub fn new() -> Arc<WakeCell> {
         Arc::new(WakeCell {
             state: StdMutex::new(GoSignal::Pending),
             cv: Condvar::new(),
         })
     }
 
-    /// Block until granted. `Err(())` means the simulation tore down.
-    pub(crate) fn wait_go(&self) -> Result<(), ()> {
+    /// Block until granted. `Err(())` means the simulation tore down —
+    /// teardown carries no further information, so the unit error stays.
+    #[allow(clippy::result_unit_err)]
+    pub fn wait_go(&self) -> Result<(), ()> {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             match *s {
@@ -108,12 +122,14 @@ impl WakeCell {
         }
     }
 
-    fn grant(&self) {
+    /// Hand the execution token to the waiting rank.
+    pub fn grant(&self) {
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = GoSignal::Go;
         self.cv.notify_one();
     }
 
-    fn tear_down(&self) {
+    /// Wake the rank with a teardown signal (it unwinds silently).
+    pub fn tear_down(&self) {
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = GoSignal::TornDown;
         self.cv.notify_one();
     }

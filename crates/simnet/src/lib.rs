@@ -60,7 +60,7 @@ pub mod trace;
 
 pub use copy::{BufOrigin, CopyMeter, CopySnapshot, NmBuf};
 pub use ctx::RankCtx;
-pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome};
+pub use engine::{RankId, Scheduler, Sim, SimBuilder, SimError, SimOutcome, WakeCell};
 pub use fabric::{Delivery, Fabric, FabricOpts, RailId, WireMessage};
 pub use fault::{
     FaultCounters, FaultPlan, FaultSpec, LinkFault, LinkWindow, NodeFault, NodeWindow,

@@ -1,0 +1,316 @@
+//! Differential equivalence: the per-gate sharded matcher must be
+//! observationally identical to the single-queue [`MatchEngine`] oracle.
+//!
+//! The sharded engine (`nmad::sharded`) re-implements NewMadeleine's tag
+//! matching with per-gate locks and a global arrival ticket for
+//! ANY_SOURCE arbitration. Nothing about its *answers* may change: this
+//! test replays recorded envelope streams — seeded random interleavings
+//! of posts, eager/RTS arrivals, probes, membership purges and epoch
+//! quiesces, with the mix skewed per seed toward overload (arrival
+//! bursts) or faults (purge-heavy) — into both engines and demands
+//! identical results for every operation, plus identical queue lengths
+//! after every step.
+//!
+//! A proptest then extends the CH3 "posted ∩ unexpected = ∅" invariant
+//! (see `tests/properties.rs`) to the sharded layout: no interleaving may
+//! leave a (gate, tag) claimable from both queues, and the engine must
+//! agree with a shadow model on every probe.
+
+use std::collections::HashMap;
+
+use nmad::matching::{MatchEngine, Unexpected};
+use nmad::sharded::ShardedMatchEngine;
+use nmad::{GateId, RecvReqId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::NmBuf;
+
+const GATES: usize = 4;
+const TAGS: u64 = 4;
+
+/// One recorded envelope-stream event.
+#[derive(Clone, Debug)]
+enum Op {
+    Post { gate: usize, tag: u64 },
+    Arrive { gate: usize, tag: u64, rdv: bool, len: usize },
+    Probe { gate: usize, tag: u64 },
+    ProbeTag { tag: u64 },
+    PurgeGate { gate: usize },
+    PurgeTagsBelow { below: u64 },
+}
+
+/// Observable fingerprint of an unexpected message (payload identity
+/// included via its length; bytes are a pure function of it here).
+fn fp(m: &Unexpected) -> (u8, u64, u64, usize) {
+    match m {
+        Unexpected::Eager { seq, data } => (1, *seq, 0, data.len()),
+        Unexpected::Rts { seq, rdv_id, len } => (2, *seq, *rdv_id, *len),
+    }
+}
+
+/// Generate a seeded stream. `seed % 4` picks the traffic profile:
+/// balanced, overload (arrival-heavy, long unexpected queues), faulty
+/// (purge-heavy, constant gate churn), or probe-heavy (ANY_SOURCE
+/// arbitration under pressure).
+fn stream(seed: u64, ops: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weights: [u32; 6] = match seed % 4 {
+        0 => [30, 30, 10, 10, 10, 10], // balanced
+        1 => [15, 60, 5, 10, 5, 5],    // overload
+        2 => [25, 25, 5, 5, 25, 15],   // faulty
+        _ => [20, 25, 20, 30, 3, 2],   // probe-heavy
+    };
+    let total: u32 = weights.iter().sum();
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let mut pick = rng.gen_range(0..total);
+        let mut kind = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                kind = i;
+                break;
+            }
+            pick -= w;
+        }
+        let gate = rng.gen_range(0..GATES);
+        let tag = rng.gen_range(0..TAGS);
+        out.push(match kind {
+            0 => Op::Post { gate, tag },
+            1 => Op::Arrive {
+                gate,
+                tag,
+                rdv: rng.gen_bool(0.25),
+                len: rng.gen_range(1..2048),
+            },
+            2 => Op::Probe { gate, tag },
+            3 => Op::ProbeTag { tag },
+            4 => Op::PurgeGate { gate },
+            _ => Op::PurgeTagsBelow {
+                below: rng.gen_range(1..=TAGS),
+            },
+        });
+    }
+    out
+}
+
+/// Replay one stream into both engines, asserting identical observables
+/// at every step.
+fn replay_differential(seed: u64) {
+    let ops = stream(seed, 400);
+    let mut oracle = MatchEngine::new();
+    let sharded = ShardedMatchEngine::new();
+    // Arrival sequence numbers are per-(gate, tag) monotonic, as the wire
+    // guarantees.
+    let mut next_seq: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut next_req = 0u32;
+    let mut next_rdv = 0u64;
+    for (step, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Post { gate, tag } => {
+                let req = RecvReqId(next_req);
+                next_req += 1;
+                let a = oracle.post_recv(GateId(gate), tag, req);
+                let b = sharded.post_recv(GateId(gate), tag, req);
+                assert_eq!(
+                    a.as_ref().map(fp),
+                    b.as_ref().map(fp),
+                    "post_recv diverged at step {step} (seed {seed})"
+                );
+            }
+            Op::Arrive { gate, tag, rdv, len } => {
+                let seq = next_seq.entry((gate, tag)).or_insert(0);
+                let msg = if rdv {
+                    next_rdv += 1;
+                    Unexpected::Rts {
+                        seq: *seq,
+                        rdv_id: next_rdv,
+                        len,
+                    }
+                } else {
+                    Unexpected::Eager {
+                        seq: *seq,
+                        data: NmBuf::from(vec![(*seq as u8).wrapping_add(gate as u8); len]),
+                    }
+                };
+                *seq += 1;
+                let a = oracle.arrived(GateId(gate), tag, msg.clone());
+                let b = sharded.arrived(GateId(gate), tag, msg);
+                assert_eq!(a, b, "arrived diverged at step {step} (seed {seed})");
+            }
+            Op::Probe { gate, tag } => {
+                assert_eq!(oracle.probe(GateId(gate), tag), sharded.probe(GateId(gate), tag));
+                assert_eq!(
+                    oracle.probe_info(GateId(gate), tag),
+                    sharded.probe_info(GateId(gate), tag),
+                    "probe_info diverged at step {step} (seed {seed})"
+                );
+            }
+            Op::ProbeTag { tag } => {
+                // ANY_SOURCE arbitration: the ticket minimum must name the
+                // same gate as the oracle's global arrival order.
+                assert_eq!(
+                    oracle.probe_tag_info(tag),
+                    sharded.probe_tag_info(tag),
+                    "ANY_SOURCE arbitration diverged at step {step} (seed {seed})"
+                );
+            }
+            Op::PurgeGate { gate } => {
+                let a = oracle.purge_gate(GateId(gate));
+                let b = sharded.purge_gate(GateId(gate));
+                assert_eq!(a, b, "purge_gate diverged at step {step} (seed {seed})");
+            }
+            Op::PurgeTagsBelow { below } => {
+                let a = oracle.purge_keys(|t| t < below);
+                let b = sharded.purge_keys(|t| t < below);
+                assert_eq!(a, b, "purge_keys diverged at step {step} (seed {seed})");
+            }
+        }
+        assert_eq!(oracle.posted_len(), sharded.posted_len());
+        assert_eq!(oracle.unexpected_len(), sharded.unexpected_len());
+        assert_eq!(oracle.posted_gates(), sharded.posted_gates());
+    }
+}
+
+#[test]
+fn sharded_matcher_equals_single_queue_oracle_across_seed_sweep() {
+    // 32 recorded streams × 400 events, covering all four traffic
+    // profiles (balanced / overload / faulty / probe-heavy) eight times
+    // each with different interleavings.
+    for seed in 0..32 {
+        replay_differential(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// posted ∩ unexpected = ∅, sharded layout
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum POp {
+    Post { gate: usize, tag: u64 },
+    Arrive { gate: usize, tag: u64, len: usize },
+    PurgeGate { gate: usize },
+    PurgeTag { tag: u64 },
+}
+
+fn pop_strategy() -> impl Strategy<Value = POp> {
+    prop_oneof![
+        (0usize..GATES, 0u64..TAGS).prop_map(|(gate, tag)| POp::Post { gate, tag }),
+        (0usize..GATES, 0u64..TAGS, 1usize..512)
+            .prop_map(|(gate, tag, len)| POp::Arrive { gate, tag, len }),
+        (0usize..GATES).prop_map(|gate| POp::PurgeGate { gate }),
+        (0u64..TAGS).prop_map(|tag| POp::PurgeTag { tag }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128, // pure queue ops, cheap to run wide
+        .. ProptestConfig::default()
+    })]
+
+    /// For ANY interleaving of posts, arrivals and purges, no (gate, tag)
+    /// is ever claimable from both the posted and the unexpected side of
+    /// the sharded layout, and the engine agrees with a shadow model on
+    /// every probe and length.
+    #[test]
+    fn sharded_posted_and_unexpected_stay_disjoint(
+        ops in proptest::collection::vec(pop_strategy(), 1..80)
+    ) {
+        let m = ShardedMatchEngine::new();
+        // Shadow model: per-(gate, tag) posted count and unexpected FIFO.
+        let mut posted: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut unex: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        let mut next_seq: HashMap<(usize, u64), u64> = HashMap::new();
+        let mut next_req = 0u32;
+        for op in ops {
+            match op {
+                POp::Post { gate, tag } => {
+                    let req = RecvReqId(next_req);
+                    next_req += 1;
+                    let got = m.post_recv(GateId(gate), tag, req);
+                    let q = unex.entry((gate, tag)).or_default();
+                    if q.is_empty() {
+                        prop_assert!(got.is_none(), "engine invented an unexpected hit");
+                        *posted.entry((gate, tag)).or_insert(0) += 1;
+                    } else {
+                        let len = q.remove(0);
+                        match got {
+                            Some(Unexpected::Eager { data, .. }) =>
+                                prop_assert_eq!(data.len(), len, "consumed out of FIFO order"),
+                            _ => prop_assert!(false, "engine missed a waiting unexpected"),
+                        }
+                    }
+                }
+                POp::Arrive { gate, tag, len } => {
+                    let seq = next_seq.entry((gate, tag)).or_insert(0);
+                    let msg = Unexpected::Eager {
+                        seq: *seq,
+                        data: NmBuf::from(vec![0u8; len]),
+                    };
+                    *seq += 1;
+                    let matched = m.arrived(GateId(gate), tag, msg);
+                    let count = posted.entry((gate, tag)).or_insert(0);
+                    if *count > 0 {
+                        prop_assert!(matched.is_some(), "engine missed a posted receive");
+                        *count -= 1;
+                    } else {
+                        prop_assert!(matched.is_none(), "engine matched a phantom receive");
+                        unex.entry((gate, tag)).or_default().push(len);
+                    }
+                }
+                POp::PurgeGate { gate } => {
+                    let (orphans, _) = m.purge_gate(GateId(gate));
+                    let model_orphans: usize = posted
+                        .iter()
+                        .filter(|(&(g, _), &c)| g == gate && c > 0)
+                        .map(|(_, &c)| c)
+                        .sum();
+                    prop_assert_eq!(orphans.len(), model_orphans);
+                    posted.retain(|&(g, _), _| g != gate);
+                    unex.retain(|&(g, _), _| g != gate);
+                }
+                POp::PurgeTag { tag } => {
+                    let (orphans, dropped, _) = m.purge_keys(|t| t == tag);
+                    let model_orphans: usize = posted
+                        .iter()
+                        .filter(|(&(_, t), &c)| t == tag && c > 0)
+                        .map(|(_, &c)| c)
+                        .sum();
+                    let model_dropped: usize = unex
+                        .iter()
+                        .filter(|(&(_, t), _)| t == tag)
+                        .map(|(_, q)| q.len())
+                        .sum();
+                    prop_assert_eq!(orphans.len(), model_orphans);
+                    prop_assert_eq!(dropped, model_dropped);
+                    posted.retain(|&(_, t), _| t != tag);
+                    unex.retain(|&(_, t), _| t != tag);
+                }
+            }
+            // THE invariant, on the sharded layout: a (gate, tag) with a
+            // posted receive has nothing claimable unexpected, and vice
+            // versa.
+            for (&(g, t), q) in &unex {
+                prop_assert!(
+                    q.is_empty() || posted.get(&(g, t)).copied().unwrap_or(0) == 0,
+                    "(gate {g}, tag {t}) claimable from both queues"
+                );
+            }
+            // Engine observables agree with the model.
+            let model_posted: usize = posted.values().sum();
+            let model_unex: usize = unex.values().map(|q| q.len()).sum();
+            prop_assert_eq!(m.posted_len(), model_posted);
+            prop_assert_eq!(m.unexpected_len(), model_unex);
+            for g in 0..GATES {
+                for t in 0..TAGS {
+                    let waiting = unex.get(&(g, t)).is_some_and(|q| !q.is_empty());
+                    prop_assert_eq!(m.probe(GateId(g), t), waiting);
+                    let front = unex.get(&(g, t)).and_then(|q| q.first().copied());
+                    prop_assert_eq!(m.probe_info(GateId(g), t), front);
+                }
+            }
+        }
+    }
+}

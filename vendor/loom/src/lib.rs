@@ -1,0 +1,46 @@
+//! Offline drop-in subset of the [loom](https://crates.io/crates/loom)
+//! concurrency model checker.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! slice of loom's API our `#[cfg(loom)]` shims use, backed by a
+//! **preemption-bounded, sequentially-consistent, exhaustive interleaving
+//! explorer** (in the spirit of CHESS) rather than loom's C11 weak-memory
+//! model:
+//!
+//! * [`model()`] re-runs the test closure once per explored schedule.
+//! * Every atomic access, lock acquisition and condvar operation is a
+//!   *scheduling point*; exactly one model thread runs between two points,
+//!   so a schedule is a total order over the points — i.e. sequential
+//!   consistency. Weak orderings (`Relaxed`, `Acquire`, …) are accepted but
+//!   all execute as `SeqCst`: the explorer proves linearizability and
+//!   deadlock/lost-wakeup freedom under SC, not the absence of
+//!   relaxed-memory reorderings (ThreadSanitizer covers that axis — see the
+//!   CI `sanitizers` job).
+//! * Exploration is depth-first over scheduler choices with a configurable
+//!   **preemption bound** (default 3): schedules that forcibly switch away
+//!   from a runnable thread more than the bound are pruned. Voluntary
+//!   switches (blocking, [`thread::yield_now`], finishing) are free, so
+//!   every schedule a bounded number of preemptions can produce is covered.
+//! * Deadlocks (all live threads blocked) and livelocks (a schedule
+//!   exceeding the per-execution step cap) panic with a schedule dump, as
+//!   does any assertion failure inside a model thread.
+//!
+//! Model threads are real OS threads run one-at-a-time under a cooperative
+//! token protocol (the same handoff discipline as `simnet`'s rank engine),
+//! so the code under test runs unmodified — no instrumentation beyond the
+//! `loom::sync` / `loom::thread` shims the caller already compiled in.
+
+pub mod model;
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+pub mod hint {
+    /// Model-aware spin hint: spinning only makes progress if another
+    /// thread runs, so it is a voluntary yield in the model.
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}

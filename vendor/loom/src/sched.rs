@@ -1,0 +1,517 @@
+//! The cooperative scheduler and DFS schedule explorer.
+//!
+//! One `Exec` is a single execution of the model closure under one
+//! schedule. Model threads are real OS threads, but exactly one holds the
+//! execution token at any time; every scheduling point (atomic access,
+//! lock, condvar op, yield) cedes the token through `Exec::yield_point`,
+//! which consults the replay prefix / default policy to pick the next
+//! runnable thread. The decision log of a finished execution tells the
+//! explorer in [`crate::model()`] which branch to flip next.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-execution step cap: a schedule that makes this many scheduling
+/// points without finishing is declared a livelock.
+const STEP_CAP: usize = 200_000;
+
+/// Unwind payload used to tear model threads down silently when another
+/// thread already failed the execution.
+pub(crate) struct TearDown;
+
+/// Why a thread cannot run right now.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Wait {
+    /// Runnable (parked at a scheduling point, awaiting the token).
+    None,
+    /// Waiting for a thread to finish.
+    Join(usize),
+    /// Waiting for a mutex to be released.
+    Mutex(usize),
+    /// Waiting on a condvar (moves to `None` on notify; the thread then
+    /// re-acquires the mutex itself).
+    Condvar(usize),
+    /// Done; never runs again.
+    Finished,
+}
+
+struct ThreadSlot {
+    wait: Wait,
+    /// Voluntarily ceded the token ([`crate::thread::yield_now`]): not
+    /// eligible while any other thread is runnable, and switching away
+    /// from it is never charged as a preemption.
+    yielded: bool,
+}
+
+/// One scheduler decision: the runnable set and what was chosen.
+pub(crate) struct Decision {
+    /// Runnable thread ids at this point, ascending.
+    pub alts: Vec<usize>,
+    /// Index into `alts` that was taken.
+    pub chosen: usize,
+    /// Per-alternative: would taking it have been a preemption (forcibly
+    /// switching away from a still-runnable current thread)?
+    pub preemptive: Vec<bool>,
+    /// Preemptions consumed by the decisions *before* this one.
+    pub preempt_before: usize,
+}
+
+struct State {
+    slots: Vec<ThreadSlot>,
+    /// Thread currently holding the execution token.
+    active: usize,
+    /// Mutex owners (`None` = free), indexed by mutex id.
+    mutexes: Vec<Option<usize>>,
+    /// Condvar wait sets (FIFO), indexed by condvar id.
+    condvars: Vec<Vec<usize>>,
+    decisions: Vec<Decision>,
+    /// How many leading decisions replay the explorer's prefix.
+    cursor: usize,
+    preemptions: usize,
+    steps: usize,
+    /// Execution failed (panic / deadlock / livelock): unwind everyone.
+    poison: bool,
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    /// Real join handles of every spawned model thread.
+    real: Vec<std::thread::JoinHandle<()>>,
+    /// Per-thread result of `finish` ordering for joins.
+    done_count: usize,
+}
+
+/// One execution of the model under one schedule.
+pub(crate) struct Exec {
+    st: Mutex<State>,
+    cv: Condvar,
+    /// Replay prefix: decision indices to take before falling back to the
+    /// default (non-preemptive) policy.
+    prefix: Vec<usize>,
+    /// Set once the whole execution is over (all finished or poisoned).
+    done: AtomicBool,
+}
+
+std::thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's (execution, thread id), if inside a model.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Exec>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// `current()` that panics outside a model — every `loom::sync` op
+/// requires the scheduler.
+pub(crate) fn me() -> (Arc<Exec>, usize) {
+    current().expect("loom primitives may only be used inside loom::model")
+}
+
+impl Exec {
+    pub(crate) fn new(prefix: Vec<usize>) -> Arc<Exec> {
+        Arc::new(Exec {
+            st: Mutex::new(State {
+                slots: Vec::new(),
+                active: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                decisions: Vec::new(),
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                poison: false,
+                panic_payload: None,
+                real: Vec::new(),
+                done_count: 0,
+            }),
+            cv: Condvar::new(),
+            prefix,
+            done: AtomicBool::new(false),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a new model thread; returns its id. The thread starts
+    /// runnable but parked (it must be granted the token before running).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.slots.push(ThreadSlot {
+            wait: Wait::None,
+            yielded: false,
+        });
+        st.slots.len() - 1
+    }
+
+    pub(crate) fn push_real_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().real.push(h);
+    }
+
+    /// Spawn the model thread running `f` (already wrapped by the caller
+    /// with result capture). Registers it and launches the real thread.
+    pub(crate) fn spawn_model_thread(
+        self: &Arc<Self>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let tid = self.register_thread();
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                set_current(Some((Arc::clone(&exec), tid)));
+                // Wait for the first grant before touching anything.
+                if exec.wait_for_token(tid).is_err() {
+                    return; // torn down before ever running
+                }
+                let r = panic::catch_unwind(AssertUnwindSafe(f));
+                match r {
+                    Ok(()) => exec.finish(tid),
+                    Err(payload) => {
+                        if payload.downcast_ref::<TearDown>().is_none() {
+                            exec.poison_with(payload);
+                        }
+                        // TearDown: another thread already poisoned; just
+                        // exit. `finish` is skipped — poison supersedes.
+                    }
+                }
+                set_current(None);
+            })
+            .expect("failed to spawn loom model thread");
+        self.push_real_handle(handle);
+        tid
+    }
+
+    /// Block until this thread holds the token. `Err` = torn down.
+    fn wait_for_token(&self, tid: usize) -> Result<(), ()> {
+        let mut st = self.lock();
+        loop {
+            if st.poison {
+                return Err(());
+            }
+            if st.active == tid && st.slots[tid].wait == Wait::None {
+                return Ok(());
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Unwind the calling model thread because the execution is poisoned.
+    fn tear_down(&self) -> ! {
+        panic::panic_any(TearDown)
+    }
+
+    /// Record a panic payload and wake everyone to unwind.
+    pub(crate) fn poison_with(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = self.lock();
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.poison = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The scheduling point every shim funnels through: cede the token,
+    /// let the policy pick the next runnable thread, and return once this
+    /// thread is granted again. `to_wait` describes why the calling thread
+    /// cannot continue (or `Wait::None` for an ordinary interleaving
+    /// point, where it stays runnable and may well be re-chosen).
+    pub(crate) fn yield_point(self: &Arc<Self>, voluntary: bool) {
+        self.block_point(Wait::None, voluntary)
+    }
+
+    fn block_point(self: &Arc<Self>, to_wait: Wait, voluntary: bool) {
+        let (_, tid) = me();
+        {
+            let mut st = self.lock();
+            if st.poison {
+                drop(st);
+                self.tear_down();
+            }
+            st.steps += 1;
+            if st.steps > STEP_CAP {
+                drop(st);
+                self.poison_with(Box::new(format!(
+                    "loom (offline): livelock — schedule exceeded {STEP_CAP} scheduling points"
+                )));
+                self.tear_down();
+            }
+            st.slots[tid].wait = to_wait;
+            st.slots[tid].yielded = voluntary;
+            self.schedule(&mut st);
+        }
+        self.cv.notify_all();
+        if self.wait_for_token(tid).is_err() {
+            self.tear_down();
+        }
+    }
+
+    /// Pick the next thread to run and record the decision.
+    fn schedule(self: &Arc<Self>, st: &mut State) {
+        let cur = st.active;
+        let cur_runnable =
+            st.slots[cur].wait == Wait::None && !st.slots[cur].yielded;
+        // Runnable set. A yielded thread is eligible only if nothing else
+        // can run (yield means "let somebody else go first").
+        let mut alts: Vec<usize> = (0..st.slots.len())
+            .filter(|&t| st.slots[t].wait == Wait::None && !st.slots[t].yielded)
+            .collect();
+        if alts.is_empty() {
+            alts = (0..st.slots.len())
+                .filter(|&t| st.slots[t].wait == Wait::None)
+                .collect();
+        }
+        if alts.is_empty() {
+            if st.slots.iter().all(|s| s.wait == Wait::Finished) {
+                // Execution complete; nothing to schedule.
+                return;
+            }
+            let held: Vec<String> = st
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(t, s)| format!("thread {t}: {:?}", s.wait))
+                .collect();
+            st.poison = true;
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(Box::new(format!(
+                    "loom (offline): deadlock — no runnable thread [{}]",
+                    held.join(", ")
+                )));
+            }
+            return;
+        }
+        // Put the default (non-preemptive) choice at index 0: the explorer
+        // only scans alternatives ABOVE the chosen index (the DFS invariant
+        // is "everything below `chosen` was explored in earlier siblings"),
+        // so the first visit to a decision must choose index 0. The swap is
+        // a deterministic function of the runnable set and `cur`, which
+        // replay reproduces exactly.
+        if let Some(pos) = alts.iter().position(|&t| t == cur) {
+            alts.swap(0, pos);
+        }
+        let preemptive: Vec<bool> = alts
+            .iter()
+            .map(|&t| cur_runnable && t != cur)
+            .collect();
+        let chosen = if st.cursor < self.prefix.len() {
+            let c = self.prefix[st.cursor];
+            assert!(
+                c < alts.len(),
+                "loom (offline): replay divergence — the model is nondeterministic \
+                 outside scheduler control (prefix choice {c} of {} alts)",
+                alts.len()
+            );
+            c
+        } else {
+            // Default policy: index 0 — stay on the current thread when it
+            // is runnable (never a preemption), else the lowest-id
+            // runnable thread.
+            0
+        };
+        let preempt_before = st.preemptions;
+        if preemptive[chosen] {
+            st.preemptions += 1;
+        }
+        let next = alts[chosen];
+        st.decisions.push(Decision {
+            alts,
+            chosen,
+            preemptive,
+            preempt_before,
+        });
+        st.cursor += 1;
+        st.active = next;
+        // The grantee gets a fresh yield slate; everyone else's yield flag
+        // clears once a different thread has actually run.
+        for (t, slot) in st.slots.iter_mut().enumerate() {
+            if t != next {
+                slot.yielded = false;
+            }
+        }
+        st.slots[next].yielded = false;
+    }
+
+    /// Model thread `tid` finished its closure.
+    fn finish(self: &Arc<Self>, tid: usize) {
+        let mut st = self.lock();
+        st.slots[tid].wait = Wait::Finished;
+        st.done_count += 1;
+        // Joiners become runnable.
+        for slot in st.slots.iter_mut() {
+            if slot.wait == Wait::Join(tid) {
+                slot.wait = Wait::None;
+            }
+        }
+        self.schedule(&mut st);
+        let all_done = st.slots.iter().all(|s| s.wait == Wait::Finished);
+        drop(st);
+        if all_done {
+            self.done.store(true, Ordering::SeqCst);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block the caller until model thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, target: usize) {
+        loop {
+            {
+                let st = self.lock();
+                if st.poison {
+                    drop(st);
+                    self.tear_down();
+                }
+                if st.slots[target].wait == Wait::Finished {
+                    return;
+                }
+            }
+            self.block_point(Wait::Join(target), false);
+        }
+    }
+
+    // ---- mutex / condvar modelling -------------------------------------
+
+    pub(crate) fn new_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(None);
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn new_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(Vec::new());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn acquire_mutex(self: &Arc<Self>, mid: usize) {
+        let (_, tid) = me();
+        // Acquisition is a scheduling point: others may interleave before
+        // we take (or block on) the lock.
+        self.yield_point(false);
+        loop {
+            {
+                let mut st = self.lock();
+                if st.poison {
+                    drop(st);
+                    self.tear_down();
+                }
+                match st.mutexes[mid] {
+                    None => {
+                        st.mutexes[mid] = Some(tid);
+                        return;
+                    }
+                    Some(owner) => {
+                        assert_ne!(owner, tid, "loom: mutex deadlock (relock)");
+                    }
+                }
+            }
+            self.block_point(Wait::Mutex(mid), false);
+        }
+    }
+
+    pub(crate) fn release_mutex(self: &Arc<Self>, mid: usize) {
+        let mut st = self.lock();
+        let (_, tid) = me();
+        debug_assert_eq!(st.mutexes[mid], Some(tid), "unlock by non-owner");
+        st.mutexes[mid] = None;
+        for slot in st.slots.iter_mut() {
+            if slot.wait == Wait::Mutex(mid) {
+                slot.wait = Wait::None;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Condvar wait: atomically release the mutex and sleep; on notify,
+    /// re-acquire the mutex before returning.
+    pub(crate) fn condvar_wait(self: &Arc<Self>, cid: usize, mid: usize) {
+        let (_, tid) = me();
+        {
+            let mut st = self.lock();
+            debug_assert_eq!(st.mutexes[mid], Some(tid), "cv wait without the lock");
+            st.mutexes[mid] = None;
+            for slot in st.slots.iter_mut() {
+                if slot.wait == Wait::Mutex(mid) {
+                    slot.wait = Wait::None;
+                }
+            }
+            st.condvars[cid].push(tid);
+        }
+        self.cv.notify_all();
+        self.block_point(Wait::Condvar(cid), false);
+        // Notified (wait flag cleared by notify): take the lock back.
+        self.acquire_mutex(mid);
+    }
+
+    pub(crate) fn condvar_notify(self: &Arc<Self>, cid: usize, all: bool) {
+        // Notification is a scheduling point too.
+        self.yield_point(false);
+        let mut st = self.lock();
+        let woken: Vec<usize> = if all {
+            std::mem::take(&mut st.condvars[cid])
+        } else if st.condvars[cid].is_empty() {
+            Vec::new()
+        } else {
+            vec![st.condvars[cid].remove(0)]
+        };
+        for t in woken {
+            if st.slots[t].wait == Wait::Condvar(cid) {
+                st.slots[t].wait = Wait::None;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    // ---- explorer interface --------------------------------------------
+
+    /// Wait for the execution to end; re-raise any recorded panic.
+    /// Returns the decision log for prefix computation.
+    pub(crate) fn wait_done(self: &Arc<Self>) -> Vec<Decision> {
+        {
+            let mut st = self.lock();
+            loop {
+                let all_done = st.slots.iter().all(|s| s.wait == Wait::Finished);
+                if st.poison || (all_done && !st.slots.is_empty()) {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Join the real threads so nothing outlives the execution.
+        let handles = {
+            let mut st = self.lock();
+            std::mem::take(&mut st.real)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.lock();
+        if let Some(payload) = st.panic_payload.take() {
+            let n = st.decisions.len();
+            let p = st.preemptions;
+            drop(st);
+            eprintln!(
+                "loom (offline): failing schedule — {n} scheduling decisions, {p} preemptions"
+            );
+            panic::resume_unwind(payload);
+        }
+        std::mem::take(&mut st.decisions)
+    }
+
+    /// Launch the root model thread (thread 0). `State::new` initializes
+    /// `active` to 0, so the root owns the token from the outset — nothing
+    /// may write `active` after spawning except `schedule` itself (a late
+    /// write here would race the root ceding the token and double-grant).
+    pub(crate) fn start(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) {
+        let tid = self.spawn_model_thread(f);
+        debug_assert_eq!(tid, 0);
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,251 @@
+//! Model-checked synchronization primitives, mirroring `loom::sync`.
+//!
+//! Every operation is a scheduling point; the values themselves are held
+//! in plain (or `std` atomic) storage, since only one model thread runs at
+//! a time. All memory orderings execute as `SeqCst` — see the crate docs.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    fn point() {
+        let (exec, _) = sched::me();
+        exec.yield_point(false);
+    }
+
+    /// A SeqCst memory fence is a no-op under the sequentially-consistent
+    /// model, but it is still an interleaving point.
+    pub fn fence(_order: Ordering) {
+        point();
+    }
+
+    macro_rules! atomic_type {
+        ($name:ident, $std:ty, $val:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $val) -> $name {
+                    $name { v: <$std>::new(v) }
+                }
+
+                pub fn load(&self, _o: Ordering) -> $val {
+                    point();
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, val: $val, _o: Ordering) {
+                    point();
+                    self.v.store(val, Ordering::SeqCst)
+                }
+
+                pub fn swap(&self, val: $val, _o: Ordering) -> $val {
+                    point();
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$val, $val> {
+                    point();
+                    self.v
+                        .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $val,
+                    new: $val,
+                    s: Ordering,
+                    f: Ordering,
+                ) -> Result<$val, $val> {
+                    // The model has no spurious failures.
+                    self.compare_exchange(cur, new, s, f)
+                }
+
+                pub fn fetch_add(&self, val: $val, _o: Ordering) -> $val {
+                    point();
+                    self.v.fetch_add(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, val: $val, _o: Ordering) -> $val {
+                    point();
+                    self.v.fetch_sub(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_max(&self, val: $val, _o: Ordering) -> $val {
+                    point();
+                    self.v.fetch_max(val, Ordering::SeqCst)
+                }
+
+                pub fn fetch_min(&self, val: $val, _o: Ordering) -> $val {
+                    point();
+                    self.v.fetch_min(val, Ordering::SeqCst)
+                }
+
+                pub fn into_inner(self) -> $val {
+                    self.v.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_type!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_type!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_type!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic_type!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+
+    /// `AtomicBool` has no `fetch_add`/`fetch_sub`; written out by hand.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, _o: Ordering) -> bool {
+            point();
+            self.v.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, val: bool, _o: Ordering) {
+            point();
+            self.v.store(val, Ordering::SeqCst)
+        }
+
+        pub fn swap(&self, val: bool, _o: Ordering) -> bool {
+            point();
+            self.v.swap(val, Ordering::SeqCst)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            cur: bool,
+            new: bool,
+            _s: Ordering,
+            _f: Ordering,
+        ) -> Result<bool, bool> {
+            point();
+            self.v
+                .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+    }
+}
+
+use std::cell::UnsafeCell;
+
+use crate::sched;
+
+/// Model-checked mutex. Blocking participates in deadlock detection.
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is serialized by the model scheduler — a guard
+// only exists while its thread owns the model-level lock.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Must be called inside [`crate::model()`] (the lock registers with the
+    /// running execution).
+    pub fn new(v: T) -> Mutex<T> {
+        let (exec, _) = sched::me();
+        Mutex {
+            id: exec.new_mutex(),
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let (exec, _) = sched::me();
+        exec.acquire_mutex(self.id);
+        Ok(MutexGuard { lock: self })
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the model-level lock is held (guard invariant).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above — exclusive model-level ownership.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (exec, _) = sched::me();
+        exec.release_mutex(self.lock.id);
+    }
+}
+
+/// Model-checked condition variable: a `wait` that a matching `notify`
+/// never reaches is reported as a deadlock (the lost-wakeup detector).
+pub struct Condvar {
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Must be called inside [`crate::model()`].
+    pub fn new() -> Condvar {
+        let (exec, _) = sched::me();
+        Condvar {
+            id: exec.new_condvar(),
+        }
+    }
+
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let (exec, _) = sched::me();
+        let lock = guard.lock;
+        // The model releases and re-acquires the lock itself; skip the
+        // guard's Drop release.
+        std::mem::forget(guard);
+        exec.condvar_wait(self.id, lock.id);
+        Ok(MutexGuard { lock })
+    }
+
+    pub fn notify_one(&self) {
+        let (exec, _) = sched::me();
+        exec.condvar_notify(self.id, false);
+    }
+
+    pub fn notify_all(&self) {
+        let (exec, _) = sched::me();
+        exec.condvar_notify(self.id, true);
+    }
+}

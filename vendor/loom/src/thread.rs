@@ -1,0 +1,50 @@
+//! Model-thread spawning, mirroring `loom::thread`.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::sched;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawn a model thread. Must be called inside [`crate::model()`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _) = sched::me();
+    let result = Arc::new(StdMutex::new(None));
+    let r2 = Arc::clone(&result);
+    let tid = exec.spawn_model_thread(move || {
+        let v = f();
+        *r2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    });
+    JoinHandle { tid, result }
+}
+
+/// Voluntarily cede the token: every other runnable thread is preferred
+/// until one of them has run. The model-aware version of
+/// `std::thread::yield_now` (and of a spin-loop hint: spinning only makes
+/// progress if somebody else runs).
+pub fn yield_now() {
+    let (exec, _) = sched::me();
+    exec.yield_point(true);
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the thread finishes; returns its closure's value.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, _) = sched::me();
+        exec.join_thread(self.tid);
+        Ok(self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom: joined thread produced no result"))
+    }
+}
